@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Shared plumbing for the experiment-reproduction benchmarks: run one
+ * validation point (Section III test-case formulation) on either
+ * controller model and collect the metrics the paper plots.
+ */
+
+#ifndef DRAMCTRL_BENCH_BENCH_UTIL_H
+#define DRAMCTRL_BENCH_BENCH_UTIL_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "dram/dram_presets.hh"
+#include "harness/testbench.hh"
+#include "power/micron_power.hh"
+#include "sim/logging.hh"
+#include "stats/histogram.hh"
+#include "trafficgen/dram_gen.hh"
+#include "trafficgen/linear_gen.hh"
+#include "trafficgen/random_gen.hh"
+
+namespace dramctrl {
+namespace bench {
+
+/** One Section III validation point. */
+struct PointConfig
+{
+    harness::CtrlModel model = harness::CtrlModel::Event;
+    PagePolicy page = PagePolicy::Open;
+    /** Open page pairs with RoRaBaCoCh, closed with RoCoRaBaCh
+     *  (Section III-B); set explicitly to override. */
+    AddrMapping mapping = AddrMapping::RoRaBaCoCh;
+    std::uint64_t strideBytes = 64;
+    unsigned banks = 1;
+    unsigned readPct = 100;
+    std::uint64_t numRequests = 6000;
+    /** Inject faster than the DRAM can serve to measure saturation. */
+    Tick itt = fromNs(3);
+    /** Queue-size overrides (0 keeps the preset's defaults). The
+     *  paper matches queue sizes per experiment (Section III). */
+    unsigned readBufferSize = 0;
+    unsigned writeBufferSize = 0;
+    /** Arbitrary final tweak of the controller configuration (used by
+     *  the ablation benchmarks to sweep individual design choices). */
+    std::function<void(DRAMCtrlConfig &)> tweak;
+};
+
+/** What one run produced. */
+struct PointResult
+{
+    double busUtil = 0;
+    double bandwidthGBs = 0;
+    double avgReadLatencyNs = 0;
+    double rowHitRate = 0;
+    PowerInputs powerIn;
+    DRAMCtrlConfig cfg;
+    /** Wall-clock seconds the host spent simulating. */
+    double hostSeconds = 0;
+    /** Simulated seconds covered. */
+    double simSeconds = 0;
+    /** Kernel events serviced. */
+    std::uint64_t events = 0;
+    /** Read latency histogram snapshot (ns). */
+    std::vector<std::pair<double, std::uint64_t>> latencyBuckets;
+    unsigned latencyModes = 0;
+    /** Mean writes drained per write episode (event model only). */
+    double wrPerTurnaround = 0;
+};
+
+/** Apply the point's controller-configuration overrides. */
+inline void
+applyOverrides(DRAMCtrlConfig &cfg, const PointConfig &pc)
+{
+    cfg.pagePolicy = pc.page;
+    cfg.addrMapping = pc.mapping;
+    if (pc.readBufferSize != 0)
+        cfg.readBufferSize = pc.readBufferSize;
+    if (pc.writeBufferSize != 0) {
+        cfg.writeBufferSize = pc.writeBufferSize;
+        cfg.minWritesPerSwitch =
+            std::max(1u, std::min(cfg.minWritesPerSwitch,
+                                  pc.writeBufferSize / 2));
+    }
+    if (pc.tweak)
+        pc.tweak(cfg);
+}
+
+/** Run one validation point with the DRAM-aware generator. */
+inline PointResult
+runPoint(const PointConfig &pc)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1333();
+    cfg.writeLowThreshold = 0.0; // drain fully so runs terminate
+    applyOverrides(cfg, pc);
+
+    harness::SingleChannelSystem tb(cfg, pc.model);
+
+    DramGenConfig gc;
+    gc.org = cfg.org;
+    gc.mapping = cfg.addrMapping;
+    gc.strideBytes = pc.strideBytes;
+    gc.numBanksTarget = pc.banks;
+    gc.readPct = pc.readPct;
+    gc.minITT = gc.maxITT = pc.itt;
+    gc.numRequests = pc.numRequests;
+    gc.seed = 12345;
+    auto &gen = tb.addGen<DramGen>(gc);
+
+    // Warm up 10% of the requests, then measure the rest.
+    auto t0 = std::chrono::steady_clock::now();
+    tb.sim().run(fromUs(5));
+    tb.sim().resetStats();
+    Tick measure_start = tb.sim().curTick();
+    tb.runToCompletion([&] { return gen.done(); }, fromUs(100000));
+    auto t1 = std::chrono::steady_clock::now();
+
+    PointResult r;
+    r.cfg = cfg;
+    r.busUtil = tb.ctrl().busUtilisation();
+    r.bandwidthGBs = tb.ctrl().achievedBandwidthGBs();
+    r.avgReadLatencyNs = gen.avgReadLatencyNs();
+    r.powerIn = tb.ctrl().powerInputs();
+    r.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    r.simSeconds = toSeconds(tb.sim().curTick() - measure_start);
+    r.events = tb.sim().eventq().numEventsServiced();
+    if (pc.model == harness::CtrlModel::Event) {
+        r.rowHitRate =
+            tb.eventCtrl().ctrlStats().rowHitRate.value();
+        r.wrPerTurnaround =
+            tb.eventCtrl().ctrlStats().wrPerTurnAround.value();
+    }
+
+    const auto &h = gen.genStats().readLatencyHist;
+    for (std::size_t i = 0; i < h.numBuckets(); ++i) {
+        if (h.bucketCount(i) > 0)
+            r.latencyBuckets.emplace_back(h.bucketLow(i),
+                                          h.bucketCount(i));
+    }
+    r.latencyModes = h.numModes(0.02);
+    return r;
+}
+
+/** Same point but with a linear or random generator (latency runs). */
+inline PointResult
+runLinearPoint(const PointConfig &pc, bool random = false)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1333();
+    applyOverrides(cfg, pc);
+    harness::SingleChannelSystem tb(cfg, pc.model);
+
+    GenConfig gc;
+    gc.windowSize = 1 << 22;
+    gc.readPct = pc.readPct;
+    gc.minITT = gc.maxITT = pc.itt;
+    gc.numRequests = pc.numRequests;
+    gc.seed = 12345;
+
+    BaseGen *gen;
+    if (random)
+        gen = &tb.addGen<RandomGen>(gc);
+    else
+        gen = &tb.addGen<LinearGen>(gc);
+
+    auto t0 = std::chrono::steady_clock::now();
+    tb.sim().run(fromUs(5));
+    tb.sim().resetStats();
+    Tick measure_start = tb.sim().curTick();
+    tb.runToCompletion([&] { return gen->done(); }, fromUs(100000));
+    auto t1 = std::chrono::steady_clock::now();
+
+    PointResult r;
+    r.cfg = cfg;
+    r.busUtil = tb.ctrl().busUtilisation();
+    r.bandwidthGBs = tb.ctrl().achievedBandwidthGBs();
+    r.avgReadLatencyNs = gen->avgReadLatencyNs();
+    r.powerIn = tb.ctrl().powerInputs();
+    r.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    r.simSeconds = toSeconds(tb.sim().curTick() - measure_start);
+    r.events = tb.sim().eventq().numEventsServiced();
+    if (pc.model == harness::CtrlModel::Event) {
+        r.rowHitRate =
+            tb.eventCtrl().ctrlStats().rowHitRate.value();
+        r.wrPerTurnaround =
+            tb.eventCtrl().ctrlStats().wrPerTurnAround.value();
+    }
+
+    const auto &h = gen->genStats().readLatencyHist;
+    for (std::size_t i = 0; i < h.numBuckets(); ++i) {
+        if (h.bucketCount(i) > 0)
+            r.latencyBuckets.emplace_back(h.bucketLow(i),
+                                          h.bucketCount(i));
+    }
+    r.latencyModes = h.numModes(0.02);
+    return r;
+}
+
+inline void
+printHeader(const char *title, const char *paper_item)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("reproduces: %s\n", paper_item);
+    std::printf("==============================================================\n");
+}
+
+} // namespace bench
+} // namespace dramctrl
+
+#endif // DRAMCTRL_BENCH_BENCH_UTIL_H

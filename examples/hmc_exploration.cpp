@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hybrid Memory Cube style system: the paper notes (Section II-F)
+ * that "a model of HMC is only a matter of combining the crossbar
+ * model with 16 instances of our controller model". This example does
+ * exactly that and sweeps the offered load to find the knee of the
+ * latency-bandwidth curve of a 16-vault stack, comparing it with a
+ * single DDR3 channel of the same capacity.
+ *
+ * Build & run:  ./build/examples/hmc_exploration
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dram/dram_ctrl.hh"
+#include "dram/dram_presets.hh"
+#include "sim/simulator.hh"
+#include "trafficgen/random_gen.hh"
+#include "xbar/xbar.hh"
+
+using namespace dramctrl;
+
+namespace {
+
+struct Sample
+{
+    double offeredGBs;
+    double achievedGBs;
+    double latencyNs;
+};
+
+/** One load point against a 16-vault HMC-like stack. */
+Sample
+runHmc(Tick itt)
+{
+    Simulator sim("hmc");
+    DRAMCtrlConfig cfg = presets::hmcVault();
+    const unsigned kVaults = 16;
+    // HMC's serial links are far wider than a DDR channel: give the
+    // internal crossbar matching throughput so the vaults, not the
+    // fabric, set the ceiling.
+    XBarConfig xcfg;
+    xcfg.width = 64;
+    Crossbar xbar(sim, "xbar", xcfg);
+    std::vector<std::unique_ptr<DRAMCtrl>> vaults;
+    auto ranges = interleavedRanges(
+        0, kVaults * cfg.org.channelCapacity, 256, kVaults);
+    for (unsigned v = 0; v < kVaults; ++v) {
+        vaults.push_back(std::make_unique<DRAMCtrl>(
+            sim, "vault" + std::to_string(v), cfg, ranges[v]));
+        xbar.memSidePort(xbar.addMemSidePort(ranges[v]))
+            .bind(vaults.back()->port());
+    }
+
+    GenConfig gc;
+    gc.windowSize = 1ULL << 30;
+    gc.blockSize = 64;
+    gc.readPct = 70;
+    gc.minITT = gc.maxITT = itt;
+    gc.numRequests = 30000;
+    gc.seed = 19;
+    RandomGen gen(sim, "gen", gc, 0);
+    gen.port().bind(xbar.cpuSidePort(xbar.addCpuSidePort()));
+
+    while (!gen.done())
+        sim.run(sim.curTick() + fromUs(1));
+
+    Sample s;
+    s.offeredGBs = 64.0 / toSeconds(itt) / 1e9;
+    s.achievedGBs = 0;
+    for (const auto &v : vaults)
+        s.achievedGBs += v->achievedBandwidthGBs();
+    s.latencyNs = gen.avgReadLatencyNs();
+    return s;
+}
+
+/** The same load against one DDR3-1600 channel. */
+Sample
+runDdr3(Tick itt)
+{
+    Simulator sim("ddr3");
+    DRAMCtrlConfig cfg = presets::ddr3_1600();
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    GenConfig gc;
+    gc.windowSize = 1ULL << 30;
+    gc.blockSize = 64;
+    gc.readPct = 70;
+    gc.minITT = gc.maxITT = itt;
+    gc.numRequests = 30000;
+    gc.seed = 19;
+    RandomGen gen(sim, "gen", gc, 0);
+    gen.port().bind(ctrl.port());
+    while (!gen.done())
+        sim.run(sim.curTick() + fromUs(1));
+    return Sample{64.0 / toSeconds(itt) / 1e9,
+                  ctrl.achievedBandwidthGBs(),
+                  gen.avgReadLatencyNs()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("random 70%%-read traffic, load sweep\n\n");
+    std::printf("%10s | %21s | %21s\n", "offered",
+                "16-vault HMC stack", "single DDR3-1600");
+    std::printf("%10s | %10s %10s | %10s %10s\n", "GB/s", "GB/s",
+                "lat ns", "GB/s", "lat ns");
+
+    const double loads_gbs[] = {2, 4, 8, 12, 16, 24, 32};
+    for (double load : loads_gbs) {
+        Tick itt = static_cast<Tick>(64.0 / (load * 1e9) *
+                                     static_cast<double>(
+                                         kTicksPerSecond));
+        Sample hmc = runHmc(itt);
+        Sample ddr = runDdr3(itt);
+        std::printf("%10.1f | %10.2f %10.1f | %10.2f %10.1f\n", load,
+                    hmc.achievedGBs, hmc.latencyNs, ddr.achievedGBs,
+                    ddr.latencyNs);
+    }
+    std::printf("\nThe vault stack tracks the offered load far past "
+                "the single channel's\nsaturation point — the "
+                "fast event-based model makes a 16-channel sweep "
+                "cheap\n(Section II-F / III-D).\n");
+    return 0;
+}

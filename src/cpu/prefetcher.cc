@@ -1,0 +1,87 @@
+#include "cpu/prefetcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &cfg,
+                                   unsigned block_size)
+    : cfg_(cfg), blockSize_(block_size)
+{
+    if (cfg_.degree == 0 || cfg_.tableSize == 0 ||
+        cfg_.trainThreshold == 0)
+        fatal("prefetcher parameters must be non-zero");
+}
+
+unsigned
+StridePrefetcher::trainedStreams() const
+{
+    unsigned n = 0;
+    for (const auto &[id, e] : table_) {
+        if (e.valid && e.confidence >= cfg_.trainThreshold)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<Addr>
+StridePrefetcher::notify(Addr block_addr, RequestorId requestor)
+{
+    std::vector<Addr> out;
+    if (!cfg_.enable)
+        return out;
+
+    auto it = table_.find(requestor);
+    if (it == table_.end()) {
+        if (table_.size() >= cfg_.tableSize) {
+            // Evict the least recently used stream.
+            auto victim = std::min_element(
+                table_.begin(), table_.end(),
+                [](const auto &a, const auto &b) {
+                    return a.second.lastUsed < b.second.lastUsed;
+                });
+            table_.erase(victim);
+        }
+        it = table_.emplace(requestor, Entry{}).first;
+    }
+
+    Entry &e = it->second;
+    e.lastUsed = ++useCounter_;
+
+    if (e.valid) {
+        std::int64_t stride = static_cast<std::int64_t>(block_addr) -
+                              static_cast<std::int64_t>(e.lastBlock);
+        if (stride == 0) {
+            // Same block again: no new information.
+            return out;
+        }
+        if (stride == e.stride) {
+            if (e.confidence < cfg_.trainThreshold)
+                ++e.confidence;
+        } else {
+            e.stride = stride;
+            e.confidence = 1;
+        }
+        e.lastBlock = block_addr;
+
+        if (e.confidence >= cfg_.trainThreshold) {
+            for (unsigned d = 1; d <= cfg_.degree; ++d) {
+                std::int64_t next =
+                    static_cast<std::int64_t>(block_addr) +
+                    e.stride * static_cast<std::int64_t>(d);
+                if (next >= 0)
+                    out.push_back(static_cast<Addr>(next));
+            }
+        }
+    } else {
+        e.valid = true;
+        e.lastBlock = block_addr;
+        e.stride = 0;
+        e.confidence = 0;
+    }
+    return out;
+}
+
+} // namespace dramctrl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Stride prefetcher for the cache model.
+ *
+ * gem5's classic caches, which the paper's controller plugs into
+ * (Section II-F), "offer a range of prefetchers"; this provides the
+ * canonical one for this substrate. Streams are tracked per requestor:
+ * two consecutive accesses with the same block stride train the
+ * entry, after which the next `degree` strided blocks are returned as
+ * prefetch candidates. The cache issues them with spare MSHRs so
+ * demand misses always keep priority.
+ */
+
+#ifndef DRAMCTRL_CPU_PREFETCHER_H
+#define DRAMCTRL_CPU_PREFETCHER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dramctrl {
+
+struct PrefetcherConfig
+{
+    bool enable = false;
+    /** Blocks prefetched ahead once a stream is trained. */
+    unsigned degree = 2;
+    /** Consecutive same-stride observations required to train. */
+    unsigned trainThreshold = 2;
+    /** Tracked streams (per-requestor entries, LRU evicted). */
+    unsigned tableSize = 16;
+};
+
+class StridePrefetcher
+{
+  public:
+    StridePrefetcher(const PrefetcherConfig &cfg, unsigned block_size);
+
+    /**
+     * Observe a demand access and return the blocks to prefetch
+     * (block-aligned, possibly empty).
+     */
+    std::vector<Addr> notify(Addr block_addr, RequestorId requestor);
+
+    /** Streams currently trained past the threshold. */
+    unsigned trainedStreams() const;
+
+  private:
+    struct Entry
+    {
+        Addr lastBlock = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        std::uint64_t lastUsed = 0;
+        bool valid = false;
+    };
+
+    PrefetcherConfig cfg_;
+    unsigned blockSize_;
+    std::unordered_map<RequestorId, Entry> table_;
+    std::uint64_t useCounter_ = 0;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_CPU_PREFETCHER_H

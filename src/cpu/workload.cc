@@ -1,0 +1,77 @@
+#include "cpu/workload.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace workloads {
+
+WorkloadProfile
+canneal()
+{
+    // Pointer-chasing over a large netlist: random-dominated accesses
+    // across a footprint far beyond any cache.
+    return WorkloadProfile{"canneal", 0.35, 0.75,
+                           256ULL * 1024 * 1024, 0.10, 8};
+}
+
+WorkloadProfile
+blackscholes()
+{
+    // Compute-bound option pricing over a small option array.
+    return WorkloadProfile{"blackscholes", 0.20, 0.70,
+                           2ULL * 1024 * 1024, 0.80, 8};
+}
+
+WorkloadProfile
+fluidanimate()
+{
+    // Particle grid with moderate locality and a mid-size footprint.
+    return WorkloadProfile{"fluidanimate", 0.30, 0.65,
+                           64ULL * 1024 * 1024, 0.60, 8};
+}
+
+WorkloadProfile
+streamcluster()
+{
+    // Streaming distance computations: sequential, read-dominated.
+    return WorkloadProfile{"streamcluster", 0.40, 0.90,
+                           128ULL * 1024 * 1024, 0.90, 8};
+}
+
+WorkloadProfile
+swaptions()
+{
+    // Monte-Carlo simulation with a compact working set.
+    return WorkloadProfile{"swaptions", 0.25, 0.70,
+                           4ULL * 1024 * 1024, 0.70, 8};
+}
+
+WorkloadProfile
+x264()
+{
+    // Video encoding: block-structured accesses, balanced read/write.
+    return WorkloadProfile{"x264", 0.30, 0.55, 32ULL * 1024 * 1024,
+                           0.50, 8};
+}
+
+WorkloadProfile
+byName(const std::string &name)
+{
+    for (const auto &fn : {canneal, blackscholes, fluidanimate,
+                           streamcluster, swaptions, x264}) {
+        WorkloadProfile p = fn();
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown workload profile '%s'", name.c_str());
+}
+
+std::vector<std::string>
+names()
+{
+    return {"canneal", "blackscholes", "fluidanimate", "streamcluster",
+            "swaptions", "x264"};
+}
+
+} // namespace workloads
+} // namespace dramctrl

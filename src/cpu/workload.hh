@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic workload profiles standing in for the PARSEC benchmarks.
+ *
+ * The paper's case studies (Section IV) run PARSEC on 16 out-of-order
+ * cores under full-system Linux. This reproduction cannot boot Linux,
+ * so each benchmark is characterised by the properties that determine
+ * its DRAM behaviour: how often instructions touch memory, the
+ * read/write balance, the working-set footprint (which sets the cache
+ * miss rate), and the spatial locality of the address stream. The
+ * numbers are chosen to mimic the published PARSEC memory
+ * characterisations; "canneal" in particular is the cache-hostile,
+ * random-access workload the paper uses for its Section IV-B memory
+ * technology exploration.
+ */
+
+#ifndef DRAMCTRL_CPU_WORKLOAD_H
+#define DRAMCTRL_CPU_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dramctrl {
+
+struct WorkloadProfile
+{
+    std::string name;
+    /** Fraction of dispatched ops that access memory. */
+    double memFraction = 0.3;
+    /** Fraction of memory ops that are loads. */
+    double readFraction = 0.7;
+    /** Bytes of the working set the address stream covers. */
+    std::uint64_t footprintBytes = 64 * 1024 * 1024;
+    /** Probability the next access continues sequentially. */
+    double seqProb = 0.5;
+    /** Bytes per memory operation. */
+    unsigned opSize = 8;
+};
+
+namespace workloads {
+
+WorkloadProfile canneal();
+WorkloadProfile blackscholes();
+WorkloadProfile fluidanimate();
+WorkloadProfile streamcluster();
+WorkloadProfile swaptions();
+WorkloadProfile x264();
+
+/** Look a profile up by name; fatal() on unknown names. */
+WorkloadProfile byName(const std::string &name);
+
+/** All profile names, in a stable order. */
+std::vector<std::string> names();
+
+} // namespace workloads
+} // namespace dramctrl
+
+#endif // DRAMCTRL_CPU_WORKLOAD_H

@@ -1,0 +1,70 @@
+#include "cyclesim/bank_state.hh"
+
+#include <algorithm>
+
+namespace dramctrl {
+namespace cyclesim {
+
+namespace {
+
+Cycle
+toCycles(Tick ticks, Tick tck)
+{
+    return divCeil<Tick>(ticks, tck);
+}
+
+} // namespace
+
+CycleTiming::CycleTiming(const DRAMTiming &t)
+    : tRCD(toCycles(t.tRCD, t.tCK)), tCL(toCycles(t.tCL, t.tCK)),
+      tRP(toCycles(t.tRP, t.tCK)), tRAS(toCycles(t.tRAS, t.tCK)),
+      tRC(tRAS + tRP), tWR(toCycles(t.tWR, t.tCK)),
+      tWTR(toCycles(t.tWTR, t.tCK)), tRTW(toCycles(t.tRTW, t.tCK)),
+      tRRD(toCycles(t.tRRD, t.tCK)), tXAW(toCycles(t.tXAW, t.tCK)),
+      tREFI(toCycles(t.tREFI, t.tCK)), tRFC(toCycles(t.tRFC, t.tCK)),
+      burstCycles(toCycles(t.tBURST, t.tCK)),
+      activationLimit(t.activationLimit)
+{
+}
+
+void
+CycleBankState::activate(Cycle c, std::uint64_t row,
+                         const CycleTiming &t)
+{
+    openRow = row;
+    nextRead = std::max(nextRead, c + t.tRCD);
+    nextWrite = std::max(nextWrite, c + t.tRCD);
+    nextPrecharge = std::max(nextPrecharge, c + t.tRAS);
+    nextActivate = std::max(nextActivate, c + t.tRC);
+}
+
+void
+CycleBankState::precharge(Cycle c, const CycleTiming &t)
+{
+    openRow = kNoRow;
+    nextActivate = std::max(nextActivate, c + t.tRP);
+}
+
+bool
+CycleRankState::canActivate(Cycle c, const CycleTiming &t) const
+{
+    if (c < nextActAnyBank)
+        return false;
+    if (t.activationLimit == 0 || actWindow.size() < t.activationLimit)
+        return true;
+    return c >= actWindow.front() + t.tXAW;
+}
+
+void
+CycleRankState::recordActivate(Cycle c, const CycleTiming &t)
+{
+    nextActAnyBank = std::max(nextActAnyBank, c + t.tRRD);
+    if (t.activationLimit > 0) {
+        actWindow.push_back(c);
+        if (actWindow.size() > t.activationLimit)
+            actWindow.pop_front();
+    }
+}
+
+} // namespace cyclesim
+} // namespace dramctrl

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-bank timing state for the cycle-based controller, expressed in
+ * DRAM clock cycles (the comparator mirrors DRAMSim2, which keeps all
+ * of its bookkeeping in cycles rather than absolute time).
+ */
+
+#ifndef DRAMCTRL_CYCLESIM_BANK_STATE_H
+#define DRAMCTRL_CYCLESIM_BANK_STATE_H
+
+#include <cstdint>
+#include <deque>
+
+#include "dram/dram_config.hh"
+#include "sim/types.hh"
+
+namespace dramctrl {
+namespace cyclesim {
+
+/** A DRAM clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** The DRAM timing set quantised to whole clock cycles. */
+struct CycleTiming
+{
+    explicit CycleTiming(const DRAMTiming &t);
+
+    Cycle tRCD;
+    Cycle tCL;
+    Cycle tRP;
+    Cycle tRAS;
+    Cycle tRC;
+    Cycle tWR;
+    Cycle tWTR;
+    Cycle tRTW;
+    Cycle tRRD;
+    Cycle tXAW;
+    Cycle tREFI;
+    Cycle tRFC;
+    Cycle burstCycles;
+    unsigned activationLimit;
+};
+
+/** Cycle-granular state of one bank. */
+struct CycleBankState
+{
+    static constexpr std::uint64_t kNoRow = ~std::uint64_t(0);
+
+    std::uint64_t openRow = kNoRow;
+    Cycle nextActivate = 0;
+    Cycle nextPrecharge = 0;
+    Cycle nextRead = 0;
+    Cycle nextWrite = 0;
+
+    bool rowOpen() const { return openRow != kNoRow; }
+
+    /** Apply an ACT issued at cycle @p c. */
+    void activate(Cycle c, std::uint64_t row, const CycleTiming &t);
+
+    /** Apply a PRE issued at cycle @p c. */
+    void precharge(Cycle c, const CycleTiming &t);
+};
+
+/** Rank-level activate constraints (tRRD, tFAW window). */
+struct CycleRankState
+{
+    Cycle nextActAnyBank = 0;
+    std::deque<Cycle> actWindow;
+
+    /** True iff an ACT may be issued at cycle @p c. */
+    bool canActivate(Cycle c, const CycleTiming &t) const;
+
+    /** Record an ACT issued at cycle @p c. */
+    void recordActivate(Cycle c, const CycleTiming &t);
+};
+
+} // namespace cyclesim
+} // namespace dramctrl
+
+#endif // DRAMCTRL_CYCLESIM_BANK_STATE_H

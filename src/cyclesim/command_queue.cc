@@ -1,0 +1,64 @@
+#include "cyclesim/command_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace cyclesim {
+
+CommandQueue::CommandQueue(unsigned ranks, unsigned banks,
+                           unsigned depth)
+    : ranks_(ranks), banks_(banks), depth_(depth),
+      queues_(static_cast<std::size_t>(ranks) * banks)
+{
+    if (depth_ == 0)
+        fatal("command queue depth must be non-zero");
+}
+
+bool
+CommandQueue::hasSpace(unsigned rank, unsigned bank,
+                       unsigned count) const
+{
+    return at(rank, bank).size() + count <= depth_;
+}
+
+void
+CommandQueue::push(const Command &cmd)
+{
+    auto &q = at(cmd.rank, cmd.bank);
+    DC_ASSERT(q.size() < depth_, "command queue overflow");
+    q.push_back(cmd);
+}
+
+std::deque<Command> &
+CommandQueue::at(unsigned rank, unsigned bank)
+{
+    return queues_.at(static_cast<std::size_t>(rank) * banks_ + bank);
+}
+
+const std::deque<Command> &
+CommandQueue::at(unsigned rank, unsigned bank) const
+{
+    return queues_.at(static_cast<std::size_t>(rank) * banks_ + bank);
+}
+
+bool
+CommandQueue::empty() const
+{
+    for (const auto &q : queues_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+CommandQueue::totalSize() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.size();
+    return n;
+}
+
+} // namespace cyclesim
+} // namespace dramctrl

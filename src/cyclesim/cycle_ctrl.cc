@@ -1,0 +1,716 @@
+#include "cyclesim/cycle_ctrl.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace cyclesim {
+
+CycleDRAMCtrl::CtrlStats::CtrlStats(CycleDRAMCtrl &ctrl)
+    : readReqs(&ctrl.statGroup(), "readReqs", "read requests accepted"),
+      writeReqs(&ctrl.statGroup(), "writeReqs",
+                "write requests accepted"),
+      readBursts(&ctrl.statGroup(), "readBursts", "read bursts"),
+      writeBursts(&ctrl.statGroup(), "writeBursts", "write bursts"),
+      readRowHits(&ctrl.statGroup(), "readRowHits",
+                  "read bursts that hit an open row"),
+      writeRowHits(&ctrl.statGroup(), "writeRowHits",
+                   "write bursts that hit an open row"),
+      numActs(&ctrl.statGroup(), "numActs", "activate commands"),
+      numPrecharges(&ctrl.statGroup(), "numPrecharges",
+                    "precharge commands"),
+      numRefreshes(&ctrl.statGroup(), "numRefreshes",
+                   "refresh commands"),
+      bytesRead(&ctrl.statGroup(), "bytesRead",
+                "bytes moved by read bursts"),
+      bytesWritten(&ctrl.statGroup(), "bytesWritten",
+                   "bytes moved by write bursts"),
+      numRetries(&ctrl.statGroup(), "numRetries",
+                 "requests refused on a full transaction queue"),
+      totMemAccLat(&ctrl.statGroup(), "totMemAccLat",
+                   "total read access time (ticks)"),
+      prechargeAllTime(&ctrl.statGroup(), "prechargeAllTime",
+                       "time with every bank precharged (ticks)"),
+      numCycles(&ctrl.statGroup(), "numCycles",
+                "DRAM clock cycles simulated"),
+      rowHitRate(&ctrl.statGroup(), "rowHitRate",
+                 "fraction of bursts hitting an open row",
+                 [this] {
+                     double n = readBursts.value() + writeBursts.value();
+                     return n > 0 ? (readRowHits.value() +
+                                     writeRowHits.value()) /
+                                        n
+                                  : 0.0;
+                 }),
+      busUtil(&ctrl.statGroup(), "busUtil",
+              "data bus utilisation, both directions",
+              [&ctrl] { return ctrl.busUtilisation(); })
+{
+}
+
+CycleDRAMCtrl::CycleDRAMCtrl(Simulator &sim, std::string name,
+                             DRAMCtrlConfig config, AddrRange range,
+                             unsigned cmd_queue_depth)
+    : MemCtrlBase(sim, std::move(name)), cfg_(config), range_(range),
+      decoder_(cfg_.org, cfg_.addrMapping), ct_(cfg_.timing),
+      port_(this->name() + ".port", *this),
+      respQueue_(sim.eventq(), port_, this->name() + ".respQueue"),
+      transQueueLimit_(cfg_.readBufferSize + cfg_.writeBufferSize),
+      cmdQueue_(cfg_.org.ranksPerChannel, cfg_.org.banksPerRank,
+                cmd_queue_depth),
+      tailRows_(cfg_.org.totalBanks(), CycleBankState::kNoRow),
+      banks_(cfg_.org.totalBanks()),
+      rankState_(cfg_.org.ranksPerChannel),
+      refreshCountdown_(ct_.tREFI),
+      tickEvent_([this] { tick(); }, this->name() + ".tickEvent")
+{
+    cfg_.check();
+    // Apply the temperature derating to the refresh interval.
+    if (cfg_.timing.tREFI > 0) {
+        ct_.tREFI = divCeil<Tick>(cfg_.effectiveREFI(),
+                                  cfg_.timing.tCK);
+        refreshCountdown_ = ct_.tREFI;
+    }
+    if (cfg_.pagePolicy != PagePolicy::Open &&
+        cfg_.pagePolicy != PagePolicy::Closed)
+        fatal("cycle-based controller '%s' supports only the open and "
+              "closed page policies",
+              this->name().c_str());
+    if (range_.localSize() != cfg_.org.channelCapacity)
+        fatal("controller '%s': address range provides %llu bytes but "
+              "the DRAM organisation has %llu",
+              this->name().c_str(),
+              static_cast<unsigned long long>(range_.localSize()),
+              static_cast<unsigned long long>(cfg_.org.channelCapacity));
+    stats_ = std::make_unique<CtrlStats>(*this);
+    statGroup().onReset([this] { windowStart_ = curTick(); });
+}
+
+CycleDRAMCtrl::~CycleDRAMCtrl()
+{
+    if (tickEvent_.scheduled())
+        deschedule(tickEvent_);
+
+    auto release = [](CycleTransaction *t) {
+        if (t->pkt) {
+            while (t->pkt->senderState() != nullptr)
+                delete t->pkt->popSenderState();
+            delete t->pkt;
+        }
+        delete t;
+    };
+
+    std::vector<CycleTransaction *> seen;
+    for (CycleTransaction *t : transQueue_) {
+        if (std::find(seen.begin(), seen.end(), t) == seen.end())
+            seen.push_back(t);
+    }
+    // Transactions referenced only from command queues.
+    for (unsigned r = 0; r < cmdQueue_.numRanks(); ++r) {
+        for (unsigned b = 0; b < cmdQueue_.numBanks(); ++b) {
+            for (const Command &cmd : cmdQueue_.at(r, b)) {
+                if (cmd.trans &&
+                    std::find(seen.begin(), seen.end(), cmd.trans) ==
+                        seen.end())
+                    seen.push_back(cmd.trans);
+            }
+        }
+    }
+    for (CycleTransaction *t : seen)
+        release(t);
+}
+
+void
+CycleDRAMCtrl::startup()
+{
+    anchor_ = curTick();
+    windowStart_ = curTick();
+    idleSinceCycle_ = 0;
+}
+
+bool
+CycleDRAMCtrl::idle() const
+{
+    return transQueue_.empty() && cmdQueue_.empty() &&
+           respQueue_.empty();
+}
+
+double
+CycleDRAMCtrl::peakBandwidthGBs() const
+{
+    return static_cast<double>(cfg_.org.burstSize()) /
+           toSeconds(cfg_.timing.tBURST) / 1e9;
+}
+
+double
+CycleDRAMCtrl::busUtilisation() const
+{
+    double w = toSeconds(curTick() - windowStart_);
+    if (w <= 0)
+        return 0.0;
+    return (stats_->bytesRead.value() + stats_->bytesWritten.value()) /
+           1e9 / peakBandwidthGBs() / w;
+}
+
+double
+CycleDRAMCtrl::achievedBandwidthGBs() const
+{
+    double w = toSeconds(curTick() - windowStart_);
+    if (w <= 0)
+        return 0.0;
+    return (stats_->bytesRead.value() + stats_->bytesWritten.value()) /
+           1e9 / w;
+}
+
+PowerInputs
+CycleDRAMCtrl::powerInputs() const
+{
+    PowerInputs in;
+    in.window = curTick() - windowStart_;
+    in.numActs = stats_->numActs.value();
+    in.numPrecharges = stats_->numPrecharges.value();
+    in.numRefreshes = stats_->numRefreshes.value();
+    in.readBursts =
+        stats_->bytesRead.value() /
+        static_cast<double>(cfg_.org.burstSize());
+    in.writeBursts =
+        stats_->bytesWritten.value() /
+        static_cast<double>(cfg_.org.burstSize());
+    in.prechargeAllTime =
+        static_cast<Tick>(stats_->prechargeAllTime.value());
+    double w = toSeconds(in.window);
+    if (w > 0) {
+        double peak_bytes = peakBandwidthGBs() * 1e9;
+        in.readBusFraction = stats_->bytesRead.value() / peak_bytes / w;
+        in.writeBusFraction =
+            stats_->bytesWritten.value() / peak_bytes / w;
+    }
+    return in;
+}
+
+std::uint64_t &
+CycleDRAMCtrl::tailRow(unsigned rank, unsigned bank)
+{
+    return tailRows_.at(static_cast<std::size_t>(rank) *
+                            cfg_.org.banksPerRank +
+                        bank);
+}
+
+bool
+CycleDRAMCtrl::recvTimingReq(Packet *pkt)
+{
+    DC_ASSERT(pkt->isRequest(), "controller received %s",
+              pkt->toString().c_str());
+    if (!range_.contains(pkt->addr()))
+        panic("controller '%s' received misrouted packet %s",
+              name().c_str(), pkt->toString().c_str());
+
+    if (transQueue_.size() >= transQueueLimit_) {
+        ++stats_->numRetries;
+        retryReq_ = true;
+        return false;
+    }
+
+    Addr local = range_.removeIntlvBits(pkt->addr());
+    std::uint64_t burst_size = cfg_.org.burstSize();
+    Addr first = local / burst_size;
+    Addr last = (local + pkt->size() - 1) / burst_size;
+
+    auto *trans = new CycleTransaction;
+    trans->pkt = pkt;
+    trans->isRead = pkt->isRead();
+    trans->entryTime = curTick();
+    trans->localAddr = local;
+    trans->size = pkt->size();
+    trans->burstsTotal = static_cast<unsigned>(last - first + 1);
+
+    if (trans->isRead) {
+        ++stats_->readReqs;
+        stats_->readBursts += trans->burstsTotal;
+    } else {
+        ++stats_->writeReqs;
+        stats_->writeBursts += trans->burstsTotal;
+        // Writes are acknowledged on acceptance, as in the event model.
+        pkt->makeResponse();
+        respQueue_.schedSendResp(pkt, curTick() + cfg_.frontendLatency);
+        trans->pkt = nullptr;
+    }
+
+    transQueue_.push_back(trans);
+
+    if (!ticking_) {
+        Cycle now = (curTick() - anchor_) / cfg_.timing.tCK;
+        catchUpIdleCycles(now);
+        ticking_ = true;
+        schedule(tickEvent_, tickOf(cycle_ + 1));
+    }
+    return true;
+}
+
+void
+CycleDRAMCtrl::catchUpIdleCycles(Cycle now)
+{
+    if (now <= cycle_) {
+        cycle_ = std::max(cycle_, now);
+        return;
+    }
+    Cycle elapsed = now - cycle_;
+
+    // Refreshes that would have happened during the idle gap: the banks
+    // were quiescent, so each one simply closes any open rows and costs
+    // tRFC of non-precharge-standby time.
+    std::uint64_t missed = 0;
+    if (ct_.tREFI > 0) {
+        if (elapsed < refreshCountdown_) {
+            refreshCountdown_ -= elapsed;
+        } else {
+            missed = 1 + (elapsed - refreshCountdown_) / ct_.tREFI;
+            refreshCountdown_ =
+                ct_.tREFI - (elapsed - refreshCountdown_) % ct_.tREFI;
+        }
+    }
+    if (missed > 0) {
+        stats_->numRefreshes += static_cast<double>(missed);
+
+        // Reconstruct the idle-time refreshes: close any open rows as
+        // soon as their precharge timing allowed, wait tRP, then the
+        // refreshes at tREFI intervals. The final refresh may straddle
+        // the resume point; its completion is carried forward as the
+        // banks' activate constraint, so resumed commands wait it out.
+        Cycle latest_pre = cycle_;
+        for (std::size_t i = 0; i < banks_.size(); ++i) {
+            CycleBankState &bank = banks_[i];
+            if (bank.rowOpen()) {
+                Cycle pre_c = std::max(cycle_, bank.nextPrecharge);
+                latest_pre = std::max(latest_pre, pre_c);
+                if (cmdLogger_ != nullptr)
+                    cmdLogger_->record(
+                        tickOf(pre_c), DRAMCmd::Pre,
+                        static_cast<unsigned>(i /
+                                              cfg_.org.banksPerRank),
+                        static_cast<unsigned>(i %
+                                              cfg_.org.banksPerRank));
+                bank.openRow = CycleBankState::kNoRow;
+                ++stats_->numPrecharges;
+            }
+        }
+
+        Cycle ref_first = std::max({latest_pre + ct_.tRP,
+                                    refNotBefore_, busBusyUntil_});
+        Cycle ref_last =
+            ref_first + (missed - 1) * ct_.tREFI;
+        if (cmdLogger_ != nullptr) {
+            for (unsigned r = 0; r < cfg_.org.ranksPerChannel; ++r) {
+                cmdLogger_->record(tickOf(ref_first), DRAMCmd::Ref, r,
+                                   0);
+                if (missed > 1)
+                    cmdLogger_->record(tickOf(ref_last), DRAMCmd::Ref,
+                                       r, 0);
+            }
+        }
+
+        Cycle ref_done = ref_last + ct_.tRFC;
+        for (CycleBankState &bank : banks_) {
+            bank.nextActivate = std::max(bank.nextActivate, ref_done);
+            bank.nextPrecharge = 0;
+            bank.nextRead = 0;
+            bank.nextWrite = 0;
+        }
+        for (std::uint64_t &tr : tailRows_)
+            tr = CycleBankState::kNoRow;
+    }
+
+    bool all_closed = std::none_of(
+        banks_.begin(), banks_.end(),
+        [](const CycleBankState &b) { return b.rowOpen(); });
+    if (all_closed) {
+        Cycle standby = elapsed > missed * ct_.tRFC
+                            ? elapsed - missed * ct_.tRFC
+                            : 0;
+        stats_->prechargeAllTime +=
+            static_cast<double>(standby * cfg_.timing.tCK);
+    }
+
+    cycle_ = now;
+}
+
+void
+CycleDRAMCtrl::tick()
+{
+    ++cycle_;
+    ++cyclesTicked_;
+    ++stats_->numCycles;
+
+    bool all_closed = std::none_of(
+        banks_.begin(), banks_.end(),
+        [](const CycleBankState &b) { return b.rowOpen(); });
+    if (all_closed && !refreshPending_)
+        stats_->prechargeAllTime +=
+            static_cast<double>(cfg_.timing.tCK);
+
+    serviceRefresh();
+    if (!refreshPending_) {
+        repairQueueHeads();
+        decomposeTransactions();
+        issueCommand();
+    }
+
+    nextBankRR_ = (nextBankRR_ + 1) % cfg_.org.totalBanks();
+
+    if (hasWork()) {
+        schedule(tickEvent_, tickOf(cycle_ + 1));
+    } else {
+        ticking_ = false;
+        idleSinceCycle_ = cycle_;
+    }
+}
+
+bool
+CycleDRAMCtrl::hasWork() const
+{
+    return !transQueue_.empty() || !cmdQueue_.empty() ||
+           refreshPending_;
+}
+
+void
+CycleDRAMCtrl::serviceRefresh()
+{
+    if (ct_.tREFI == 0)
+        return;
+
+    if (!refreshPending_) {
+        if (refreshCountdown_ > 0)
+            --refreshCountdown_;
+        if (refreshCountdown_ == 0)
+            refreshPending_ = true;
+    }
+    if (!refreshPending_)
+        return;
+
+    // Drain: close one open bank per cycle (command bus) as soon as its
+    // precharge timing allows, then issue the refresh.
+    bool any_open = false;
+    for (std::size_t i = 0; i < banks_.size(); ++i) {
+        CycleBankState &bank = banks_[i];
+        if (!bank.rowOpen())
+            continue;
+        any_open = true;
+        if (cycle_ >= bank.nextPrecharge) {
+            bank.precharge(cycle_, ct_);
+            refNotBefore_ = std::max(refNotBefore_, cycle_ + ct_.tRP);
+            ++stats_->numPrecharges;
+            if (cmdLogger_ != nullptr)
+                cmdLogger_->record(
+                    tickOf(cycle_), DRAMCmd::Pre,
+                    static_cast<unsigned>(i / cfg_.org.banksPerRank),
+                    static_cast<unsigned>(i % cfg_.org.banksPerRank));
+            break;
+        }
+    }
+    if (any_open)
+        return;
+    if (cycle_ < refNotBefore_)
+        return; // tRP of the last precharge still elapsing
+
+    // All banks precharged: refresh now.
+    ++stats_->numRefreshes;
+    if (cmdLogger_ != nullptr) {
+        for (unsigned r = 0; r < cfg_.org.ranksPerChannel; ++r)
+            cmdLogger_->record(tickOf(cycle_), DRAMCmd::Ref, r, 0);
+    }
+    for (CycleBankState &bank : banks_)
+        bank.nextActivate = std::max(bank.nextActivate,
+                                     cycle_ + ct_.tRFC);
+    for (std::size_t i = 0; i < tailRows_.size(); ++i) {
+        unsigned rank = static_cast<unsigned>(i / cfg_.org.banksPerRank);
+        unsigned bank = static_cast<unsigned>(i % cfg_.org.banksPerRank);
+        if (cmdQueue_.at(rank, bank).empty())
+            tailRows_[i] = CycleBankState::kNoRow;
+    }
+    refreshCountdown_ = ct_.tREFI;
+    refreshPending_ = false;
+}
+
+void
+CycleDRAMCtrl::repairQueueHeads()
+{
+    // A refresh (or a forced drain precharge) may have closed a bank
+    // under a queued column command; reinstate the activate it needs.
+    for (unsigned r = 0; r < cmdQueue_.numRanks(); ++r) {
+        for (unsigned b = 0; b < cmdQueue_.numBanks(); ++b) {
+            auto &q = cmdQueue_.at(r, b);
+            if (q.empty())
+                continue;
+            CycleBankState &bank =
+                banks_[static_cast<std::size_t>(r) *
+                           cfg_.org.banksPerRank +
+                       b];
+            // A queued precharge whose bank the refresh drain already
+            // closed would never become issuable: drop it.
+            while (!q.empty() && q.front().type == CmdType::Pre &&
+                   !bank.rowOpen())
+                q.pop_front();
+            if (q.empty())
+                continue;
+            Command &head = q.front();
+            if (head.type != CmdType::Read &&
+                head.type != CmdType::Write)
+                continue;
+            if (bank.openRow == head.row)
+                continue;
+            if (bank.rowOpen()) {
+                Command pre{CmdType::Pre, r, b, bank.openRow, 0, false,
+                            nullptr};
+                q.push_front(pre);
+            } else {
+                Command act{CmdType::Act, r, b, head.row, 0, false,
+                            nullptr};
+                q.push_front(act);
+            }
+        }
+    }
+}
+
+void
+CycleDRAMCtrl::decomposeTransactions()
+{
+    for (auto it = transQueue_.begin(); it != transQueue_.end(); ++it) {
+        CycleTransaction *trans = *it;
+        std::uint64_t burst_size = cfg_.org.burstSize();
+        Addr window = decoder_.burstAlign(trans->localAddr) +
+                      static_cast<Addr>(trans->burstsQueued) * burst_size;
+        DRAMAddr da = decoder_.decode(window);
+
+        std::uint64_t &tail = tailRow(da.rank, da.bank);
+        unsigned needed;
+        bool need_pre = false;
+        bool need_act = false;
+        bool row_hit = false;
+        if (cfg_.pagePolicy == PagePolicy::Closed) {
+            need_act = true;
+            needed = 2;
+        } else if (tail == da.row) {
+            row_hit = true;
+            needed = 1;
+        } else if (tail == CycleBankState::kNoRow) {
+            need_act = true;
+            needed = 2;
+        } else {
+            need_pre = true;
+            need_act = true;
+            needed = 3;
+        }
+
+        if (!cmdQueue_.hasSpace(da.rank, da.bank, needed))
+            continue; // first-fit: skip blocked transactions
+
+        if (need_pre)
+            cmdQueue_.push(Command{CmdType::Pre, da.rank, da.bank, tail,
+                                   0, false, nullptr});
+        if (need_act)
+            cmdQueue_.push(Command{CmdType::Act, da.rank, da.bank,
+                                   da.row, 0, false, nullptr});
+
+        bool auto_pre = cfg_.pagePolicy == PagePolicy::Closed;
+        cmdQueue_.push(Command{trans->isRead ? CmdType::Read
+                                             : CmdType::Write,
+                               da.rank, da.bank, da.row, da.col,
+                               auto_pre, trans});
+        tail = auto_pre ? CycleBankState::kNoRow : da.row;
+
+        if (row_hit) {
+            if (trans->isRead)
+                ++stats_->readRowHits;
+            else
+                ++stats_->writeRowHits;
+        }
+
+        ++trans->burstsQueued;
+        if (trans->burstsQueued == trans->burstsTotal) {
+            transQueue_.erase(it);
+            if (retryReq_) {
+                retryReq_ = false;
+                port_.sendReqRetry();
+            }
+        }
+        return; // at most one decomposition per cycle
+    }
+}
+
+bool
+CycleDRAMCtrl::isIssuable(const Command &cmd) const
+{
+    const CycleBankState &bank =
+        banks_[static_cast<std::size_t>(cmd.rank) *
+                   cfg_.org.banksPerRank +
+               cmd.bank];
+    const CycleRankState &rank = rankState_[cmd.rank];
+    Cycle c = cycle_;
+
+    switch (cmd.type) {
+      case CmdType::Act:
+        return !bank.rowOpen() && c >= bank.nextActivate &&
+               rank.canActivate(c, ct_);
+      case CmdType::Pre:
+        return bank.rowOpen() && c >= bank.nextPrecharge;
+      case CmdType::Read:
+        return bank.openRow == cmd.row && c >= bank.nextRead &&
+               c >= readAllowedAt_ && c + ct_.tCL >= busBusyUntil_;
+      case CmdType::Write:
+        return bank.openRow == cmd.row && c >= bank.nextWrite &&
+               c + ct_.tCL >=
+                   busBusyUntil_ + (lastDataWasRead_ ? ct_.tRTW : 0);
+    }
+    return false;
+}
+
+void
+CycleDRAMCtrl::execute(const Command &cmd)
+{
+    CycleBankState &bank =
+        banks_[static_cast<std::size_t>(cmd.rank) *
+                   cfg_.org.banksPerRank +
+               cmd.bank];
+    CycleRankState &rank = rankState_[cmd.rank];
+    Cycle c = cycle_;
+    std::uint64_t burst_size = cfg_.org.burstSize();
+
+    switch (cmd.type) {
+      case CmdType::Act:
+        bank.activate(c, cmd.row, ct_);
+        rank.recordActivate(c, ct_);
+        ++stats_->numActs;
+        if (cmdLogger_ != nullptr)
+            cmdLogger_->record(tickOf(c), DRAMCmd::Act, cmd.rank,
+                               cmd.bank, cmd.row);
+        break;
+      case CmdType::Pre:
+        bank.precharge(c, ct_);
+        refNotBefore_ = std::max(refNotBefore_, c + ct_.tRP);
+        ++stats_->numPrecharges;
+        if (cmdLogger_ != nullptr)
+            cmdLogger_->record(tickOf(c), DRAMCmd::Pre, cmd.rank,
+                               cmd.bank);
+        break;
+      case CmdType::Read: {
+        Cycle data_done = c + ct_.tCL + ct_.burstCycles;
+        busBusyUntil_ = data_done;
+        lastDataWasRead_ = true;
+        bank.nextRead = std::max(bank.nextRead, c + ct_.burstCycles);
+        bank.nextWrite = std::max(bank.nextWrite, c + ct_.burstCycles);
+        bank.nextPrecharge = std::max(bank.nextPrecharge, data_done);
+        if (cmdLogger_ != nullptr)
+            cmdLogger_->record(tickOf(c), DRAMCmd::Rd, cmd.rank,
+                               cmd.bank, cmd.row);
+        if (cmd.autoPrecharge) {
+            bank.openRow = CycleBankState::kNoRow;
+            bank.nextActivate = std::max(bank.nextActivate,
+                                         data_done + ct_.tRP);
+            refNotBefore_ = std::max(refNotBefore_,
+                                     data_done + ct_.tRP);
+            ++stats_->numPrecharges;
+            if (cmdLogger_ != nullptr)
+                cmdLogger_->record(tickOf(data_done), DRAMCmd::Pre,
+                                   cmd.rank, cmd.bank);
+        }
+        stats_->bytesRead += static_cast<double>(burst_size);
+        burstCompleted(cmd.trans, tickOf(data_done));
+        break;
+      }
+      case CmdType::Write: {
+        Cycle data_done = c + ct_.tCL + ct_.burstCycles;
+        busBusyUntil_ = data_done;
+        lastDataWasRead_ = false;
+        readAllowedAt_ = std::max(readAllowedAt_, data_done + ct_.tWTR);
+        bank.nextRead = std::max(bank.nextRead, c + ct_.burstCycles);
+        bank.nextWrite = std::max(bank.nextWrite, c + ct_.burstCycles);
+        bank.nextPrecharge = std::max(bank.nextPrecharge,
+                                      data_done + ct_.tWR);
+        if (cmdLogger_ != nullptr)
+            cmdLogger_->record(tickOf(c), DRAMCmd::Wr, cmd.rank,
+                               cmd.bank, cmd.row);
+        if (cmd.autoPrecharge) {
+            bank.openRow = CycleBankState::kNoRow;
+            bank.nextActivate = std::max(bank.nextActivate,
+                                         data_done + ct_.tWR + ct_.tRP);
+            refNotBefore_ = std::max(refNotBefore_,
+                                     data_done + ct_.tWR + ct_.tRP);
+            ++stats_->numPrecharges;
+            if (cmdLogger_ != nullptr)
+                cmdLogger_->record(tickOf(data_done + ct_.tWR),
+                                   DRAMCmd::Pre, cmd.rank, cmd.bank);
+        }
+        stats_->bytesWritten += static_cast<double>(burst_size);
+        burstCompleted(cmd.trans, tickOf(data_done));
+        break;
+      }
+    }
+}
+
+void
+CycleDRAMCtrl::issueCommand()
+{
+    unsigned total = cfg_.org.totalBanks();
+
+    // Pass 1 (open page): prioritise column commands hitting open rows.
+    if (cfg_.pagePolicy == PagePolicy::Open) {
+        for (unsigned i = 0; i < total; ++i) {
+            unsigned idx = (nextBankRR_ + i) % total;
+            unsigned r = idx / cfg_.org.banksPerRank;
+            unsigned b = idx % cfg_.org.banksPerRank;
+            auto &q = cmdQueue_.at(r, b);
+            if (q.empty())
+                continue;
+            const Command &head = q.front();
+            if ((head.type == CmdType::Read ||
+                 head.type == CmdType::Write) &&
+                isIssuable(head)) {
+                Command cmd = head;
+                q.pop_front();
+                execute(cmd);
+                return;
+            }
+        }
+    }
+
+    // Pass 2: first issuable head, round robin across banks.
+    for (unsigned i = 0; i < total; ++i) {
+        unsigned idx = (nextBankRR_ + i) % total;
+        unsigned r = idx / cfg_.org.banksPerRank;
+        unsigned b = idx % cfg_.org.banksPerRank;
+        auto &q = cmdQueue_.at(r, b);
+        if (q.empty())
+            continue;
+        const Command &head = q.front();
+        if (isIssuable(head)) {
+            Command cmd = head;
+            q.pop_front();
+            execute(cmd);
+            return;
+        }
+    }
+}
+
+void
+CycleDRAMCtrl::burstCompleted(CycleTransaction *trans,
+                              Tick data_done_tick)
+{
+    DC_ASSERT(trans != nullptr, "column command without a transaction");
+    ++trans->burstsDone;
+    if (trans->burstsDone < trans->burstsTotal)
+        return;
+
+    if (trans->isRead) {
+        stats_->totMemAccLat +=
+            static_cast<double>(data_done_tick - trans->entryTime);
+        trans->pkt->makeResponse();
+        respQueue_.schedSendResp(trans->pkt,
+                                 data_done_tick + cfg_.frontendLatency +
+                                     cfg_.backendLatency);
+    }
+    delete trans;
+}
+
+} // namespace cyclesim
+} // namespace dramctrl

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Cycle-based DRAM controller — the DRAMSim2-style comparator.
+ *
+ * This is the "state of the art" the paper validates against
+ * (Section III): a controller that steps the DRAM clock cycle by cycle
+ * and models explicit commands. Its deliberate architectural contrasts
+ * with the event-based DRAMCtrl are the ones the paper calls out:
+ *
+ *  - a unified transaction queue instead of split read/write queues,
+ *  - per-bank command queues holding explicit ACT/PRE/RD/WR commands,
+ *  - reads and writes serviced interleaved in arrival order — no write
+ *    drain mode, so no bimodal read latency (Fig. 7) and less room to
+ *    reschedule writes (Fig. 5),
+ *  - one tick of work every DRAM clock cycle while busy — the source
+ *    of the simulation-speed gap (Section III-D).
+ *
+ * Writes are acknowledged on acceptance, like the event model, since
+ * the paper notes both models respond to writes immediately.
+ */
+
+#ifndef DRAMCTRL_CYCLESIM_CYCLE_CTRL_H
+#define DRAMCTRL_CYCLESIM_CYCLE_CTRL_H
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cyclesim/bank_state.hh"
+#include "cyclesim/command_queue.hh"
+#include "dram/addr_decoder.hh"
+#include "dram/cmd_log.hh"
+#include "dram/dram_config.hh"
+#include "mem/addr_range.hh"
+#include "mem/mem_ctrl_iface.hh"
+#include "mem/packet_queue.hh"
+#include "mem/port.hh"
+#include "sim/simulator.hh"
+#include "stats/stats.hh"
+
+namespace dramctrl {
+namespace cyclesim {
+
+/** A request being processed by the cycle-based controller. */
+struct CycleTransaction
+{
+    Packet *pkt = nullptr;
+    bool isRead = true;
+    Tick entryTime = 0;
+    Addr localAddr = 0;
+    unsigned size = 0;
+    unsigned burstsTotal = 0;
+    unsigned burstsQueued = 0;
+    unsigned burstsDone = 0;
+};
+
+class CycleDRAMCtrl : public MemCtrlBase
+{
+  public:
+    /**
+     * @param sim the owning simulator
+     * @param name instance name
+     * @param config same structure the event model takes; only the
+     *               Open and Closed page policies are supported (the
+     *               adaptive variants are the event model's own)
+     * @param range the address range this controller responds to
+     * @param cmd_queue_depth per-bank command queue entries
+     */
+    CycleDRAMCtrl(Simulator &sim, std::string name,
+                  DRAMCtrlConfig config, AddrRange range,
+                  unsigned cmd_queue_depth = 8);
+    ~CycleDRAMCtrl() override;
+
+    ResponsePort &port() override { return port_; }
+    const DRAMCtrlConfig &config() const override { return cfg_; }
+
+    bool idle() const override;
+    double busUtilisation() const override;
+    double achievedBandwidthGBs() const override;
+    double peakBandwidthGBs() const override;
+    PowerInputs powerInputs() const override;
+
+    void startup() override;
+
+    /** DRAM clock cycles actually simulated (the model's work unit). */
+    std::uint64_t cyclesTicked() const { return cyclesTicked_; }
+
+    /** Statistics mirror of the subset shared with the event model. */
+    struct CtrlStats
+    {
+        explicit CtrlStats(CycleDRAMCtrl &ctrl);
+
+        stats::Scalar readReqs;
+        stats::Scalar writeReqs;
+        stats::Scalar readBursts;
+        stats::Scalar writeBursts;
+        stats::Scalar readRowHits;
+        stats::Scalar writeRowHits;
+        stats::Scalar numActs;
+        stats::Scalar numPrecharges;
+        stats::Scalar numRefreshes;
+        stats::Scalar bytesRead;
+        stats::Scalar bytesWritten;
+        stats::Scalar numRetries;
+        stats::Scalar totMemAccLat;
+        stats::Scalar prechargeAllTime;
+        stats::Scalar numCycles;
+        stats::Formula rowHitRate;
+        stats::Formula busUtil;
+    };
+
+    const CtrlStats &ctrlStats() const { return *stats_; }
+
+    /** Attach a command logger (see DRAMCtrl::setCmdLogger). */
+    void setCmdLogger(CmdLogger *logger) { cmdLogger_ = logger; }
+
+  private:
+    class MemoryPort : public ResponsePort
+    {
+      public:
+        MemoryPort(std::string name, CycleDRAMCtrl &ctrl)
+            : ResponsePort(std::move(name)), ctrl_(ctrl)
+        {}
+
+        bool recvTimingReq(Packet *pkt) override
+        {
+            return ctrl_.recvTimingReq(pkt);
+        }
+
+        void recvRespRetry() override { ctrl_.respQueue_.retry(); }
+
+      private:
+        CycleDRAMCtrl &ctrl_;
+    };
+
+    bool recvTimingReq(Packet *pkt);
+
+    /** One DRAM clock cycle of controller work. */
+    void tick();
+
+    /** Update refresh state; true while a refresh blocks the banks. */
+    void serviceRefresh();
+
+    /** Move (at most one) transaction into the command queues. */
+    void decomposeTransactions();
+
+    /** Heal command-queue heads invalidated by a refresh. */
+    void repairQueueHeads();
+
+    /** Issue at most one DRAM command this cycle. */
+    void issueCommand();
+
+    bool isIssuable(const Command &cmd) const;
+    void execute(const Command &cmd);
+
+    /** Row that bank will hold after its queued commands execute. */
+    std::uint64_t &tailRow(unsigned rank, unsigned bank);
+
+    /** Current tick of cycle @p c. */
+    Tick tickOf(Cycle c) const { return anchor_ + c * cfg_.timing.tCK; }
+
+    void scheduleTickIfNeeded();
+    bool hasWork() const;
+
+    /** Fast-forward refresh bookkeeping over an idle gap. */
+    void catchUpIdleCycles(Cycle now);
+
+    void burstCompleted(CycleTransaction *trans, Tick data_done_tick);
+
+    DRAMCtrlConfig cfg_;
+    AddrRange range_;
+    AddrDecoder decoder_;
+    CycleTiming ct_;
+
+    MemoryPort port_;
+    RespPacketQueue respQueue_;
+
+    std::deque<CycleTransaction *> transQueue_;
+    std::size_t transQueueLimit_;
+    CommandQueue cmdQueue_;
+    std::vector<std::uint64_t> tailRows_;
+
+    std::vector<CycleBankState> banks_;
+    std::vector<CycleRankState> rankState_;
+
+    Cycle cycle_ = 0;
+    Tick anchor_ = 0;
+    std::uint64_t cyclesTicked_ = 0;
+
+    /** Data bus reservation, in cycles. */
+    Cycle busBusyUntil_ = 0;
+    bool lastDataWasRead_ = true;
+    /** Earliest cycle a read command may issue (tWTR). */
+    Cycle readAllowedAt_ = 0;
+
+    Cycle refreshCountdown_;
+    bool refreshPending_ = false;
+    /** Earliest cycle a refresh may issue (tRP after any precharge). */
+    Cycle refNotBefore_ = 0;
+
+    unsigned nextBankRR_ = 0;
+    bool retryReq_ = false;
+    bool ticking_ = false;
+    Cycle idleSinceCycle_ = 0;
+
+    Tick windowStart_ = 0;
+
+    EventFunctionWrapper tickEvent_;
+
+    CmdLogger *cmdLogger_ = nullptr;
+
+    std::unique_ptr<CtrlStats> stats_;
+};
+
+} // namespace cyclesim
+} // namespace dramctrl
+
+#endif // DRAMCTRL_CYCLESIM_CYCLE_CTRL_H

@@ -1,0 +1,82 @@
+#include "dram/addr_decoder.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+AddrDecoder::AddrDecoder(const DRAMOrg &org, AddrMapping mapping)
+    : mapping_(mapping), burstSize_(org.burstSize()),
+      burstsPerRow_(org.burstsPerRow()), banks_(org.banksPerRank),
+      ranks_(org.ranksPerChannel), rows_(org.rowsPerBank())
+{
+    org.check();
+}
+
+DRAMAddr
+AddrDecoder::decode(Addr dense) const
+{
+    std::uint64_t burst = dense / burstSize_;
+    DRAMAddr da;
+
+    switch (mapping_) {
+      case AddrMapping::RoRaBaCoCh:
+      case AddrMapping::RoRaBaChCo:
+        // Fields from least significant: column, bank, rank, row.
+        da.col = burst % burstsPerRow_;
+        burst /= burstsPerRow_;
+        da.bank = static_cast<unsigned>(burst % banks_);
+        burst /= banks_;
+        da.rank = static_cast<unsigned>(burst % ranks_);
+        burst /= ranks_;
+        da.row = burst;
+        break;
+      case AddrMapping::RoCoRaBaCh:
+        // Fields from least significant: bank, rank, column, row.
+        da.bank = static_cast<unsigned>(burst % banks_);
+        burst /= banks_;
+        da.rank = static_cast<unsigned>(burst % ranks_);
+        burst /= ranks_;
+        da.col = burst % burstsPerRow_;
+        burst /= burstsPerRow_;
+        da.row = burst;
+        break;
+    }
+
+    if (da.row >= rows_)
+        panic("address %#llx decodes to row %llu beyond capacity "
+              "(%llu rows)",
+              static_cast<unsigned long long>(dense),
+              static_cast<unsigned long long>(da.row),
+              static_cast<unsigned long long>(rows_));
+    return da;
+}
+
+Addr
+AddrDecoder::encode(const DRAMAddr &da) const
+{
+    DC_ASSERT(da.rank < ranks_ && da.bank < banks_ && da.row < rows_ &&
+                  da.col < burstsPerRow_,
+              "coordinate out of range (rank %u bank %u row %llu col "
+              "%llu)",
+              da.rank, da.bank,
+              static_cast<unsigned long long>(da.row),
+              static_cast<unsigned long long>(da.col));
+
+    std::uint64_t burst = 0;
+    switch (mapping_) {
+      case AddrMapping::RoRaBaCoCh:
+      case AddrMapping::RoRaBaChCo:
+        burst = ((da.row * ranks_ + da.rank) * banks_ + da.bank) *
+                    burstsPerRow_ +
+                da.col;
+        break;
+      case AddrMapping::RoCoRaBaCh:
+        burst = ((da.row * burstsPerRow_ + da.col) * ranks_ + da.rank) *
+                    banks_ +
+                da.bank;
+        break;
+    }
+    return burst * burstSize_;
+}
+
+} // namespace dramctrl

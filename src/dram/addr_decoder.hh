@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Address decoding into rank, bank, row and column.
+ *
+ * Decoding happens inside each controller on the dense local address
+ * (channel bits already stripped by the crossbar's interleaved ranges,
+ * Section II-A/II-F). The mapping names read most-significant field
+ * first; the trailing "Ch" (or embedded "Ch") positions are the ones the
+ * crossbar consumed, which is why RoRaBaCoCh and RoRaBaChCo decode
+ * identically here and differ only in the interleaving granularity the
+ * system configures the crossbar with (burst vs row).
+ */
+
+#ifndef DRAMCTRL_DRAM_ADDR_DECODER_H
+#define DRAMCTRL_DRAM_ADDR_DECODER_H
+
+#include "dram/dram_config.hh"
+#include "sim/types.hh"
+
+namespace dramctrl {
+
+/** One decoded DRAM coordinate. The column counts whole bursts. */
+struct DRAMAddr
+{
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t col = 0;
+
+    bool operator==(const DRAMAddr &) const = default;
+};
+
+class AddrDecoder
+{
+  public:
+    AddrDecoder(const DRAMOrg &org, AddrMapping mapping);
+
+    /** Decode a dense local byte address. */
+    DRAMAddr decode(Addr dense) const;
+
+    /** Compose a dense local byte address (inverse of decode). */
+    Addr encode(const DRAMAddr &da) const;
+
+    AddrMapping mapping() const { return mapping_; }
+
+    /** Burst-aligned base of the burst containing @p dense. */
+    Addr
+    burstAlign(Addr dense) const
+    {
+        return dense & ~(burstSize_ - 1);
+    }
+
+  private:
+    AddrMapping mapping_;
+    std::uint64_t burstSize_;
+    std::uint64_t burstsPerRow_;
+    unsigned banks_;
+    unsigned ranks_;
+    std::uint64_t rows_;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_DRAM_ADDR_DECODER_H

@@ -1,0 +1,191 @@
+#include "dram/dram_config.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+const char *
+toString(AddrMapping m)
+{
+    switch (m) {
+      case AddrMapping::RoRaBaCoCh: return "RoRaBaCoCh";
+      case AddrMapping::RoRaBaChCo: return "RoRaBaChCo";
+      case AddrMapping::RoCoRaBaCh: return "RoCoRaBaCh";
+    }
+    return "InvalidMapping";
+}
+
+const char *
+toString(PagePolicy p)
+{
+    switch (p) {
+      case PagePolicy::Open: return "open";
+      case PagePolicy::OpenAdaptive: return "open_adaptive";
+      case PagePolicy::Closed: return "closed";
+      case PagePolicy::ClosedAdaptive: return "closed_adaptive";
+    }
+    return "InvalidPolicy";
+}
+
+const char *
+toString(SchedPolicy s)
+{
+    switch (s) {
+      case SchedPolicy::Fcfs: return "fcfs";
+      case SchedPolicy::FrFcfs: return "frfcfs";
+      case SchedPolicy::FrFcfsPrio: return "frfcfs_prio";
+    }
+    return "InvalidPolicy";
+}
+
+void
+DRAMOrg::check() const
+{
+    if (burstLength == 0 || deviceBusWidth == 0 || devicesPerRank == 0)
+        fatal("DRAM organisation has a zero burst/width/devices field");
+    if (!isPowerOf2(ranksPerChannel) || !isPowerOf2(banksPerRank))
+        fatal("rank (%u) and bank (%u) counts must be powers of two",
+              ranksPerChannel, banksPerRank);
+    if (!isPowerOf2(burstSize()))
+        fatal("burst size %llu is not a power of two",
+              static_cast<unsigned long long>(burstSize()));
+    if (!isPowerOf2(rowBufferSize) || rowBufferSize < burstSize())
+        fatal("row buffer size %llu must be a power of two >= burst "
+              "size %llu",
+              static_cast<unsigned long long>(rowBufferSize),
+              static_cast<unsigned long long>(burstSize()));
+    if (channelCapacity %
+            (rowBufferSize * banksPerRank * ranksPerChannel) != 0 ||
+        !isPowerOf2(rowsPerBank())) {
+        fatal("channel capacity %llu does not give a power-of-two row "
+              "count",
+              static_cast<unsigned long long>(channelCapacity));
+    }
+}
+
+void
+DRAMTiming::check() const
+{
+    if (tCK == 0 || tBURST == 0)
+        fatal("tCK and tBURST must be non-zero");
+    if (tRAS < tRCD)
+        fatal("tRAS (%llu) must cover at least tRCD (%llu)",
+              static_cast<unsigned long long>(tRAS),
+              static_cast<unsigned long long>(tRCD));
+    if (tREFI != 0 && tRFC >= tREFI)
+        fatal("tRFC (%llu) must be far smaller than tREFI (%llu)",
+              static_cast<unsigned long long>(tRFC),
+              static_cast<unsigned long long>(tREFI));
+    if (activationLimit == 1)
+        fatal("an activation limit of 1 serialises all activates; use 0 "
+              "to disable the tXAW constraint instead");
+}
+
+std::string
+DRAMCtrlConfig::describe() const
+{
+    std::string s;
+    s += "[organisation]\n";
+    s += formatString("  burst length        %u\n", org.burstLength);
+    s += formatString("  device bus width    %u bits\n",
+                      org.deviceBusWidth);
+    s += formatString("  devices per rank    %u\n",
+                      org.devicesPerRank);
+    s += formatString("  ranks per channel   %u\n",
+                      org.ranksPerChannel);
+    s += formatString("  banks per rank      %u\n", org.banksPerRank);
+    s += formatString("  row buffer size     %llu B\n",
+                      static_cast<unsigned long long>(
+                          org.rowBufferSize));
+    s += formatString("  channel capacity    %llu MiB\n",
+                      static_cast<unsigned long long>(
+                          org.channelCapacity >> 20));
+    s += formatString("  burst size          %llu B\n",
+                      static_cast<unsigned long long>(
+                          org.burstSize()));
+    s += "[timing]\n";
+    auto ns = [](Tick t) { return toNs(t); };
+    s += formatString("  tCK %.2f  tBURST %.2f  tRCD %.2f  tCL %.2f  "
+                      "tRP %.2f  tRAS %.2f ns\n",
+                      ns(timing.tCK), ns(timing.tBURST),
+                      ns(timing.tRCD), ns(timing.tCL), ns(timing.tRP),
+                      ns(timing.tRAS));
+    s += formatString("  tWR %.2f  tWTR %.2f  tRTW %.2f  tRRD %.2f  "
+                      "tXAW %.2f ns (limit %u)\n",
+                      ns(timing.tWR), ns(timing.tWTR), ns(timing.tRTW),
+                      ns(timing.tRRD), ns(timing.tXAW),
+                      timing.activationLimit);
+    s += formatString("  tREFI %.2f us (effective %.2f us at %.0f C)  "
+                      "tRFC %.2f ns\n",
+                      ns(timing.tREFI) / 1e3,
+                      ns(effectiveREFI()) / 1e3, temperatureC,
+                      ns(timing.tRFC));
+    s += "[controller]\n";
+    s += formatString("  read buffer %u  write buffer %u  watermarks "
+                      "%.2f/%.2f  min writes %u\n",
+                      readBufferSize, writeBufferSize,
+                      writeHighThreshold, writeLowThreshold,
+                      minWritesPerSwitch);
+    s += formatString("  scheduler %s  mapping %s  page policy %s\n",
+                      toString(schedPolicy), toString(addrMapping),
+                      toString(pagePolicy));
+    s += formatString("  frontend %.2f ns  backend %.2f ns  max row "
+                      "accesses %u\n",
+                      ns(frontendLatency), ns(backendLatency),
+                      maxAccessesPerRow);
+    s += formatString("  power-down %s (delay %.0f ns, tXP %.0f ns)  "
+                      "self-refresh %s (delay %.1f us, tXS %.0f ns)\n",
+                      enablePowerDown ? "on" : "off",
+                      ns(powerDownDelay), ns(tXP),
+                      enableSelfRefresh ? "on" : "off",
+                      ns(selfRefreshDelay) / 1e3, ns(tXS));
+    s += formatString("  per-rank refresh %s\n",
+                      perRankRefresh ? "on" : "off");
+    if (!requestorPriorities.empty()) {
+        s += "  qos priorities     ";
+        for (unsigned p : requestorPriorities)
+            s += formatString("%u ", p);
+        s += "\n";
+    }
+    return s;
+}
+
+Tick
+DRAMCtrlConfig::effectiveREFI() const
+{
+    if (timing.tREFI == 0 || temperatureC <= 85.0)
+        return timing.tREFI;
+    auto steps = static_cast<unsigned>(
+        (temperatureC - 85.0 + 9.999) / 10.0);
+    Tick refi = timing.tREFI >> std::min(steps, 6u);
+    // Never let derating push tREFI below the refresh itself.
+    return std::max(refi, timing.tRFC * 2);
+}
+
+void
+DRAMCtrlConfig::check() const
+{
+    org.check();
+    timing.check();
+    if (readBufferSize == 0 || writeBufferSize == 0)
+        fatal("queue sizes must be non-zero");
+    if (writeLowThreshold >= writeHighThreshold)
+        fatal("write low threshold (%.2f) must be below the high "
+              "threshold (%.2f)",
+              writeLowThreshold, writeHighThreshold);
+    if (writeHighThreshold > 1.0 || writeLowThreshold < 0.0)
+        fatal("write thresholds must lie in [0, 1]");
+    if (minWritesPerSwitch == 0)
+        fatal("minWritesPerSwitch must be at least 1");
+    if (minWritesPerSwitch > writeBufferSize)
+        fatal("minWritesPerSwitch (%u) exceeds the write buffer (%u)",
+              minWritesPerSwitch, writeBufferSize);
+    if (enableSelfRefresh && !enablePowerDown)
+        fatal("self-refresh requires enablePowerDown");
+    if (enableSelfRefresh && selfRefreshDelay == 0)
+        fatal("selfRefreshDelay must be non-zero");
+}
+
+} // namespace dramctrl

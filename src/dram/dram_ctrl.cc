@@ -1,0 +1,1084 @@
+#include "dram/dram_ctrl.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+DRAMCtrl::CtrlStats::CtrlStats(DRAMCtrl &ctrl)
+    : readReqs(&ctrl.statGroup(), "readReqs",
+               "read requests accepted"),
+      writeReqs(&ctrl.statGroup(), "writeReqs",
+                "write requests accepted"),
+      readBursts(&ctrl.statGroup(), "readBursts",
+                 "read bursts (including write-queue hits)"),
+      writeBursts(&ctrl.statGroup(), "writeBursts",
+                  "write bursts (including merged)"),
+      servicedByWrQ(&ctrl.statGroup(), "servicedByWrQ",
+                    "read bursts forwarded from the write queue"),
+      mergedWrBursts(&ctrl.statGroup(), "mergedWrBursts",
+                     "write bursts merged into queued bursts"),
+      readRowHits(&ctrl.statGroup(), "readRowHits",
+                  "read bursts that hit an open row"),
+      writeRowHits(&ctrl.statGroup(), "writeRowHits",
+                   "write bursts that hit an open row"),
+      numActs(&ctrl.statGroup(), "numActs", "activate commands"),
+      numPrecharges(&ctrl.statGroup(), "numPrecharges",
+                    "precharge commands"),
+      numRefreshes(&ctrl.statGroup(), "numRefreshes",
+                   "refresh commands"),
+      bytesRead(&ctrl.statGroup(), "bytesRead",
+                "bytes moved by read bursts"),
+      bytesWritten(&ctrl.statGroup(), "bytesWritten",
+                   "bytes moved by write bursts"),
+      numRdRetry(&ctrl.statGroup(), "numRdRetry",
+                 "reads refused on a full read queue"),
+      numWrRetry(&ctrl.statGroup(), "numWrRetry",
+                 "writes refused on a full write queue"),
+      totQLat(&ctrl.statGroup(), "totQLat",
+              "total read-burst queueing time (ticks)"),
+      totSvcLat(&ctrl.statGroup(), "totSvcLat",
+                "total read-burst service time (ticks)"),
+      totMemAccLat(&ctrl.statGroup(), "totMemAccLat",
+                   "total read-burst access time (ticks)"),
+      prechargeAllTime(&ctrl.statGroup(), "prechargeAllTime",
+                       "time with every bank precharged (ticks)"),
+      powerDownTime(&ctrl.statGroup(), "powerDownTime",
+                    "time in precharge power-down (ticks)"),
+      powerDownEntries(&ctrl.statGroup(), "powerDownEntries",
+                       "power-down entries"),
+      selfRefreshTime(&ctrl.statGroup(), "selfRefreshTime",
+                      "time in self-refresh (ticks)"),
+      selfRefreshEntries(&ctrl.statGroup(), "selfRefreshEntries",
+                         "self-refresh entries"),
+      rdQOccupancyTicks(&ctrl.statGroup(), "rdQOccupancyTicks",
+                        "time-weighted read queue occupancy"),
+      wrQOccupancyTicks(&ctrl.statGroup(), "wrQOccupancyTicks",
+                        "time-weighted write queue occupancy"),
+      rdPerTurnAround(&ctrl.statGroup(), "rdPerTurnAround",
+                      "reads serviced per bus turnaround"),
+      wrPerTurnAround(&ctrl.statGroup(), "wrPerTurnAround",
+                      "writes drained per write episode"),
+      readLatencyHist(&ctrl.statGroup(), "readLatencyHist",
+                      "controller read latency distribution (ns)", 48),
+      perBankRdBursts(&ctrl.statGroup(), "perBankRdBursts",
+                      "read bursts per bank",
+                      ctrl.cfg_.org.totalBanks()),
+      perBankWrBursts(&ctrl.statGroup(), "perBankWrBursts",
+                      "write bursts per bank",
+                      ctrl.cfg_.org.totalBanks()),
+      rowHitRate(&ctrl.statGroup(), "rowHitRate",
+                 "fraction of DRAM bursts hitting an open row",
+                 [this] {
+                     double serviced = readBursts.value() -
+                                       servicedByWrQ.value() +
+                                       writeBursts.value() -
+                                       mergedWrBursts.value();
+                     return serviced > 0 ? (readRowHits.value() +
+                                            writeRowHits.value()) /
+                                               serviced
+                                         : 0.0;
+                 }),
+      busUtil(&ctrl.statGroup(), "busUtil",
+              "data bus utilisation, both directions",
+              [&ctrl] { return ctrl.busUtilisation(); }),
+      busUtilRead(&ctrl.statGroup(), "busUtilRead",
+                  "data bus utilisation by reads",
+                  [this, &ctrl] {
+                      double w = toSeconds(ctrl.curTick() -
+                                           ctrl.windowStart_);
+                      return w > 0 ? bytesRead.value() / 1e9 /
+                                         ctrl.peakBandwidthGBs() / w
+                                   : 0.0;
+                  }),
+      busUtilWrite(&ctrl.statGroup(), "busUtilWrite",
+                   "data bus utilisation by writes",
+                   [this, &ctrl] {
+                       double w = toSeconds(ctrl.curTick() -
+                                            ctrl.windowStart_);
+                       return w > 0 ? bytesWritten.value() / 1e9 /
+                                          ctrl.peakBandwidthGBs() / w
+                                    : 0.0;
+                   }),
+      avgRdQLen(&ctrl.statGroup(), "avgRdQLen",
+                "time-weighted average read queue length",
+                [this, &ctrl] {
+                    double w = static_cast<double>(
+                        ctrl.curTick() - ctrl.windowStart_);
+                    return w > 0 ? rdQOccupancyTicks.value() / w : 0.0;
+                }),
+      avgWrQLen(&ctrl.statGroup(), "avgWrQLen",
+                "time-weighted average write queue length",
+                [this, &ctrl] {
+                    double w = static_cast<double>(
+                        ctrl.curTick() - ctrl.windowStart_);
+                    return w > 0 ? wrQOccupancyTicks.value() / w : 0.0;
+                }),
+      avgQLatNs(&ctrl.statGroup(), "avgQLatNs",
+                "average read-burst queueing latency (ns)",
+                [this] {
+                    double n = readBursts.value() - servicedByWrQ.value();
+                    return n > 0 ? toNs(static_cast<Tick>(
+                                       totQLat.value())) / n
+                                 : 0.0;
+                }),
+      avgMemAccLatNs(&ctrl.statGroup(), "avgMemAccLatNs",
+                     "average read-burst access latency (ns)",
+                     [this] {
+                         double n = readBursts.value() -
+                                    servicedByWrQ.value();
+                         return n > 0 ? toNs(static_cast<Tick>(
+                                            totMemAccLat.value())) / n
+                                      : 0.0;
+                     }),
+      avgRdBWGBs(&ctrl.statGroup(), "avgRdBWGBs",
+                 "achieved read bandwidth (GByte/s)",
+                 [this, &ctrl] {
+                     double w = toSeconds(ctrl.curTick() -
+                                          ctrl.windowStart_);
+                     return w > 0 ? bytesRead.value() / 1e9 / w : 0.0;
+                 }),
+      avgWrBWGBs(&ctrl.statGroup(), "avgWrBWGBs",
+                 "achieved write bandwidth (GByte/s)",
+                 [this, &ctrl] {
+                     double w = toSeconds(ctrl.curTick() -
+                                          ctrl.windowStart_);
+                     return w > 0 ? bytesWritten.value() / 1e9 / w : 0.0;
+                 }),
+      peakBWGBs(&ctrl.statGroup(), "peakBWGBs",
+                "theoretical peak bandwidth (GByte/s)",
+                [&ctrl] { return ctrl.peakBandwidthGBs(); })
+{
+}
+
+DRAMCtrl::DRAMCtrl(Simulator &sim, std::string name,
+                   DRAMCtrlConfig config, AddrRange range)
+    : MemCtrlBase(sim, std::move(name)), cfg_(config), range_(range),
+      decoder_(cfg_.org, cfg_.addrMapping),
+      port_(this->name() + ".port", *this),
+      respQueue_(sim.eventq(), port_, this->name() + ".respQueue"),
+      nextReqEvent_([this] { processNextReqEvent(); },
+                    this->name() + ".nextReqEvent"),
+      refreshEvent_([this] { processRefreshEvent(); },
+                    this->name() + ".refreshEvent",
+                    Event::kRefreshPriority)
+{
+    cfg_.check();
+
+    if (range_.localSize() != cfg_.org.channelCapacity)
+        fatal("controller '%s': address range provides %llu bytes but "
+              "the DRAM organisation has %llu",
+              this->name().c_str(),
+              static_cast<unsigned long long>(range_.localSize()),
+              static_cast<unsigned long long>(cfg_.org.channelCapacity));
+
+    ranks_.resize(cfg_.org.ranksPerChannel);
+    for (Rank &rank : ranks_)
+        rank.banks.resize(cfg_.org.banksPerRank);
+
+    stats_ = std::make_unique<CtrlStats>(*this);
+    statGroup().onReset([this] {
+        windowStart_ = curTick();
+        // A fresh window starts from the current (unknown-split) state;
+        // treat "now" as the precharge-accounting origin.
+        allBanksPreSince_ = curTick();
+        lastQStatUpdate_ = curTick();
+    });
+}
+
+DRAMCtrl::~DRAMCtrl()
+{
+    if (nextReqEvent_.scheduled())
+        deschedule(nextReqEvent_);
+    if (refreshEvent_.scheduled())
+        deschedule(refreshEvent_);
+
+    std::unordered_set<BurstHelper *> helpers;
+    std::unordered_set<Packet *> unanswered;
+    for (DRAMPacket *dp : readQueue_) {
+        if (dp->burstHelper)
+            helpers.insert(dp->burstHelper);
+        if (dp->pkt)
+            unanswered.insert(dp->pkt);
+        delete dp;
+    }
+    for (DRAMPacket *dp : writeQueue_)
+        delete dp;
+    for (BurstHelper *h : helpers)
+        delete h;
+    for (Packet *pkt : unanswered) {
+        while (pkt->senderState() != nullptr)
+            delete pkt->popSenderState();
+        delete pkt;
+    }
+}
+
+void
+DRAMCtrl::startup()
+{
+    windowStart_ = curTick();
+    allBanksPreSince_ = curTick();
+    lastQStatUpdate_ = curTick();
+    if (cfg_.timing.tREFI > 0) {
+        Tick refi = cfg_.effectiveREFI();
+        if (cfg_.perRankRefresh) {
+            // Stagger the ranks across the interval.
+            rankRefreshDue_.resize(ranks_.size());
+            for (std::size_t r = 0; r < ranks_.size(); ++r)
+                rankRefreshDue_[r] =
+                    curTick() + refi * (r + 1) / ranks_.size();
+            schedule(refreshEvent_,
+                     *std::min_element(rankRefreshDue_.begin(),
+                                       rankRefreshDue_.end()));
+        } else {
+            nextRefreshAt_ = curTick() + refi;
+            schedule(refreshEvent_, nextRefreshAt_);
+        }
+    }
+}
+
+bool
+DRAMCtrl::idle() const
+{
+    // Parked writes have already been acknowledged (early write
+    // response), so only unanswered reads count as outstanding work.
+    return readQueue_.empty() && respQueue_.empty();
+}
+
+double
+DRAMCtrl::peakBandwidthGBs() const
+{
+    return static_cast<double>(cfg_.org.burstSize()) /
+           toSeconds(cfg_.timing.tBURST) / 1e9;
+}
+
+double
+DRAMCtrl::busUtilisation() const
+{
+    double w = toSeconds(curTick() - windowStart_);
+    if (w <= 0)
+        return 0.0;
+    return (stats_->bytesRead.value() + stats_->bytesWritten.value()) /
+           1e9 / peakBandwidthGBs() / w;
+}
+
+PowerInputs
+DRAMCtrl::powerInputs() const
+{
+    PowerInputs in;
+    in.window = curTick() - windowStart_;
+    in.numActs = stats_->numActs.value();
+    in.numPrecharges = stats_->numPrecharges.value();
+    in.numRefreshes = stats_->numRefreshes.value();
+    in.readBursts =
+        stats_->bytesRead.value() /
+        static_cast<double>(cfg_.org.burstSize());
+    in.writeBursts =
+        stats_->bytesWritten.value() /
+        static_cast<double>(cfg_.org.burstSize());
+    in.prechargeAllTime = static_cast<Tick>(
+        stats_->prechargeAllTime.value());
+    in.powerDownTime =
+        static_cast<Tick>(stats_->powerDownTime.value());
+    in.selfRefreshTime =
+        static_cast<Tick>(stats_->selfRefreshTime.value());
+    double w = toSeconds(in.window);
+    if (w > 0) {
+        double peak_bytes = peakBandwidthGBs() * 1e9;
+        in.readBusFraction = stats_->bytesRead.value() / peak_bytes / w;
+        in.writeBusFraction =
+            stats_->bytesWritten.value() / peak_bytes / w;
+    }
+    return in;
+}
+
+double
+DRAMCtrl::achievedBandwidthGBs() const
+{
+    double w = toSeconds(curTick() - windowStart_);
+    if (w <= 0)
+        return 0.0;
+    return (stats_->bytesRead.value() + stats_->bytesWritten.value()) /
+           1e9 / w;
+}
+
+unsigned
+DRAMCtrl::burstCountFor(Addr local_addr, unsigned size) const
+{
+    std::uint64_t burst_size = cfg_.org.burstSize();
+    Addr first = local_addr / burst_size;
+    Addr last = (local_addr + size - 1) / burst_size;
+    return static_cast<unsigned>(last - first + 1);
+}
+
+DRAMCtrl::DRAMPacket *
+DRAMCtrl::makeDRAMPacket(Packet *pkt, Addr lo, Addr hi,
+                         bool is_read) const
+{
+    auto *dp = new DRAMPacket;
+    dp->pkt = pkt;
+    dp->isRead = is_read;
+    if (pkt != nullptr)
+        dp->requestorId = pkt->requestorId();
+    dp->lo = lo;
+    dp->hi = hi;
+    dp->burstAddr = decoder_.burstAlign(lo);
+    DRAMAddr da = decoder_.decode(dp->burstAddr);
+    dp->rank = da.rank;
+    dp->bank = da.bank;
+    dp->row = da.row;
+    dp->col = da.col;
+    return dp;
+}
+
+void
+DRAMCtrl::armPowerDown()
+{
+    if (!cfg_.enablePowerDown || poweredDownAt_ != kMaxTick)
+        return;
+
+    // Precharge power-down requires all banks closed; include the time
+    // to close any open rows in the entry point. The rows themselves
+    // are only given up if the power-down is later confirmed (see
+    // exitPowerDown), so a request arriving inside the delay window
+    // still enjoys its open pages.
+    Tick entry = std::max(curTick(), busBusyUntil_);
+    for (const Rank &rank : ranks_) {
+        for (const Bank &bank : rank.banks) {
+            if (bank.openRow != Bank::kNoRow)
+                entry = std::max(entry, std::max(curTick(),
+                                                 bank.preAllowedAt) +
+                                            cfg_.timing.tRP);
+        }
+    }
+    poweredDownAt_ = entry + cfg_.powerDownDelay;
+}
+
+Tick
+DRAMCtrl::exitPowerDown(Tick now)
+{
+    if (!cfg_.enablePowerDown || poweredDownAt_ == kMaxTick)
+        return 0;
+    if (now < poweredDownAt_) {
+        // Activity resumed before the entry threshold: disarm.
+        poweredDownAt_ = kMaxTick;
+        return 0;
+    }
+
+    // Power-down confirmed: the idle controller closed its open rows
+    // on the way in (retroactively, since the model is lazy).
+    for (Rank &rank : ranks_) {
+        for (Bank &bank : rank.banks) {
+            if (bank.openRow != Bank::kNoRow)
+                prechargeBank(rank, bank,
+                              std::max(bank.preAllowedAt,
+                                       poweredDownAt_ -
+                                           cfg_.powerDownDelay));
+        }
+    }
+
+    // The episode may have deepened into self-refresh.
+    Tick sr_at = poweredDownAt_ + cfg_.selfRefreshDelay;
+    bool in_sr = cfg_.enableSelfRefresh && now >= sr_at;
+    if (in_sr) {
+        stats_->powerDownTime +=
+            static_cast<double>(sr_at - poweredDownAt_);
+        stats_->selfRefreshTime += static_cast<double>(now - sr_at);
+        ++stats_->selfRefreshEntries;
+    } else {
+        stats_->powerDownTime +=
+            static_cast<double>(now - poweredDownAt_);
+    }
+    ++stats_->powerDownEntries;
+    poweredDownAt_ = kMaxTick;
+    return now + (in_sr ? cfg_.tXS : cfg_.tXP);
+}
+
+bool
+DRAMCtrl::recvTimingReq(Packet *pkt)
+{
+    DC_ASSERT(pkt->isRequest(), "controller received %s",
+              pkt->toString().c_str());
+    if (!range_.contains(pkt->addr()))
+        panic("controller '%s' received misrouted packet %s",
+              name().c_str(), pkt->toString().c_str());
+
+    if (cfg_.enablePowerDown) {
+        Tick wake = exitPowerDown(curTick());
+        if (wake != 0)
+            wakeConstraint_ = std::max(wakeConstraint_, wake);
+    }
+
+    touchQueueStats();
+
+    Addr local = range_.removeIntlvBits(pkt->addr());
+    unsigned pkt_count = burstCountFor(local, pkt->size());
+
+    if (pkt->isRead()) {
+        if (readQueue_.size() + pkt_count > cfg_.readBufferSize) {
+            ++stats_->numRdRetry;
+            retryReq_ = true;
+            return false;
+        }
+        ++stats_->readReqs;
+        addToReadQueue(pkt, local);
+    } else {
+        if (writeQueue_.size() + pkt_count > cfg_.writeBufferSize) {
+            ++stats_->numWrRetry;
+            retryReq_ = true;
+            return false;
+        }
+        ++stats_->writeReqs;
+        addToWriteQueue(pkt, local);
+        // Early write response (Section II-A): acknowledge as soon as
+        // the burst sits in the write queue.
+        accessAndRespond(pkt, cfg_.frontendLatency, curTick());
+    }
+
+    if (!nextReqEvent_.scheduled())
+        schedule(nextReqEvent_, std::max(curTick(), nextReqTime_));
+    return true;
+}
+
+void
+DRAMCtrl::recvRespRetry()
+{
+    respQueue_.retry();
+}
+
+void
+DRAMCtrl::addToReadQueue(Packet *pkt, Addr local_addr)
+{
+    std::uint64_t burst_size = cfg_.org.burstSize();
+    Addr addr = local_addr;
+    Addr end = local_addr + pkt->size();
+    unsigned pkt_count = burstCountFor(local_addr, pkt->size());
+    stats_->readBursts += pkt_count;
+
+    unsigned forwarded = 0;
+    std::vector<DRAMPacket *> new_bursts;
+    while (addr < end) {
+        Addr window = decoder_.burstAlign(addr);
+        Addr hi = std::min<Addr>(window + burst_size, end);
+
+        // Snoop the write queue (Section II-A): a read fully covered by
+        // queued write data is serviced without touching the DRAM.
+        auto it = writeIndex_.find(window);
+        if (it != writeIndex_.end() && it->second->lo <= addr &&
+            hi <= it->second->hi) {
+            ++forwarded;
+            ++stats_->servicedByWrQ;
+        } else {
+            new_bursts.push_back(makeDRAMPacket(pkt, addr, hi, true));
+        }
+        addr = window + burst_size;
+    }
+
+    if (new_bursts.empty()) {
+        // Entirely satisfied by the write queue.
+        accessAndRespond(pkt, cfg_.frontendLatency, curTick());
+        return;
+    }
+
+    BurstHelper *helper = nullptr;
+    if (pkt_count > 1) {
+        helper = new BurstHelper(pkt_count);
+        helper->burstsServiced = forwarded;
+    }
+    for (DRAMPacket *dp : new_bursts) {
+        dp->entryTime = curTick();
+        dp->burstHelper = helper;
+        readQueue_.push_back(dp);
+    }
+}
+
+void
+DRAMCtrl::addToWriteQueue(Packet *pkt, Addr local_addr)
+{
+    std::uint64_t burst_size = cfg_.org.burstSize();
+    Addr addr = local_addr;
+    Addr end = local_addr + pkt->size();
+    stats_->writeBursts += burstCountFor(local_addr, pkt->size());
+
+    while (addr < end) {
+        Addr window = decoder_.burstAlign(addr);
+        Addr hi = std::min<Addr>(window + burst_size, end);
+
+        auto it = writeIndex_.find(window);
+        if (it != writeIndex_.end()) {
+            // Merge into the queued burst (Section II-A). The byte
+            // coverage is tracked as a hull; this is a timing model, so
+            // gaps inside the hull only make read forwarding slightly
+            // optimistic.
+            it->second->lo = std::min(it->second->lo, addr);
+            it->second->hi = std::max(it->second->hi, hi);
+            ++stats_->mergedWrBursts;
+        } else {
+            DRAMPacket *dp = makeDRAMPacket(nullptr, addr, hi, false);
+            dp->entryTime = curTick();
+            writeQueue_.push_back(dp);
+            writeIndex_.emplace(window, dp);
+        }
+        addr = window + burst_size;
+    }
+}
+
+Tick
+DRAMCtrl::activationWindowConstraint(const Rank &rank,
+                                     Tick act_tick) const
+{
+    unsigned limit = cfg_.timing.activationLimit;
+    if (limit == 0 || rank.actWindow.size() < limit)
+        return act_tick;
+    return std::max(act_tick, rank.actWindow.front() + cfg_.timing.tXAW);
+}
+
+void
+DRAMCtrl::recordActivate(Rank &rank, Tick act_tick)
+{
+    rank.nextActAt = std::max(rank.nextActAt,
+                              act_tick + cfg_.timing.tRRD);
+    if (cfg_.timing.activationLimit > 0) {
+        rank.actWindow.push_back(act_tick);
+        if (rank.actWindow.size() > cfg_.timing.activationLimit)
+            rank.actWindow.pop_front();
+    }
+}
+
+void
+DRAMCtrl::prechargeBank(Rank &rank, Bank &bank, Tick pre_tick)
+{
+    DC_ASSERT(bank.openRow != Bank::kNoRow, "precharging a closed bank");
+    if (cmdLogger_ != nullptr) {
+        auto rank_idx = static_cast<unsigned>(&rank - ranks_.data());
+        auto bank_idx =
+            static_cast<unsigned>(&bank - rank.banks.data());
+        cmdLogger_->record(pre_tick, DRAMCmd::Pre, rank_idx, bank_idx);
+    }
+    bank.openRow = Bank::kNoRow;
+    bank.rowAccesses = 0;
+    Tick pre_done = pre_tick + cfg_.timing.tRP;
+    bank.actAllowedAt = std::max(bank.actAllowedAt, pre_done);
+    refNotBefore_ = std::max(refNotBefore_, pre_done);
+    ++stats_->numPrecharges;
+    bankPrecharged(pre_done);
+}
+
+void
+DRAMCtrl::bankActivated(Tick act_tick)
+{
+    if (numBanksActive_ == 0 && act_tick > allBanksPreSince_)
+        stats_->prechargeAllTime += static_cast<double>(
+            act_tick - allBanksPreSince_);
+    ++numBanksActive_;
+}
+
+void
+DRAMCtrl::bankPrecharged(Tick pre_done_tick)
+{
+    DC_ASSERT(numBanksActive_ > 0, "precharge with no active banks");
+    --numBanksActive_;
+    if (numBanksActive_ == 0)
+        allBanksPreSince_ = pre_done_tick;
+}
+
+Tick
+DRAMCtrl::estimateReadyTick(const DRAMPacket &pkt) const
+{
+    const Rank &rank = ranks_[pkt.rank];
+    const Bank &bank = rank.banks[pkt.bank];
+
+    if (bank.openRow == pkt.row)
+        return std::max(bank.colAllowedAt, curTick());
+
+    Tick t;
+    if (bank.openRow != Bank::kNoRow)
+        t = std::max(bank.preAllowedAt, curTick()) + cfg_.timing.tRP;
+    else
+        t = std::max(bank.actAllowedAt, curTick());
+    t = std::max(t, rank.nextActAt);
+    t = activationWindowConstraint(rank, t);
+    return t + cfg_.timing.tRCD;
+}
+
+unsigned
+DRAMCtrl::priorityOf(const DRAMPacket &pkt) const
+{
+    if (cfg_.schedPolicy != SchedPolicy::FrFcfsPrio)
+        return 0;
+    if (pkt.requestorId < cfg_.requestorPriorities.size())
+        return cfg_.requestorPriorities[pkt.requestorId];
+    return 0;
+}
+
+std::deque<DRAMCtrl::DRAMPacket *>::iterator
+DRAMCtrl::chooseNext(std::deque<DRAMPacket *> &queue)
+{
+    DC_ASSERT(!queue.empty(), "choosing from an empty queue");
+
+    if (cfg_.schedPolicy == SchedPolicy::Fcfs || queue.size() == 1)
+        return queue.begin();
+
+    // FR-FCFS: prefer the oldest row hit; otherwise the request whose
+    // bank is ready first (Section II-C). The QoS variant searches
+    // priority tier by tier, so a high-priority conflict beats a
+    // low-priority row hit.
+    auto best = queue.end();
+    auto best_hit = queue.end();
+    Tick best_ready = kMaxTick;
+    unsigned best_prio = 0;
+    unsigned best_hit_prio = 0;
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        const DRAMPacket &dp = **it;
+        const Bank &bank = ranks_[dp.rank].banks[dp.bank];
+        unsigned prio = priorityOf(dp);
+        bool row_hit = bank.openRow == dp.row;
+        bool starved = cfg_.maxAccessesPerRow > 0 &&
+                       bank.rowAccesses >= cfg_.maxAccessesPerRow;
+        if (row_hit && !starved) {
+            if (cfg_.schedPolicy != SchedPolicy::FrFcfsPrio)
+                return it; // plain FR-FCFS: oldest row hit wins
+            if (best_hit == queue.end() || prio > best_hit_prio) {
+                best_hit = it;
+                best_hit_prio = prio;
+            }
+            continue;
+        }
+        Tick ready = estimateReadyTick(dp);
+        if (best == queue.end() || prio > best_prio ||
+            (prio == best_prio && ready < best_ready)) {
+            best_ready = ready;
+            best = it;
+            best_prio = prio;
+        }
+    }
+
+    if (best_hit != queue.end() &&
+        (best == queue.end() || best_hit_prio >= best_prio))
+        return best_hit;
+    return best;
+}
+
+void
+DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
+{
+    const DRAMTiming &t = cfg_.timing;
+    Rank &rank = ranks_[pkt->rank];
+    Bank &bank = rank.banks[pkt->bank];
+
+    bool row_hit = bank.openRow == pkt->row;
+    if (!row_hit) {
+        if (bank.openRow != Bank::kNoRow)
+            prechargeBank(rank, bank,
+                          std::max(curTick(), bank.preAllowedAt));
+
+        Tick act = std::max({curTick(), bank.actAllowedAt,
+                             rank.nextActAt, wakeConstraint_});
+        act = activationWindowConstraint(rank, act);
+        recordActivate(rank, act);
+        bankActivated(act);
+        ++stats_->numActs;
+        if (cmdLogger_ != nullptr)
+            cmdLogger_->record(act, DRAMCmd::Act, pkt->rank, pkt->bank,
+                               pkt->row);
+
+        bank.openRow = pkt->row;
+        bank.rowAccesses = 0;
+        bank.colAllowedAt = act + t.tRCD;
+        bank.preAllowedAt = act + t.tRAS;
+    }
+
+    // Column access: constrained by the bank, the shared data bus, and
+    // the read/write turnaround timings (Section II-B).
+    Tick data_start;
+    if (pkt->isRead) {
+        Tick cmd_at = std::max({bank.colAllowedAt, curTick(),
+                                nextRdCmdAt_, wakeConstraint_});
+        data_start = std::max(cmd_at + t.tCL, busBusyUntil_);
+    } else {
+        Tick cmd_at = std::max({bank.colAllowedAt, curTick(),
+                                wakeConstraint_});
+        data_start = std::max({cmd_at + t.tCL, busBusyUntil_,
+                               nextWrDataAt_});
+    }
+    Tick data_done = data_start + t.tBURST;
+    busBusyUntil_ = data_done;
+    pkt->readyTime = data_done;
+    if (cmdLogger_ != nullptr)
+        cmdLogger_->record(data_start - t.tCL,
+                           pkt->isRead ? DRAMCmd::Rd : DRAMCmd::Wr,
+                           pkt->rank, pkt->bank, pkt->row);
+
+    if (pkt->isRead) {
+        nextWrDataAt_ = std::max(nextWrDataAt_, data_done + t.tRTW);
+        bank.preAllowedAt = std::max(bank.preAllowedAt, data_done);
+    } else {
+        nextRdCmdAt_ = std::max(nextRdCmdAt_, data_done + t.tWTR);
+        bank.preAllowedAt = std::max(bank.preAllowedAt,
+                                     data_done + t.tWR);
+    }
+    lastBurstWasRead_ = pkt->isRead;
+
+    // The burst occupies the bank's column path for tBURST (tCCD).
+    bank.colAllowedAt = std::max(bank.colAllowedAt,
+                                 data_start - t.tCL + t.tBURST);
+    ++bank.rowAccesses;
+
+    unsigned flat_bank = pkt->rank * cfg_.org.banksPerRank + pkt->bank;
+    std::uint64_t burst_size = cfg_.org.burstSize();
+    if (pkt->isRead) {
+        if (row_hit)
+            ++stats_->readRowHits;
+        stats_->perBankRdBursts[flat_bank] += 1;
+        stats_->bytesRead += static_cast<double>(burst_size);
+        stats_->totQLat += static_cast<double>(curTick() -
+                                               pkt->entryTime);
+        stats_->totSvcLat += static_cast<double>(data_done - curTick());
+        stats_->totMemAccLat += static_cast<double>(data_done -
+                                                    pkt->entryTime);
+        stats_->readLatencyHist.sample(
+            toNs(data_done - pkt->entryTime + cfg_.frontendLatency +
+                 cfg_.backendLatency));
+    } else {
+        if (row_hit)
+            ++stats_->writeRowHits;
+        stats_->perBankWrBursts[flat_bank] += 1;
+        stats_->bytesWritten += static_cast<double>(burst_size);
+    }
+
+    applyPagePolicy(*pkt);
+}
+
+bool
+DRAMCtrl::queuedRowHits(unsigned rank, unsigned bank,
+                        std::uint64_t row) const
+{
+    auto match = [&](const DRAMPacket *dp) {
+        return dp->rank == rank && dp->bank == bank && dp->row == row;
+    };
+    return std::any_of(readQueue_.begin(), readQueue_.end(), match) ||
+           std::any_of(writeQueue_.begin(), writeQueue_.end(), match);
+}
+
+bool
+DRAMCtrl::queuedBankConflicts(unsigned rank, unsigned bank,
+                              std::uint64_t row) const
+{
+    auto conflict = [&](const DRAMPacket *dp) {
+        return dp->rank == rank && dp->bank == bank && dp->row != row;
+    };
+    return std::any_of(readQueue_.begin(), readQueue_.end(), conflict) ||
+           std::any_of(writeQueue_.begin(), writeQueue_.end(), conflict);
+}
+
+void
+DRAMCtrl::applyPagePolicy(const DRAMPacket &pkt)
+{
+    Rank &rank = ranks_[pkt.rank];
+    Bank &bank = rank.banks[pkt.bank];
+    DC_ASSERT(bank.openRow == pkt.row, "page policy on stale row");
+
+    bool auto_precharge = false;
+    switch (cfg_.pagePolicy) {
+      case PagePolicy::Closed:
+        auto_precharge = true;
+        break;
+      case PagePolicy::ClosedAdaptive:
+        // Keep the row open only when more accesses to it are queued.
+        auto_precharge = !queuedRowHits(pkt.rank, pkt.bank, pkt.row);
+        break;
+      case PagePolicy::Open:
+        break;
+      case PagePolicy::OpenAdaptive:
+        // Close early when a conflicting access waits and nothing more
+        // wants this row.
+        auto_precharge =
+            queuedBankConflicts(pkt.rank, pkt.bank, pkt.row) &&
+            !queuedRowHits(pkt.rank, pkt.bank, pkt.row);
+        break;
+    }
+
+    if (auto_precharge)
+        prechargeBank(rank, bank,
+                      std::max(curTick(), bank.preAllowedAt));
+}
+
+void
+DRAMCtrl::accessAndRespond(Packet *pkt, Tick static_latency,
+                           Tick ready_time)
+{
+    pkt->makeResponse();
+    respQueue_.schedSendResp(pkt, std::max(curTick(), ready_time) +
+                                      static_latency);
+}
+
+void
+DRAMCtrl::retryBlockedReq()
+{
+    if (retryReq_) {
+        retryReq_ = false;
+        port_.sendReqRetry();
+    }
+}
+
+void
+DRAMCtrl::touchQueueStats()
+{
+    Tick now = curTick();
+    if (now > lastQStatUpdate_) {
+        double dt = static_cast<double>(now - lastQStatUpdate_);
+        stats_->rdQOccupancyTicks +=
+            static_cast<double>(readQueue_.size()) * dt;
+        stats_->wrQOccupancyTicks +=
+            static_cast<double>(writeQueue_.size()) * dt;
+    }
+    lastQStatUpdate_ = now;
+}
+
+void
+DRAMCtrl::processNextReqEvent()
+{
+    const auto low_entries = static_cast<std::size_t>(
+        cfg_.writeLowThreshold * cfg_.writeBufferSize);
+    const auto high_entries = static_cast<std::size_t>(
+        cfg_.writeHighThreshold * cfg_.writeBufferSize);
+
+    // Stage 1: read/write switching (Section II-C write drain mode).
+    if (busState_ == BusState::Read) {
+        bool switch_to_writes = false;
+        if (writeQueue_.size() >= high_entries) {
+            // Forced switch at the high watermark.
+            switch_to_writes = true;
+        } else if (readQueue_.empty() && !writeQueue_.empty() &&
+                   writeQueue_.size() >= low_entries) {
+            // No reads pending: drain from the low watermark.
+            switch_to_writes = true;
+        }
+        if (switch_to_writes) {
+            if (readsThisTime_ > 0)
+                stats_->rdPerTurnAround.sample(readsThisTime_);
+            readsThisTime_ = 0;
+            busState_ = BusState::Write;
+        }
+    } else {
+        bool switch_to_reads = false;
+        if (writeQueue_.empty()) {
+            switch_to_reads = true;
+        } else if (!readQueue_.empty() &&
+                   writesThisTime_ >= cfg_.minWritesPerSwitch &&
+                   writeQueue_.size() < low_entries) {
+            // Drained the minimum burst of writes and dropped below the
+            // low watermark with reads waiting: switch back.
+            switch_to_reads = true;
+        }
+        if (switch_to_reads) {
+            if (writesThisTime_ > 0)
+                stats_->wrPerTurnAround.sample(writesThisTime_);
+            writesThisTime_ = 0;
+            busState_ = BusState::Read;
+        }
+    }
+
+    // Stage 2: service one burst in the current direction.
+    touchQueueStats();
+    bool serviced = false;
+    if (busState_ == BusState::Read) {
+        if (!readQueue_.empty()) {
+            auto it = chooseNext(readQueue_);
+            DRAMPacket *pkt = *it;
+            readQueue_.erase(it);
+            doDRAMAccess(pkt);
+            ++readsThisTime_;
+            serviced = true;
+
+            if (pkt->burstHelper) {
+                ++pkt->burstHelper->burstsServiced;
+                if (pkt->burstHelper->burstsServiced ==
+                    pkt->burstHelper->burstCount) {
+                    accessAndRespond(pkt->pkt,
+                                     cfg_.frontendLatency +
+                                         cfg_.backendLatency,
+                                     pkt->readyTime);
+                    delete pkt->burstHelper;
+                }
+            } else {
+                accessAndRespond(pkt->pkt,
+                                 cfg_.frontendLatency +
+                                     cfg_.backendLatency,
+                                 pkt->readyTime);
+            }
+            delete pkt;
+            retryBlockedReq();
+        }
+    } else {
+        if (!writeQueue_.empty()) {
+            auto it = chooseNext(writeQueue_);
+            DRAMPacket *pkt = *it;
+            writeQueue_.erase(it);
+            writeIndex_.erase(pkt->burstAddr);
+            doDRAMAccess(pkt);
+            ++writesThisTime_;
+            serviced = true;
+            delete pkt;
+            retryBlockedReq();
+        }
+    }
+
+    (void)serviced;
+
+    // Stage 3: decide whether and when to wake up again. Writes parked
+    // below the low watermark with no reads pending are intentionally
+    // not actionable: they stay on chip until more traffic arrives
+    // (Section II-C). The wake-up is early enough that the worst-case
+    // bank preparation (precharge + activate + column) for the next
+    // burst can overlap the tail of the current data transfer.
+    bool actionable =
+        !readQueue_.empty() ||
+        (busState_ == BusState::Write && !writeQueue_.empty()) ||
+        (!writeQueue_.empty() &&
+         writeQueue_.size() >= std::max<std::size_t>(low_entries, 1));
+
+    Tick prep = cfg_.timing.tRP + cfg_.timing.tRCD + cfg_.timing.tCL;
+    nextReqTime_ = busBusyUntil_ > prep ? busBusyUntil_ - prep : 0;
+
+    if (actionable && !nextReqEvent_.scheduled())
+        schedule(nextReqEvent_, std::max(curTick(), nextReqTime_));
+    else if (!actionable)
+        armPowerDown();
+}
+
+void
+DRAMCtrl::refreshRank(unsigned rank_idx)
+{
+    const DRAMTiming &t = cfg_.timing;
+    Rank &rank = ranks_[rank_idx];
+
+    // Only this rank's banks must be closed; the bus must be quiet so
+    // no in-flight data to this rank overlaps the refresh (shared-bus
+    // conservatism: transfers to other ranks also push this out).
+    Tick start = std::max(curTick(), busBusyUntil_);
+    for (Bank &bank : rank.banks) {
+        if (bank.openRow != Bank::kNoRow)
+            start = std::max(start, bank.preAllowedAt);
+    }
+    for (Bank &bank : rank.banks) {
+        if (bank.openRow != Bank::kNoRow)
+            prechargeBank(rank, bank,
+                          std::max(start, bank.preAllowedAt));
+    }
+    start = std::max(start, refNotBefore_);
+
+    Tick done = start + t.tRFC;
+    if (cmdLogger_ != nullptr)
+        cmdLogger_->record(start, DRAMCmd::Ref, rank_idx, 0);
+    for (Bank &bank : rank.banks)
+        bank.actAllowedAt = std::max(bank.actAllowedAt, done);
+    ++stats_->numRefreshes;
+}
+
+void
+DRAMCtrl::processRefreshEvent()
+{
+    const DRAMTiming &t = cfg_.timing;
+
+    // A device in self-refresh refreshes itself: the controller skips
+    // its REF and just keeps the schedule ticking.
+    if (cfg_.enableSelfRefresh && poweredDownAt_ != kMaxTick &&
+        curTick() >= poweredDownAt_ + cfg_.selfRefreshDelay) {
+        Tick refi = cfg_.effectiveREFI();
+        if (cfg_.perRankRefresh) {
+            for (Tick &due : rankRefreshDue_) {
+                while (due <= curTick())
+                    due += refi;
+            }
+            schedule(refreshEvent_,
+                     *std::min_element(rankRefreshDue_.begin(),
+                                       rankRefreshDue_.end()));
+        } else {
+            nextRefreshAt_ += refi;
+            schedule(refreshEvent_,
+                     std::max(nextRefreshAt_, curTick() + 1));
+        }
+        return;
+    }
+
+    // A refresh does not end a power-down episode: a real controller
+    // briefly raises CKE, refreshes the (already closed) banks and
+    // drops back to sleep — the lazy power-down state carries across,
+    // which is also what lets a long episode deepen into self-refresh.
+    if (cfg_.perRankRefresh) {
+        Tick refi = cfg_.effectiveREFI();
+        for (std::size_t r = 0; r < ranks_.size(); ++r) {
+            if (curTick() >= rankRefreshDue_[r]) {
+                refreshRank(static_cast<unsigned>(r));
+                rankRefreshDue_[r] += refi;
+            }
+        }
+        if (cfg_.enablePowerDown && readQueue_.empty() &&
+            writeQueue_.empty())
+            armPowerDown();
+        Tick next = *std::min_element(rankRefreshDue_.begin(),
+                                      rankRefreshDue_.end());
+        schedule(refreshEvent_, std::max(next, curTick() + 1));
+        return;
+    }
+
+    // All banks must be precharged and the data bus quiet before the
+    // refresh can launch (Section II-B: refreshes cause latency spikes).
+    Tick start = std::max({curTick(), busBusyUntil_, wakeConstraint_});
+    bool any_open = false;
+    for (Rank &rank : ranks_) {
+        for (Bank &bank : rank.banks) {
+            if (bank.openRow != Bank::kNoRow) {
+                any_open = true;
+                start = std::max(start, bank.preAllowedAt);
+            }
+        }
+    }
+
+    if (any_open) {
+        for (Rank &rank : ranks_) {
+            for (Bank &bank : rank.banks) {
+                if (bank.openRow != Bank::kNoRow)
+                    prechargeBank(rank, bank,
+                                  std::max(start, bank.preAllowedAt));
+            }
+        }
+    } else if (numBanksActive_ == 0) {
+        // Idle window up to the refresh: account precharge-standby time
+        // and restart accounting after the refresh completes.
+        Tick quiet_until = std::max(start, refNotBefore_);
+        if (quiet_until > allBanksPreSince_)
+            stats_->prechargeAllTime += static_cast<double>(
+                quiet_until - allBanksPreSince_);
+    }
+
+    // The refresh launches tRP after the last precharge anywhere —
+    // including the drain precharges just issued (prechargeBank folded
+    // their completion into refNotBefore_).
+    start = std::max(start, refNotBefore_);
+
+    Tick done = start + t.tRFC;
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        if (cmdLogger_ != nullptr)
+            cmdLogger_->record(start, DRAMCmd::Ref, r, 0);
+        for (Bank &bank : ranks_[r].banks)
+            bank.actAllowedAt = std::max(bank.actAllowedAt, done);
+    }
+    allBanksPreSince_ = done;
+    ++stats_->numRefreshes;
+
+    // Arm power-down after the refresh if nothing is pending (an
+    // already-running episode is left untouched so it can deepen into
+    // self-refresh).
+    if (cfg_.enablePowerDown && poweredDownAt_ == kMaxTick &&
+        readQueue_.empty() && writeQueue_.empty())
+        poweredDownAt_ = done + cfg_.powerDownDelay;
+
+    nextRefreshAt_ += cfg_.effectiveREFI();
+    schedule(refreshEvent_, std::max(nextRefreshAt_, curTick() + 1));
+}
+
+} // namespace dramctrl

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * The event-based DRAM controller model — the paper's core contribution.
+ *
+ * The controller mirrors a contemporary design (Section II-A): split
+ * read and write queues buffered per controller, early write responses,
+ * read snooping of the write queue, write merging, and cache-line to
+ * DRAM-burst chopping. It tracks the state of every bank and the shared
+ * data bus, and enforces the pruned timing set of Section II-B
+ * analytically: instead of stepping the DRAM cycle by cycle it computes,
+ * at the moment a burst is scheduled, the future ticks at which the
+ * bank and bus state change, and only wakes up at those ticks
+ * (Section II-D). Scheduling (Section II-C) offers FCFS and FR-FCFS,
+ * four page policies, and a write-drain mode with high/low watermarks.
+ */
+
+#ifndef DRAMCTRL_DRAM_DRAM_CTRL_H
+#define DRAMCTRL_DRAM_DRAM_CTRL_H
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/addr_decoder.hh"
+#include "dram/cmd_log.hh"
+#include "dram/dram_config.hh"
+#include "mem/addr_range.hh"
+#include "mem/mem_ctrl_iface.hh"
+#include "mem/packet.hh"
+#include "mem/packet_queue.hh"
+#include "mem/port.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulator.hh"
+#include "stats/histogram.hh"
+#include "stats/stats.hh"
+
+namespace dramctrl {
+
+class DRAMCtrl : public MemCtrlBase
+{
+  public:
+    /**
+     * @param sim the owning simulator
+     * @param name instance name (also the stats path component)
+     * @param config controller and DRAM parameters (validated here)
+     * @param range the (possibly channel-interleaved) address range
+     *              this controller responds to
+     */
+    DRAMCtrl(Simulator &sim, std::string name, DRAMCtrlConfig config,
+             AddrRange range);
+    ~DRAMCtrl() override;
+
+    /** The system-facing port; bind a crossbar or requestor to it. */
+    ResponsePort &port() override { return port_; }
+
+    const DRAMCtrlConfig &config() const override { return cfg_; }
+    const AddrRange &range() const { return range_; }
+
+    /** Queue occupancies, for tests and drain checks. */
+    std::size_t readQueueSize() const { return readQueue_.size(); }
+    std::size_t writeQueueSize() const { return writeQueue_.size(); }
+
+    /**
+     * True when every accepted request has been answered. Writes
+     * parked in the write queue do not count: their responses went out
+     * when they were accepted (Section II-A early write response).
+     */
+    bool idle() const override;
+
+    /**
+     * Externally visible statistics (fed to the Micron power model and
+     * the benchmark harness). All counters cover the window since the
+     * last stats reset.
+     */
+    struct CtrlStats
+    {
+        explicit CtrlStats(DRAMCtrl &ctrl);
+
+        stats::Scalar readReqs;
+        stats::Scalar writeReqs;
+        stats::Scalar readBursts;
+        stats::Scalar writeBursts;
+        stats::Scalar servicedByWrQ;
+        stats::Scalar mergedWrBursts;
+        stats::Scalar readRowHits;
+        stats::Scalar writeRowHits;
+        stats::Scalar numActs;
+        stats::Scalar numPrecharges;
+        stats::Scalar numRefreshes;
+        stats::Scalar bytesRead;
+        stats::Scalar bytesWritten;
+        stats::Scalar numRdRetry;
+        stats::Scalar numWrRetry;
+        /** Sum over read bursts of time from queue entry to selection. */
+        stats::Scalar totQLat;
+        /** Sum over read bursts of selection-to-data-complete time. */
+        stats::Scalar totSvcLat;
+        /** Sum over read bursts of entry-to-data-complete time. */
+        stats::Scalar totMemAccLat;
+        /** Accumulated time during which every bank was precharged. */
+        stats::Scalar prechargeAllTime;
+        /** Time spent in precharge power-down (if enabled). */
+        stats::Scalar powerDownTime;
+        /** Power-down entries. */
+        stats::Scalar powerDownEntries;
+        /** Time spent in self-refresh (subset extension of above). */
+        stats::Scalar selfRefreshTime;
+        /** Self-refresh entries. */
+        stats::Scalar selfRefreshEntries;
+        /** Time-weighted read queue occupancy (length x ticks). */
+        stats::Scalar rdQOccupancyTicks;
+        /** Time-weighted write queue occupancy (length x ticks). */
+        stats::Scalar wrQOccupancyTicks;
+        /** Reads serviced per read-write turnaround. */
+        stats::Average rdPerTurnAround;
+        /** Writes drained per write episode. */
+        stats::Average wrPerTurnAround;
+        /** End-to-end controller read latency distribution (ns). */
+        stats::Histogram readLatencyHist;
+        stats::Vector perBankRdBursts;
+        stats::Vector perBankWrBursts;
+
+        stats::Formula rowHitRate;
+        stats::Formula busUtil;
+        stats::Formula busUtilRead;
+        stats::Formula busUtilWrite;
+        stats::Formula avgRdQLen;
+        stats::Formula avgWrQLen;
+        stats::Formula avgQLatNs;
+        stats::Formula avgMemAccLatNs;
+        stats::Formula avgRdBWGBs;
+        stats::Formula avgWrBWGBs;
+        stats::Formula peakBWGBs;
+    };
+
+    const CtrlStats &ctrlStats() const { return *stats_; }
+
+    /**
+     * Attach a command logger: every implied DRAM command (ACT, PRE,
+     * RD, WR, REF) is recorded with its computed launch tick, for
+     * debugging and for ProtocolChecker audits. Pass nullptr to
+     * detach. Not owned.
+     */
+    void setCmdLogger(CmdLogger *logger) { cmdLogger_ = logger; }
+
+    /** Tick at which the current stats window started. */
+    Tick statsWindowStart() const { return windowStart_; }
+
+    /** Simulated seconds in the current stats window. */
+    double windowSeconds() const
+    {
+        return toSeconds(curTick() - windowStart_);
+    }
+
+    /** Data-bus utilisation (both directions) over the stats window. */
+    double busUtilisation() const override;
+
+    /** Achieved read+write bandwidth over the stats window, GByte/s. */
+    double achievedBandwidthGBs() const override;
+
+    /** Theoretical peak bandwidth of the channel, GByte/s. */
+    double peakBandwidthGBs() const override;
+
+    PowerInputs powerInputs() const override;
+
+    void startup() override;
+
+  private:
+    /** State of one DRAM bank, expressed as future-legal ticks. */
+    struct Bank
+    {
+        static constexpr std::uint64_t kNoRow = ~std::uint64_t(0);
+
+        std::uint64_t openRow = kNoRow;
+        /** Earliest tick a precharge may launch. */
+        Tick preAllowedAt = 0;
+        /** Earliest tick an activate may launch (bank precharged). */
+        Tick actAllowedAt = 0;
+        /** Earliest tick a column command may launch (row open). */
+        Tick colAllowedAt = 0;
+        /** Consecutive column accesses to the open row. */
+        unsigned rowAccesses = 0;
+    };
+
+    /** Per-rank state: banks plus rank-level activate constraints. */
+    struct Rank
+    {
+        std::vector<Bank> banks;
+        /** Earliest next activate anywhere in the rank (tRRD). */
+        Tick nextActAt = 0;
+        /** Launch ticks of the last activationLimit activates. */
+        std::deque<Tick> actWindow;
+    };
+
+    struct BurstHelper;
+
+    /** One DRAM burst in flight through the controller. */
+    struct DRAMPacket
+    {
+        Tick entryTime = 0;
+        Tick readyTime = 0;
+        /** Original system packet; null for already-answered writes. */
+        Packet *pkt = nullptr;
+        bool isRead = true;
+        RequestorId requestorId = 0;
+        unsigned rank = 0;
+        unsigned bank = 0;
+        std::uint64_t row = 0;
+        std::uint64_t col = 0;
+        /** Dense local address of the burst window. */
+        Addr burstAddr = 0;
+        /** Lowest/one-past-highest byte actually touched. */
+        Addr lo = 0;
+        Addr hi = 0;
+        BurstHelper *burstHelper = nullptr;
+    };
+
+    /** Completion bookkeeping for packets chopped into many bursts. */
+    struct BurstHelper
+    {
+        unsigned burstCount;
+        unsigned burstsServiced = 0;
+
+        explicit BurstHelper(unsigned count) : burstCount(count) {}
+    };
+
+    class MemoryPort : public ResponsePort
+    {
+      public:
+        MemoryPort(std::string name, DRAMCtrl &ctrl)
+            : ResponsePort(std::move(name)), ctrl_(ctrl)
+        {}
+
+        bool recvTimingReq(Packet *pkt) override
+        {
+            return ctrl_.recvTimingReq(pkt);
+        }
+
+        void recvRespRetry() override { ctrl_.recvRespRetry(); }
+
+      private:
+        DRAMCtrl &ctrl_;
+    };
+
+    enum class BusState { Read, Write };
+
+    bool recvTimingReq(Packet *pkt);
+    void recvRespRetry();
+
+    /** Number of burst windows [addr, addr+size) overlaps. */
+    unsigned burstCountFor(Addr local_addr, unsigned size) const;
+
+    void addToReadQueue(Packet *pkt, Addr local_addr);
+    void addToWriteQueue(Packet *pkt, Addr local_addr);
+
+    /** Build a burst-level DRAMPacket for one burst window. */
+    DRAMPacket *makeDRAMPacket(Packet *pkt, Addr lo, Addr hi,
+                               bool is_read) const;
+
+    /** Main state machine: pick a burst, run it, schedule the next. */
+    void processNextReqEvent();
+
+    /** Pick the next burst per the scheduling policy; null if none. */
+    std::deque<DRAMPacket *>::iterator
+    chooseNext(std::deque<DRAMPacket *> &queue);
+
+    /** Estimated earliest tick @p pkt's column command could launch. */
+    Tick estimateReadyTick(const DRAMPacket &pkt) const;
+
+    /** QoS priority of @p pkt under FrFcfsPrio; 0 otherwise. */
+    unsigned priorityOf(const DRAMPacket &pkt) const;
+
+    /** Perform the access: compute all timings, update bank/bus state. */
+    void doDRAMAccess(DRAMPacket *pkt);
+
+    /** Launch a precharge at @p pre_tick (>= bank.preAllowedAt). */
+    void prechargeBank(Rank &rank, Bank &bank, Tick pre_tick);
+
+    /** Account an activate at @p act_tick and apply tRRD/tXAW. */
+    void recordActivate(Rank &rank, Tick act_tick);
+
+    /** Earliest activate obeying the rolling tXAW window. */
+    Tick activationWindowConstraint(const Rank &rank, Tick act_tick) const;
+
+    /** True if any queued burst hits @p row in the same bank. */
+    bool queuedRowHits(unsigned rank, unsigned bank,
+                       std::uint64_t row) const;
+    /** True if any queued burst conflicts with the open @p row. */
+    bool queuedBankConflicts(unsigned rank, unsigned bank,
+                             std::uint64_t row) const;
+
+    /** Apply the page policy after a column access to @p pkt's bank. */
+    void applyPagePolicy(const DRAMPacket &pkt);
+
+    void processRefreshEvent();
+
+    /** Refresh one rank (perRankRefresh mode). */
+    void refreshRank(unsigned rank_idx);
+
+    /** Send (or schedule) the response for a completed request. */
+    void accessAndRespond(Packet *pkt, Tick static_latency,
+                          Tick ready_time);
+
+    /** Power accounting: a bank went active at @p act_tick. */
+    void bankActivated(Tick act_tick);
+    /** Power accounting: a bank closed at @p pre_done_tick. */
+    void bankPrecharged(Tick pre_done_tick);
+
+    /** Wake the blocked requestor if queue space freed up. */
+    void retryBlockedReq();
+
+    /** Fold elapsed time into the queue-occupancy integrals. */
+    void touchQueueStats();
+
+    DRAMCtrlConfig cfg_;
+    AddrRange range_;
+    AddrDecoder decoder_;
+
+    MemoryPort port_;
+    RespPacketQueue respQueue_;
+
+    std::vector<Rank> ranks_;
+
+    std::deque<DRAMPacket *> readQueue_;
+    std::deque<DRAMPacket *> writeQueue_;
+    /** Burst-aligned local addr -> write queue entry, for merging. */
+    std::unordered_map<Addr, DRAMPacket *> writeIndex_;
+
+    BusState busState_ = BusState::Read;
+
+    /** Tick the shared data bus becomes free. */
+    Tick busBusyUntil_ = 0;
+    /**
+     * Earliest tick the next burst decision may run. Keeping this as
+     * pacing state (rather than always waking at curTick) bounds how
+     * far the controller's bus reservations run ahead of simulated
+     * time, so queue occupancy and back pressure stay faithful even
+     * for sparse arrivals.
+     */
+    Tick nextReqTime_ = 0;
+    /** Earliest read column command (tWTR after write data). */
+    Tick nextRdCmdAt_ = 0;
+    /** Earliest write data start (tRTW after read data). */
+    Tick nextWrDataAt_ = 0;
+    /** Direction of the most recently issued burst. */
+    bool lastBurstWasRead_ = true;
+
+    /** Reads serviced since the last switch to reads. */
+    unsigned readsThisTime_ = 0;
+    /** Writes drained since the last switch to writes. */
+    unsigned writesThisTime_ = 0;
+
+    /** Whether the requestor is blocked on a full queue. */
+    bool retryReq_ = false;
+
+    Tick nextRefreshAt_ = 0;
+    /** Per-rank refresh due times (perRankRefresh mode). */
+    std::vector<Tick> rankRefreshDue_;
+    /** Earliest tick a refresh may launch (tRP after any precharge). */
+    Tick refNotBefore_ = 0;
+
+    /**
+     * Tick at which the device (nominally) entered power-down, or
+     * kMaxTick while awake. Updated lazily: set when the controller
+     * runs out of actionable work, consumed by the next access.
+     */
+    Tick poweredDownAt_ = kMaxTick;
+    /** Earliest command tick after a power-down exit (tXP applied). */
+    Tick wakeConstraint_ = 0;
+
+    /**
+     * If power-down is enabled and in effect at @p now, account the
+     * time and return the tick commands may resume (now + tXP).
+     */
+    Tick exitPowerDown(Tick now);
+    /** Arm power-down after the current activity drains. */
+    void armPowerDown();
+
+    /** Banks currently (nominally) holding an open row. */
+    unsigned numBanksActive_ = 0;
+    Tick allBanksPreSince_ = 0;
+
+    Tick windowStart_ = 0;
+    Tick lastQStatUpdate_ = 0;
+
+    EventFunctionWrapper nextReqEvent_;
+    EventFunctionWrapper refreshEvent_;
+
+    CmdLogger *cmdLogger_ = nullptr;
+
+    std::unique_ptr<CtrlStats> stats_;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_DRAM_DRAM_CTRL_H

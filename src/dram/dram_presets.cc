@@ -1,0 +1,195 @@
+#include "dram/dram_presets.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace presets {
+
+DRAMCtrlConfig
+ddr3_1333()
+{
+    DRAMCtrlConfig cfg;
+    // 2 Gbit x8 devices, eight to a rank -> 64-bit channel, 2 GByte.
+    cfg.org.burstLength = 8;
+    cfg.org.deviceBusWidth = 8;
+    cfg.org.devicesPerRank = 8;
+    cfg.org.ranksPerChannel = 1;
+    cfg.org.banksPerRank = 8;
+    cfg.org.rowBufferSize = 1024;
+    cfg.org.channelCapacity = 2ULL * 1024 * 1024 * 1024;
+
+    cfg.timing.tCK = fromNs(1.5);
+    cfg.timing.tBURST = fromNs(6.0); // BL8 at 1333 MT/s
+    cfg.timing.tRCD = fromNs(13.75);
+    cfg.timing.tCL = fromNs(13.75);
+    cfg.timing.tRP = fromNs(13.75);
+    cfg.timing.tRAS = fromNs(35.0);
+    cfg.timing.tWR = fromNs(15.0);
+    cfg.timing.tWTR = fromNs(7.5);
+    cfg.timing.tRTW = fromNs(3.0);
+    cfg.timing.tRRD = fromNs(6.0);
+    cfg.timing.tXAW = fromNs(30.0);
+    cfg.timing.tREFI = fromUs(7.8);
+    cfg.timing.tRFC = fromNs(160.0);
+    cfg.timing.activationLimit = 4;
+
+    cfg.check();
+    return cfg;
+}
+
+DRAMCtrlConfig
+ddr3_1600()
+{
+    DRAMCtrlConfig cfg;
+    cfg.org.burstLength = 8;
+    cfg.org.deviceBusWidth = 8;
+    cfg.org.devicesPerRank = 8;
+    cfg.org.ranksPerChannel = 1;
+    cfg.org.banksPerRank = 8;
+    cfg.org.rowBufferSize = 1024; // Table IV
+    cfg.org.channelCapacity = 2ULL * 1024 * 1024 * 1024;
+
+    cfg.timing.tCK = fromNs(1.25);
+    cfg.timing.tBURST = fromNs(5.0); // Table IV
+    cfg.timing.tRCD = fromNs(13.75);
+    cfg.timing.tCL = fromNs(13.75);
+    cfg.timing.tRP = fromNs(13.75);
+    cfg.timing.tRAS = fromNs(35.0);
+    cfg.timing.tWR = fromNs(15.0);
+    cfg.timing.tWTR = fromNs(7.5);
+    cfg.timing.tRTW = fromNs(2.5);
+    cfg.timing.tRRD = fromNs(6.25);
+    cfg.timing.tXAW = fromNs(40.0);
+    cfg.timing.tREFI = fromUs(7.8);
+    cfg.timing.tRFC = fromNs(300.0); // Table IV
+    cfg.timing.activationLimit = 4;
+
+    cfg.check();
+    return cfg;
+}
+
+DRAMCtrlConfig
+lpddr3_1600()
+{
+    DRAMCtrlConfig cfg;
+    // One x32 die per rank -> 32-bit channel (one of two in Sec IV-B).
+    cfg.org.burstLength = 8;
+    cfg.org.deviceBusWidth = 32;
+    cfg.org.devicesPerRank = 1;
+    cfg.org.ranksPerChannel = 1;
+    cfg.org.banksPerRank = 8;
+    cfg.org.rowBufferSize = 1024; // Table IV
+    cfg.org.channelCapacity = 512ULL * 1024 * 1024;
+
+    cfg.timing.tCK = fromNs(1.25);
+    cfg.timing.tBURST = fromNs(5.0); // Table IV
+    cfg.timing.tRCD = fromNs(15.0);
+    cfg.timing.tCL = fromNs(15.0);
+    cfg.timing.tRP = fromNs(15.0);
+    cfg.timing.tRAS = fromNs(42.0);
+    cfg.timing.tWR = fromNs(15.0);
+    cfg.timing.tWTR = fromNs(7.5);
+    cfg.timing.tRTW = fromNs(2.5);
+    cfg.timing.tRRD = fromNs(10.0);
+    cfg.timing.tXAW = fromNs(50.0);
+    cfg.timing.tREFI = fromUs(3.9);
+    cfg.timing.tRFC = fromNs(130.0); // Table IV
+    cfg.timing.activationLimit = 4;
+
+    cfg.check();
+    return cfg;
+}
+
+DRAMCtrlConfig
+wideio_200()
+{
+    DRAMCtrlConfig cfg;
+    // One x128 stacked die, SDR (one of four channels in Sec IV-B).
+    cfg.org.burstLength = 4;
+    cfg.org.deviceBusWidth = 128;
+    cfg.org.devicesPerRank = 1;
+    cfg.org.ranksPerChannel = 1;
+    cfg.org.banksPerRank = 4; // Table IV
+    cfg.org.rowBufferSize = 4096; // Table IV
+    cfg.org.channelCapacity = 256ULL * 1024 * 1024;
+
+    cfg.timing.tCK = fromNs(5.0);
+    cfg.timing.tBURST = fromNs(20.0); // Table IV: BL4 SDR at 200 MHz
+    cfg.timing.tRCD = fromNs(18.0);
+    cfg.timing.tCL = fromNs(18.0);
+    cfg.timing.tRP = fromNs(18.0);
+    cfg.timing.tRAS = fromNs(42.0);
+    cfg.timing.tWR = fromNs(15.0);
+    cfg.timing.tWTR = fromNs(15.0);
+    cfg.timing.tRTW = fromNs(5.0);
+    cfg.timing.tRRD = fromNs(10.0);
+    cfg.timing.tXAW = fromNs(50.0);
+    cfg.timing.tREFI = fromUs(7.8);
+    cfg.timing.tRFC = fromNs(210.0); // Table IV
+    cfg.timing.activationLimit = 2;  // Table IV (tTAW)
+
+    cfg.check();
+    return cfg;
+}
+
+DRAMCtrlConfig
+hmcVault()
+{
+    DRAMCtrlConfig cfg;
+    // One of 16 vaults: narrow, fast TSV-attached stacked DRAM with
+    // small pages; HMC-style vaults run closed page.
+    cfg.org.burstLength = 8;
+    cfg.org.deviceBusWidth = 32;
+    cfg.org.devicesPerRank = 1;
+    cfg.org.ranksPerChannel = 1;
+    cfg.org.banksPerRank = 16;
+    cfg.org.rowBufferSize = 256;
+    cfg.org.channelCapacity = 128ULL * 1024 * 1024;
+
+    cfg.timing.tCK = fromNs(0.8);
+    cfg.timing.tBURST = fromNs(3.2); // BL8 at 2500 MT/s
+    cfg.timing.tRCD = fromNs(13.75);
+    cfg.timing.tCL = fromNs(13.75);
+    cfg.timing.tRP = fromNs(13.75);
+    cfg.timing.tRAS = fromNs(27.0);
+    cfg.timing.tWR = fromNs(15.0);
+    cfg.timing.tWTR = fromNs(7.5);
+    cfg.timing.tRTW = fromNs(1.6);
+    cfg.timing.tRRD = fromNs(5.0);
+    cfg.timing.tXAW = fromNs(30.0);
+    cfg.timing.tREFI = fromUs(7.8);
+    cfg.timing.tRFC = fromNs(160.0);
+    cfg.timing.activationLimit = 0; // TSV power delivery lifts tFAW
+
+    cfg.pagePolicy = PagePolicy::Closed;
+    cfg.addrMapping = AddrMapping::RoCoRaBaCh;
+
+    cfg.check();
+    return cfg;
+}
+
+DRAMCtrlConfig
+byName(const std::string &name)
+{
+    if (name == "ddr3_1333")
+        return ddr3_1333();
+    if (name == "ddr3_1600")
+        return ddr3_1600();
+    if (name == "lpddr3_1600")
+        return lpddr3_1600();
+    if (name == "wideio_200")
+        return wideio_200();
+    if (name == "hmc_vault")
+        return hmcVault();
+    fatal("unknown DRAM preset '%s'", name.c_str());
+}
+
+std::vector<std::string>
+names()
+{
+    return {"ddr3_1333", "ddr3_1600", "lpddr3_1600", "wideio_200",
+            "hmc_vault"};
+}
+
+} // namespace presets
+} // namespace dramctrl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ready-made controller configurations for the memories used in the
+ * paper.
+ *
+ * ddr3_1333() matches the validation setup of Section III (2 Gbit, 8x8
+ * devices, 666 MHz). The other three implement Table IV for the future
+ * system exploration of Section IV-B: all three offer 12.8 GByte/s, as
+ *
+ *   DDR3-1600:  1 channel  x 64 bit x 1600 MT/s
+ *   LPDDR3:     2 channels x 32 bit x 1600 MT/s
+ *   WideIO:     4 channels x 128 bit x 200 MT/s (SDR)
+ *
+ * hmcVault() approximates one vault of a Hybrid Memory Cube; Section
+ * II-F notes an HMC model is "only a matter of combining the crossbar
+ * model with 16 instances of our controller model".
+ *
+ * Note on tREFI: the paper's Table IV prints refresh intervals whose
+ * units are garbled in the available text; the values used here are the
+ * JEDEC ones (7.8 us for DDR3 and WideIO, 3.9 us for LPDDR3), which is
+ * what the original gem5 configurations shipped.
+ */
+
+#ifndef DRAMCTRL_DRAM_DRAM_PRESETS_H
+#define DRAMCTRL_DRAM_DRAM_PRESETS_H
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+
+namespace dramctrl {
+namespace presets {
+
+/** DDR3-1333 x64: the Section III validation device. */
+DRAMCtrlConfig ddr3_1333();
+
+/** DDR3-1600 x64, one channel of 12.8 GB/s (Table IV column 1). */
+DRAMCtrlConfig ddr3_1600();
+
+/** LPDDR3-1600 x32, one of two channels (Table IV column 2). */
+DRAMCtrlConfig lpddr3_1600();
+
+/** WideIO-200 x128 SDR, one of four channels (Table IV column 3). */
+DRAMCtrlConfig wideio_200();
+
+/** One HMC-like vault: narrow, fast, many-channel stacked DRAM. */
+DRAMCtrlConfig hmcVault();
+
+/** Look a preset up by name; fatal() on unknown names. */
+DRAMCtrlConfig byName(const std::string &name);
+
+/** All preset names, for tests and command-line tools. */
+std::vector<std::string> names();
+
+} // namespace presets
+} // namespace dramctrl
+
+#endif // DRAMCTRL_DRAM_DRAM_PRESETS_H

@@ -1,0 +1,250 @@
+#include "dram/protocol_checker.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+const char *
+toString(DRAMCmd cmd)
+{
+    switch (cmd) {
+      case DRAMCmd::Act: return "ACT";
+      case DRAMCmd::Pre: return "PRE";
+      case DRAMCmd::Rd: return "RD";
+      case DRAMCmd::Wr: return "WR";
+      case DRAMCmd::Ref: return "REF";
+    }
+    return "???";
+}
+
+std::string
+CmdRecord::toString() const
+{
+    return formatString("%8llu ps %-3s rank %u bank %u row %llu",
+                        static_cast<unsigned long long>(tick),
+                        dramctrl::toString(cmd), rank, bank,
+                        static_cast<unsigned long long>(row));
+}
+
+std::string
+ProtocolViolation::toString() const
+{
+    return cmd.toString() + " violates " + rule + ": " + detail;
+}
+
+ProtocolChecker::ProtocolChecker(const DRAMOrg &org,
+                                 const DRAMTiming &timing)
+    : org_(org), t_(timing)
+{
+}
+
+void
+ProtocolChecker::fail(std::vector<ProtocolViolation> &out,
+                      const CmdRecord &c, const char *rule,
+                      std::string detail)
+{
+    out.push_back(ProtocolViolation{c, rule, std::move(detail)});
+}
+
+std::vector<ProtocolViolation>
+ProtocolChecker::check(const std::vector<CmdRecord> &log)
+{
+    std::vector<ProtocolViolation> out;
+
+    std::vector<CmdRecord> cmds = log;
+    std::stable_sort(cmds.begin(), cmds.end(),
+                     [](const CmdRecord &a, const CmdRecord &b) {
+                         return a.tick < b.tick;
+                     });
+
+    std::vector<std::vector<BankState>> banks(
+        org_.ranksPerChannel,
+        std::vector<BankState>(org_.banksPerRank));
+    std::vector<RankState> ranks(org_.ranksPerChannel);
+
+    // Channel-wide data bus state.
+    Tick bus_free_at = 0;
+    Tick last_wr_data_end = 0;
+    Tick last_rd_data_end = 0;
+    bool any_write = false;
+    bool any_read = false;
+
+    for (const CmdRecord &c : cmds) {
+        if (c.rank >= org_.ranksPerChannel ||
+            (c.cmd != DRAMCmd::Ref && c.bank >= org_.banksPerRank)) {
+            fail(out, c, "geometry", "rank/bank out of range");
+            continue;
+        }
+        RankState &rank = ranks[c.rank];
+
+        switch (c.cmd) {
+          case DRAMCmd::Act: {
+            BankState &bank = banks[c.rank][c.bank];
+            if (bank.rowOpen)
+                fail(out, c, "state", "activate with a row open");
+            if (bank.everPrecharged &&
+                c.tick < bank.lastPre + t_.tRP)
+                fail(out, c, "tRP",
+                     formatString("only %llu ps after precharge",
+                                  static_cast<unsigned long long>(
+                                      c.tick - bank.lastPre)));
+            if (bank.everActivated &&
+                c.tick < bank.lastAct + t_.tRAS + t_.tRP)
+                fail(out, c, "tRC",
+                     formatString("only %llu ps after activate",
+                                  static_cast<unsigned long long>(
+                                      c.tick - bank.lastAct)));
+            if (c.tick < rank.refUntil)
+                fail(out, c, "tRFC", "activate during refresh");
+            if (!rank.actTimes.empty() &&
+                c.tick < rank.actTimes.back() + t_.tRRD)
+                fail(out, c, "tRRD",
+                     formatString("only %llu ps after previous "
+                                  "activate in rank",
+                                  static_cast<unsigned long long>(
+                                      c.tick -
+                                      rank.actTimes.back())));
+            if (t_.activationLimit > 0 &&
+                rank.actTimes.size() >= t_.activationLimit) {
+                Tick window_start =
+                    rank.actTimes[rank.actTimes.size() -
+                                  t_.activationLimit];
+                if (c.tick < window_start + t_.tXAW)
+                    fail(out, c, "tXAW",
+                         formatString(
+                             "%u activates within %llu ps",
+                             t_.activationLimit + 1,
+                             static_cast<unsigned long long>(
+                                 c.tick - window_start)));
+            }
+            rank.actTimes.push_back(c.tick);
+            bank.rowOpen = true;
+            bank.row = c.row;
+            bank.lastAct = c.tick;
+            bank.everActivated = true;
+            break;
+          }
+          case DRAMCmd::Pre: {
+            BankState &bank = banks[c.rank][c.bank];
+            if (!bank.rowOpen) {
+                fail(out, c, "state", "precharge with no row open");
+            } else {
+                if (c.tick < bank.lastAct + t_.tRAS)
+                    fail(out, c, "tRAS",
+                         formatString(
+                             "only %llu ps after activate",
+                             static_cast<unsigned long long>(
+                                 c.tick - bank.lastAct)));
+                if (bank.everWrote &&
+                    c.tick < bank.lastWrDataEnd + t_.tWR)
+                    fail(out, c, "tWR",
+                         formatString(
+                             "only %llu ps after write data",
+                             static_cast<unsigned long long>(
+                                 c.tick - bank.lastWrDataEnd)));
+            }
+            bank.rowOpen = false;
+            bank.lastPre = c.tick;
+            bank.everPrecharged = true;
+            break;
+          }
+          case DRAMCmd::Rd:
+          case DRAMCmd::Wr: {
+            BankState &bank = banks[c.rank][c.bank];
+            bool is_read = c.cmd == DRAMCmd::Rd;
+            if (!bank.rowOpen) {
+                fail(out, c, "state",
+                     "column command to a closed bank");
+            } else {
+                if (bank.row != c.row)
+                    fail(out, c, "state",
+                         formatString("row %llu open, row %llu "
+                                      "addressed",
+                                      static_cast<unsigned long long>(
+                                          bank.row),
+                                      static_cast<unsigned long long>(
+                                          c.row)));
+                if (c.tick < bank.lastAct + t_.tRCD)
+                    fail(out, c, "tRCD",
+                         formatString(
+                             "only %llu ps after activate",
+                             static_cast<unsigned long long>(
+                                 c.tick - bank.lastAct)));
+            }
+            if (bank.everCol &&
+                c.tick < bank.lastColCmd + t_.tBURST)
+                fail(out, c, "tCCD",
+                     formatString("only %llu ps after previous "
+                                  "column command",
+                                  static_cast<unsigned long long>(
+                                      c.tick - bank.lastColCmd)));
+
+            Tick data_start = c.tick + t_.tCL;
+            Tick data_end = data_start + t_.tBURST;
+            if (data_start < bus_free_at)
+                fail(out, c, "bus",
+                     formatString("data bus busy until %llu ps",
+                                  static_cast<unsigned long long>(
+                                      bus_free_at)));
+            if (data_start < rank.refUntil && c.tick >= rank.refUntil - t_.tRFC)
+                fail(out, c, "tRFC", "data during refresh");
+            if (is_read) {
+                if (any_write &&
+                    c.tick < last_wr_data_end + t_.tWTR)
+                    fail(out, c, "tWTR",
+                         formatString(
+                             "read command only %llu ps after "
+                             "write data end",
+                             static_cast<unsigned long long>(
+                                 c.tick - last_wr_data_end)));
+                last_rd_data_end = std::max(last_rd_data_end,
+                                            data_end);
+                any_read = true;
+            } else {
+                if (any_read &&
+                    data_start < last_rd_data_end + t_.tRTW &&
+                    last_rd_data_end <= data_start)
+                    fail(out, c, "tRTW",
+                         formatString(
+                             "write data only %llu ps after read "
+                             "data end",
+                             static_cast<unsigned long long>(
+                                 data_start - last_rd_data_end)));
+                last_wr_data_end = std::max(last_wr_data_end,
+                                            data_end);
+                bank.lastWrDataEnd = data_end;
+                bank.everWrote = true;
+                any_write = true;
+            }
+            bus_free_at = std::max(bus_free_at, data_end);
+            bank.lastColCmd = c.tick;
+            bank.everCol = true;
+            break;
+          }
+          case DRAMCmd::Ref: {
+            for (unsigned b = 0; b < org_.banksPerRank; ++b) {
+                BankState &bank = banks[c.rank][b];
+                if (bank.rowOpen)
+                    fail(out, c, "state",
+                         formatString("bank %u open at refresh", b));
+                if (bank.everPrecharged &&
+                    c.tick < bank.lastPre + t_.tRP)
+                    fail(out, c, "tRP",
+                         formatString(
+                             "refresh only %llu ps after bank %u "
+                             "precharge",
+                             static_cast<unsigned long long>(
+                                 c.tick - bank.lastPre),
+                             b));
+            }
+            rank.refUntil = c.tick + t_.tRFC;
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+} // namespace dramctrl

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * JEDEC protocol checker for DRAM command streams.
+ *
+ * Validates a CmdLogger stream against the full timing constraint set
+ * the controller is supposed to enforce:
+ *
+ *  bank level:  ACT before any column command to that bank, to the
+ *               activated row; tRCD activate-to-column; tRAS
+ *               activate-to-precharge; tRP precharge-to-activate;
+ *               tRC activate-to-activate; tCCD (= tBURST) between
+ *               column commands; write recovery tWR before precharge.
+ *  rank level:  tRRD between activates; at most activationLimit
+ *               activates per rolling tXAW window; all banks
+ *               precharged at REF; no activate during tRFC.
+ *  channel:     data bus occupancy windows never overlap; tWTR from
+ *               write data end to the next read command; tRTW
+ *               turnaround from read data end to write data start.
+ *
+ * The checker is the verification backstop for the paper's central
+ * claim (Section II-B/II-D): pruning the *modelled* state transitions
+ * must not mean violating the *real* constraints.
+ */
+
+#ifndef DRAMCTRL_DRAM_PROTOCOL_CHECKER_H
+#define DRAMCTRL_DRAM_PROTOCOL_CHECKER_H
+
+#include <string>
+#include <vector>
+
+#include "dram/cmd_log.hh"
+#include "dram/dram_config.hh"
+
+namespace dramctrl {
+
+/** One detected protocol violation. */
+struct ProtocolViolation
+{
+    CmdRecord cmd;
+    std::string rule;
+    std::string detail;
+
+    std::string toString() const;
+};
+
+class ProtocolChecker
+{
+  public:
+    ProtocolChecker(const DRAMOrg &org, const DRAMTiming &timing);
+
+    /**
+     * Check a full command stream (sorted internally by tick).
+     * @return all violations found, empty when compliant.
+     */
+    std::vector<ProtocolViolation>
+    check(const std::vector<CmdRecord> &log);
+
+  private:
+    struct BankState
+    {
+        bool rowOpen = false;
+        std::uint64_t row = 0;
+        Tick lastAct = 0;
+        Tick lastPre = 0;
+        Tick lastColCmd = 0;
+        /** End of the last write data into this bank (for tWR). */
+        Tick lastWrDataEnd = 0;
+        bool everActivated = false;
+        bool everPrecharged = false;
+        bool everCol = false;
+        bool everWrote = false;
+    };
+
+    struct RankState
+    {
+        std::vector<Tick> actTimes;
+        Tick refUntil = 0;
+    };
+
+    void fail(std::vector<ProtocolViolation> &out, const CmdRecord &c,
+              const char *rule, std::string detail);
+
+    DRAMOrg org_;
+    DRAMTiming t_;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_DRAM_PROTOCOL_CHECKER_H

@@ -1,0 +1,106 @@
+#include "mem/addr_range.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+AddrRange::AddrRange(Addr start, std::uint64_t size)
+    : start_(start), size_(size)
+{
+    if (size == 0)
+        fatal("address range at %#llx has zero size",
+              static_cast<unsigned long long>(start));
+}
+
+AddrRange::AddrRange(Addr start, std::uint64_t size,
+                     std::uint64_t granularity, unsigned num_channels,
+                     unsigned intlv_match)
+    : start_(start), size_(size),
+      intlvLowBit_(floorLog2(granularity)),
+      intlvBits_(floorLog2(num_channels)), intlvMatch_(intlv_match)
+{
+    if (!isPowerOf2(granularity))
+        fatal("interleaving granularity %llu is not a power of two",
+              static_cast<unsigned long long>(granularity));
+    if (!isPowerOf2(num_channels))
+        fatal("channel count %u is not a power of two", num_channels);
+    if (intlv_match >= num_channels)
+        fatal("interleave match %u out of range for %u channels",
+              intlv_match, num_channels);
+    if (start % granularity != 0)
+        fatal("range start %#llx not aligned to granularity %llu",
+              static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(granularity));
+    if (size % (granularity * num_channels) != 0)
+        fatal("range size %llu not a multiple of granularity x channels",
+              static_cast<unsigned long long>(size));
+}
+
+bool
+AddrRange::contains(Addr addr) const
+{
+    if (addr < start_ || addr >= end())
+        return false;
+    if (!interleaved())
+        return true;
+    Addr sel = ((addr - start_) >> intlvLowBit_) & (numChannels() - 1);
+    return sel == intlvMatch_;
+}
+
+Addr
+AddrRange::removeIntlvBits(Addr addr) const
+{
+    DC_ASSERT(contains(addr), "addr %#llx not in range %s",
+              static_cast<unsigned long long>(addr), toString().c_str());
+    Addr off = addr - start_;
+    if (!interleaved())
+        return off;
+    Addr low = off & ((Addr(1) << intlvLowBit_) - 1);
+    Addr high = off >> (intlvLowBit_ + intlvBits_);
+    return (high << intlvLowBit_) | low;
+}
+
+Addr
+AddrRange::addIntlvBits(Addr dense) const
+{
+    if (!interleaved())
+        return start_ + dense;
+    Addr low = dense & ((Addr(1) << intlvLowBit_) - 1);
+    Addr high = dense >> intlvLowBit_;
+    Addr off = (high << (intlvLowBit_ + intlvBits_)) |
+               (Addr(intlvMatch_) << intlvLowBit_) | low;
+    return start_ + off;
+}
+
+bool
+AddrRange::disjoint(const AddrRange &other) const
+{
+    if (end() <= other.start() || other.end() <= start())
+        return true;
+    // Overlapping windows are still disjoint if they interleave the same
+    // way but select different channels.
+    if (start_ == other.start_ && size_ == other.size_ &&
+        intlvLowBit_ == other.intlvLowBit_ &&
+        intlvBits_ == other.intlvBits_ &&
+        intlvMatch_ != other.intlvMatch_) {
+        return true;
+    }
+    return false;
+}
+
+std::string
+AddrRange::toString() const
+{
+    if (!interleaved()) {
+        return formatString("[%#llx : %#llx)",
+                            static_cast<unsigned long long>(start_),
+                            static_cast<unsigned long long>(end()));
+    }
+    return formatString("[%#llx : %#llx) ch %u/%u @%llu",
+                        static_cast<unsigned long long>(start_),
+                        static_cast<unsigned long long>(end()),
+                        intlvMatch_, numChannels(),
+                        static_cast<unsigned long long>(granularity()));
+}
+
+} // namespace dramctrl

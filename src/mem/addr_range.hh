@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Address range with optional channel interleaving.
+ *
+ * The paper (Section II-F) places channel interleaving outside the
+ * controller, in the crossbar: each controller is handed an AddrRange
+ * that matches only the addresses belonging to its channel. The
+ * controller then strips the interleaving bits to obtain a dense local
+ * address before decoding rank/bank/row/column.
+ */
+
+#ifndef DRAMCTRL_MEM_ADDR_RANGE_H
+#define DRAMCTRL_MEM_ADDR_RANGE_H
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dramctrl {
+
+class AddrRange
+{
+  public:
+    /** An empty, invalid range. */
+    AddrRange() = default;
+
+    /** A contiguous (non-interleaved) range [start, start + size). */
+    AddrRange(Addr start, std::uint64_t size);
+
+    /**
+     * An interleaved range: of the global window [start, start + size),
+     * this range matches addresses whose selector field equals
+     * @p intlv_match. The selector is the log2(@p num_channels)-bit
+     * field starting at bit log2(@p granularity).
+     *
+     * @param start global window base (must be granularity aligned)
+     * @param size size of the global window in bytes
+     * @param granularity interleaving granularity in bytes (power of 2)
+     * @param num_channels number of interleaved ranges (power of 2)
+     * @param intlv_match which channel this range selects
+     */
+    AddrRange(Addr start, std::uint64_t size, std::uint64_t granularity,
+              unsigned num_channels, unsigned intlv_match);
+
+    bool valid() const { return size_ > 0; }
+
+    Addr start() const { return start_; }
+    /** One past the last address of the global window. */
+    Addr end() const { return start_ + size_; }
+    /** Size of the global window (all channels together). */
+    std::uint64_t size() const { return size_; }
+
+    /** Bytes that actually map to this range (window / channels). */
+    std::uint64_t localSize() const { return size_ >> intlvBits_; }
+
+    bool interleaved() const { return intlvBits_ > 0; }
+    unsigned numChannels() const { return 1u << intlvBits_; }
+    std::uint64_t granularity() const
+    {
+        return std::uint64_t(1) << intlvLowBit_;
+    }
+    unsigned intlvMatch() const { return intlvMatch_; }
+
+    /** True iff @p addr falls in the window and selects this channel. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Squeeze the interleaving bits out of @p addr, producing a dense
+     * offset in [0, localSize()) for in-controller decoding.
+     */
+    Addr removeIntlvBits(Addr addr) const;
+
+    /** Inverse of removeIntlvBits for this range's channel. */
+    Addr addIntlvBits(Addr dense) const;
+
+    /** True if the two ranges cover disjoint address sets. */
+    bool disjoint(const AddrRange &other) const;
+
+    std::string toString() const;
+
+    bool operator==(const AddrRange &other) const = default;
+
+  private:
+    Addr start_ = 0;
+    std::uint64_t size_ = 0;
+    unsigned intlvLowBit_ = 0;
+    unsigned intlvBits_ = 0;
+    unsigned intlvMatch_ = 0;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_MEM_ADDR_RANGE_H

@@ -1,0 +1,100 @@
+#include "mem/packet.hh"
+
+#include <atomic>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+namespace {
+
+std::atomic<std::uint64_t> nextPacketId{1};
+std::atomic<std::uint64_t> livePackets{0};
+
+} // namespace
+
+const char *
+memCmdName(MemCmd cmd)
+{
+    switch (cmd) {
+      case MemCmd::ReadReq: return "ReadReq";
+      case MemCmd::WriteReq: return "WriteReq";
+      case MemCmd::ReadResp: return "ReadResp";
+      case MemCmd::WriteResp: return "WriteResp";
+    }
+    return "InvalidCmd";
+}
+
+Packet::Packet(MemCmd cmd, Addr addr, unsigned size,
+               RequestorId requestor)
+    : cmd_(cmd), addr_(addr), size_(size), requestorId_(requestor),
+      id_(nextPacketId.fetch_add(1))
+{
+    if (size == 0)
+        panic("zero-size packet at %#llx",
+              static_cast<unsigned long long>(addr));
+    livePackets.fetch_add(1);
+}
+
+Packet::~Packet()
+{
+    // Any remaining sender state would be leaked by the hop that pushed
+    // it; that is a protocol bug.
+    if (senderState_ != nullptr)
+        panic("packet %s destroyed with sender state attached",
+              toString().c_str());
+    livePackets.fetch_sub(1);
+}
+
+void
+Packet::makeResponse()
+{
+    switch (cmd_) {
+      case MemCmd::ReadReq:
+        cmd_ = MemCmd::ReadResp;
+        break;
+      case MemCmd::WriteReq:
+        cmd_ = MemCmd::WriteResp;
+        break;
+      default:
+        panic("makeResponse() on non-request %s", toString().c_str());
+    }
+}
+
+void
+Packet::pushSenderState(SenderState *state)
+{
+    DC_ASSERT(state != nullptr, "null sender state");
+    state->predecessor = senderState_;
+    senderState_ = state;
+}
+
+Packet::SenderState *
+Packet::popSenderState()
+{
+    if (senderState_ == nullptr)
+        panic("popSenderState() on packet %s with empty stack",
+              toString().c_str());
+    SenderState *s = senderState_;
+    senderState_ = s->predecessor;
+    s->predecessor = nullptr;
+    return s;
+}
+
+std::string
+Packet::toString() const
+{
+    return formatString("%s [%#llx:%u] id=%llu req=%u",
+                        memCmdName(cmd_),
+                        static_cast<unsigned long long>(addr_), size_,
+                        static_cast<unsigned long long>(id_),
+                        requestorId_);
+}
+
+std::uint64_t
+Packet::liveCount()
+{
+    return livePackets.load();
+}
+
+} // namespace dramctrl

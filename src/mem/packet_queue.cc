@@ -1,0 +1,73 @@
+#include "mem/packet_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+RespPacketQueue::RespPacketQueue(EventQueue &eventq, ResponsePort &port,
+                                 std::string name)
+    : eventq_(eventq), port_(port),
+      sendEvent_([this] { trySend(); }, std::move(name) + ".sendEvent",
+                 Event::kResponsePriority)
+{
+}
+
+RespPacketQueue::~RespPacketQueue()
+{
+    if (sendEvent_.scheduled())
+        eventq_.deschedule(sendEvent_);
+    for (Entry &e : queue_) {
+        // Undelivered responses may still carry per-hop sender state
+        // from the request path; release it before the packet.
+        while (e.pkt->senderState() != nullptr)
+            delete e.pkt->popSenderState();
+        delete e.pkt;
+    }
+}
+
+void
+RespPacketQueue::schedSendResp(Packet *pkt, Tick when)
+{
+    DC_ASSERT(pkt->isResponse(), "queueing non-response %s",
+              pkt->toString().c_str());
+    DC_ASSERT(when >= eventq_.curTick(), "response in the past");
+
+    // Insert keeping time order; equal ticks keep push order.
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [when](const Entry &e) { return e.when > when; });
+    queue_.insert(it, Entry{when, pkt});
+
+    if (!waitingForRetry_) {
+        Tick front = queue_.front().when;
+        if (!sendEvent_.scheduled())
+            eventq_.schedule(sendEvent_, front);
+        else if (sendEvent_.when() > front)
+            eventq_.reschedule(sendEvent_, front);
+    }
+}
+
+void
+RespPacketQueue::retry()
+{
+    DC_ASSERT(waitingForRetry_, "unexpected response retry");
+    waitingForRetry_ = false;
+    trySend();
+}
+
+void
+RespPacketQueue::trySend()
+{
+    while (!queue_.empty() && queue_.front().when <= eventq_.curTick()) {
+        if (!port_.sendTimingResp(queue_.front().pkt)) {
+            waitingForRetry_ = true;
+            return;
+        }
+        queue_.pop_front();
+    }
+    if (!queue_.empty() && !sendEvent_.scheduled())
+        eventq_.schedule(sendEvent_, queue_.front().when);
+}
+
+} // namespace dramctrl

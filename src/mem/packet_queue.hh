@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A time-ordered outbound response queue attached to a ResponsePort.
+ *
+ * Components that know *when* a response should appear at their port
+ * (the DRAM controller's early write responses and read completions,
+ * cache hit responses, ...) push packets with a delivery tick. The queue
+ * sends them in time order and absorbs peer back pressure: if the peer
+ * refuses a response the queue simply waits for recvRespRetry() and
+ * resumes. This mirrors gem5's queued-port idiom.
+ */
+
+#ifndef DRAMCTRL_MEM_PACKET_QUEUE_H
+#define DRAMCTRL_MEM_PACKET_QUEUE_H
+
+#include <deque>
+#include <string>
+
+#include "mem/packet.hh"
+#include "mem/port.hh"
+#include "sim/event.hh"
+#include "sim/eventq.hh"
+
+namespace dramctrl {
+
+class RespPacketQueue
+{
+  public:
+    RespPacketQueue(EventQueue &eventq, ResponsePort &port,
+                    std::string name);
+    ~RespPacketQueue();
+
+    /**
+     * Queue @p pkt (which must already be a response) for delivery at
+     * tick @p when. Packets may be pushed out of time order; delivery is
+     * always in tick order, ties in push order.
+     */
+    void schedSendResp(Packet *pkt, Tick when);
+
+    /** Hook this up to the owning port's recvRespRetry(). */
+    void retry();
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+  private:
+    void trySend();
+
+    struct Entry
+    {
+        Tick when;
+        Packet *pkt;
+    };
+
+    EventQueue &eventq_;
+    ResponsePort &port_;
+    std::deque<Entry> queue_;
+    bool waitingForRetry_ = false;
+    EventFunctionWrapper sendEvent_;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_MEM_PACKET_QUEUE_H

@@ -1,0 +1,58 @@
+#include "mem/port.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+RequestPort::RequestPort(std::string name) : name_(std::move(name)) {}
+
+ResponsePort::ResponsePort(std::string name) : name_(std::move(name)) {}
+
+void
+RequestPort::bind(ResponsePort &peer)
+{
+    if (peer_ != nullptr)
+        fatal("request port '%s' bound twice", name_.c_str());
+    if (peer.peer_ != nullptr)
+        fatal("response port '%s' bound twice", peer.name().c_str());
+    peer_ = &peer;
+    peer.peer_ = this;
+}
+
+bool
+RequestPort::sendTimingReq(Packet *pkt)
+{
+    DC_ASSERT(peer_ != nullptr, "unbound request port '%s'",
+              name_.c_str());
+    DC_ASSERT(pkt->isRequest(), "sendTimingReq of %s",
+              pkt->toString().c_str());
+    return peer_->recvTimingReq(pkt);
+}
+
+void
+RequestPort::sendRespRetry()
+{
+    DC_ASSERT(peer_ != nullptr, "unbound request port '%s'",
+              name_.c_str());
+    peer_->recvRespRetry();
+}
+
+bool
+ResponsePort::sendTimingResp(Packet *pkt)
+{
+    DC_ASSERT(peer_ != nullptr, "unbound response port '%s'",
+              name_.c_str());
+    DC_ASSERT(pkt->isResponse(), "sendTimingResp of %s",
+              pkt->toString().c_str());
+    return peer_->recvTimingResp(pkt);
+}
+
+void
+ResponsePort::sendReqRetry()
+{
+    DC_ASSERT(peer_ != nullptr, "unbound response port '%s'",
+              name_.c_str());
+    peer_->recvReqRetry();
+}
+
+} // namespace dramctrl

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Transaction-level ports with flow control and back pressure.
+ *
+ * This is the gem5 timing-port protocol the paper's controller plugs
+ * into (Section II-F):
+ *
+ *  - A RequestPort sends requests with sendTimingReq(). The peer may
+ *    refuse (returns false); the requestor must then hold the packet and
+ *    wait for recvReqRetry() before re-sending. While waiting it must
+ *    not send anything else on that port.
+ *  - A ResponsePort sends responses with sendTimingResp() under the same
+ *    rules, with recvRespRetry() as the retry signal.
+ *
+ * This models blocking and back pressure end to end: a full controller
+ * write queue stalls the crossbar, which stalls the cache, which stalls
+ * the core — the feedback loop the paper argues trace-driven memory
+ * studies miss.
+ */
+
+#ifndef DRAMCTRL_MEM_PORT_H
+#define DRAMCTRL_MEM_PORT_H
+
+#include <string>
+
+#include "mem/packet.hh"
+
+namespace dramctrl {
+
+class ResponsePort;
+
+/** The initiating side of a port pair (CPU, generator, cache miss side). */
+class RequestPort
+{
+  public:
+    explicit RequestPort(std::string name);
+    virtual ~RequestPort() = default;
+
+    RequestPort(const RequestPort &) = delete;
+    RequestPort &operator=(const RequestPort &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Connect this port to its peer. Both directions are set up. */
+    void bind(ResponsePort &peer);
+
+    bool isBound() const { return peer_ != nullptr; }
+
+    /**
+     * Try to send a request to the peer.
+     * @return false if the peer cannot accept it now; a recvReqRetry()
+     *         will follow once it can.
+     */
+    bool sendTimingReq(Packet *pkt);
+
+    /** Tell the peer it may retry a previously refused response. */
+    void sendRespRetry();
+
+    /** Response delivery from the peer. @return false to refuse. */
+    virtual bool recvTimingResp(Packet *pkt) = 0;
+
+    /** The peer can now accept the request it previously refused. */
+    virtual void recvReqRetry() = 0;
+
+  private:
+    std::string name_;
+    ResponsePort *peer_ = nullptr;
+};
+
+/** The reacting side of a port pair (memory controller, cache cpu side). */
+class ResponsePort
+{
+  public:
+    explicit ResponsePort(std::string name);
+    virtual ~ResponsePort() = default;
+
+    ResponsePort(const ResponsePort &) = delete;
+    ResponsePort &operator=(const ResponsePort &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    bool isBound() const { return peer_ != nullptr; }
+
+    /**
+     * Try to send a response to the peer.
+     * @return false if the peer cannot accept it now; a recvRespRetry()
+     *         will follow once it can.
+     */
+    bool sendTimingResp(Packet *pkt);
+
+    /** Tell the peer it may retry a previously refused request. */
+    void sendReqRetry();
+
+    /** Request delivery from the peer. @return false to refuse. */
+    virtual bool recvTimingReq(Packet *pkt) = 0;
+
+    /** The peer can now accept the response it previously refused. */
+    virtual void recvRespRetry() = 0;
+
+  private:
+    friend class RequestPort;
+
+    std::string name_;
+    RequestPort *peer_ = nullptr;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_MEM_PORT_H

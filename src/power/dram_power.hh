@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Command-energy DRAM power model (DRAMPower style).
+ *
+ * The paper (Section III-E) notes its statistics interface "can be
+ * further extended to plug in other models like DRAMPower". This is
+ * that plug-in: instead of Micron's current-based spreadsheet
+ * methodology, power is computed from per-command energies —
+ * E(ACT), E(PRE), E(RD burst), E(WR burst), E(REF) — plus background
+ * power per device state. Both models consume the same
+ * MemCtrlBase::powerInputs() snapshot, so they are interchangeable
+ * backends.
+ *
+ * deriveFromMicron() converts a Micron current table into an
+ * equivalent energy table; with derived parameters the two models
+ * agree to rounding, which the test suite checks.
+ */
+
+#ifndef DRAMCTRL_POWER_DRAM_POWER_H
+#define DRAMCTRL_POWER_DRAM_POWER_H
+
+#include <string>
+
+#include "dram/dram_config.hh"
+#include "mem/mem_ctrl_iface.hh"
+#include "power/micron_power.hh"
+
+namespace dramctrl {
+namespace power {
+
+/** Per-device command energies (joules) and state powers (watts). */
+struct CommandEnergyParams
+{
+    /** Energy of one ACT+PRE pair above the standby floor. */
+    double eActPre = 1.7e-9;
+    /** Energy of one read burst above active standby. */
+    double eRdBurst = 1.1e-9;
+    /** Energy of one write burst above active standby. */
+    double eWrBurst = 0.8e-9;
+    /** Energy of one refresh above active standby. */
+    double eRef = 47e-9;
+    /** Background power while in self-refresh. */
+    double pSelfRefresh = 0.008;
+    /** Background power while powered down. */
+    double pPowerDown = 0.015;
+    /** Background power with all banks precharged. */
+    double pPreStandby = 0.048;
+    /** Background power with any bank active. */
+    double pActStandby = 0.057;
+};
+
+/**
+ * Convert a Micron current table (plus the timing that anchors its
+ * equations) into equivalent per-command energies.
+ */
+CommandEnergyParams deriveFromMicron(const MicronPowerParams &params,
+                                     const DRAMTiming &timing);
+
+/** Energy table for a preset name from dram/dram_presets.hh. */
+CommandEnergyParams commandEnergyFor(const std::string &preset_name);
+
+/**
+ * Evaluate the command-energy model for one channel.
+ *
+ * @param in behavioural statistics from MemCtrlBase::powerInputs()
+ * @param cfg the controller configuration (organisation)
+ * @param params the per-device energy table
+ */
+PowerBreakdown computeCommandEnergy(const PowerInputs &in,
+                                    const DRAMCtrlConfig &cfg,
+                                    const CommandEnergyParams &params);
+
+/** Total energy in joules over the window (power x window). */
+double totalEnergyJoules(const PowerInputs &in,
+                         const DRAMCtrlConfig &cfg,
+                         const CommandEnergyParams &params);
+
+} // namespace power
+} // namespace dramctrl
+
+#endif // DRAMCTRL_POWER_DRAM_POWER_H

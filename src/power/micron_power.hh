@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Offline DRAM power model following Micron's published methodology
+ * (the paper's Section II-G / technical note TN-41-01).
+ *
+ * The controller does not compute power while simulating; it only
+ * collects the behavioural statistics the methodology needs — activate
+ * count, per-direction bus utilisation, the time all banks spent
+ * precharged, and refresh activity — and this model turns them into a
+ * power breakdown after the fact. Low-power states and DLL/PLL wake-up
+ * are not modelled, matching both the paper and DRAMSim2.
+ */
+
+#ifndef DRAMCTRL_POWER_MICRON_POWER_H
+#define DRAMCTRL_POWER_MICRON_POWER_H
+
+#include <string>
+
+#include "dram/dram_config.hh"
+#include "mem/mem_ctrl_iface.hh"
+
+namespace dramctrl {
+namespace power {
+
+/**
+ * Per-device electrical parameters (datasheet IDD values, in amperes,
+ * and the core supply voltage in volts).
+ */
+struct MicronPowerParams
+{
+    double vdd = 1.5;
+    /** One activate-precharge cycle current. */
+    double idd0 = 0.055;
+    /** Precharge power-down current. */
+    double idd2p = 0.010;
+    /** Self-refresh current. */
+    double idd6 = 0.006;
+    /** Precharge standby current. */
+    double idd2n = 0.032;
+    /** Active standby current. */
+    double idd3n = 0.038;
+    /** Read burst current. */
+    double idd4r = 0.157;
+    /** Write burst current. */
+    double idd4w = 0.125;
+    /** Burst refresh current. */
+    double idd5 = 0.235;
+};
+
+/** Representative current tables for the modelled memories. */
+MicronPowerParams ddr3Params();
+MicronPowerParams lpddr3Params();
+MicronPowerParams wideioParams();
+MicronPowerParams hmcVaultParams();
+
+/** Parameters for a preset name from dram/dram_presets.hh. */
+MicronPowerParams paramsFor(const std::string &preset_name);
+
+/** Average-power breakdown over a measurement window, in watts. */
+struct PowerBreakdown
+{
+    double actPre = 0;     ///< activate/precharge power
+    double read = 0;       ///< read burst power
+    double write = 0;      ///< write burst power
+    double refresh = 0;    ///< refresh power
+    double background = 0; ///< standby power (active + precharge)
+
+    double
+    total() const
+    {
+        return actPre + read + write + refresh + background;
+    }
+};
+
+/**
+ * Evaluate the Micron equations for one channel.
+ *
+ * @param in behavioural statistics from MemCtrlBase::powerInputs()
+ * @param cfg the controller configuration (organisation + timing)
+ * @param params the device current table
+ */
+PowerBreakdown computePower(const PowerInputs &in,
+                            const DRAMCtrlConfig &cfg,
+                            const MicronPowerParams &params);
+
+} // namespace power
+} // namespace dramctrl
+
+#endif // DRAMCTRL_POWER_MICRON_POWER_H

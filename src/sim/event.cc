@@ -1,0 +1,16 @@
+#include "sim/event.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+Event::~Event()
+{
+    // Destroying an event that is still on a queue would leave a dangling
+    // pointer in the agenda; the owning model must deschedule first.
+    if (scheduled_)
+        panic("event '%s' destroyed while scheduled at tick %llu",
+              name().c_str(), static_cast<unsigned long long>(when_));
+}
+
+} // namespace dramctrl

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The event queue: an ordered agenda of future events.
+ */
+
+#ifndef DRAMCTRL_SIM_EVENTQ_H
+#define DRAMCTRL_SIM_EVENTQ_H
+
+#include <cstdint>
+#include <set>
+
+#include "sim/event.hh"
+#include "sim/types.hh"
+
+namespace dramctrl {
+
+/**
+ * A discrete-event agenda.
+ *
+ * The queue owns simulated time: curTick() only advances when an event is
+ * serviced (or when simulate() runs past the last event). Events are not
+ * owned by the queue; the scheduling model object keeps them as members,
+ * which is safe because an object never outlives its own events.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p ev at absolute tick @p when. Scheduling in the past or
+     * double-scheduling is a modelling bug and panics.
+     */
+    void schedule(Event &ev, Tick when);
+
+    /** Remove a scheduled event from the agenda. */
+    void deschedule(Event &ev);
+
+    /** Move an already- or not-yet-scheduled event to @p when. */
+    void reschedule(Event &ev, Tick when);
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** @return true when no events are pending. */
+    bool empty() const { return agenda_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return agenda_.size(); }
+
+    /** Tick of the earliest pending event; kMaxTick when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Service exactly one event (the earliest), advancing curTick to its
+     * tick. Panics if the queue is empty.
+     */
+    void serviceOne();
+
+    /**
+     * Run all events with when() <= @p until, then advance curTick to
+     * @p until if it is a finite horizon (so back-to-back simulate()
+     * calls see monotonic time even across idle stretches).
+     *
+     * @return the final value of curTick().
+     */
+    Tick simulate(Tick until = kMaxTick);
+
+    /** Total number of events serviced since construction. */
+    std::uint64_t numEventsServiced() const { return numServiced_; }
+
+  private:
+    struct EventCmp
+    {
+        bool
+        operator()(const Event *a, const Event *b) const
+        {
+            if (a->when() != b->when())
+                return a->when() < b->when();
+            if (a->priority() != b->priority())
+                return a->priority() < b->priority();
+            return a->seq_ < b->seq_;
+        }
+    };
+
+    std::set<Event *, EventCmp> agenda_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numServiced_ = 0;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_SIM_EVENTQ_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention:
+ *  - panic():  a condition that indicates a bug in the simulator itself.
+ *              Aborts (so a debugger or core dump can pick it up).
+ *  - fatal():  a condition caused by the user (bad configuration,
+ *              inconsistent parameters). Exits with status 1.
+ *  - warn():   something is probably modelled imprecisely but the
+ *              simulation can continue.
+ *  - inform(): purely informational status output.
+ */
+
+#ifndef DRAMCTRL_SIM_LOGGING_H
+#define DRAMCTRL_SIM_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace dramctrl {
+
+/** Format a printf-style message into a std::string. */
+std::string vformatString(const char *fmt, std::va_list args);
+
+/** Format a printf-style message into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2), noreturn));
+
+/** Report a user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2), noreturn));
+
+/** Report a non-fatal modelling concern. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report informational status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests and benchmarks). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() output is suppressed. */
+bool isQuiet();
+
+/**
+ * Test hook: when set, panic() and fatal() throw std::runtime_error
+ * instead of terminating, so death paths can be unit tested.
+ */
+void setThrowOnError(bool throw_on_error);
+
+} // namespace dramctrl
+
+/** Assert-like helper for simulator invariants that names the condition. */
+#define DC_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::dramctrl::panic("assertion '%s' failed: %s", #cond,         \
+                              ::dramctrl::formatString(__VA_ARGS__)       \
+                                  .c_str());                              \
+    } while (0)
+
+#endif // DRAMCTRL_SIM_LOGGING_H

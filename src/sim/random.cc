@@ -1,0 +1,81 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+// PCG-XSH-RR 64/32 doubled up: simple, fast, and good enough statistical
+// quality for workload generation.
+Random::Random(std::uint64_t seed)
+    : state_(seed + 0x9e3779b97f4a7c15ULL), inc_(seed | 1)
+{
+    // Scramble the initial state so nearby seeds diverge immediately.
+    next();
+    next();
+}
+
+std::uint64_t
+Random::next()
+{
+    auto step = [this]() -> std::uint32_t {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    };
+    std::uint64_t hi = step();
+    std::uint64_t lo = step();
+    return (hi << 32) | lo;
+}
+
+std::uint64_t
+Random::uniform(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Random::uniform: lo %llu > hi %llu",
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi));
+    std::uint64_t range = hi - lo + 1;
+    if (range == 0) // [0, 2^64-1]
+        return next();
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % range);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + v % range;
+}
+
+double
+Random::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Random::chance(double p)
+{
+    if (p <= 0)
+        return false;
+    if (p >= 1)
+        return true;
+    return uniformReal() < p;
+}
+
+std::uint64_t
+Random::geometric(double p)
+{
+    if (p <= 0 || p > 1)
+        panic("Random::geometric: p %f out of (0, 1]", p);
+    if (p == 1)
+        return 0;
+    double u = uniformReal();
+    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+} // namespace dramctrl

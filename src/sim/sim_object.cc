@@ -1,0 +1,32 @@
+#include "sim/sim_object.hh"
+
+#include "sim/simulator.hh"
+
+namespace dramctrl {
+
+SimObject::SimObject(Simulator &sim, std::string name)
+    : sim_(sim), name_(std::move(name)),
+      statGroup_(name_, &sim.rootStats())
+{
+    sim_.registerObject(this);
+}
+
+EventQueue &
+SimObject::eventq()
+{
+    return sim_.eventq();
+}
+
+const EventQueue &
+SimObject::eventq() const
+{
+    return sim_.eventq();
+}
+
+Tick
+SimObject::curTick() const
+{
+    return sim_.eventq().curTick();
+}
+
+} // namespace dramctrl

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Base class for all simulated model objects.
+ */
+
+#ifndef DRAMCTRL_SIM_SIM_OBJECT_H
+#define DRAMCTRL_SIM_SIM_OBJECT_H
+
+#include <string>
+
+#include "sim/eventq.hh"
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace dramctrl {
+
+class Simulator;
+
+/**
+ * A named model component attached to a simulator.
+ *
+ * A SimObject owns a statistics group (named after the object, parented
+ * under the simulator's root) and has access to the shared event queue.
+ * Subclasses override startup() to schedule their first events.
+ */
+class SimObject
+{
+  public:
+    SimObject(Simulator &sim, std::string name);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Called once by Simulator::run() before the first event. */
+    virtual void startup() {}
+
+    /** The simulator this object belongs to. */
+    Simulator &simulator() { return sim_; }
+
+    /** The shared event queue. */
+    EventQueue &eventq();
+    const EventQueue &eventq() const;
+
+    /** Current simulated time. */
+    Tick curTick() const;
+
+    /** Schedule helper forwarding to the shared queue. */
+    void schedule(Event &ev, Tick when) { eventq().schedule(ev, when); }
+    void reschedule(Event &ev, Tick when)
+    {
+        eventq().reschedule(ev, when);
+    }
+    void deschedule(Event &ev) { eventq().deschedule(ev); }
+
+    /** This object's statistics group. */
+    stats::Group &statGroup() { return statGroup_; }
+    const stats::Group &statGroup() const { return statGroup_; }
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+    stats::Group statGroup_;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_SIM_SIM_OBJECT_H

@@ -1,0 +1,29 @@
+#include "sim/simulator.hh"
+
+#include "sim/sim_object.hh"
+
+namespace dramctrl {
+
+Simulator::Simulator(std::string name)
+    : rootStats_(std::move(name), nullptr)
+{
+}
+
+void
+Simulator::registerObject(SimObject *obj)
+{
+    objects_.push_back(obj);
+}
+
+Tick
+Simulator::run(Tick until)
+{
+    if (!startupDone_) {
+        startupDone_ = true;
+        for (SimObject *obj : objects_)
+            obj->startup();
+    }
+    return eventq_.simulate(until);
+}
+
+} // namespace dramctrl

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Top-level simulation container: event queue, object registry, root
+ * statistics group.
+ */
+
+#ifndef DRAMCTRL_SIM_SIMULATOR_H
+#define DRAMCTRL_SIM_SIMULATOR_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/eventq.hh"
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace dramctrl {
+
+class SimObject;
+
+/**
+ * Owns simulated time and the roots of the stats tree. Model objects are
+ * constructed by the user (typically via harness::Testbench) and register
+ * themselves here; the simulator drives startup and time.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(std::string name = "system");
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    EventQueue &eventq() { return eventq_; }
+    const EventQueue &eventq() const { return eventq_; }
+
+    Tick curTick() const { return eventq_.curTick(); }
+
+    stats::Group &rootStats() { return rootStats_; }
+
+    /** Called by the SimObject constructor. */
+    void registerObject(SimObject *obj);
+
+    const std::vector<SimObject *> &objects() const { return objects_; }
+
+    /**
+     * Run the simulation until @p until (calling each object's startup()
+     * exactly once, before the first event).
+     *
+     * @return the final simulated tick.
+     */
+    Tick run(Tick until = kMaxTick);
+
+    /** Dump the full statistics tree, gem5 stats.txt style. */
+    void dumpStats(std::ostream &os) const { rootStats_.dump(os); }
+
+    /** Dump the full statistics tree as JSON. */
+    void dumpStatsJson(std::ostream &os) const
+    {
+        rootStats_.dumpJson(os);
+    }
+
+    /** Reset all statistics, e.g. after a warm-up phase. */
+    void resetStats() { rootStats_.resetAll(); }
+
+  private:
+    EventQueue eventq_;
+    stats::Group rootStats_;
+    std::vector<SimObject *> objects_;
+    bool startupDone_ = false;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_SIM_SIMULATOR_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fundamental simulation types and time conversions.
+ *
+ * The simulator counts time in integer ticks, with one tick equal to one
+ * picosecond. This matches gem5's convention and gives enough resolution
+ * to express DRAM interface clocks (hundreds of MHz to a few GHz) without
+ * rounding error, while a 64-bit tick counter still covers more than 100
+ * days of simulated time.
+ */
+
+#ifndef DRAMCTRL_SIM_TYPES_H
+#define DRAMCTRL_SIM_TYPES_H
+
+#include <cstdint>
+
+namespace dramctrl {
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A physical memory address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a requestor (CPU, traffic generator, ...). */
+using RequestorId = std::uint16_t;
+
+/** Sentinel for "no tick": further in the future than any real event. */
+inline constexpr Tick kMaxTick = ~Tick(0);
+
+/** Ticks per second: 1 tick = 1 ps. */
+inline constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+/** Ticks per nanosecond. */
+inline constexpr Tick kTicksPerNs = 1'000;
+
+/** Convert a duration in nanoseconds to ticks (rounding to nearest). */
+constexpr Tick
+fromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+/** Convert a duration in microseconds to ticks. */
+constexpr Tick
+fromUs(double us)
+{
+    return fromNs(us * 1e3);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+toNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+
+/** Period in ticks of a clock given its frequency in MHz. */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+/**
+ * Integer ceiling division, used throughout for splitting byte counts
+ * into bursts and sizing bucket counts.
+ */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2 for a non-zero value. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_SIM_TYPES_H

@@ -1,0 +1,204 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace stats {
+
+Histogram::Histogram(Group *parent, std::string name, std::string desc,
+                     std::size_t num_buckets)
+    : Stat(parent, std::move(name), std::move(desc)),
+      buckets_(num_buckets, 0), bucketSize_(1.0)
+{
+    if (num_buckets < 2)
+        panic("histogram '%s' needs at least two buckets",
+              this->name().c_str());
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    if (v < 0)
+        panic("histogram '%s': negative sample %f", name().c_str(), v);
+
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += count;
+    sum_ += v * count;
+    squares_ += v * v * count;
+
+    while (v >= bucketSize_ * buckets_.size())
+        grow();
+    buckets_[static_cast<std::size_t>(v / bucketSize_)] += count;
+}
+
+void
+Histogram::grow()
+{
+    // Double the bucket width, folding counts pairwise into the lower
+    // half of the array.
+    for (std::size_t i = 0; i < buckets_.size() / 2; ++i)
+        buckets_[i] = buckets_[2 * i] + buckets_[2 * i + 1];
+    if (buckets_.size() % 2) {
+        buckets_[buckets_.size() / 2] = buckets_.back();
+        std::fill(buckets_.begin() +
+                      static_cast<std::ptrdiff_t>(buckets_.size() / 2 + 1),
+                  buckets_.end(), 0);
+    } else {
+        std::fill(buckets_.begin() +
+                      static_cast<std::ptrdiff_t>(buckets_.size() / 2),
+                  buckets_.end(), 0);
+    }
+    bucketSize_ *= 2;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double var = (squares_ - sum_ * sum_ / n) / (n - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Histogram::cdfAt(double v) const
+{
+    if (count_ == 0)
+        return 0.0;
+    double below = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double lo = bucketLow(i);
+        double hi = lo + bucketSize_;
+        if (v >= hi) {
+            below += static_cast<double>(buckets_[i]);
+        } else if (v > lo) {
+            below += static_cast<double>(buckets_[i]) *
+                     (v - lo) / bucketSize_;
+            break;
+        } else {
+            break;
+        }
+    }
+    return below / static_cast<double>(count_);
+}
+
+unsigned
+Histogram::numModes(double min_peak_frac, double valley_ratio) const
+{
+    if (count_ == 0)
+        return 0;
+
+    double min_peak = std::max(
+        1.0, min_peak_frac * static_cast<double>(count_));
+
+    // Find significant local maxima of the raw bucket profile.
+    std::vector<std::size_t> maxima;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double v = static_cast<double>(buckets_[i]);
+        if (v < min_peak)
+            continue;
+        double left = i > 0 ? static_cast<double>(buckets_[i - 1]) : -1;
+        double right = i + 1 < buckets_.size()
+                           ? static_cast<double>(buckets_[i + 1])
+                           : -1;
+        if (v >= left && v > right)
+            maxima.push_back(i);
+    }
+    if (maxima.empty())
+        return count_ > 0 ? 1 : 0;
+
+    // Merge adjacent maxima unless the valley between them is deep
+    // enough relative to the smaller peak.
+    unsigned modes = 1;
+    double prev_peak = static_cast<double>(buckets_[maxima.front()]);
+    std::size_t prev_idx = maxima.front();
+    for (std::size_t m = 1; m < maxima.size(); ++m) {
+        double peak = static_cast<double>(buckets_[maxima[m]]);
+        double valley = peak;
+        for (std::size_t i = prev_idx + 1; i < maxima[m]; ++i)
+            valley = std::min(valley,
+                              static_cast<double>(buckets_[i]));
+        if (valley < valley_ratio * std::min(prev_peak, peak)) {
+            ++modes;
+            prev_peak = peak;
+        } else {
+            prev_peak = std::max(prev_peak, peak);
+        }
+        prev_idx = maxima[m];
+    }
+    return modes;
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string base = prefix + name();
+    os << std::left << std::setw(44) << (base + "::samples") << ' '
+       << std::right << std::setw(14) << count_ << "  # " << desc()
+       << '\n';
+    os << std::left << std::setw(44) << (base + "::mean") << ' '
+       << std::right << std::setw(14) << mean() << '\n';
+    os << std::left << std::setw(44) << (base + "::stdev") << ' '
+       << std::right << std::setw(14) << stddev() << '\n';
+    os << std::left << std::setw(44) << (base + "::min") << ' '
+       << std::right << std::setw(14) << min_ << '\n';
+    os << std::left << std::setw(44) << (base + "::max") << ' '
+       << std::right << std::setw(14) << max_ << '\n';
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        os << std::left << std::setw(44)
+           << (base + "::" + std::to_string(static_cast<long long>(
+                                 bucketLow(i))) +
+               "-" +
+               std::to_string(static_cast<long long>(bucketLow(i) +
+                                                     bucketSize_ - 1)))
+           << ' ' << std::right << std::setw(14) << buckets_[i] << '\n';
+    }
+}
+
+void
+Histogram::dumpJson(std::ostream &os) const
+{
+    os << "{\"samples\": " << count_ << ", \"mean\": " << mean()
+       << ", \"stdev\": " << stddev() << ", \"min\": " << min_
+       << ", \"max\": " << max_ << ", \"bucketSize\": " << bucketSize_
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << buckets_[i];
+    }
+    os << "]}";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    bucketSize_ = 1.0;
+    count_ = 0;
+    sum_ = 0;
+    squares_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+} // namespace stats
+} // namespace dramctrl

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Self-scaling histogram statistic.
+ *
+ * Used for the latency-distribution experiments (paper Figures 6 and 7).
+ * The histogram keeps a fixed number of buckets; when a sample lands
+ * beyond the covered range the bucket width doubles and existing counts
+ * are folded pairwise, exactly like gem5's distribution stats. This keeps
+ * memory bounded without knowing latency magnitudes up front.
+ */
+
+#ifndef DRAMCTRL_STATS_HISTOGRAM_H
+#define DRAMCTRL_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace dramctrl {
+namespace stats {
+
+class Histogram : public Stat
+{
+  public:
+    Histogram(Group *parent, std::string name, std::string desc,
+              std::size_t num_buckets = 32);
+
+    /** Record one sample. */
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double stddev() const;
+    double minSample() const { return min_; }
+    double maxSample() const { return max_; }
+
+    /** Current bucket width. */
+    double bucketSize() const { return bucketSize_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return buckets_.at(i);
+    }
+
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLow(std::size_t i) const { return bucketSize_ * i; }
+
+    /**
+     * Fraction of samples at or below @p v (linear interpolation within
+     * the containing bucket); used by tests asserting distribution shape.
+     */
+    double cdfAt(double v) const;
+
+    /**
+     * Count the distinct modes of the bucket profile; a bimodal
+     * latency distribution (paper Fig. 7) reports 2.
+     *
+     * Local maxima with at least @p min_peak_frac of the samples are
+     * candidate modes; two candidates count as distinct only when the
+     * deepest valley between them falls below @p valley_ratio of the
+     * smaller peak (a prominence test, robust against broad noisy
+     * humps).
+     */
+    unsigned numModes(double min_peak_frac = 0.01,
+                      double valley_ratio = 0.5) const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void dumpJson(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    void grow();
+
+    std::vector<std::uint64_t> buckets_;
+    double bucketSize_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double squares_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+} // namespace stats
+} // namespace dramctrl
+
+#endif // DRAMCTRL_STATS_HISTOGRAM_H

@@ -1,0 +1,179 @@
+#include "trafficgen/base_gen.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+
+BaseGen::GenStats::GenStats(BaseGen &gen)
+    : sentReads(&gen.statGroup(), "sentReads", "read requests injected"),
+      sentWrites(&gen.statGroup(), "sentWrites",
+                 "write requests injected"),
+      bytesSent(&gen.statGroup(), "bytesSent", "bytes requested"),
+      recvResponses(&gen.statGroup(), "recvResponses",
+                    "responses received"),
+      retries(&gen.statGroup(), "retries",
+              "requests initially refused downstream"),
+      totReadLatency(&gen.statGroup(), "totReadLatency",
+                     "total end-to-end read latency (ticks)"),
+      readLatencyHist(&gen.statGroup(), "readLatencyHist",
+                      "end-to-end read latency distribution (ns)", 64),
+      avgReadLatencyNs(&gen.statGroup(), "avgReadLatencyNs",
+                       "average end-to-end read latency (ns)",
+                       [this] {
+                           double n = readLatencyHist.count();
+                           return n > 0 ? toNs(static_cast<Tick>(
+                                              totReadLatency.value())) / n
+                                        : 0.0;
+                       })
+{
+}
+
+BaseGen::BaseGen(Simulator &sim, std::string name, const GenConfig &cfg,
+                 RequestorId id)
+    : SimObject(sim, std::move(name)), cfg_(cfg), id_(id),
+      port_(this->name() + ".port", *this), rng_(cfg.seed),
+      injectEvent_([this] { tryInject(); },
+                   this->name() + ".injectEvent")
+{
+    if (cfg_.blockSize == 0)
+        fatal("generator '%s': zero block size", this->name().c_str());
+    if (cfg_.readPct > 100)
+        fatal("generator '%s': read percentage %u > 100",
+              this->name().c_str(), cfg_.readPct);
+    if (cfg_.minITT > cfg_.maxITT)
+        fatal("generator '%s': minITT exceeds maxITT",
+              this->name().c_str());
+    if (cfg_.windowSize < cfg_.blockSize)
+        fatal("generator '%s': window smaller than one block",
+              this->name().c_str());
+    stats_ = std::make_unique<GenStats>(*this);
+}
+
+BaseGen::~BaseGen()
+{
+    if (injectEvent_.scheduled())
+        deschedule(injectEvent_);
+    delete blockedPkt_;
+}
+
+void
+BaseGen::startup()
+{
+    if (cfg_.numRequests == 0 || sent_ < cfg_.numRequests)
+        schedule(injectEvent_, std::max(curTick(), cfg_.startTick));
+}
+
+bool
+BaseGen::done() const
+{
+    return cfg_.numRequests != 0 && sent_ >= cfg_.numRequests &&
+           outstanding_ == 0 && blockedPkt_ == nullptr;
+}
+
+double
+BaseGen::avgReadLatencyNs() const
+{
+    return stats_->avgReadLatencyNs.value();
+}
+
+bool
+BaseGen::nextIsRead()
+{
+    return rng_.uniform(1, 100) <= cfg_.readPct;
+}
+
+Tick
+BaseGen::drawITT()
+{
+    if (cfg_.minITT == cfg_.maxITT)
+        return cfg_.minITT;
+    return rng_.uniform(cfg_.minITT, cfg_.maxITT);
+}
+
+void
+BaseGen::scheduleNext()
+{
+    if (cfg_.numRequests != 0 && sent_ >= cfg_.numRequests)
+        return;
+    if (blockedPkt_ != nullptr || throttled_)
+        return; // woken by retry or by a response instead
+    if (!injectEvent_.scheduled())
+        schedule(injectEvent_, curTick() + drawITT());
+}
+
+void
+BaseGen::tryInject()
+{
+    DC_ASSERT(blockedPkt_ == nullptr, "inject while blocked");
+
+    if (cfg_.maxOutstanding != 0 &&
+        outstanding_ >= cfg_.maxOutstanding) {
+        // Wait for a response to free a slot.
+        throttled_ = true;
+        return;
+    }
+
+    bool is_read = nextIsRead();
+    Addr addr = nextAddr();
+    auto *pkt = new Packet(is_read ? MemCmd::ReadReq : MemCmd::WriteReq,
+                           addr, cfg_.blockSize, id_);
+    pkt->setInjectedTick(curTick());
+
+    if (is_read)
+        ++stats_->sentReads;
+    else
+        ++stats_->sentWrites;
+    stats_->bytesSent += cfg_.blockSize;
+    ++sent_;
+    ++outstanding_;
+
+    if (!port_.sendTimingReq(pkt)) {
+        // Downstream is full: hold the packet, undo nothing (it still
+        // counts as injected), and wait for the retry.
+        ++stats_->retries;
+        blockedPkt_ = pkt;
+        return;
+    }
+
+    scheduleNext();
+}
+
+void
+BaseGen::recvReqRetry()
+{
+    DC_ASSERT(blockedPkt_ != nullptr, "retry with no blocked packet");
+    Packet *pkt = blockedPkt_;
+    blockedPkt_ = nullptr;
+    if (!port_.sendTimingReq(pkt)) {
+        blockedPkt_ = pkt;
+        return;
+    }
+    scheduleNext();
+}
+
+bool
+BaseGen::recvTimingResp(Packet *pkt)
+{
+    DC_ASSERT(pkt->isResponse(), "generator received %s",
+              pkt->toString().c_str());
+    ++stats_->recvResponses;
+    DC_ASSERT(outstanding_ > 0, "response with nothing outstanding");
+    --outstanding_;
+
+    if (pkt->cmd() == MemCmd::ReadResp) {
+        Tick lat = curTick() - pkt->injectedTick();
+        stats_->totReadLatency += static_cast<double>(lat);
+        stats_->readLatencyHist.sample(toNs(lat));
+    }
+    delete pkt;
+
+    if (throttled_) {
+        throttled_ = false;
+        if (blockedPkt_ == nullptr && !injectEvent_.scheduled() &&
+            (cfg_.numRequests == 0 || sent_ < cfg_.numRequests))
+            schedule(injectEvent_, curTick() + drawITT());
+    }
+    return true;
+}
+
+} // namespace dramctrl

@@ -1,0 +1,3 @@
+// LinearGen is header-only; this file anchors it in the library so the
+// build exposes one translation unit per generator flavour.
+#include "trafficgen/linear_gen.hh"

@@ -1,0 +1,3 @@
+// RandomGen is header-only; this file anchors it in the library so the
+// build exposes one translation unit per generator flavour.
+#include "trafficgen/random_gen.hh"

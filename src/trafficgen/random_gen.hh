@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Random traffic generator: uniformly distributed block-aligned
+ * addresses over the window (Section III-A).
+ */
+
+#ifndef DRAMCTRL_TRAFFICGEN_RANDOM_GEN_H
+#define DRAMCTRL_TRAFFICGEN_RANDOM_GEN_H
+
+#include "trafficgen/base_gen.hh"
+
+namespace dramctrl {
+
+class RandomGen : public BaseGen
+{
+  public:
+    RandomGen(Simulator &sim, std::string name, const GenConfig &cfg,
+              RequestorId id)
+        : BaseGen(sim, std::move(name), cfg, id),
+          blocks_(cfg.windowSize / cfg.blockSize)
+    {}
+
+  protected:
+    Addr
+    nextAddr() override
+    {
+        std::uint64_t block = rng().uniform(0, blocks_ - 1);
+        return genConfig().startAddr + block * genConfig().blockSize;
+    }
+
+  private:
+    std::uint64_t blocks_;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_TRAFFICGEN_RANDOM_GEN_H

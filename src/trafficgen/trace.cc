@@ -1,0 +1,201 @@
+#include "trafficgen/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace dramctrl {
+
+std::vector<TraceEntry>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    std::vector<TraceEntry> entries;
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        std::uint64_t tick;
+        std::string dir;
+        std::string addr_s;
+        unsigned size;
+        if (!(ls >> tick))
+            continue; // blank line
+        if (!(ls >> dir >> addr_s >> size) || (dir != "r" && dir != "w"))
+            fatal("trace '%s' line %llu is malformed", path.c_str(),
+                  static_cast<unsigned long long>(line_no));
+        TraceEntry e;
+        e.tick = tick;
+        e.isRead = dir == "r";
+        e.addr = std::stoull(addr_s, nullptr, 16);
+        e.size = size;
+        entries.push_back(e);
+    }
+    return entries;
+}
+
+void
+saveTrace(const std::string &path,
+          const std::vector<TraceEntry> &entries)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace file '%s'", path.c_str());
+    out << "# tick r|w addr size\n";
+    for (const TraceEntry &e : entries) {
+        out << e.tick << ' ' << (e.isRead ? 'r' : 'w') << ' ' << std::hex
+            << "0x" << e.addr << std::dec << ' ' << e.size << '\n';
+    }
+}
+
+TraceRecorder::TraceRecorder(Simulator &sim, std::string name)
+    : SimObject(sim, std::move(name)),
+      cpuSide_(this->name() + ".cpuSide", *this),
+      memSide_(this->name() + ".memSide", *this)
+{
+}
+
+bool
+TraceRecorder::handleReq(Packet *pkt)
+{
+    if (!memSide_.sendTimingReq(pkt))
+        return false;
+    trace_.push_back(TraceEntry{curTick(), pkt->isRead(), pkt->addr(),
+                                pkt->size()});
+    return true;
+}
+
+TracePlayer::TracePlayer(Simulator &sim, std::string name,
+                         std::vector<TraceEntry> trace, RequestorId id,
+                         double time_scale)
+    : SimObject(sim, std::move(name)), trace_(std::move(trace)),
+      id_(id), timeScale_(time_scale),
+      port_(this->name() + ".port", *this),
+      injectEvent_([this] { tryInject(); },
+                   this->name() + ".injectEvent")
+{
+    if (timeScale_ <= 0)
+        fatal("trace player '%s': non-positive time scale",
+              this->name().c_str());
+}
+
+TracePlayer::~TracePlayer()
+{
+    if (injectEvent_.scheduled())
+        deschedule(injectEvent_);
+    delete blockedPkt_;
+}
+
+Tick
+TracePlayer::entryTick(std::uint64_t idx) const
+{
+    return static_cast<Tick>(
+               static_cast<double>(trace_[idx].tick) * timeScale_) +
+           slip_;
+}
+
+void
+TracePlayer::startup()
+{
+    if (!trace_.empty())
+        schedule(injectEvent_, std::max(curTick(), entryTick(0)));
+}
+
+bool
+TracePlayer::done() const
+{
+    return next_ >= trace_.size() && blockedPkt_ == nullptr &&
+           outstandingReads_ == 0;
+}
+
+double
+TracePlayer::avgReadLatencyNs() const
+{
+    return readResponses_ > 0
+               ? toNs(totReadLatency_) /
+                     static_cast<double>(readResponses_)
+               : 0.0;
+}
+
+void
+TracePlayer::scheduleNext()
+{
+    if (next_ >= trace_.size() || blockedPkt_ != nullptr)
+        return;
+    Tick when = std::max(curTick(), entryTick(next_));
+    if (!injectEvent_.scheduled())
+        schedule(injectEvent_, when);
+}
+
+void
+TracePlayer::tryInject()
+{
+    DC_ASSERT(blockedPkt_ == nullptr, "inject while blocked");
+    DC_ASSERT(next_ < trace_.size(), "inject past end of trace");
+
+    const TraceEntry &e = trace_[next_];
+    auto *pkt = new Packet(e.isRead ? MemCmd::ReadReq : MemCmd::WriteReq,
+                           e.addr, e.size, id_);
+    pkt->setInjectedTick(curTick());
+    ++next_;
+    if (e.isRead)
+        ++outstandingReads_;
+
+    if (!port_.sendTimingReq(pkt)) {
+        blockedPkt_ = pkt;
+        if (e.isRead)
+            --outstandingReads_;
+        --next_;
+        return;
+    }
+    scheduleNext();
+}
+
+void
+TracePlayer::recvReqRetry()
+{
+    DC_ASSERT(blockedPkt_ != nullptr, "retry with no blocked packet");
+    Packet *pkt = blockedPkt_;
+    blockedPkt_ = nullptr;
+
+    // Everything after this entry slips by however long we were stalled.
+    Tick intended = entryTick(next_);
+    if (curTick() > intended)
+        slip_ += curTick() - intended;
+
+    if (!port_.sendTimingReq(pkt)) {
+        blockedPkt_ = pkt;
+        return;
+    }
+    if (pkt->isRead())
+        ++outstandingReads_;
+    ++next_;
+    scheduleNext();
+}
+
+bool
+TracePlayer::recvTimingResp(Packet *pkt)
+{
+    ++responses_;
+    if (pkt->cmd() == MemCmd::ReadResp) {
+        DC_ASSERT(outstandingReads_ > 0, "unexpected read response");
+        --outstandingReads_;
+        totReadLatency_ += curTick() - pkt->injectedTick();
+        ++readResponses_;
+    }
+    delete pkt;
+    return true;
+}
+
+} // namespace dramctrl

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the DRAM address decoder: field layout of each
+ * mapping scheme, encode/decode round trips, and the locality
+ * properties the page policies rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/addr_decoder.hh"
+#include "dram/dram_presets.hh"
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace {
+
+DRAMOrg
+smallOrg()
+{
+    DRAMOrg org;
+    org.burstLength = 8;
+    org.deviceBusWidth = 8;
+    org.devicesPerRank = 8; // 64-byte bursts
+    org.ranksPerChannel = 2;
+    org.banksPerRank = 8;
+    org.rowBufferSize = 1024; // 16 bursts per row
+    org.channelCapacity = 64ULL * 1024 * 1024;
+    return org;
+}
+
+TEST(AddrDecoderTest, OrgDerivedQuantities)
+{
+    DRAMOrg org = smallOrg();
+    EXPECT_EQ(org.burstSize(), 64u);
+    EXPECT_EQ(org.burstsPerRow(), 16u);
+    EXPECT_EQ(org.totalBanks(), 16u);
+    EXPECT_EQ(org.rowsPerBank(),
+              64ULL * 1024 * 1024 / (1024 * 8 * 2));
+}
+
+TEST(AddrDecoderTest, RoRaBaCoChFieldLayout)
+{
+    AddrDecoder dec(smallOrg(), AddrMapping::RoRaBaCoCh);
+
+    // Address 0: everything zero.
+    EXPECT_EQ(dec.decode(0), (DRAMAddr{0, 0, 0, 0}));
+    // One burst up: column increments first.
+    EXPECT_EQ(dec.decode(64), (DRAMAddr{0, 0, 0, 1}));
+    // Past the row: bank increments.
+    EXPECT_EQ(dec.decode(1024), (DRAMAddr{0, 1, 0, 0}));
+    // Past all banks: rank increments.
+    EXPECT_EQ(dec.decode(1024 * 8), (DRAMAddr{1, 0, 0, 0}));
+    // Past all ranks: row increments.
+    EXPECT_EQ(dec.decode(1024 * 16), (DRAMAddr{0, 0, 1, 0}));
+}
+
+TEST(AddrDecoderTest, RoCoRaBaChFieldLayout)
+{
+    AddrDecoder dec(smallOrg(), AddrMapping::RoCoRaBaCh);
+
+    EXPECT_EQ(dec.decode(0), (DRAMAddr{0, 0, 0, 0}));
+    // One burst up: bank increments first (bank parallelism for
+    // sequential streams).
+    EXPECT_EQ(dec.decode(64), (DRAMAddr{0, 1, 0, 0}));
+    // Past all banks: rank increments.
+    EXPECT_EQ(dec.decode(64 * 8), (DRAMAddr{1, 0, 0, 0}));
+    // Past all ranks: column increments.
+    EXPECT_EQ(dec.decode(64 * 16), (DRAMAddr{0, 0, 0, 1}));
+    // Past all columns: row increments.
+    EXPECT_EQ(dec.decode(64 * 16 * 16), (DRAMAddr{0, 0, 1, 0}));
+}
+
+TEST(AddrDecoderTest, RoRaBaChCoDecodesLikeRoRaBaCoCh)
+{
+    // Within a channel the two mappings are identical; they differ only
+    // in the crossbar interleaving granularity.
+    AddrDecoder a(smallOrg(), AddrMapping::RoRaBaCoCh);
+    AddrDecoder b(smallOrg(), AddrMapping::RoRaBaChCo);
+    for (Addr addr = 0; addr < 1 << 20; addr += 4096 + 64)
+        EXPECT_EQ(a.decode(addr), b.decode(addr));
+}
+
+class AddrDecoderRoundTrip
+    : public ::testing::TestWithParam<AddrMapping>
+{
+};
+
+TEST_P(AddrDecoderRoundTrip, EncodeInvertsDecode)
+{
+    DRAMOrg org = smallOrg();
+    AddrDecoder dec(org, GetParam());
+    for (Addr addr = 0; addr < org.channelCapacity;
+         addr += 64 * 1024 + 64) {
+        Addr aligned = dec.burstAlign(addr);
+        EXPECT_EQ(dec.encode(dec.decode(aligned)), aligned);
+    }
+}
+
+TEST_P(AddrDecoderRoundTrip, DecodeInvertsEncode)
+{
+    DRAMOrg org = smallOrg();
+    AddrDecoder dec(org, GetParam());
+    for (unsigned rank = 0; rank < org.ranksPerChannel; ++rank) {
+        for (unsigned bank = 0; bank < org.banksPerRank; bank += 3) {
+            for (std::uint64_t row = 0; row < org.rowsPerBank();
+                 row += 1021) {
+                for (std::uint64_t col = 0; col < org.burstsPerRow();
+                     col += 5) {
+                    DRAMAddr da{rank, bank, row, col};
+                    EXPECT_EQ(dec.decode(dec.encode(da)), da);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(AddrDecoderRoundTrip, AllFieldsStayInRange)
+{
+    DRAMOrg org = smallOrg();
+    AddrDecoder dec(org, GetParam());
+    for (Addr addr = 0; addr < org.channelCapacity;
+         addr += 777 * 64) {
+        DRAMAddr da = dec.decode(addr);
+        EXPECT_LT(da.rank, org.ranksPerChannel);
+        EXPECT_LT(da.bank, org.banksPerRank);
+        EXPECT_LT(da.row, org.rowsPerBank());
+        EXPECT_LT(da.col, org.burstsPerRow());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMappings, AddrDecoderRoundTrip,
+                         ::testing::Values(AddrMapping::RoRaBaCoCh,
+                                           AddrMapping::RoRaBaChCo,
+                                           AddrMapping::RoCoRaBaCh),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+TEST(AddrDecoderTest, SequentialStreamLocality)
+{
+    DRAMOrg org = smallOrg();
+
+    // RoRaBaCoCh: a full row of sequential bursts stays in one bank
+    // (row-hit friendly).
+    AddrDecoder open_map(org, AddrMapping::RoRaBaCoCh);
+    for (Addr a = 64; a < org.rowBufferSize; a += 64) {
+        EXPECT_EQ(open_map.decode(a).bank, open_map.decode(0).bank);
+        EXPECT_EQ(open_map.decode(a).row, open_map.decode(0).row);
+    }
+
+    // RoCoRaBaCh: sequential bursts spread across all banks (bank
+    // parallelism for a closed-page policy).
+    AddrDecoder closed_map(org, AddrMapping::RoCoRaBaCh);
+    std::vector<bool> banks_seen(org.banksPerRank, false);
+    for (Addr a = 0; a < 64 * org.banksPerRank; a += 64)
+        banks_seen[closed_map.decode(a).bank] = true;
+    for (bool seen : banks_seen)
+        EXPECT_TRUE(seen);
+}
+
+TEST(AddrDecoderTest, PresetCapacityDecodes)
+{
+    // Every preset's top address must decode without tripping the
+    // row-range check.
+    for (const auto &name : presets::names()) {
+        DRAMCtrlConfig cfg = presets::byName(name);
+        AddrDecoder dec(cfg.org, cfg.addrMapping);
+        Addr top = cfg.org.channelCapacity - cfg.org.burstSize();
+        DRAMAddr da = dec.decode(top);
+        EXPECT_LT(da.row, cfg.org.rowsPerBank()) << name;
+    }
+}
+
+TEST(AddrDecoderTest, OutOfRangePanics)
+{
+    setThrowOnError(true);
+    DRAMOrg org = smallOrg();
+    AddrDecoder dec(org, AddrMapping::RoRaBaCoCh);
+    EXPECT_THROW(dec.decode(org.channelCapacity),
+                 std::runtime_error);
+    EXPECT_THROW(dec.encode(DRAMAddr{0, 99, 0, 0}),
+                 std::runtime_error);
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace dramctrl

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for AddrRange: containment, channel interleaving,
+ * dense-address squeezing and its inverse, and disjointness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr_range.hh"
+#include "sim/logging.hh"
+#include "xbar/xbar.hh"
+
+namespace dramctrl {
+namespace {
+
+TEST(AddrRangeTest, PlainRangeContainment)
+{
+    AddrRange r(0x1000, 0x1000);
+    EXPECT_TRUE(r.valid());
+    EXPECT_TRUE(r.contains(0x1000));
+    EXPECT_TRUE(r.contains(0x1fff));
+    EXPECT_FALSE(r.contains(0xfff));
+    EXPECT_FALSE(r.contains(0x2000));
+    EXPECT_EQ(r.localSize(), 0x1000u);
+    EXPECT_FALSE(r.interleaved());
+}
+
+TEST(AddrRangeTest, DefaultRangeIsInvalid)
+{
+    AddrRange r;
+    EXPECT_FALSE(r.valid());
+}
+
+TEST(AddrRangeTest, InterleavedContainmentSelectsChannel)
+{
+    // 4 channels at 64-byte granularity over 4 KiB.
+    AddrRange ch0(0, 4096, 64, 4, 0);
+    AddrRange ch2(0, 4096, 64, 4, 2);
+
+    EXPECT_TRUE(ch0.contains(0));
+    EXPECT_TRUE(ch0.contains(63));
+    EXPECT_FALSE(ch0.contains(64)); // selector 1
+    EXPECT_TRUE(ch2.contains(128));
+    EXPECT_TRUE(ch0.contains(256)); // wraps back to selector 0
+    EXPECT_EQ(ch0.localSize(), 1024u);
+    EXPECT_EQ(ch0.granularity(), 64u);
+    EXPECT_EQ(ch0.numChannels(), 4u);
+}
+
+TEST(AddrRangeTest, EveryAddressBelongsToExactlyOneChannel)
+{
+    std::vector<AddrRange> ranges;
+    for (unsigned ch = 0; ch < 4; ++ch)
+        ranges.emplace_back(0, 4096, 64, 4, ch);
+
+    for (Addr a = 0; a < 4096; a += 32) {
+        unsigned owners = 0;
+        for (const AddrRange &r : ranges)
+            owners += r.contains(a) ? 1 : 0;
+        EXPECT_EQ(owners, 1u) << "addr " << a;
+    }
+}
+
+TEST(AddrRangeTest, RemoveIntlvBitsIsDenseAndInvertible)
+{
+    AddrRange ch1(0, 4096, 64, 4, 1);
+    // The dense image of channel 1's addresses must be exactly
+    // [0, localSize) with no holes.
+    std::vector<bool> seen(ch1.localSize(), false);
+    for (Addr a = 0; a < 4096; ++a) {
+        if (!ch1.contains(a))
+            continue;
+        Addr dense = ch1.removeIntlvBits(a);
+        ASSERT_LT(dense, ch1.localSize());
+        seen[dense] = true;
+        EXPECT_EQ(ch1.addIntlvBits(dense), a);
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(AddrRangeTest, RemoveIntlvBitsPreservesOffsetWithinGranule)
+{
+    AddrRange ch3(0, 1 << 20, 256, 8, 3);
+    Addr a = 3 * 256 + 17; // granule 0 of channel 3, offset 17
+    EXPECT_TRUE(ch3.contains(a));
+    EXPECT_EQ(ch3.removeIntlvBits(a) % 256, 17u);
+}
+
+TEST(AddrRangeTest, NonZeroBaseInterleaving)
+{
+    AddrRange ch0(0x10000, 4096, 64, 2, 0);
+    EXPECT_TRUE(ch0.contains(0x10000));
+    EXPECT_FALSE(ch0.contains(0x10040));
+    EXPECT_TRUE(ch0.contains(0x10080));
+    EXPECT_EQ(ch0.removeIntlvBits(0x10080), 64u);
+    EXPECT_EQ(ch0.addIntlvBits(64), 0x10080u);
+}
+
+TEST(AddrRangeTest, DisjointChannelsOfSameWindow)
+{
+    AddrRange a(0, 4096, 64, 4, 0);
+    AddrRange b(0, 4096, 64, 4, 1);
+    EXPECT_TRUE(a.disjoint(b));
+    EXPECT_FALSE(a.disjoint(a));
+}
+
+TEST(AddrRangeTest, DisjointSeparateWindows)
+{
+    AddrRange a(0, 0x1000);
+    AddrRange b(0x1000, 0x1000);
+    AddrRange c(0x800, 0x1000);
+    EXPECT_TRUE(a.disjoint(b));
+    EXPECT_FALSE(a.disjoint(c));
+}
+
+TEST(AddrRangeTest, BadParametersAreFatal)
+{
+    setThrowOnError(true);
+    EXPECT_THROW(AddrRange(0, 0), std::runtime_error);
+    EXPECT_THROW(AddrRange(0, 4096, 100, 4, 0), std::runtime_error);
+    EXPECT_THROW(AddrRange(0, 4096, 64, 3, 0), std::runtime_error);
+    EXPECT_THROW(AddrRange(0, 4096, 64, 4, 4), std::runtime_error);
+    EXPECT_THROW(AddrRange(32, 4096, 64, 4, 0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(AddrRangeTest, InterleavedRangesHelperCoversWholeWindow)
+{
+    auto ranges = interleavedRanges(0, 1 << 16, 64, 4);
+    ASSERT_EQ(ranges.size(), 4u);
+    for (Addr a = 0; a < (1u << 16); a += 64) {
+        unsigned owners = 0;
+        for (const AddrRange &r : ranges)
+            owners += r.contains(a) ? 1 : 0;
+        EXPECT_EQ(owners, 1u);
+    }
+}
+
+TEST(AddrRangeTest, InterleavedRangesSingleChannelIsPlain)
+{
+    auto ranges = interleavedRanges(0, 1 << 16, 64, 1);
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_FALSE(ranges[0].interleaved());
+    EXPECT_EQ(ranges[0].localSize(), 1u << 16);
+}
+
+} // namespace
+} // namespace dramctrl

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the configuration describer (the config.ini analogue).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_presets.hh"
+
+namespace dramctrl {
+namespace {
+
+TEST(DescribeTest, ContainsKeyOrganisationFields)
+{
+    std::string d = presets::ddr3_1333().describe();
+    EXPECT_NE(d.find("burst length        8"), std::string::npos) << d;
+    EXPECT_NE(d.find("banks per rank      8"), std::string::npos);
+    EXPECT_NE(d.find("burst size          64 B"), std::string::npos);
+    EXPECT_NE(d.find("channel capacity    2048 MiB"),
+              std::string::npos);
+}
+
+TEST(DescribeTest, ContainsTimingAndPolicies)
+{
+    std::string d = presets::ddr3_1333().describe();
+    EXPECT_NE(d.find("tRCD 13.75"), std::string::npos) << d;
+    EXPECT_NE(d.find("scheduler frfcfs"), std::string::npos);
+    EXPECT_NE(d.find("mapping RoRaBaCoCh"), std::string::npos);
+    EXPECT_NE(d.find("page policy open"), std::string::npos);
+}
+
+TEST(DescribeTest, ReflectsTemperatureDerating)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1333();
+    cfg.temperatureC = 95.0;
+    std::string d = cfg.describe();
+    EXPECT_NE(d.find("effective 3.90 us at 95 C"), std::string::npos)
+        << d;
+}
+
+TEST(DescribeTest, ReflectsExtensions)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1333();
+    cfg.enablePowerDown = true;
+    cfg.enableSelfRefresh = true;
+    cfg.perRankRefresh = true;
+    cfg.schedPolicy = SchedPolicy::FrFcfsPrio;
+    cfg.requestorPriorities = {0, 7};
+    std::string d = cfg.describe();
+    EXPECT_NE(d.find("power-down on"), std::string::npos);
+    EXPECT_NE(d.find("self-refresh on"), std::string::npos);
+    EXPECT_NE(d.find("per-rank refresh on"), std::string::npos);
+    EXPECT_NE(d.find("qos priorities     0 7"), std::string::npos)
+        << d;
+}
+
+TEST(DescribeTest, EveryPresetDescribes)
+{
+    for (const auto &name : presets::names()) {
+        std::string d = presets::byName(name).describe();
+        EXPECT_GT(d.size(), 200u) << name;
+        EXPECT_NE(d.find("[organisation]"), std::string::npos);
+        EXPECT_NE(d.find("[timing]"), std::string::npos);
+        EXPECT_NE(d.find("[controller]"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace dramctrl

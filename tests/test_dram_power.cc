@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the DRAMPower-style command-energy model, including the
+ * equivalence of Micron-derived parameters with the Micron model
+ * itself (the paper's Section III-E plug-in claim).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_presets.hh"
+#include "harness/testbench.hh"
+#include "power/dram_power.hh"
+#include "power/micron_power.hh"
+#include "sim/logging.hh"
+#include "trafficgen/dram_gen.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using namespace power;
+using harness::CtrlModel;
+using harness::SingleChannelSystem;
+
+TEST(CommandEnergyTest, ZeroWindowYieldsZero)
+{
+    PowerInputs in;
+    PowerBreakdown out = computeCommandEnergy(
+        in, presets::ddr3_1600(), commandEnergyFor("ddr3_1600"));
+    EXPECT_EQ(out.total(), 0.0);
+}
+
+TEST(CommandEnergyTest, ComponentsMatchHandCalculation)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1600();
+    CommandEnergyParams e;
+    e.eActPre = 2e-9;
+    e.eRdBurst = 1e-9;
+    e.eWrBurst = 0.5e-9;
+    e.eRef = 40e-9;
+    e.pPreStandby = 0.05;
+    e.pActStandby = 0.06;
+
+    PowerInputs in;
+    in.window = fromUs(1);
+    in.numActs = 100;
+    in.readBursts = 500;
+    in.writeBursts = 200;
+    in.numRefreshes = 2;
+    in.prechargeAllTime = fromNs(400);
+    PowerBreakdown out = computeCommandEnergy(in, cfg, e);
+
+    double w = 1e-6;
+    EXPECT_NEAR(out.actPre, 2e-9 * 100 / w * 8, 1e-9);
+    EXPECT_NEAR(out.read, 1e-9 * 500 / w * 8, 1e-9);
+    EXPECT_NEAR(out.write, 0.5e-9 * 200 / w * 8, 1e-9);
+    EXPECT_NEAR(out.refresh, 40e-9 * 2 / w * 8, 1e-9);
+    double pre_frac = 400e-9 / w;
+    EXPECT_NEAR(out.background,
+                (0.05 * pre_frac + 0.06 * (1 - pre_frac)) * 8, 1e-9);
+}
+
+TEST(CommandEnergyTest, DerivedParamsMatchMicronModel)
+{
+    // With energies derived from the Micron currents, the two power
+    // models must agree on any behavioural snapshot.
+    DRAMCtrlConfig cfg = presets::ddr3_1333();
+    MicronPowerParams mp = ddr3Params();
+    CommandEnergyParams ep = deriveFromMicron(mp, cfg.timing);
+
+    PowerInputs in;
+    in.window = fromUs(10);
+    in.numActs = 1234;
+    in.numRefreshes = 1;
+    in.readBursts = 4000;
+    in.writeBursts = 1500;
+    in.prechargeAllTime = fromUs(3);
+    in.powerDownTime = fromUs(1);
+    // The Micron model reads utilisation fractions; make them
+    // consistent with the burst counts.
+    double burst_s = toSeconds(cfg.timing.tBURST);
+    in.readBusFraction = 4000 * burst_s / toSeconds(in.window);
+    in.writeBusFraction = 1500 * burst_s / toSeconds(in.window);
+
+    PowerBreakdown micron = computePower(in, cfg, mp);
+    PowerBreakdown cmd = computeCommandEnergy(in, cfg, ep);
+
+    EXPECT_NEAR(cmd.actPre, micron.actPre, 1e-9);
+    EXPECT_NEAR(cmd.read, micron.read, 1e-9);
+    EXPECT_NEAR(cmd.write, micron.write, 1e-9);
+    EXPECT_NEAR(cmd.refresh, micron.refresh, 1e-9);
+    EXPECT_NEAR(cmd.background, micron.background, 1e-9);
+}
+
+TEST(CommandEnergyTest, EndToEndBothModelsAgreeOnLiveStats)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1333();
+    SingleChannelSystem tb(cfg, CtrlModel::Event);
+    DramGenConfig gc;
+    gc.org = cfg.org;
+    gc.strideBytes = 256;
+    gc.numBanksTarget = 4;
+    gc.readPct = 70;
+    gc.numRequests = 3000;
+    gc.minITT = gc.maxITT = fromNs(6);
+    auto &gen = tb.addGen<DramGen>(gc);
+    tb.runToCompletion([&] { return gen.done(); });
+
+    PowerInputs in = tb.ctrl().powerInputs();
+    double p_micron = computePower(in, cfg, ddr3Params()).total();
+    double p_cmd =
+        computeCommandEnergy(in, cfg,
+                             commandEnergyFor("ddr3_1333"))
+            .total();
+    EXPECT_NEAR(p_cmd, p_micron, 0.02 * p_micron);
+}
+
+TEST(CommandEnergyTest, TotalEnergyScalesWithWindow)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1600();
+    CommandEnergyParams ep = commandEnergyFor("ddr3_1600");
+    PowerInputs in;
+    in.window = fromUs(1);
+    in.numActs = 10;
+    in.readBursts = 100;
+    double e1 = totalEnergyJoules(in, cfg, ep);
+    in.window = fromUs(2); // same activity, double the time
+    double e2 = totalEnergyJoules(in, cfg, ep);
+    // Dynamic energy is unchanged; background doubles.
+    EXPECT_GT(e2, e1);
+    EXPECT_LT(e2, 2 * e1);
+}
+
+TEST(CommandEnergyTest, AllPresetsDerive)
+{
+    for (const auto &name : presets::names()) {
+        CommandEnergyParams e = commandEnergyFor(name);
+        EXPECT_GT(e.eRdBurst, 0.0) << name;
+        EXPECT_GT(e.eRef, 0.0) << name;
+        EXPECT_GT(e.pActStandby, e.pPreStandby) << name;
+        EXPECT_GT(e.pPreStandby, e.pPowerDown) << name;
+    }
+}
+
+} // namespace
+} // namespace dramctrl

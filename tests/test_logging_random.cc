@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the logging helpers and the deterministic random
+ * source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace dramctrl {
+namespace {
+
+TEST(LoggingTest, FormatStringBasics)
+{
+    EXPECT_EQ(formatString("plain"), "plain");
+    EXPECT_EQ(formatString("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(formatString("%s/%c", "a", 'b'), "a/b");
+    EXPECT_EQ(formatString("%#x", 0x40), "0x40");
+}
+
+TEST(LoggingTest, FormatStringLongOutput)
+{
+    std::string big(500, 'x');
+    std::string out = formatString("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), 502u);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+TEST(LoggingTest, QuietFlagRoundTrip)
+{
+    bool was_quiet = isQuiet();
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    warn("suppressed warning %d", 1);  // must not crash
+    inform("suppressed info");         // must not crash
+    setQuiet(was_quiet);
+}
+
+TEST(LoggingTest, PanicAndFatalThrowUnderTestHook)
+{
+    setThrowOnError(true);
+    EXPECT_THROW(panic("boom %d", 7), std::runtime_error);
+    EXPECT_THROW(fatal("bad config '%s'", "x"), std::runtime_error);
+    try {
+        panic("with detail %d", 42);
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("with detail 42"),
+                  std::string::npos);
+    }
+    setThrowOnError(false);
+}
+
+TEST(LoggingTest, AssertMacroFormatsCondition)
+{
+    setThrowOnError(true);
+    try {
+        DC_ASSERT(1 == 2, "context %d", 5);
+        FAIL() << "DC_ASSERT did not fire";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+        EXPECT_NE(msg.find("context 5"), std::string::npos);
+    }
+    setThrowOnError(false);
+}
+
+TEST(RandomTest, SameSeedSameSequence)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3u);
+}
+
+TEST(RandomTest, UniformStaysInBounds)
+{
+    Random r(9);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.uniform(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(RandomTest, UniformCoversTheRange)
+{
+    Random r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.uniform(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, UniformSingleton)
+{
+    Random r(3);
+    EXPECT_EQ(r.uniform(42, 42), 42u);
+}
+
+TEST(RandomTest, UniformInvalidBoundsPanics)
+{
+    setThrowOnError(true);
+    Random r(3);
+    EXPECT_THROW(r.uniform(5, 4), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(RandomTest, UniformRealInHalfOpenUnitInterval)
+{
+    Random r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, ChanceEdgesAreExact)
+{
+    Random r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(RandomTest, ChanceApproximatesProbability)
+{
+    Random r(17);
+    unsigned hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RandomTest, GeometricMeanMatches)
+{
+    Random r(19);
+    double sum = 0;
+    const double p = 0.25;
+    for (int i = 0; i < 20000; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    // Mean failures before success = (1-p)/p = 3.
+    EXPECT_NEAR(sum / 20000, 3.0, 0.2);
+}
+
+TEST(RandomTest, GeometricValidation)
+{
+    setThrowOnError(true);
+    Random r(21);
+    EXPECT_THROW(r.geometric(0.0), std::runtime_error);
+    EXPECT_THROW(r.geometric(1.5), std::runtime_error);
+    EXPECT_EQ(r.geometric(1.0), 0u);
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace dramctrl

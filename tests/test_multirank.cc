@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Multi-rank tests: the organisation's rank dimension (Section II-A
+ * "a number of DRAM devices can be connected to the same busses in
+ * ranks, offering additional parallelism"). Activate-to-activate
+ * constraints (tRRD, tFAW) are per rank; the shared data bus is not.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_ctrl.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using testutil::TestRequestor;
+
+constexpr Tick kRCD = 13750;
+constexpr Tick kCL = 13750;
+constexpr Tick kBURST = 6000;
+constexpr Tick kXAW = 30000;
+
+DRAMCtrlConfig
+twoRankConfig()
+{
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.org.ranksPerChannel = 2;
+    cfg.org.channelCapacity *= 2; // keep rows-per-bank constant
+    return cfg;
+}
+
+class MultiRankTest : public ::testing::Test
+{
+  protected:
+    void
+    build(DRAMCtrlConfig cfg)
+    {
+        sim = std::make_unique<Simulator>();
+        ctrl = std::make_unique<DRAMCtrl>(
+            *sim, "ctrl", cfg, AddrRange(0, cfg.org.channelCapacity));
+        req = std::make_unique<TestRequestor>(*sim, "req");
+        req->port().bind(ctrl->port());
+    }
+
+    /** Address of (rank, bank, row) under RoRaBaCoCh, 2 ranks. */
+    static Addr
+    addrOf(unsigned rank, unsigned bank, std::uint64_t row,
+           std::uint64_t col = 0)
+    {
+        return (((row * 2 + rank) * 8 + bank) * 16 + col) * 64;
+    }
+
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<DRAMCtrl> ctrl;
+    std::unique_ptr<TestRequestor> req;
+};
+
+TEST_F(MultiRankTest, DecoderSeparatesRanks)
+{
+    DRAMCtrlConfig cfg = twoRankConfig();
+    AddrDecoder dec(cfg.org, cfg.addrMapping);
+    DRAMAddr a = dec.decode(addrOf(0, 3, 7, 2));
+    EXPECT_EQ(a.rank, 0u);
+    EXPECT_EQ(a.bank, 3u);
+    EXPECT_EQ(a.row, 7u);
+    DRAMAddr b = dec.decode(addrOf(1, 3, 7, 2));
+    EXPECT_EQ(b.rank, 1u);
+    EXPECT_EQ(b.bank, 3u);
+    EXPECT_EQ(b.row, 7u);
+}
+
+TEST_F(MultiRankTest, TrrdDoesNotCoupleRanks)
+{
+    build(twoRankConfig());
+    // Same bank index in both ranks, both fresh rows: the second
+    // activate is in another rank, so tRRD does not apply; only the
+    // shared bus serialises the data.
+    req->inject(0, MemCmd::ReadReq, addrOf(0, 0, 0));
+    auto other_rank = req->inject(0, MemCmd::ReadReq, addrOf(1, 0, 0));
+    sim->run(fromUs(10));
+    EXPECT_EQ(req->responseTick(other_rank),
+              kRCD + kCL + 2 * kBURST);
+}
+
+TEST_F(MultiRankTest, ActivationWindowIsPerRank)
+{
+    build(twoRankConfig());
+    // Four activates in rank 0 fill its tXAW window; a fifth activate
+    // in rank 1 is NOT window-limited.
+    std::vector<std::uint64_t> ids;
+    for (unsigned bank = 0; bank < 4; ++bank)
+        ids.push_back(
+            req->inject(0, MemCmd::ReadReq, addrOf(0, bank, 0)));
+    auto r1 = req->inject(0, MemCmd::ReadReq, addrOf(1, 0, 0));
+    auto r0_fifth = req->inject(0, MemCmd::ReadReq, addrOf(0, 4, 0));
+    sim->run(fromUs(10));
+
+    // FR-FCFS promotes the rank-1 access ahead of rank 0's remaining
+    // banks: its activate is not tRRD-constrained, so its bank is
+    // ready first and it takes the second data slot.
+    EXPECT_EQ(req->responseTick(r1), kRCD + kCL + 2 * kBURST);
+    // Rank 0's fifth activate waits for the window.
+    EXPECT_EQ(req->responseTick(r0_fifth),
+              kXAW + kRCD + kCL + kBURST);
+}
+
+TEST_F(MultiRankTest, PerBankStatsCoverBothRanks)
+{
+    build(twoRankConfig());
+    req->inject(0, MemCmd::ReadReq, addrOf(0, 2, 0));
+    req->inject(0, MemCmd::ReadReq, addrOf(1, 2, 0));
+    sim->run(fromUs(10));
+    const auto &s = ctrl->ctrlStats();
+    // Flat bank index = rank * banksPerRank + bank.
+    EXPECT_EQ(s.perBankRdBursts[2], 1.0);
+    EXPECT_EQ(s.perBankRdBursts[8 + 2], 1.0);
+}
+
+TEST_F(MultiRankTest, ConservationWithRandomRankTraffic)
+{
+    build(twoRankConfig());
+    Random rng(3);
+    unsigned n = 0;
+    for (Tick t = 0; t < fromUs(2); t += rng.uniform(3000, 9000)) {
+        req->inject(t,
+                    rng.chance(0.7) ? MemCmd::ReadReq
+                                    : MemCmd::WriteReq,
+                    rng.uniform(0, 1 << 16) * 64);
+        ++n;
+    }
+    sim->run(fromUs(200));
+    EXPECT_TRUE(req->allResponded());
+    EXPECT_EQ(req->responses().size(), n);
+}
+
+TEST_F(MultiRankTest, RefreshCoversAllRanks)
+{
+    DRAMCtrlConfig cfg = twoRankConfig();
+    cfg.timing.tREFI = fromUs(1);
+    build(cfg);
+    auto rd0 = req->inject(fromUs(1) + 1, MemCmd::ReadReq,
+                           addrOf(0, 0, 0));
+    auto rd1 = req->inject(fromUs(1) + 1, MemCmd::ReadReq,
+                           addrOf(1, 0, 0));
+    sim->run(fromUs(10));
+    Tick refresh_done = fromUs(1) + fromNs(160);
+    // Both ranks were blocked by the refresh.
+    EXPECT_GE(req->responseTick(rd0),
+              refresh_done + kRCD + kCL + kBURST);
+    EXPECT_GE(req->responseTick(rd1),
+              refresh_done + kRCD + kCL + kBURST);
+}
+
+} // namespace
+} // namespace dramctrl

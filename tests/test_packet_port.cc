@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the transaction layer: packet lifecycle, sender-state
+ * stack, the port retry protocol, and the time-ordered response queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/packet.hh"
+#include "mem/packet_queue.hh"
+#include "mem/port.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+namespace dramctrl {
+namespace {
+
+TEST(PacketTest, CommandPredicates)
+{
+    Packet rd(MemCmd::ReadReq, 0x40, 64, 1);
+    EXPECT_TRUE(rd.isRead());
+    EXPECT_TRUE(rd.isRequest());
+    EXPECT_FALSE(rd.isWrite());
+    EXPECT_FALSE(rd.isResponse());
+
+    rd.makeResponse();
+    EXPECT_EQ(rd.cmd(), MemCmd::ReadResp);
+    EXPECT_TRUE(rd.isRead());
+    EXPECT_TRUE(rd.isResponse());
+
+    Packet wr(MemCmd::WriteReq, 0x80, 32, 2);
+    wr.makeResponse();
+    EXPECT_EQ(wr.cmd(), MemCmd::WriteResp);
+}
+
+TEST(PacketTest, MakeResponseOnResponsePanics)
+{
+    setThrowOnError(true);
+    Packet p(MemCmd::ReadReq, 0, 64, 0);
+    p.makeResponse();
+    EXPECT_THROW(p.makeResponse(), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(PacketTest, UniqueIds)
+{
+    Packet a(MemCmd::ReadReq, 0, 64, 0);
+    Packet b(MemCmd::ReadReq, 0, 64, 0);
+    EXPECT_NE(a.id(), b.id());
+}
+
+TEST(PacketTest, SpanPredicates)
+{
+    Packet p(MemCmd::ReadReq, 100, 20, 0);
+    EXPECT_EQ(p.endAddr(), 120u);
+    EXPECT_TRUE(p.isContainedIn(100, 20));
+    EXPECT_TRUE(p.isContainedIn(96, 32));
+    EXPECT_FALSE(p.isContainedIn(104, 32));
+    EXPECT_TRUE(p.overlaps(110, 5));
+    EXPECT_TRUE(p.overlaps(90, 11));
+    EXPECT_FALSE(p.overlaps(120, 10));
+    EXPECT_FALSE(p.overlaps(90, 10));
+}
+
+TEST(PacketTest, SenderStateStack)
+{
+    struct State : Packet::SenderState
+    {
+        int tag;
+        explicit State(int t) : tag(t) {}
+    };
+
+    Packet p(MemCmd::ReadReq, 0, 64, 0);
+    auto *s1 = new State(1);
+    auto *s2 = new State(2);
+    p.pushSenderState(s1);
+    p.pushSenderState(s2);
+
+    auto *top = static_cast<State *>(p.popSenderState());
+    EXPECT_EQ(top->tag, 2);
+    delete top;
+    top = static_cast<State *>(p.popSenderState());
+    EXPECT_EQ(top->tag, 1);
+    delete top;
+    EXPECT_EQ(p.senderState(), nullptr);
+}
+
+TEST(PacketTest, PopEmptySenderStatePanics)
+{
+    setThrowOnError(true);
+    Packet p(MemCmd::ReadReq, 0, 64, 0);
+    EXPECT_THROW(p.popSenderState(), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(PacketTest, LiveCountTracksAllocation)
+{
+    std::uint64_t before = Packet::liveCount();
+    {
+        Packet p(MemCmd::ReadReq, 0, 64, 0);
+        EXPECT_EQ(Packet::liveCount(), before + 1);
+    }
+    EXPECT_EQ(Packet::liveCount(), before);
+}
+
+/** Scriptable responder used to exercise the retry protocol. */
+class StubResponder : public ResponsePort
+{
+  public:
+    explicit StubResponder(std::string name)
+        : ResponsePort(std::move(name))
+    {}
+
+    bool acceptRequests = true;
+    std::vector<Packet *> received;
+    int respRetries = 0;
+
+    bool
+    recvTimingReq(Packet *pkt) override
+    {
+        if (!acceptRequests)
+            return false;
+        received.push_back(pkt);
+        return true;
+    }
+
+    void recvRespRetry() override { ++respRetries; }
+};
+
+class StubRequestor : public RequestPort
+{
+  public:
+    explicit StubRequestor(std::string name)
+        : RequestPort(std::move(name))
+    {}
+
+    bool acceptResponses = true;
+    std::vector<Packet *> received;
+    int reqRetries = 0;
+
+    bool
+    recvTimingResp(Packet *pkt) override
+    {
+        if (!acceptResponses)
+            return false;
+        received.push_back(pkt);
+        return true;
+    }
+
+    void recvReqRetry() override { ++reqRetries; }
+};
+
+TEST(PortTest, BindConnectsBothDirections)
+{
+    StubRequestor req("req");
+    StubResponder resp("resp");
+    req.bind(resp);
+    EXPECT_TRUE(req.isBound());
+    EXPECT_TRUE(resp.isBound());
+
+    Packet p(MemCmd::ReadReq, 0, 64, 0);
+    EXPECT_TRUE(req.sendTimingReq(&p));
+    ASSERT_EQ(resp.received.size(), 1u);
+    EXPECT_EQ(resp.received[0], &p);
+
+    p.makeResponse();
+    EXPECT_TRUE(resp.sendTimingResp(&p));
+    ASSERT_EQ(req.received.size(), 1u);
+}
+
+TEST(PortTest, RefusalAndRetrySignalling)
+{
+    StubRequestor req("req");
+    StubResponder resp("resp");
+    req.bind(resp);
+
+    resp.acceptRequests = false;
+    Packet p(MemCmd::ReadReq, 0, 64, 0);
+    EXPECT_FALSE(req.sendTimingReq(&p));
+    resp.sendReqRetry();
+    EXPECT_EQ(req.reqRetries, 1);
+
+    req.acceptResponses = false;
+    p.makeResponse();
+    EXPECT_FALSE(resp.sendTimingResp(&p));
+    req.sendRespRetry();
+    EXPECT_EQ(resp.respRetries, 1);
+}
+
+TEST(PortTest, DoubleBindIsFatal)
+{
+    setThrowOnError(true);
+    StubRequestor req("req");
+    StubResponder resp("resp");
+    req.bind(resp);
+    StubResponder other("other");
+    EXPECT_THROW(req.bind(other), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(PortTest, UnboundSendPanics)
+{
+    setThrowOnError(true);
+    StubRequestor req("req");
+    Packet p(MemCmd::ReadReq, 0, 64, 0);
+    EXPECT_THROW(req.sendTimingReq(&p), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(RespPacketQueueTest, DeliversInTimeOrder)
+{
+    Simulator sim;
+    StubRequestor req("req");
+    StubResponder resp("resp"); // unused side
+    (void)resp;
+
+    // A minimal responder port for the queue to send through.
+    class QueuePort : public ResponsePort
+    {
+      public:
+        using ResponsePort::ResponsePort;
+        bool recvTimingReq(Packet *) override { return true; }
+        void recvRespRetry() override {}
+    };
+
+    QueuePort qport("qport");
+    req.bind(qport);
+    RespPacketQueue queue(sim.eventq(), qport, "queue");
+
+    auto *a = new Packet(MemCmd::ReadReq, 0, 64, 0);
+    auto *b = new Packet(MemCmd::ReadReq, 64, 64, 0);
+    a->makeResponse();
+    b->makeResponse();
+
+    // Pushed out of order; must be delivered in tick order.
+    queue.schedSendResp(b, 200);
+    queue.schedSendResp(a, 100);
+
+    sim.run(1000);
+    ASSERT_EQ(req.received.size(), 2u);
+    EXPECT_EQ(req.received[0], a);
+    EXPECT_EQ(req.received[1], b);
+    delete a;
+    delete b;
+}
+
+TEST(RespPacketQueueTest, StallsOnRefusalAndResumesOnRetry)
+{
+    Simulator sim;
+    StubRequestor req("req");
+
+    class QueuePort : public ResponsePort
+    {
+      public:
+        RespPacketQueue *queue = nullptr;
+        using ResponsePort::ResponsePort;
+        bool recvTimingReq(Packet *) override { return true; }
+        void recvRespRetry() override { queue->retry(); }
+    };
+
+    QueuePort qport("qport");
+    req.bind(qport);
+    RespPacketQueue queue(sim.eventq(), qport, "queue");
+    qport.queue = &queue;
+
+    auto *a = new Packet(MemCmd::ReadReq, 0, 64, 0);
+    a->makeResponse();
+
+    req.acceptResponses = false;
+    queue.schedSendResp(a, 50);
+    sim.run(100);
+    EXPECT_TRUE(req.received.empty());
+    EXPECT_FALSE(queue.empty());
+
+    req.acceptResponses = true;
+    req.sendRespRetry();
+    ASSERT_EQ(req.received.size(), 1u);
+    EXPECT_TRUE(queue.empty());
+    delete a;
+}
+
+} // namespace
+} // namespace dramctrl

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the precharge power-down extension (the paper's stated
+ * future work in Section II-G): entry after the idle threshold, tXP
+ * wake penalty, open rows surrendered on confirmed entry, interaction
+ * with refresh, and the IDD2P term in the power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_ctrl.hh"
+#include "power/micron_power.hh"
+#include "sim/simulator.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using testutil::TestRequestor;
+
+constexpr Tick kRCD = 13750;
+constexpr Tick kCL = 13750;
+constexpr Tick kBURST = 6000;
+
+class PowerDownTest : public ::testing::Test
+{
+  protected:
+    void
+    build(DRAMCtrlConfig cfg)
+    {
+        sim = std::make_unique<Simulator>();
+        ctrl = std::make_unique<DRAMCtrl>(
+            *sim, "ctrl", cfg, AddrRange(0, cfg.org.channelCapacity));
+        req = std::make_unique<TestRequestor>(*sim, "req");
+        req->port().bind(ctrl->port());
+    }
+
+    static DRAMCtrlConfig
+    pdConfig()
+    {
+        DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+        cfg.enablePowerDown = true;
+        cfg.powerDownDelay = fromNs(100);
+        cfg.tXP = fromNs(6);
+        return cfg;
+    }
+
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<DRAMCtrl> ctrl;
+    std::unique_ptr<TestRequestor> req;
+};
+
+TEST_F(PowerDownTest, DisabledByDefault)
+{
+    build(testutil::bareTimingConfig());
+    req->inject(0, MemCmd::ReadReq, 0);
+    req->inject(fromUs(50), MemCmd::ReadReq, 64);
+    sim->run(fromUs(100));
+    EXPECT_EQ(ctrl->ctrlStats().powerDownTime.value(), 0.0);
+    EXPECT_EQ(ctrl->ctrlStats().powerDownEntries.value(), 0.0);
+}
+
+TEST_F(PowerDownTest, WakePaysTxpAndLosesOpenRow)
+{
+    build(pdConfig());
+    req->inject(0, MemCmd::ReadReq, 0);
+    // Long idle gap: the device powers down and gives up row 0.
+    Tick second = fromUs(50);
+    auto rd = req->inject(second, MemCmd::ReadReq, 64); // same row
+    sim->run(fromUs(100));
+
+    EXPECT_EQ(ctrl->ctrlStats().powerDownEntries.value(), 1.0);
+    EXPECT_GT(ctrl->ctrlStats().powerDownTime.value(), 0.0);
+    // Row was surrendered: full activate path plus tXP, not a hit.
+    EXPECT_EQ(req->responseTick(rd),
+              second + fromNs(6) + kRCD + kCL + kBURST);
+}
+
+TEST_F(PowerDownTest, ArrivalWithinDelayKeepsRowOpen)
+{
+    build(pdConfig());
+    req->inject(0, MemCmd::ReadReq, 0);
+    // Second access arrives just inside the 100 ns window (the first
+    // response completes at ~33.5 ns; entry would be ~147 ns).
+    auto rd = req->inject(fromNs(80), MemCmd::ReadReq, 64);
+    sim->run(fromUs(100));
+
+    // Still a row hit, no tXP.
+    EXPECT_EQ(req->responseTick(rd), fromNs(80) + kCL + kBURST);
+    EXPECT_EQ(ctrl->ctrlStats().powerDownEntries.value(), 0.0);
+}
+
+TEST_F(PowerDownTest, AccumulatedTimeMatchesIdleGap)
+{
+    DRAMCtrlConfig cfg = pdConfig();
+    build(cfg);
+    req->inject(0, MemCmd::ReadReq, 0);
+    Tick second = fromUs(50);
+    req->inject(second, MemCmd::ReadReq, 64);
+    sim->run(fromUs(100));
+
+    // Entry at (first data done + tRP close + delay); exit at the
+    // second arrival.
+    Tick data_done = kRCD + kCL + kBURST;
+    Tick entry = data_done + fromNs(13.75) + cfg.powerDownDelay;
+    EXPECT_NEAR(ctrl->ctrlStats().powerDownTime.value(),
+                static_cast<double>(second - entry),
+                static_cast<double>(fromNs(15)));
+}
+
+TEST_F(PowerDownTest, EpisodePersistsAcrossRefreshes)
+{
+    DRAMCtrlConfig cfg = pdConfig();
+    cfg.timing.tREFI = fromUs(2);
+    build(cfg);
+    req->inject(0, MemCmd::ReadReq, 0);
+    // Idle across several refresh intervals, then one waking access:
+    // the refreshes ran, but the power-down episode is a single one
+    // spanning (nearly) the whole gap.
+    req->inject(fromUs(11), MemCmd::ReadReq, 8192);
+    sim->run(fromUs(20));
+    EXPECT_GE(ctrl->ctrlStats().numRefreshes.value(), 4.0);
+    EXPECT_EQ(ctrl->ctrlStats().powerDownEntries.value(), 1.0);
+    EXPECT_GT(ctrl->ctrlStats().powerDownTime.value(),
+              static_cast<double>(fromUs(9)));
+}
+
+TEST_F(PowerDownTest, RepeatedEpisodesAccumulate)
+{
+    build(pdConfig());
+    for (unsigned i = 0; i < 5; ++i)
+        req->inject(i * fromUs(20), MemCmd::ReadReq,
+                    static_cast<Addr>(i) * 8192);
+    sim->run(fromUs(200));
+    EXPECT_GE(ctrl->ctrlStats().powerDownEntries.value(), 4.0);
+    // Roughly (20 us - entry overhead) per gap.
+    EXPECT_GT(ctrl->ctrlStats().powerDownTime.value(),
+              4.0 * static_cast<double>(fromUs(15)));
+}
+
+TEST_F(PowerDownTest, PowerModelUsesIdd2p)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1600();
+    power::MicronPowerParams params = power::ddr3Params();
+
+    PowerInputs active;
+    active.window = fromUs(100);
+    active.prechargeAllTime = fromUs(100);
+    active.powerDownTime = 0;
+
+    PowerInputs asleep = active;
+    asleep.powerDownTime = fromUs(100);
+
+    double p_active =
+        power::computePower(active, cfg, params).background;
+    double p_asleep =
+        power::computePower(asleep, cfg, params).background;
+    EXPECT_NEAR(p_active, params.idd2n * params.vdd * 8, 1e-9);
+    EXPECT_NEAR(p_asleep, params.idd2p * params.vdd * 8, 1e-9);
+    EXPECT_LT(p_asleep, p_active);
+}
+
+TEST_F(PowerDownTest, ThroughputUnaffectedUnderSaturation)
+{
+    // Back-to-back traffic never crosses the idle threshold: power
+    // down must not change achieved bandwidth.
+    DRAMCtrlConfig cfg = pdConfig();
+    build(cfg);
+    for (unsigned i = 0; i < 64; ++i)
+        req->inject(0, MemCmd::ReadReq, (i % 16) * 64);
+    sim->run(fromUs(50));
+    EXPECT_TRUE(req->allResponded());
+    // No idle gap inside the burst: no power-down was ever confirmed.
+    EXPECT_EQ(ctrl->ctrlStats().powerDownEntries.value(), 0.0);
+    // A straggler after a long gap confirms exactly one episode (the
+    // one armed by the final drain).
+    req->inject(fromUs(60), MemCmd::ReadReq, 0);
+    sim->run(fromUs(100));
+    EXPECT_EQ(ctrl->ctrlStats().powerDownEntries.value(), 1.0);
+}
+
+} // namespace
+} // namespace dramctrl

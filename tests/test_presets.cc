@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests pinning the DRAM presets to the paper's tables: Table IV's
+ * per-technology numbers, the 12.8 GByte/s aggregate-bandwidth parity
+ * of the Section IV-B case study, and the Section III validation
+ * device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_presets.hh"
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace {
+
+double
+peakGBs(const DRAMCtrlConfig &cfg)
+{
+    return static_cast<double>(cfg.org.burstSize()) /
+           toSeconds(cfg.timing.tBURST) / 1e9;
+}
+
+TEST(PresetTest, AllPresetsListedAndValid)
+{
+    auto names = presets::names();
+    EXPECT_EQ(names.size(), 5u);
+    for (const auto &name : names) {
+        DRAMCtrlConfig cfg = presets::byName(name);
+        cfg.check(); // must not fatal
+    }
+    setThrowOnError(true);
+    EXPECT_THROW(presets::byName("ddr5_9000"), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(PresetTest, ValidationDeviceMatchesSectionIII)
+{
+    // "2 GBit, 8x8, 666 MHz" single rank, single channel.
+    DRAMCtrlConfig cfg = presets::ddr3_1333();
+    EXPECT_EQ(cfg.org.deviceBusWidth, 8u);
+    EXPECT_EQ(cfg.org.devicesPerRank, 8u);
+    EXPECT_EQ(cfg.org.ranksPerChannel, 1u);
+    EXPECT_EQ(cfg.timing.tCK, fromNs(1.5)); // 666 MHz
+    // 64-byte bursts: one cache line per burst.
+    EXPECT_EQ(cfg.org.burstSize(), 64u);
+    EXPECT_NEAR(peakGBs(cfg), 64.0 / 6.0, 1e-9);
+}
+
+TEST(PresetTest, TableIVOrganisation)
+{
+    DRAMCtrlConfig ddr3 = presets::ddr3_1600();
+    EXPECT_EQ(ddr3.org.deviceBusWidth * ddr3.org.devicesPerRank, 64u);
+    EXPECT_EQ(ddr3.org.burstLength, 8u);
+    EXPECT_EQ(ddr3.org.rowBufferSize, 1024u);
+    EXPECT_EQ(ddr3.org.banksPerRank, 8u);
+
+    DRAMCtrlConfig lp = presets::lpddr3_1600();
+    EXPECT_EQ(lp.org.deviceBusWidth * lp.org.devicesPerRank, 32u);
+    EXPECT_EQ(lp.org.burstLength, 8u);
+    EXPECT_EQ(lp.org.rowBufferSize, 1024u);
+    EXPECT_EQ(lp.org.banksPerRank, 8u);
+
+    DRAMCtrlConfig wio = presets::wideio_200();
+    EXPECT_EQ(wio.org.deviceBusWidth * wio.org.devicesPerRank, 128u);
+    EXPECT_EQ(wio.org.burstLength, 4u);
+    EXPECT_EQ(wio.org.rowBufferSize, 4096u);
+    EXPECT_EQ(wio.org.banksPerRank, 4u);
+}
+
+TEST(PresetTest, TableIVTimings)
+{
+    DRAMCtrlConfig ddr3 = presets::ddr3_1600();
+    EXPECT_EQ(ddr3.timing.tRCD, fromNs(13.75));
+    EXPECT_EQ(ddr3.timing.tCL, fromNs(13.75));
+    EXPECT_EQ(ddr3.timing.tRP, fromNs(13.75));
+    EXPECT_EQ(ddr3.timing.tRAS, fromNs(35));
+    EXPECT_EQ(ddr3.timing.tBURST, fromNs(5));
+    EXPECT_EQ(ddr3.timing.tRFC, fromNs(300));
+    EXPECT_EQ(ddr3.timing.tWTR, fromNs(7.5));
+    EXPECT_EQ(ddr3.timing.tRRD, fromNs(6.25));
+    EXPECT_EQ(ddr3.timing.tXAW, fromNs(40));
+    EXPECT_EQ(ddr3.timing.activationLimit, 4u);
+
+    DRAMCtrlConfig lp = presets::lpddr3_1600();
+    EXPECT_EQ(lp.timing.tRCD, fromNs(15));
+    EXPECT_EQ(lp.timing.tRAS, fromNs(42));
+    EXPECT_EQ(lp.timing.tRFC, fromNs(130));
+    EXPECT_EQ(lp.timing.tRRD, fromNs(10));
+    EXPECT_EQ(lp.timing.tXAW, fromNs(50));
+
+    DRAMCtrlConfig wio = presets::wideio_200();
+    EXPECT_EQ(wio.timing.tRCD, fromNs(18));
+    EXPECT_EQ(wio.timing.tBURST, fromNs(20));
+    EXPECT_EQ(wio.timing.tRFC, fromNs(210));
+    EXPECT_EQ(wio.timing.tWTR, fromNs(15));
+    EXPECT_EQ(wio.timing.activationLimit, 2u); // tTAW
+}
+
+TEST(PresetTest, CaseStudyTechnologiesAllOffer12Point8GBs)
+{
+    // Section IV-B: DDR3 1x64, LPDDR3 2x32, WideIO 4x128, all
+    // 12.8 GByte/s aggregate.
+    EXPECT_NEAR(1 * peakGBs(presets::ddr3_1600()), 12.8, 0.01);
+    EXPECT_NEAR(2 * peakGBs(presets::lpddr3_1600()), 12.8, 0.01);
+    EXPECT_NEAR(4 * peakGBs(presets::wideio_200()), 12.8, 0.01);
+}
+
+TEST(PresetTest, BurstSizesMatchInterfaceWidths)
+{
+    // DDR3: 64 bit x BL8 = 64 B; LPDDR3: 32 bit x BL8 = 32 B (the
+    // sub-cache-line case of Section II-A); WideIO: 128 bit x BL4 =
+    // 64 B.
+    EXPECT_EQ(presets::ddr3_1600().org.burstSize(), 64u);
+    EXPECT_EQ(presets::lpddr3_1600().org.burstSize(), 32u);
+    EXPECT_EQ(presets::wideio_200().org.burstSize(), 64u);
+    EXPECT_EQ(presets::hmcVault().org.burstSize(), 32u);
+}
+
+TEST(PresetTest, RefreshIntervalsAreSane)
+{
+    for (const auto &name : presets::names()) {
+        DRAMCtrlConfig cfg = presets::byName(name);
+        // Refresh overhead tRFC/tREFI stays in the low single digits.
+        EXPECT_GT(cfg.timing.tREFI, 10 * cfg.timing.tRFC) << name;
+    }
+}
+
+} // namespace
+} // namespace dramctrl

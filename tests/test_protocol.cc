@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Protocol checker tests, in two halves:
+ *
+ *  1. The checker itself: hand-built command streams with known
+ *     violations must be flagged, clean ones must pass.
+ *  2. Compliance audits: both controller models, across page
+ *     policies, mixes and configurations (including power-down and
+ *     refresh), must emit command streams with zero violations —
+ *     the verification backstop for the event model's analytic
+ *     timing computations (Section II-B/II-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cyclesim/cycle_ctrl.hh"
+#include "dram/cmd_log.hh"
+#include "dram/dram_ctrl.hh"
+#include "dram/protocol_checker.hh"
+#include "harness/testbench.hh"
+#include "sim/logging.hh"
+#include "trafficgen/dram_gen.hh"
+#include "trafficgen/random_gen.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using harness::CtrlModel;
+
+DRAMOrg
+checkerOrg()
+{
+    return testutil::bareTimingConfig().org;
+}
+
+DRAMTiming
+checkerTiming()
+{
+    return testutil::bareTimingConfig().timing;
+}
+
+std::string
+firstViolations(const std::vector<ProtocolViolation> &v, unsigned n = 3)
+{
+    std::string s;
+    for (unsigned i = 0; i < std::min<std::size_t>(n, v.size()); ++i)
+        s += v[i].toString() + "\n";
+    return s;
+}
+
+// ---------------------------------------------------------------
+// Half 1: the checker detects seeded violations.
+// ---------------------------------------------------------------
+
+TEST(ProtocolCheckerTest, CleanSingleAccessPasses)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(13.75), DRAMCmd::Rd, 0, 0, 5},
+        {fromNs(50), DRAMCmd::Pre, 0, 0, 0},
+    };
+    auto v = checker.check(log);
+    EXPECT_TRUE(v.empty()) << firstViolations(v);
+}
+
+TEST(ProtocolCheckerTest, DetectsTrcdViolation)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(5), DRAMCmd::Rd, 0, 0, 5}, // way before tRCD
+    };
+    auto v = checker.check(log);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].rule, "tRCD");
+}
+
+TEST(ProtocolCheckerTest, DetectsColumnToClosedBank)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {{0, DRAMCmd::Rd, 0, 0, 5}};
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "state");
+}
+
+TEST(ProtocolCheckerTest, DetectsWrongRow)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(20), DRAMCmd::Rd, 0, 0, 6},
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "state");
+}
+
+TEST(ProtocolCheckerTest, DetectsEarlyPrecharge)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(10), DRAMCmd::Pre, 0, 0, 0}, // before tRAS
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "tRAS");
+}
+
+TEST(ProtocolCheckerTest, DetectsEarlyReactivate)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(35), DRAMCmd::Pre, 0, 0, 0},
+        {fromNs(36), DRAMCmd::Act, 0, 0, 6}, // before tRP
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "tRP");
+}
+
+TEST(ProtocolCheckerTest, DetectsTrrdViolation)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(2), DRAMCmd::Act, 0, 1, 5}, // before tRRD
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "tRRD");
+}
+
+TEST(ProtocolCheckerTest, DetectsTxawViolation)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    // Five activates six ns apart: the fifth lands at 24 ns, inside
+    // the 30 ns window of the first.
+    std::vector<CmdRecord> log;
+    for (unsigned b = 0; b < 5; ++b)
+        log.push_back(
+            {b * fromNs(6), DRAMCmd::Act, 0, b, 0});
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "tXAW");
+}
+
+TEST(ProtocolCheckerTest, DetectsBusOverlap)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(6), DRAMCmd::Act, 0, 1, 5},
+        {fromNs(14), DRAMCmd::Rd, 0, 0, 5},
+        // tRCD-legal (6 + 13.75 = 19.75) but its data window starts
+        // inside the first read's (14 + tCL .. + tBURST).
+        {fromNs(19.8), DRAMCmd::Rd, 0, 1, 5},
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "bus");
+}
+
+TEST(ProtocolCheckerTest, DetectsTwtrViolation)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(14), DRAMCmd::Wr, 0, 0, 5},
+        // Write data ends at 14 + 13.75 + 6 = 33.75 ns; a read command
+        // at 34 ns violates tWTR (7.5 ns).
+        {fromNs(34), DRAMCmd::Rd, 0, 0, 5},
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "tWTR");
+}
+
+TEST(ProtocolCheckerTest, DetectsRefreshWithOpenBank)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(100), DRAMCmd::Ref, 0, 0, 0},
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "state");
+}
+
+TEST(ProtocolCheckerTest, DetectsActDuringRefresh)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Ref, 0, 0, 0},
+        {fromNs(50), DRAMCmd::Act, 0, 0, 5}, // tRFC is 160 ns
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v[0].rule, "tRFC");
+}
+
+TEST(ProtocolCheckerTest, SortsOutOfOrderInput)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    std::vector<CmdRecord> log = {
+        {fromNs(13.75), DRAMCmd::Rd, 0, 0, 5},
+        {0, DRAMCmd::Act, 0, 0, 5},
+    };
+    auto v = checker.check(log);
+    EXPECT_TRUE(v.empty()) << firstViolations(v);
+}
+
+// ---------------------------------------------------------------
+// Half 2: compliance audits of the live controllers.
+// ---------------------------------------------------------------
+
+using AuditParam = std::tuple<CtrlModel, PagePolicy, unsigned>;
+
+class ProtocolAudit : public ::testing::TestWithParam<AuditParam>
+{
+  public:
+    static std::string
+    name(const ::testing::TestParamInfo<AuditParam> &info)
+    {
+        const auto &[model, page, pct] = info.param;
+        return std::string(harness::toString(model)) + "_" +
+               toString(page) + "_rd" + std::to_string(pct);
+    }
+};
+
+TEST_P(ProtocolAudit, RandomTrafficIsCompliant)
+{
+    const auto &[model, page, pct] = GetParam();
+
+    Simulator sim;
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.pagePolicy = page;
+    cfg.addrMapping = page == PagePolicy::Open
+                          ? AddrMapping::RoRaBaCoCh
+                          : AddrMapping::RoCoRaBaCh;
+    cfg.timing.tREFI = fromUs(2); // include refreshes in the audit
+    cfg.writeLowThreshold = 0.0;
+
+    CmdLogger logger;
+    std::unique_ptr<MemCtrlBase> ctrl = harness::makeController(
+        sim, "ctrl", cfg, AddrRange(0, cfg.org.channelCapacity),
+        model);
+    if (model == CtrlModel::Event)
+        dynamic_cast<DRAMCtrl &>(*ctrl).setCmdLogger(&logger);
+    else
+        dynamic_cast<cyclesim::CycleDRAMCtrl &>(*ctrl).setCmdLogger(
+            &logger);
+
+    GenConfig gc;
+    gc.windowSize = 1 << 22;
+    gc.readPct = pct;
+    gc.minITT = fromNs(3);
+    gc.maxITT = fromNs(40);
+    gc.numRequests = 1500;
+    gc.seed = 97;
+    RandomGen gen(sim, "gen", gc, 0);
+    gen.port().bind(ctrl->port());
+
+    harness::runUntil(sim, [&] { return gen.done(); });
+    ASSERT_TRUE(gen.done());
+    ASSERT_GT(logger.size(), 100u);
+
+    ProtocolChecker checker(cfg.org, cfg.timing);
+    auto v = checker.check(logger.log());
+    EXPECT_TRUE(v.empty())
+        << v.size() << " violations, first:\n" << firstViolations(v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EventModel, ProtocolAudit,
+    ::testing::Combine(::testing::Values(CtrlModel::Event),
+                       ::testing::Values(PagePolicy::Open,
+                                         PagePolicy::OpenAdaptive,
+                                         PagePolicy::Closed,
+                                         PagePolicy::ClosedAdaptive),
+                       ::testing::Values(100u, 50u, 0u)),
+    ProtocolAudit::name);
+
+INSTANTIATE_TEST_SUITE_P(
+    CycleModel, ProtocolAudit,
+    ::testing::Combine(::testing::Values(CtrlModel::Cycle),
+                       ::testing::Values(PagePolicy::Open,
+                                         PagePolicy::Closed),
+                       ::testing::Values(100u, 50u, 0u)),
+    ProtocolAudit::name);
+
+TEST(ProtocolAuditExtra, PowerDownStreamIsCompliant)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.enablePowerDown = true;
+    cfg.powerDownDelay = fromNs(100);
+    cfg.timing.tREFI = fromUs(2);
+
+    CmdLogger logger;
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    ctrl.setCmdLogger(&logger);
+    testutil::TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+
+    // Sparse accesses with power-down episodes and refreshes between.
+    for (unsigned i = 0; i < 10; ++i)
+        req.inject(i * fromUs(3), MemCmd::ReadReq,
+                   static_cast<Addr>(i) * 8192);
+    sim.run(fromUs(50));
+    ASSERT_TRUE(req.allResponded());
+    EXPECT_GT(ctrl.ctrlStats().powerDownEntries.value(), 0.0);
+
+    ProtocolChecker checker(cfg.org, cfg.timing);
+    auto v = checker.check(logger.log());
+    EXPECT_TRUE(v.empty()) << firstViolations(v);
+}
+
+TEST(ProtocolAuditExtra, TwoRankStreamIsCompliant)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.org.ranksPerChannel = 2;
+    cfg.org.channelCapacity *= 2;
+    cfg.timing.tREFI = fromUs(2);
+
+    CmdLogger logger;
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    ctrl.setCmdLogger(&logger);
+
+    GenConfig gc;
+    gc.windowSize = 1 << 22;
+    gc.readPct = 70;
+    gc.minITT = gc.maxITT = fromNs(5);
+    gc.numRequests = 1500;
+    gc.seed = 19;
+    RandomGen gen(sim, "gen", gc, 0);
+    gen.port().bind(ctrl.port());
+    harness::runUntil(sim, [&] { return gen.done(); });
+
+    ProtocolChecker checker(cfg.org, cfg.timing);
+    auto v = checker.check(logger.log());
+    EXPECT_TRUE(v.empty()) << firstViolations(v);
+}
+
+TEST(ProtocolAuditExtra, DramAwareSaturationIsCompliant)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.timing.tREFI = fromUs(1);
+
+    CmdLogger logger;
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    ctrl.setCmdLogger(&logger);
+
+    DramGenConfig gc;
+    gc.org = cfg.org;
+    gc.strideBytes = 256;
+    gc.numBanksTarget = 8;
+    gc.readPct = 50;
+    gc.minITT = gc.maxITT = fromNs(3);
+    gc.numRequests = 4000;
+    gc.seed = 5;
+    DramGen gen(sim, "gen", gc, 0);
+    gen.port().bind(ctrl.port());
+    harness::runUntil(sim, [&] { return gen.done(); });
+
+    ProtocolChecker checker(cfg.org, cfg.timing);
+    auto v = checker.check(logger.log());
+    EXPECT_TRUE(v.empty())
+        << v.size() << " violations, first:\n" << firstViolations(v);
+}
+
+} // namespace
+} // namespace dramctrl

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the two deeper extensions: per-rank staggered refresh
+ * (other ranks keep serving while one refreshes) and self-refresh
+ * (deep sleep with tXS exit and IDD6 background power), including
+ * protocol audits of both.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/cmd_log.hh"
+#include "dram/dram_ctrl.hh"
+#include "dram/protocol_checker.hh"
+#include "harness/testbench.hh"
+#include "power/micron_power.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using testutil::TestRequestor;
+
+constexpr Tick kRCD = 13750;
+constexpr Tick kCL = 13750;
+constexpr Tick kBURST = 6000;
+
+/** Address of (rank, bank, row) under RoRaBaCoCh with 2 ranks. */
+Addr
+addrOf2R(unsigned rank, unsigned bank, std::uint64_t row,
+         std::uint64_t col = 0)
+{
+    return (((row * 2 + rank) * 8 + bank) * 16 + col) * 64;
+}
+
+DRAMCtrlConfig
+twoRankRefreshConfig()
+{
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.org.ranksPerChannel = 2;
+    cfg.org.channelCapacity *= 2;
+    cfg.timing.tREFI = fromUs(2);
+    cfg.perRankRefresh = true;
+    return cfg;
+}
+
+TEST(PerRankRefreshTest, OtherRankServesDuringRefresh)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = twoRankRefreshConfig();
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+
+    // Rank 0's first refresh is due at tREFI/2 = 1 us (staggered).
+    Tick just_after = fromUs(1) + 1;
+    auto r0 = req.inject(just_after, MemCmd::ReadReq,
+                         addrOf2R(0, 0, 0));
+    auto r1 = req.inject(just_after, MemCmd::ReadReq,
+                         addrOf2R(1, 0, 0));
+    sim.run(fromUs(10));
+
+    // Rank 0 is blocked by its refresh (tRFC = 160 ns).
+    EXPECT_GE(req.responseTick(r0),
+              fromUs(1) + fromNs(160) + kRCD + kCL + kBURST);
+    // Rank 1 is not: it answers at the bare access time (the two data
+    // bursts share the bus, so allow one burst of slack).
+    EXPECT_LE(req.responseTick(r1),
+              just_after + kRCD + kCL + 2 * kBURST);
+}
+
+TEST(PerRankRefreshTest, RefreshesStaggerAcrossRanks)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = twoRankRefreshConfig();
+    CmdLogger logger;
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    ctrl.setCmdLogger(&logger);
+    sim.run(fromUs(9));
+
+    // ~4 refreshes per rank over 9 us at tREFI = 2 us, alternating.
+    std::vector<Tick> rank0, rank1;
+    for (const CmdRecord &c : logger.log()) {
+        if (c.cmd != DRAMCmd::Ref)
+            continue;
+        (c.rank == 0 ? rank0 : rank1).push_back(c.tick);
+    }
+    EXPECT_GE(rank0.size(), 3u);
+    EXPECT_GE(rank1.size(), 3u);
+    // The two ranks never refresh at the same instant.
+    for (Tick t0 : rank0) {
+        for (Tick t1 : rank1)
+            EXPECT_NE(t0, t1);
+    }
+}
+
+TEST(PerRankRefreshTest, ProtocolAuditWithRandomTraffic)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = twoRankRefreshConfig();
+    CmdLogger logger;
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    ctrl.setCmdLogger(&logger);
+
+    TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+    Random rng(23);
+    for (unsigned i = 0; i < 1200; ++i)
+        req.inject(i * rng.uniform(3000, 9000) / 1000 * 1000 +
+                       i * 4000,
+                   rng.chance(0.6) ? MemCmd::ReadReq
+                                   : MemCmd::WriteReq,
+                   rng.uniform(0, 1 << 15) * 64);
+    harness::runUntil(sim, [&] { return req.allResponded(); });
+    ASSERT_TRUE(req.allResponded());
+
+    ProtocolChecker checker(cfg.org, cfg.timing);
+    auto v = checker.check(logger.log());
+    EXPECT_TRUE(v.empty())
+        << v.size() << " violations, first: "
+        << (v.empty() ? "" : v[0].toString());
+}
+
+DRAMCtrlConfig
+selfRefreshConfig()
+{
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.enablePowerDown = true;
+    cfg.powerDownDelay = fromNs(100);
+    cfg.tXP = fromNs(6);
+    cfg.enableSelfRefresh = true;
+    cfg.selfRefreshDelay = fromUs(5);
+    cfg.tXS = fromNs(170);
+    return cfg;
+}
+
+TEST(SelfRefreshTest, RequiresPowerDown)
+{
+    setThrowOnError(true);
+    DRAMCtrlConfig cfg = selfRefreshConfig();
+    cfg.enablePowerDown = false;
+    EXPECT_THROW(cfg.check(), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(SelfRefreshTest, ShortIdleStaysInPowerDown)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = selfRefreshConfig();
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+    req.inject(0, MemCmd::ReadReq, 0);
+    req.inject(fromUs(2), MemCmd::ReadReq, 8192); // < selfRefreshDelay
+    sim.run(fromUs(10));
+    EXPECT_GT(ctrl.ctrlStats().powerDownTime.value(), 0.0);
+    EXPECT_EQ(ctrl.ctrlStats().selfRefreshEntries.value(), 0.0);
+}
+
+TEST(SelfRefreshTest, LongIdleDeepensAndPaysTxs)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = selfRefreshConfig();
+    cfg.timing.tREFI = 0; // isolate the tXS effect from refreshes
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+    req.inject(0, MemCmd::ReadReq, 0);
+    Tick second = fromUs(20);
+    auto rd = req.inject(second, MemCmd::ReadReq, 64);
+    sim.run(fromUs(40));
+
+    EXPECT_EQ(ctrl.ctrlStats().selfRefreshEntries.value(), 1.0);
+    EXPECT_GT(ctrl.ctrlStats().selfRefreshTime.value(),
+              static_cast<double>(fromUs(10)));
+    // The wake pays tXS (170 ns), then a full activate path.
+    EXPECT_EQ(req.responseTick(rd),
+              second + fromNs(170) + kRCD + kCL + kBURST);
+}
+
+TEST(SelfRefreshTest, ControllerSkipsRefreshWhileSelfRefreshing)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = selfRefreshConfig();
+    cfg.timing.tREFI = fromUs(2);
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+    req.inject(0, MemCmd::ReadReq, 0);
+    // 100 us idle: in self-refresh after ~5 us; the controller must
+    // not count external REFs for the remaining ~95 us.
+    req.inject(fromUs(100), MemCmd::ReadReq, 8192);
+    sim.run(fromUs(120));
+    // Without the skip there would be ~50 refreshes.
+    EXPECT_LT(ctrl.ctrlStats().numRefreshes.value(), 10.0);
+    EXPECT_EQ(ctrl.ctrlStats().selfRefreshEntries.value(), 1.0);
+}
+
+TEST(SelfRefreshTest, BackgroundPowerDropsToIdd6)
+{
+    power::MicronPowerParams p = power::ddr3Params();
+    DRAMCtrlConfig cfg = presets::ddr3_1600();
+
+    PowerInputs in;
+    in.window = fromUs(100);
+    in.prechargeAllTime = fromUs(100);
+    in.selfRefreshTime = fromUs(100);
+    double asleep = power::computePower(in, cfg, p).background;
+    EXPECT_NEAR(asleep, p.idd6 * p.vdd * 8, 1e-9);
+
+    in.selfRefreshTime = 0;
+    in.powerDownTime = fromUs(100);
+    double pd = power::computePower(in, cfg, p).background;
+    EXPECT_LT(asleep, pd);
+}
+
+TEST(SelfRefreshTest, ProtocolAuditWithSparseTraffic)
+{
+    Simulator sim;
+    DRAMCtrlConfig cfg = selfRefreshConfig();
+    cfg.timing.tREFI = fromUs(2);
+    CmdLogger logger;
+    DRAMCtrl ctrl(sim, "ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    ctrl.setCmdLogger(&logger);
+    TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+    // Mixture of bursts and long sleeps.
+    for (unsigned i = 0; i < 6; ++i) {
+        for (unsigned j = 0; j < 10; ++j)
+            req.inject(i * fromUs(15) + j * fromNs(50),
+                       j % 3 == 0 ? MemCmd::WriteReq
+                                  : MemCmd::ReadReq,
+                       static_cast<Addr>(i * 37 + j) * 4096);
+    }
+    sim.run(fromUs(120));
+    ASSERT_TRUE(req.allResponded());
+
+    ProtocolChecker checker(cfg.org, cfg.timing);
+    auto v = checker.check(logger.log());
+    EXPECT_TRUE(v.empty())
+        << v.size() << " violations, first: "
+        << (v.empty() ? "" : v[0].toString());
+}
+
+} // namespace
+} // namespace dramctrl

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the statistics framework: scalar/average/vector/
+ * formula semantics, group trees, dumping, reset, and the self-scaling
+ * histogram (including the bimodality detector used by the Fig. 7
+ * reproduction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "stats/histogram.hh"
+#include "stats/stats.hh"
+
+namespace dramctrl {
+namespace {
+
+using namespace stats;
+
+TEST(ScalarTest, AccumulatesAndResets)
+{
+    Group g("g");
+    Scalar s(&g, "s", "a scalar");
+    EXPECT_EQ(s.value(), 0.0);
+    s += 5;
+    ++s;
+    s -= 2;
+    EXPECT_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+    s = 42;
+    EXPECT_EQ(s.value(), 42.0);
+}
+
+TEST(AverageTest, ComputesMean)
+{
+    Group g("g");
+    Average a(&g, "a", "an average");
+    EXPECT_EQ(a.value(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.value(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(VectorTest, PerElementAndTotal)
+{
+    Group g("g");
+    Vector v(&g, "v", "a vector", 4);
+    v[0] += 1;
+    v[3] += 9;
+    EXPECT_EQ(v[0], 1.0);
+    EXPECT_EQ(v[3], 9.0);
+    EXPECT_EQ(v.total(), 10.0);
+    v.reset();
+    EXPECT_EQ(v.total(), 0.0);
+}
+
+TEST(VectorTest, OutOfRangeThrows)
+{
+    Group g("g");
+    Vector v(&g, "v", "a vector", 2);
+    EXPECT_THROW(v[5] += 1, std::out_of_range);
+}
+
+TEST(FormulaTest, EvaluatesLazily)
+{
+    Group g("g");
+    Scalar num(&g, "num", "");
+    Scalar den(&g, "den", "");
+    Formula f(&g, "f", "ratio", [&] {
+        return den.value() > 0 ? num.value() / den.value() : 0.0;
+    });
+    EXPECT_EQ(f.value(), 0.0);
+    num += 6;
+    den += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(GroupTest, FullPathAndLookup)
+{
+    Group root("system");
+    Group child("ctrl", &root);
+    Scalar s(&child, "reads", "read count");
+    EXPECT_EQ(child.fullPath(), "system.ctrl");
+    EXPECT_EQ(child.find("reads"), &s);
+    EXPECT_EQ(child.find("nope"), nullptr);
+}
+
+TEST(GroupTest, DuplicateStatNamePanics)
+{
+    setThrowOnError(true);
+    Group g("g");
+    Scalar a(&g, "x", "");
+    EXPECT_THROW(Scalar(&g, "x", ""), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(GroupTest, NullParentPanics)
+{
+    setThrowOnError(true);
+    EXPECT_THROW(Scalar(nullptr, "x", ""), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(GroupTest, DumpContainsPathsValuesAndDescriptions)
+{
+    Group root("system");
+    Group child("mem", &root);
+    Scalar s(&child, "bytes", "bytes moved");
+    s += 128;
+    std::ostringstream os;
+    root.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("system.mem.bytes"), std::string::npos);
+    EXPECT_NE(out.find("128"), std::string::npos);
+    EXPECT_NE(out.find("bytes moved"), std::string::npos);
+}
+
+TEST(GroupTest, ResetAllRecursesAndRunsCallbacks)
+{
+    Group root("system");
+    Group child("mem", &root);
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a += 1;
+    b += 2;
+    int callbacks = 0;
+    child.onReset([&] { ++callbacks; });
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0.0);
+    EXPECT_EQ(b.value(), 0.0);
+    EXPECT_EQ(callbacks, 1);
+}
+
+TEST(HistogramTest, BasicMoments)
+{
+    Group g("g");
+    Histogram h(&g, "h", "hist", 16);
+    h.sample(10);
+    h.sample(20);
+    h.sample(30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_NEAR(h.stddev(), 10.0, 1e-9);
+    EXPECT_EQ(h.minSample(), 10.0);
+    EXPECT_EQ(h.maxSample(), 30.0);
+}
+
+TEST(HistogramTest, GrowsBucketsToCoverRange)
+{
+    Group g("g");
+    Histogram h(&g, "h", "hist", 8);
+    EXPECT_EQ(h.bucketSize(), 1.0);
+    h.sample(1000);
+    EXPECT_GE(h.bucketSize() * static_cast<double>(h.numBuckets()),
+              1000.0);
+    // All mass still accounted for after folding.
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < h.numBuckets(); ++i)
+        total += h.bucketCount(i);
+    EXPECT_EQ(total, 1u);
+}
+
+TEST(HistogramTest, FoldingPreservesCounts)
+{
+    Group g("g");
+    Histogram h(&g, "h", "hist", 8);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i % 7));
+    h.sample(500); // force several folds
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < h.numBuckets(); ++i)
+        total += h.bucketCount(i);
+    EXPECT_EQ(total, 101u);
+    EXPECT_EQ(h.count(), 101u);
+}
+
+TEST(HistogramTest, CdfIsMonotonic)
+{
+    Group g("g");
+    Histogram h(&g, "h", "hist", 32);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(static_cast<double>(i % 97));
+    double prev = 0;
+    for (double v = 0; v <= 100; v += 5) {
+        double c = h.cdfAt(v);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_NEAR(h.cdfAt(1000), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, UnimodalDistributionHasOneMode)
+{
+    Group g("g");
+    Histogram h(&g, "h", "hist", 32);
+    // A tight cluster around 50.
+    for (int i = 0; i < 1000; ++i)
+        h.sample(45.0 + (i % 10));
+    EXPECT_EQ(h.numModes(), 1u);
+}
+
+TEST(HistogramTest, BimodalDistributionHasTwoModes)
+{
+    Group g("g");
+    Histogram h(&g, "h", "hist", 32);
+    // Two well-separated clusters, like the write-drain read latency
+    // distribution of the paper's Figure 7.
+    for (int i = 0; i < 500; ++i)
+        h.sample(40.0 + (i % 5));
+    for (int i = 0; i < 500; ++i)
+        h.sample(400.0 + (i % 5));
+    EXPECT_EQ(h.numModes(), 2u);
+}
+
+TEST(HistogramTest, ResetClearsEverything)
+{
+    Group g("g");
+    Histogram h(&g, "h", "hist", 8);
+    h.sample(100);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketSize(), 1.0);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, NegativeSamplePanics)
+{
+    setThrowOnError(true);
+    Group g("g");
+    Histogram h(&g, "h", "hist", 8);
+    EXPECT_THROW(h.sample(-1.0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace dramctrl

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the synthetic traffic generators (Section III-A): address
+ * stream shapes, read/write mixes, flow-control handling, and the
+ * DRAM-aware generator's targeted row-hit rate and bank coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/dram_ctrl.hh"
+#include "harness/testbench.hh"
+#include "sim/logging.hh"
+#include "trafficgen/dram_gen.hh"
+#include "trafficgen/linear_gen.hh"
+#include "trafficgen/random_gen.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using harness::CtrlModel;
+using harness::SingleChannelSystem;
+
+GenConfig
+baseGenConfig(std::uint64_t n)
+{
+    GenConfig g;
+    g.windowSize = 1 << 20;
+    g.blockSize = 64;
+    g.minITT = fromNs(6);
+    g.maxITT = fromNs(6);
+    g.numRequests = n;
+    g.seed = 99;
+    return g;
+}
+
+/** A sink that records every request address and answers instantly. */
+class RecordingSink : public SimObject
+{
+  public:
+    RecordingSink(Simulator &sim, std::string name)
+        : SimObject(sim, std::move(name)),
+          port_(this->name() + ".port", *this)
+    {}
+
+    ResponsePort &port() { return port_; }
+
+    std::vector<Packet *> pending;
+    std::vector<Addr> addrs;
+    std::vector<bool> isReadLog;
+
+  private:
+    class Port : public ResponsePort
+    {
+      public:
+        Port(std::string name, RecordingSink &sink)
+            : ResponsePort(std::move(name)), sink_(sink)
+        {}
+
+        bool
+        recvTimingReq(Packet *pkt) override
+        {
+            sink_.addrs.push_back(pkt->addr());
+            sink_.isReadLog.push_back(pkt->isRead());
+            pkt->makeResponse();
+            // Respond immediately (same call chain is allowed).
+            return sink_.port_.sendTimingResp(pkt) ||
+                   (sink_.pending.push_back(pkt), true);
+        }
+
+        void recvRespRetry() override {}
+
+      private:
+        RecordingSink &sink_;
+    };
+
+    Port port_;
+};
+
+TEST(LinearGenTest, SequentialWrappingAddresses)
+{
+    Simulator sim;
+    GenConfig cfg = baseGenConfig(40);
+    cfg.windowSize = 16 * 64; // wraps after 16 blocks
+    LinearGen gen(sim, "gen", cfg, 0);
+    RecordingSink sink(sim, "sink");
+    gen.port().bind(sink.port());
+    sim.run(fromUs(10));
+
+    ASSERT_EQ(sink.addrs.size(), 40u);
+    for (unsigned i = 0; i < 40; ++i)
+        EXPECT_EQ(sink.addrs[i], (i % 16) * 64u);
+    EXPECT_TRUE(gen.done());
+}
+
+TEST(RandomGenTest, AddressesAlignedAndInWindow)
+{
+    Simulator sim;
+    GenConfig cfg = baseGenConfig(500);
+    cfg.startAddr = 0x10000;
+    cfg.windowSize = 1 << 16;
+    RandomGen gen(sim, "gen", cfg, 0);
+    RecordingSink sink(sim, "sink");
+    gen.port().bind(sink.port());
+    sim.run(fromUs(100));
+
+    ASSERT_EQ(sink.addrs.size(), 500u);
+    std::set<Addr> distinct;
+    for (Addr a : sink.addrs) {
+        EXPECT_GE(a, 0x10000u);
+        EXPECT_LT(a + 64, 0x10000u + (1 << 16) + 1);
+        EXPECT_EQ(a % 64, 0u);
+        distinct.insert(a);
+    }
+    // Uniform draws over 1024 blocks: expect plenty of distinct ones.
+    EXPECT_GT(distinct.size(), 300u);
+}
+
+TEST(BaseGenTest, ReadPercentageApproximatelyHonoured)
+{
+    Simulator sim;
+    GenConfig cfg = baseGenConfig(2000);
+    cfg.readPct = 70;
+    RandomGen gen(sim, "gen", cfg, 0);
+    RecordingSink sink(sim, "sink");
+    gen.port().bind(sink.port());
+    sim.run(fromUs(100));
+
+    unsigned reads = 0;
+    for (bool r : sink.isReadLog)
+        reads += r ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(reads) / 2000.0, 0.70, 0.05);
+    EXPECT_EQ(gen.genStats().sentReads.value() +
+                  gen.genStats().sentWrites.value(),
+              2000.0);
+}
+
+TEST(BaseGenTest, ReadPct0And100AreExact)
+{
+    for (unsigned pct : {0u, 100u}) {
+        Simulator sim;
+        GenConfig cfg = baseGenConfig(100);
+        cfg.readPct = pct;
+        RandomGen gen(sim, "gen", cfg, 0);
+        RecordingSink sink(sim, "sink");
+        gen.port().bind(sink.port());
+        sim.run(fromUs(100));
+        for (bool r : sink.isReadLog)
+            EXPECT_EQ(r, pct == 100);
+    }
+}
+
+TEST(BaseGenTest, RespectsMaxOutstanding)
+{
+    // Against a real controller so responses take time.
+    SingleChannelSystem tb(testutil::noRefreshConfig(),
+                           CtrlModel::Event);
+    GenConfig cfg = baseGenConfig(200);
+    cfg.maxOutstanding = 4;
+    cfg.minITT = fromNs(1);
+    cfg.maxITT = fromNs(1);
+    auto &gen = tb.addGen<RandomGen>(cfg);
+    unsigned peak = 0;
+    // Sample outstanding during the run.
+    for (int i = 0; i < 400; ++i) {
+        tb.sim().run(tb.sim().curTick() + fromNs(50));
+        peak = std::max(peak, gen.outstanding());
+    }
+    EXPECT_LE(peak, 4u);
+    tb.runToCompletion([&] { return gen.done(); });
+    EXPECT_TRUE(gen.done());
+}
+
+TEST(BaseGenTest, LatencyStatsPopulatedAgainstRealController)
+{
+    SingleChannelSystem tb(testutil::noRefreshConfig(),
+                           CtrlModel::Event);
+    GenConfig cfg = baseGenConfig(300);
+    auto &gen = tb.addGen<LinearGen>(cfg);
+    tb.runToCompletion([&] { return gen.done(); });
+
+    const auto &s = gen.genStats();
+    EXPECT_EQ(s.recvResponses.value(), 300.0);
+    EXPECT_EQ(s.readLatencyHist.count(), 300u);
+    // Every read saw at least frontend + tCL + tBURST + backend.
+    EXPECT_GE(gen.avgReadLatencyNs(), 10 + 13.75 + 6 + 10);
+}
+
+TEST(BaseGenTest, StopsInjectingWhenBlockedAndRecovers)
+{
+    DRAMCtrlConfig cfg = testutil::noRefreshConfig();
+    cfg.readBufferSize = 2;
+    SingleChannelSystem tb(cfg, CtrlModel::Event);
+    GenConfig gc = baseGenConfig(100);
+    gc.minITT = fromNs(1);
+    gc.maxITT = fromNs(1); // far faster than the DRAM can serve
+    auto &gen = tb.addGen<LinearGen>(gc);
+    tb.runToCompletion([&] { return gen.done(); });
+    EXPECT_TRUE(gen.done());
+    EXPECT_GT(gen.genStats().retries.value(), 0.0);
+    EXPECT_EQ(gen.genStats().recvResponses.value(), 100.0);
+}
+
+TEST(DramGenTest, ExpectedHitRateFormula)
+{
+    Simulator sim;
+    DramGenConfig cfg;
+    static_cast<GenConfig &>(cfg) = baseGenConfig(1);
+    cfg.org = testutil::noRefreshConfig().org;
+    cfg.strideBytes = 256; // 4 bursts
+    DramGen gen(sim, "gen", cfg, 0);
+    EXPECT_DOUBLE_EQ(gen.expectedOpenPageHitRate(), 3.0 / 4.0);
+}
+
+TEST(DramGenTest, SingleBankStrideNeverRevisitsRows)
+{
+    Simulator sim;
+    DramGenConfig cfg;
+    static_cast<GenConfig &>(cfg) = baseGenConfig(64);
+    cfg.org = testutil::noRefreshConfig().org;
+    cfg.mapping = AddrMapping::RoRaBaCoCh;
+    cfg.strideBytes = 128; // 2 bursts per row visit
+    cfg.numBanksTarget = 1;
+    DramGen gen(sim, "gen", cfg, 0);
+    RecordingSink sink(sim, "sink");
+    gen.port().bind(sink.port());
+    sim.run(fromUs(10));
+
+    AddrDecoder dec(cfg.org, cfg.mapping);
+    std::set<std::uint64_t> rows;
+    for (unsigned i = 0; i < sink.addrs.size(); i += 2) {
+        DRAMAddr a = dec.decode(sink.addrs[i]);
+        DRAMAddr b = dec.decode(sink.addrs[i + 1]);
+        EXPECT_EQ(a.bank, 0u);
+        EXPECT_EQ(b.row, a.row);
+        EXPECT_EQ(b.col, a.col + 1);
+        EXPECT_TRUE(rows.insert(a.row).second)
+            << "row revisited: " << a.row;
+    }
+}
+
+TEST(DramGenTest, TargetsExactlyRequestedBanks)
+{
+    Simulator sim;
+    DramGenConfig cfg;
+    static_cast<GenConfig &>(cfg) = baseGenConfig(120);
+    cfg.org = testutil::noRefreshConfig().org;
+    cfg.strideBytes = 64;
+    cfg.numBanksTarget = 3;
+    DramGen gen(sim, "gen", cfg, 0);
+    RecordingSink sink(sim, "sink");
+    gen.port().bind(sink.port());
+    sim.run(fromUs(20));
+
+    AddrDecoder dec(cfg.org, cfg.mapping);
+    std::set<unsigned> banks;
+    for (Addr a : sink.addrs)
+        banks.insert(dec.decode(a).bank);
+    EXPECT_EQ(banks.size(), 3u);
+}
+
+TEST(DramGenTest, AchievesTargetHitRateOnOpenPageController)
+{
+    // End to end: stride of 8 bursts -> 7/8 row-hit rate at the
+    // controller under an open-page policy.
+    DRAMCtrlConfig ctrl_cfg = testutil::noRefreshConfig();
+    ctrl_cfg.pagePolicy = PagePolicy::Open;
+    SingleChannelSystem tb(ctrl_cfg, CtrlModel::Event);
+
+    DramGenConfig cfg;
+    static_cast<GenConfig &>(cfg) = baseGenConfig(1024);
+    cfg.org = ctrl_cfg.org;
+    cfg.strideBytes = 8 * 64;
+    cfg.numBanksTarget = 4;
+    auto &gen = tb.addGen<DramGen>(cfg);
+    tb.runToCompletion([&] { return gen.done(); });
+
+    EXPECT_NEAR(tb.eventCtrl().ctrlStats().rowHitRate.value(),
+                7.0 / 8.0, 0.02);
+}
+
+TEST(DramGenTest, StrideClampedToPageAndValidated)
+{
+    setThrowOnError(true);
+    Simulator sim;
+    DramGenConfig cfg;
+    static_cast<GenConfig &>(cfg) = baseGenConfig(1);
+    cfg.org = testutil::noRefreshConfig().org;
+    cfg.numBanksTarget = 99;
+    EXPECT_THROW(DramGen(sim, "g1", cfg, 0), std::runtime_error);
+
+    cfg.numBanksTarget = 1;
+    cfg.strideBytes = 96; // not a multiple of the block size
+    EXPECT_THROW(DramGen(sim, "g2", cfg, 0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(GenConfigTest, Validation)
+{
+    setThrowOnError(true);
+    Simulator sim;
+    GenConfig cfg = baseGenConfig(1);
+    cfg.readPct = 150;
+    EXPECT_THROW(RandomGen(sim, "g1", cfg, 0), std::runtime_error);
+
+    cfg = baseGenConfig(1);
+    cfg.minITT = fromNs(10);
+    cfg.maxITT = fromNs(5);
+    EXPECT_THROW(RandomGen(sim, "g2", cfg, 0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+} // namespace
+} // namespace dramctrl

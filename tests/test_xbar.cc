@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the crossbar: routing, channel interleaving, response
+ * route-back, latency accounting, contention and back pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/dram_ctrl.hh"
+#include "harness/testbench.hh"
+#include "sim/logging.hh"
+#include "trafficgen/linear_gen.hh"
+#include "trafficgen/random_gen.hh"
+#include "xbar/xbar.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using testutil::TestRequestor;
+
+/** Two-channel system: requestor -> crossbar -> 2 event controllers. */
+class XbarSystem
+{
+  public:
+    explicit XbarSystem(std::uint64_t granularity = 64,
+                        XBarConfig xcfg = XBarConfig{})
+    {
+        DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+        xbar = std::make_unique<Crossbar>(sim, "xbar", xcfg);
+        auto ranges = interleavedRanges(
+            0, 2 * cfg.org.channelCapacity, granularity, 2);
+        for (unsigned ch = 0; ch < 2; ++ch) {
+            ctrls.push_back(std::make_unique<DRAMCtrl>(
+                sim, "ctrl" + std::to_string(ch), cfg, ranges[ch]));
+            unsigned idx = xbar->addMemSidePort(ranges[ch]);
+            xbar->memSidePort(idx).bind(ctrls.back()->port());
+        }
+        req = std::make_unique<TestRequestor>(sim, "req");
+        unsigned src = xbar->addCpuSidePort();
+        req->port().bind(xbar->cpuSidePort(src));
+    }
+
+    Simulator sim;
+    std::unique_ptr<Crossbar> xbar;
+    std::vector<std::unique_ptr<DRAMCtrl>> ctrls;
+    std::unique_ptr<TestRequestor> req;
+};
+
+TEST(XbarTest, RoutesByInterleavedAddress)
+{
+    XbarSystem sys;
+    EXPECT_EQ(sys.xbar->route(0), 0u);
+    EXPECT_EQ(sys.xbar->route(64), 1u);
+    EXPECT_EQ(sys.xbar->route(128), 0u);
+}
+
+TEST(XbarTest, UnmappedAddressIsFatal)
+{
+    setThrowOnError(true);
+    XbarSystem sys;
+    EXPECT_THROW(sys.xbar->route(1ULL << 60), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(XbarTest, OverlappingRangeRejected)
+{
+    setThrowOnError(true);
+    Simulator sim;
+    Crossbar xbar(sim, "xbar", XBarConfig{});
+    xbar.addMemSidePort(AddrRange(0, 4096));
+    EXPECT_THROW(xbar.addMemSidePort(AddrRange(2048, 4096)),
+                 std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(XbarTest, RequestsReachTheRightChannel)
+{
+    XbarSystem sys;
+    // Four line-interleaved reads: two per channel.
+    for (unsigned i = 0; i < 4; ++i)
+        sys.req->inject(0, MemCmd::ReadReq, i * 64);
+    sys.sim.run(fromUs(10));
+    EXPECT_TRUE(sys.req->allResponded());
+    EXPECT_EQ(sys.ctrls[0]->ctrlStats().readReqs.value(), 2.0);
+    EXPECT_EQ(sys.ctrls[1]->ctrlStats().readReqs.value(), 2.0);
+}
+
+TEST(XbarTest, ResponsesRouteBackWithLatency)
+{
+    XBarConfig xcfg;
+    xcfg.frontendLatency = fromNs(3);
+    xcfg.responseLatency = fromNs(3);
+    xcfg.width = 16;
+    xcfg.clockPeriod = fromNs(1);
+    XbarSystem sys(64, xcfg);
+    auto id = sys.req->inject(0, MemCmd::ReadReq, 0);
+    sys.sim.run(fromUs(10));
+    // Bare DRAM latency plus both crossbar directions: header latency
+    // and 64/16 = 4 cycles serialisation each way.
+    Tick dram = fromNs(13.75 + 13.75 + 6);
+    Tick xbar_each_way = fromNs(3) + 4 * fromNs(1);
+    EXPECT_EQ(sys.req->responseTick(id), dram + 2 * xbar_each_way);
+}
+
+TEST(XbarTest, PageInterleavingSendsWholeRowsToOneChannel)
+{
+    XbarSystem sys(1024); // page granularity
+    for (unsigned i = 0; i < 16; ++i)
+        sys.req->inject(0, MemCmd::ReadReq, i * 64); // one whole row
+    sys.sim.run(fromUs(10));
+    EXPECT_EQ(sys.ctrls[0]->ctrlStats().readReqs.value(), 16.0);
+    EXPECT_EQ(sys.ctrls[1]->ctrlStats().readReqs.value(), 0.0);
+}
+
+TEST(XbarTest, StatsCountForwardedTraffic)
+{
+    XbarSystem sys;
+    for (unsigned i = 0; i < 6; ++i)
+        sys.req->inject(0, MemCmd::ReadReq, i * 64);
+    sys.sim.run(fromUs(10));
+    const auto &s = sys.xbar->xbarStats();
+    EXPECT_EQ(s.reqPackets.value(), 6.0);
+    EXPECT_EQ(s.respPackets.value(), 6.0);
+    EXPECT_EQ(s.bytesForwarded.value(), 2 * 6 * 64.0);
+}
+
+TEST(XbarTest, LayerContentionSerialises)
+{
+    // A tiny layer queue and a wide packet stream to one channel:
+    // the requestor must observe retries, and everything completes.
+    XBarConfig xcfg;
+    xcfg.layerQueueLimit = 1;
+    XbarSystem sys(64, xcfg);
+    for (unsigned i = 0; i < 10; ++i)
+        sys.req->inject(0, MemCmd::ReadReq, i * 128); // all channel 0
+    sys.sim.run(fromUs(50));
+    EXPECT_TRUE(sys.req->allResponded());
+    EXPECT_GT(sys.req->retries(), 0u);
+    EXPECT_GT(sys.xbar->xbarStats().reqRetries.value(), 0.0);
+}
+
+TEST(XbarTest, ManyRequestorsShareChannels)
+{
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    Simulator sim;
+    Crossbar xbar(sim, "xbar", XBarConfig{});
+    auto ranges =
+        interleavedRanges(0, 2 * cfg.org.channelCapacity, 64, 2);
+    std::vector<std::unique_ptr<DRAMCtrl>> ctrls;
+    for (unsigned ch = 0; ch < 2; ++ch) {
+        ctrls.push_back(std::make_unique<DRAMCtrl>(
+            sim, "ctrl" + std::to_string(ch), cfg, ranges[ch]));
+        xbar.memSidePort(xbar.addMemSidePort(ranges[ch]))
+            .bind(ctrls.back()->port());
+    }
+    std::vector<std::unique_ptr<LinearGen>> gens;
+    for (unsigned g = 0; g < 4; ++g) {
+        GenConfig gc;
+        gc.startAddr = g * (1 << 20);
+        gc.windowSize = 1 << 20;
+        gc.numRequests = 200;
+        gc.minITT = gc.maxITT = fromNs(10);
+        gc.seed = g + 1;
+        gens.push_back(std::make_unique<LinearGen>(
+            sim, "gen" + std::to_string(g), gc,
+            static_cast<RequestorId>(g)));
+        gens.back()->port().bind(
+            xbar.cpuSidePort(xbar.addCpuSidePort()));
+    }
+    harness::runUntil(sim, [&] {
+        return std::all_of(gens.begin(), gens.end(),
+                           [](const auto &g) { return g->done(); });
+    });
+    for (const auto &g : gens) {
+        EXPECT_TRUE(g->done());
+        EXPECT_EQ(g->genStats().recvResponses.value(), 200.0);
+    }
+    // Interleaving spread the traffic over both channels.
+    EXPECT_GT(ctrls[0]->ctrlStats().readReqs.value(), 0.0);
+    EXPECT_GT(ctrls[1]->ctrlStats().readReqs.value(), 0.0);
+}
+
+} // namespace
+} // namespace dramctrl

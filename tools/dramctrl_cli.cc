@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Command-line runner: configure a controller and a traffic pattern
+ * from flags, simulate, and print (or JSON-dump) the results. The
+ * scriptable front end for quick what-if studies without writing C++.
+ *
+ * Examples:
+ *   dramctrl_cli --preset ddr3_1600 --pattern random --requests 50000
+ *   dramctrl_cli --preset lpddr3_1600 --pattern linear --read-pct 70 \
+ *                --itt-ns 8 --page closed --mapping RoCoRaBaCh
+ *   dramctrl_cli --preset wideio_200 --model cycle --json
+ *   dramctrl_cli --preset ddr3_1333 --pattern dram --stride 512 \
+ *                --banks 4 --audit
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "dram/cmd_log.hh"
+#include "dram/dram_presets.hh"
+#include "dram/protocol_checker.hh"
+#include "harness/testbench.hh"
+#include "power/micron_power.hh"
+#include "sim/logging.hh"
+#include "trafficgen/dram_gen.hh"
+#include "trafficgen/linear_gen.hh"
+#include "trafficgen/random_gen.hh"
+
+using namespace dramctrl;
+
+namespace {
+
+struct CliOptions
+{
+    std::string preset = "ddr3_1333";
+    std::string pattern = "random"; // linear | random | dram
+    std::string model = "event";    // event | cycle
+    std::string page;               // open | open_adaptive | ...
+    std::string mapping;            // RoRaBaCoCh | ...
+    std::string sched;              // fcfs | frfcfs
+    unsigned readPct = 100;
+    double ittNs = 6.0;
+    std::uint64_t requests = 20000;
+    std::uint64_t strideBytes = 256;
+    unsigned banks = 4;
+    double temperatureC = 85.0;
+    bool powerDown = false;
+    bool json = false;
+    bool audit = false;
+    std::uint64_t seed = 1;
+};
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --preset NAME      ddr3_1333|ddr3_1600|lpddr3_1600|"
+        "wideio_200|hmc_vault\n"
+        "  --pattern NAME     linear|random|dram (DRAM-aware)\n"
+        "  --model NAME       event|cycle\n"
+        "  --page POLICY      open|open_adaptive|closed|"
+        "closed_adaptive\n"
+        "  --mapping NAME     RoRaBaCoCh|RoRaBaChCo|RoCoRaBaCh\n"
+        "  --sched NAME       fcfs|frfcfs\n"
+        "  --read-pct N       percentage of reads (default 100)\n"
+        "  --itt-ns F         inter-transaction time (default 6)\n"
+        "  --requests N       requests to simulate (default 20000)\n"
+        "  --stride BYTES     dram pattern stride (default 256)\n"
+        "  --banks N          dram pattern banks (default 4)\n"
+        "  --temperature C    device temperature (default 85)\n"
+        "  --power-down       enable the power-down extension\n"
+        "  --audit            log commands and run the JEDEC checker\n"
+        "  --json             dump the full stats tree as JSON\n"
+        "  --seed N           RNG seed (default 1)\n",
+        prog);
+}
+
+bool
+parseArgs(int argc, char **argv, CliOptions &opt)
+{
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--preset") opt.preset = need(i);
+        else if (a == "--pattern") opt.pattern = need(i);
+        else if (a == "--model") opt.model = need(i);
+        else if (a == "--page") opt.page = need(i);
+        else if (a == "--mapping") opt.mapping = need(i);
+        else if (a == "--sched") opt.sched = need(i);
+        else if (a == "--read-pct")
+            opt.readPct = static_cast<unsigned>(std::stoul(need(i)));
+        else if (a == "--itt-ns") opt.ittNs = std::stod(need(i));
+        else if (a == "--requests") opt.requests = std::stoull(need(i));
+        else if (a == "--stride")
+            opt.strideBytes = std::stoull(need(i));
+        else if (a == "--banks")
+            opt.banks = static_cast<unsigned>(std::stoul(need(i)));
+        else if (a == "--temperature")
+            opt.temperatureC = std::stod(need(i));
+        else if (a == "--power-down") opt.powerDown = true;
+        else if (a == "--audit") opt.audit = true;
+        else if (a == "--json") opt.json = true;
+        else if (a == "--seed") opt.seed = std::stoull(need(i));
+        else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            fatal("unknown option '%s' (try --help)", a.c_str());
+        }
+    }
+    return true;
+}
+
+PagePolicy
+pageFromString(const std::string &s)
+{
+    if (s == "open") return PagePolicy::Open;
+    if (s == "open_adaptive") return PagePolicy::OpenAdaptive;
+    if (s == "closed") return PagePolicy::Closed;
+    if (s == "closed_adaptive") return PagePolicy::ClosedAdaptive;
+    fatal("unknown page policy '%s'", s.c_str());
+}
+
+AddrMapping
+mappingFromString(const std::string &s)
+{
+    if (s == "RoRaBaCoCh") return AddrMapping::RoRaBaCoCh;
+    if (s == "RoRaBaChCo") return AddrMapping::RoRaBaChCo;
+    if (s == "RoCoRaBaCh") return AddrMapping::RoCoRaBaCh;
+    fatal("unknown address mapping '%s'", s.c_str());
+}
+
+SchedPolicy
+schedFromString(const std::string &s)
+{
+    if (s == "fcfs") return SchedPolicy::Fcfs;
+    if (s == "frfcfs") return SchedPolicy::FrFcfs;
+    fatal("unknown scheduler '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opt;
+    if (!parseArgs(argc, argv, opt))
+        return 0;
+
+    DRAMCtrlConfig cfg = presets::byName(opt.preset);
+    if (!opt.page.empty())
+        cfg.pagePolicy = pageFromString(opt.page);
+    if (!opt.mapping.empty())
+        cfg.addrMapping = mappingFromString(opt.mapping);
+    if (!opt.sched.empty())
+        cfg.schedPolicy = schedFromString(opt.sched);
+    cfg.temperatureC = opt.temperatureC;
+    cfg.enablePowerDown = opt.powerDown;
+    cfg.check();
+
+    auto model = opt.model == "cycle" ? harness::CtrlModel::Cycle
+                                      : harness::CtrlModel::Event;
+    if (opt.model != "cycle" && opt.model != "event")
+        fatal("unknown model '%s'", opt.model.c_str());
+
+    harness::SingleChannelSystem tb(cfg, model);
+
+    CmdLogger logger;
+    if (opt.audit) {
+        if (model != harness::CtrlModel::Event)
+            fatal("--audit currently supports the event model");
+        tb.eventCtrl().setCmdLogger(&logger);
+    }
+
+    BaseGen *gen = nullptr;
+    GenConfig gc;
+    gc.windowSize =
+        std::min<std::uint64_t>(cfg.org.channelCapacity, 1ULL << 26);
+    gc.readPct = opt.readPct;
+    gc.minITT = gc.maxITT = fromNs(opt.ittNs);
+    gc.numRequests = opt.requests;
+    gc.seed = opt.seed;
+
+    if (opt.pattern == "linear") {
+        gen = &tb.addGen<LinearGen>(gc);
+    } else if (opt.pattern == "random") {
+        gen = &tb.addGen<RandomGen>(gc);
+    } else if (opt.pattern == "dram") {
+        DramGenConfig dgc;
+        static_cast<GenConfig &>(dgc) = gc;
+        dgc.org = cfg.org;
+        dgc.mapping = cfg.addrMapping;
+        dgc.strideBytes = opt.strideBytes;
+        dgc.numBanksTarget = opt.banks;
+        gen = &tb.addGen<DramGen>(dgc);
+    } else {
+        fatal("unknown pattern '%s'", opt.pattern.c_str());
+    }
+
+    if (!opt.json)
+        std::printf("%s\n", cfg.describe().c_str());
+
+    tb.runToCompletion([&] { return gen->done(); });
+
+    if (opt.json) {
+        tb.sim().dumpStatsJson(std::cout);
+        std::cout << "\n";
+    } else {
+        std::printf("preset %s, %s model, %s pattern, %llu requests\n",
+                    opt.preset.c_str(), harness::toString(model),
+                    opt.pattern.c_str(),
+                    static_cast<unsigned long long>(opt.requests));
+        std::printf("simulated time:    %.2f us\n",
+                    toSeconds(tb.sim().curTick()) * 1e6);
+        std::printf("avg read latency:  %.1f ns\n",
+                    gen->avgReadLatencyNs());
+        std::printf("bus utilisation:   %.1f%%\n",
+                    100 * tb.ctrl().busUtilisation());
+        std::printf("bandwidth:         %.2f / %.2f GB/s\n",
+                    tb.ctrl().achievedBandwidthGBs(),
+                    tb.ctrl().peakBandwidthGBs());
+        auto p = power::computePower(tb.ctrl().powerInputs(), cfg,
+                                     power::paramsFor(opt.preset));
+        std::printf("DRAM power:        %.2f W\n", p.total());
+    }
+
+    if (opt.audit) {
+        ProtocolChecker checker(cfg.org, cfg.timing);
+        auto violations = checker.check(logger.log());
+        std::printf("protocol audit:    %zu commands, %zu violations\n",
+                    logger.size(), violations.size());
+        for (unsigned i = 0; i < 5 && i < violations.size(); ++i)
+            std::printf("  %s\n", violations[i].toString().c_str());
+        return violations.empty() ? 0 : 2;
+    }
+    return 0;
+}
