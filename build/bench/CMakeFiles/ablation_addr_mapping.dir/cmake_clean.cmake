@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_addr_mapping.dir/ablation_addr_mapping.cc.o"
+  "CMakeFiles/ablation_addr_mapping.dir/ablation_addr_mapping.cc.o.d"
+  "ablation_addr_mapping"
+  "ablation_addr_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_addr_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

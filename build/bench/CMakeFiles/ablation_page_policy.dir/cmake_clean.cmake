@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_page_policy.dir/ablation_page_policy.cc.o"
+  "CMakeFiles/ablation_page_policy.dir/ablation_page_policy.cc.o.d"
+  "ablation_page_policy"
+  "ablation_page_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

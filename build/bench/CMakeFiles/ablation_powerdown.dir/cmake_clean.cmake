@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_powerdown.dir/ablation_powerdown.cc.o"
+  "CMakeFiles/ablation_powerdown.dir/ablation_powerdown.cc.o.d"
+  "ablation_powerdown"
+  "ablation_powerdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_powerdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

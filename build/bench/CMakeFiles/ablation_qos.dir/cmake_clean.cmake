@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qos.dir/ablation_qos.cc.o"
+  "CMakeFiles/ablation_qos.dir/ablation_qos.cc.o.d"
+  "ablation_qos"
+  "ablation_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

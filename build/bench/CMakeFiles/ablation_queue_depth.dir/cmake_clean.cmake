@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_depth.dir/ablation_queue_depth.cc.o"
+  "CMakeFiles/ablation_queue_depth.dir/ablation_queue_depth.cc.o.d"
+  "ablation_queue_depth"
+  "ablation_queue_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

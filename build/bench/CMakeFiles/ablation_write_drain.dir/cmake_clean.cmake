@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_drain.dir/ablation_write_drain.cc.o"
+  "CMakeFiles/ablation_write_drain.dir/ablation_write_drain.cc.o.d"
+  "ablation_write_drain"
+  "ablation_write_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

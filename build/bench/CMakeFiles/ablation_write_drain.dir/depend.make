@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_write_drain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_bw_open_read.dir/fig3_bw_open_read.cc.o"
+  "CMakeFiles/fig3_bw_open_read.dir/fig3_bw_open_read.cc.o.d"
+  "fig3_bw_open_read"
+  "fig3_bw_open_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_bw_open_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_bw_open_read.
+# This may be replaced when dependencies are built.

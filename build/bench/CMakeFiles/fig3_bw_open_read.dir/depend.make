@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_bw_open_read.
+# This may be replaced when dependencies are built.

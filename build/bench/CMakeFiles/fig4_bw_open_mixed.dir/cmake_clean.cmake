@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bw_open_mixed.dir/fig4_bw_open_mixed.cc.o"
+  "CMakeFiles/fig4_bw_open_mixed.dir/fig4_bw_open_mixed.cc.o.d"
+  "fig4_bw_open_mixed"
+  "fig4_bw_open_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bw_open_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_bw_open_mixed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_bw_open_mixed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bw_closed_write.dir/fig5_bw_closed_write.cc.o"
+  "CMakeFiles/fig5_bw_closed_write.dir/fig5_bw_closed_write.cc.o.d"
+  "fig5_bw_closed_write"
+  "fig5_bw_closed_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bw_closed_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

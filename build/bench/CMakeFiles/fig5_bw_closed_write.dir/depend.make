@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_bw_closed_write.
+# This may be replaced when dependencies are built.

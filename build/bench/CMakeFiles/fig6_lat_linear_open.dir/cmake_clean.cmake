@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lat_linear_open.dir/fig6_lat_linear_open.cc.o"
+  "CMakeFiles/fig6_lat_linear_open.dir/fig6_lat_linear_open.cc.o.d"
+  "fig6_lat_linear_open"
+  "fig6_lat_linear_open.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lat_linear_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_lat_linear_open.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lat_mixed_closed.dir/fig7_lat_mixed_closed.cc.o"
+  "CMakeFiles/fig7_lat_mixed_closed.dir/fig7_lat_mixed_closed.cc.o.d"
+  "fig7_lat_mixed_closed"
+  "fig7_lat_mixed_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lat_mixed_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

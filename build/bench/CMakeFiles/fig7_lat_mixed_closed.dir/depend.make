@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_lat_mixed_closed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fullsystem.dir/fig8_fullsystem.cc.o"
+  "CMakeFiles/fig8_fullsystem.dir/fig8_fullsystem.cc.o.d"
+  "fig8_fullsystem"
+  "fig8_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mem_exploration.dir/fig9_mem_exploration.cc.o"
+  "CMakeFiles/fig9_mem_exploration.dir/fig9_mem_exploration.cc.o.d"
+  "fig9_mem_exploration"
+  "fig9_mem_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mem_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

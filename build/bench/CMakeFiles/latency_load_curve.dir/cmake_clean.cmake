@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_load_curve.dir/latency_load_curve.cc.o"
+  "CMakeFiles/latency_load_curve.dir/latency_load_curve.cc.o.d"
+  "latency_load_curve"
+  "latency_load_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_load_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

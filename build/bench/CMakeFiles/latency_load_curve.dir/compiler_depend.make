@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for latency_load_curve.
+# This may be replaced when dependencies are built.

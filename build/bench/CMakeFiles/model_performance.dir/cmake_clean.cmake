@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_performance.dir/model_performance.cc.o"
+  "CMakeFiles/model_performance.dir/model_performance.cc.o.d"
+  "model_performance"
+  "model_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_correlation.dir/power_correlation.cc.o"
+  "CMakeFiles/power_correlation.dir/power_correlation.cc.o.d"
+  "power_correlation"
+  "power_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmc_exploration.dir/hmc_exploration.cpp.o"
+  "CMakeFiles/hmc_exploration.dir/hmc_exploration.cpp.o.d"
+  "hmc_exploration"
+  "hmc_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmc_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_exploration.dir/memory_exploration.cpp.o"
+  "CMakeFiles/memory_exploration.dir/memory_exploration.cpp.o.d"
+  "memory_exploration"
+  "memory_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

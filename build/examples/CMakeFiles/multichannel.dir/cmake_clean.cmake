@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichannel.dir/multichannel.cpp.o"
+  "CMakeFiles/multichannel.dir/multichannel.cpp.o.d"
+  "multichannel"
+  "multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_audit.dir/protocol_audit.cpp.o"
+  "CMakeFiles/protocol_audit.dir/protocol_audit.cpp.o.d"
+  "protocol_audit"
+  "protocol_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cc" "src/CMakeFiles/dramctrl.dir/cpu/cache.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/cpu/cache.cc.o.d"
+  "/root/repo/src/cpu/prefetcher.cc" "src/CMakeFiles/dramctrl.dir/cpu/prefetcher.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/cpu/prefetcher.cc.o.d"
+  "/root/repo/src/cpu/timing_core.cc" "src/CMakeFiles/dramctrl.dir/cpu/timing_core.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/cpu/timing_core.cc.o.d"
+  "/root/repo/src/cpu/workload.cc" "src/CMakeFiles/dramctrl.dir/cpu/workload.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/cpu/workload.cc.o.d"
+  "/root/repo/src/cyclesim/bank_state.cc" "src/CMakeFiles/dramctrl.dir/cyclesim/bank_state.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/cyclesim/bank_state.cc.o.d"
+  "/root/repo/src/cyclesim/command_queue.cc" "src/CMakeFiles/dramctrl.dir/cyclesim/command_queue.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/cyclesim/command_queue.cc.o.d"
+  "/root/repo/src/cyclesim/cycle_ctrl.cc" "src/CMakeFiles/dramctrl.dir/cyclesim/cycle_ctrl.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/cyclesim/cycle_ctrl.cc.o.d"
+  "/root/repo/src/dram/addr_decoder.cc" "src/CMakeFiles/dramctrl.dir/dram/addr_decoder.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/dram/addr_decoder.cc.o.d"
+  "/root/repo/src/dram/dram_config.cc" "src/CMakeFiles/dramctrl.dir/dram/dram_config.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/dram/dram_config.cc.o.d"
+  "/root/repo/src/dram/dram_ctrl.cc" "src/CMakeFiles/dramctrl.dir/dram/dram_ctrl.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/dram/dram_ctrl.cc.o.d"
+  "/root/repo/src/dram/dram_presets.cc" "src/CMakeFiles/dramctrl.dir/dram/dram_presets.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/dram/dram_presets.cc.o.d"
+  "/root/repo/src/dram/protocol_checker.cc" "src/CMakeFiles/dramctrl.dir/dram/protocol_checker.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/dram/protocol_checker.cc.o.d"
+  "/root/repo/src/harness/testbench.cc" "src/CMakeFiles/dramctrl.dir/harness/testbench.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/harness/testbench.cc.o.d"
+  "/root/repo/src/mem/addr_range.cc" "src/CMakeFiles/dramctrl.dir/mem/addr_range.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/mem/addr_range.cc.o.d"
+  "/root/repo/src/mem/packet.cc" "src/CMakeFiles/dramctrl.dir/mem/packet.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/mem/packet.cc.o.d"
+  "/root/repo/src/mem/packet_queue.cc" "src/CMakeFiles/dramctrl.dir/mem/packet_queue.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/mem/packet_queue.cc.o.d"
+  "/root/repo/src/mem/port.cc" "src/CMakeFiles/dramctrl.dir/mem/port.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/mem/port.cc.o.d"
+  "/root/repo/src/power/dram_power.cc" "src/CMakeFiles/dramctrl.dir/power/dram_power.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/power/dram_power.cc.o.d"
+  "/root/repo/src/power/micron_power.cc" "src/CMakeFiles/dramctrl.dir/power/micron_power.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/power/micron_power.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/CMakeFiles/dramctrl.dir/sim/event.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/sim/event.cc.o.d"
+  "/root/repo/src/sim/eventq.cc" "src/CMakeFiles/dramctrl.dir/sim/eventq.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/sim/eventq.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/dramctrl.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/dramctrl.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/dramctrl.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/dramctrl.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/dramctrl.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/dramctrl.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/stats/stats.cc.o.d"
+  "/root/repo/src/trafficgen/base_gen.cc" "src/CMakeFiles/dramctrl.dir/trafficgen/base_gen.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/trafficgen/base_gen.cc.o.d"
+  "/root/repo/src/trafficgen/dram_gen.cc" "src/CMakeFiles/dramctrl.dir/trafficgen/dram_gen.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/trafficgen/dram_gen.cc.o.d"
+  "/root/repo/src/trafficgen/linear_gen.cc" "src/CMakeFiles/dramctrl.dir/trafficgen/linear_gen.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/trafficgen/linear_gen.cc.o.d"
+  "/root/repo/src/trafficgen/random_gen.cc" "src/CMakeFiles/dramctrl.dir/trafficgen/random_gen.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/trafficgen/random_gen.cc.o.d"
+  "/root/repo/src/trafficgen/trace.cc" "src/CMakeFiles/dramctrl.dir/trafficgen/trace.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/trafficgen/trace.cc.o.d"
+  "/root/repo/src/xbar/xbar.cc" "src/CMakeFiles/dramctrl.dir/xbar/xbar.cc.o" "gcc" "src/CMakeFiles/dramctrl.dir/xbar/xbar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

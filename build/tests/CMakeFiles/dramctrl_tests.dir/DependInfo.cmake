@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addr_decoder.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_addr_decoder.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_addr_decoder.cc.o.d"
+  "/root/repo/tests/test_addr_range.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_addr_range.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_addr_range.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_cycle_ctrl.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_cycle_ctrl.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_cycle_ctrl.cc.o.d"
+  "/root/repo/tests/test_cyclesim_units.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_cyclesim_units.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_cyclesim_units.cc.o.d"
+  "/root/repo/tests/test_describe.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_describe.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_describe.cc.o.d"
+  "/root/repo/tests/test_dram_ctrl.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_dram_ctrl.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_dram_ctrl.cc.o.d"
+  "/root/repo/tests/test_dram_power.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_dram_power.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_dram_power.cc.o.d"
+  "/root/repo/tests/test_dram_timing.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_dram_timing.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_dram_timing.cc.o.d"
+  "/root/repo/tests/test_eventq.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_eventq.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_eventq.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_logging_random.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_logging_random.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_logging_random.cc.o.d"
+  "/root/repo/tests/test_multirank.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_multirank.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_multirank.cc.o.d"
+  "/root/repo/tests/test_packet_port.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_packet_port.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_packet_port.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_power_down.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_power_down.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_power_down.cc.o.d"
+  "/root/repo/tests/test_prefetcher.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_prefetcher.cc.o.d"
+  "/root/repo/tests/test_presets.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_presets.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_presets.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_protocol.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_protocol.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_protocol.cc.o.d"
+  "/root/repo/tests/test_qos.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_qos.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_qos.cc.o.d"
+  "/root/repo/tests/test_selfrefresh_rank.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_selfrefresh_rank.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_selfrefresh_rank.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stats_json.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_stats_json.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_stats_json.cc.o.d"
+  "/root/repo/tests/test_temperature.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_temperature.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_temperature.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trafficgen.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_trafficgen.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_trafficgen.cc.o.d"
+  "/root/repo/tests/test_xbar.cc" "tests/CMakeFiles/dramctrl_tests.dir/test_xbar.cc.o" "gcc" "tests/CMakeFiles/dramctrl_tests.dir/test_xbar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dramctrl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

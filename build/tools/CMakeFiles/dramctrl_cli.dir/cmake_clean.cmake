@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramctrl_cli.dir/dramctrl_cli.cc.o"
+  "CMakeFiles/dramctrl_cli.dir/dramctrl_cli.cc.o.d"
+  "dramctrl_cli"
+  "dramctrl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramctrl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
