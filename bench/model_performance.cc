@@ -48,7 +48,7 @@ const Pattern kPatterns[] = {
      8, 0},
 };
 
-double
+PointResult
 runOnce(harness::CtrlModel model, const Pattern &p,
         std::uint64_t requests)
 {
@@ -60,8 +60,7 @@ runOnce(harness::CtrlModel model, const Pattern &p,
     pc.banks = p.banks;
     pc.readPct = p.readPct;
     pc.numRequests = requests;
-    PointResult r = runPoint(pc);
-    return r.hostSeconds;
+    return runPoint(pc);
 }
 
 void
@@ -72,7 +71,7 @@ BM_SyntheticTraffic(benchmark::State &state)
                                      : harness::CtrlModel::Cycle;
     std::uint64_t requests = 4000;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(runOnce(model, p, requests));
+        benchmark::DoNotOptimize(runOnce(model, p, requests).hostSeconds);
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
@@ -124,15 +123,25 @@ printSpeedupSummary()
 {
     std::printf("\n--- speedup summary (event vs cycle, host "
                 "wall-clock) ---\n");
-    std::printf("%-20s %12s %12s %9s\n", "pattern", "event_s",
-                "cycle_s", "speedup");
+    std::printf("%-20s %10s %10s %8s %12s %12s\n", "pattern",
+                "event_s", "cycle_s", "speedup", "ev_events/s",
+                "cy_events/s");
     double total_ratio = 0;
     for (const Pattern &p : kPatterns) {
-        double ev = runOnce(harness::CtrlModel::Event, p, 20000);
-        double cy = runOnce(harness::CtrlModel::Cycle, p, 20000);
-        std::printf("%-20s %12.4f %12.4f %8.1fx\n", p.name, ev, cy,
-                    cy / ev);
-        total_ratio += cy / ev;
+        PointResult ev = runOnce(harness::CtrlModel::Event, p, 20000);
+        PointResult cy = runOnce(harness::CtrlModel::Cycle, p, 20000);
+        double ev_rate = ev.hostSeconds > 0
+                             ? static_cast<double>(ev.events) /
+                                   ev.hostSeconds
+                             : 0;
+        double cy_rate = cy.hostSeconds > 0
+                             ? static_cast<double>(cy.events) /
+                                   cy.hostSeconds
+                             : 0;
+        std::printf("%-20s %10.4f %10.4f %7.1fx %12.0f %12.0f\n",
+                    p.name, ev.hostSeconds, cy.hostSeconds,
+                    cy.hostSeconds / ev.hostSeconds, ev_rate, cy_rate);
+        total_ratio += cy.hostSeconds / ev.hostSeconds;
     }
     std::printf("average speedup: %.1fx (paper: ~7x average, up to "
                 "10x)\n",

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/chrome_trace.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -207,9 +209,23 @@ CycleDRAMCtrl::recvTimingReq(Packet *pkt)
               name().c_str(), pkt->toString().c_str());
 
     if (transQueue_.size() >= transQueueLimit_) {
+        TRACE(CycleCtrl, "%s: refuse %s, transaction queue full (%zu)",
+              name().c_str(), pkt->toString().c_str(),
+              transQueue_.size());
         ++stats_->numRetries;
         retryReq_ = true;
         return false;
+    }
+
+    TRACE(CycleCtrl, "%s: accept %s", name().c_str(),
+          pkt->toString().c_str());
+    if (auto *ct = obs::chromeTracer()) {
+        ct->beginSpan(name(), pkt->id(),
+                      std::string(pkt->isRead() ? "read " : "write ") +
+                          std::to_string(pkt->addr()),
+                      curTick());
+        ct->counter(name(), "transQ", curTick(),
+                    static_cast<double>(transQueue_.size() + 1));
     }
 
     Addr local = range_.removeIntlvBits(pkt->addr());
@@ -414,6 +430,8 @@ CycleDRAMCtrl::serviceRefresh()
         return; // tRP of the last precharge still elapsing
 
     // All banks precharged: refresh now.
+    TRACE(Refresh, "%s: REF all ranks at cycle %llu", name().c_str(),
+          static_cast<unsigned long long>(cycle_));
     ++stats_->numRefreshes;
     if (cmdLogger_ != nullptr) {
         for (unsigned r = 0; r < cfg_.org.ranksPerChannel; ++r)

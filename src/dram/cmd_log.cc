@@ -1,0 +1,38 @@
+#include "dram/cmd_log.hh"
+
+namespace dramctrl {
+
+void
+CmdLogger::clear()
+{
+    log_.clear();
+    totalRecorded_ = 0;
+    dropped_ = 0;
+    if (streaming_)
+        stream_.flush();
+}
+
+bool
+CmdLogger::streamTo(const std::string &path)
+{
+    stream_.open(path);
+    if (!stream_.is_open())
+        return false;
+    streaming_ = true;
+    for (const CmdRecord &rec : log_)
+        stream_ << rec.toString() << '\n';
+    log_.clear();
+    return true;
+}
+
+void
+CmdLogger::recordSlow(const CmdRecord &rec)
+{
+    if (streaming_) {
+        stream_ << rec.toString() << '\n';
+        return;
+    }
+    ++dropped_;
+}
+
+} // namespace dramctrl

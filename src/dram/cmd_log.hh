@@ -15,6 +15,7 @@
 #define DRAMCTRL_DRAM_CMD_LOG_H
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,11 @@ struct CmdRecord
  * Collects command records. Controllers may emit records out of tick
  * order (the event model computes future launch times analytically),
  * so consumers sort first.
+ *
+ * The in-memory log is unbounded by default; long runs can cap it with
+ * setMaxRecords() (excess records are counted in dropped(), not
+ * stored) or divert the stream to a file with streamTo(), which keeps
+ * nothing in memory. totalRecorded() always counts every record seen.
  */
 class CmdLogger
 {
@@ -53,15 +59,52 @@ class CmdLogger
     record(Tick tick, DRAMCmd cmd, unsigned rank, unsigned bank,
            std::uint64_t row = 0)
     {
+        ++totalRecorded_;
+        if (streaming_ || log_.size() >= maxRecords_) {
+            recordSlow(CmdRecord{tick, cmd, rank, bank, row});
+            return;
+        }
         log_.push_back(CmdRecord{tick, cmd, rank, bank, row});
     }
 
     const std::vector<CmdRecord> &log() const { return log_; }
-    void clear() { log_.clear(); }
+    void clear();
     std::size_t size() const { return log_.size(); }
 
+    /**
+     * Cap the in-memory log at @p max records; further records are
+     * dropped (and counted). Existing excess records are not trimmed.
+     */
+    void setMaxRecords(std::size_t max) { maxRecords_ = max; }
+    std::size_t maxRecords() const { return maxRecords_; }
+
+    /** Records seen since construction/clear, stored or not. */
+    std::uint64_t totalRecorded() const { return totalRecorded_; }
+
+    /** Records discarded by the setMaxRecords() cap. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Stream records to @p path (one line each, "tick cmd rank bank
+     * row") instead of keeping them in memory. Any records already
+     * collected are flushed to the file first.
+     *
+     * @return false if the file could not be opened.
+     */
+    bool streamTo(const std::string &path);
+
+    bool streaming() const { return streaming_; }
+
   private:
+    /** Cold path: streaming or at the cap. */
+    void recordSlow(const CmdRecord &rec);
+
     std::vector<CmdRecord> log_;
+    std::size_t maxRecords_ = SIZE_MAX;
+    std::uint64_t totalRecorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    bool streaming_ = false;
+    std::ofstream stream_;
 };
 
 } // namespace dramctrl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/chrome_trace.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -354,6 +356,8 @@ DRAMCtrl::armPowerDown()
         }
     }
     poweredDownAt_ = entry + cfg_.powerDownDelay;
+    TRACE(Power, "%s: power-down armed for %llu", name().c_str(),
+          static_cast<unsigned long long>(poweredDownAt_));
 }
 
 Tick
@@ -366,6 +370,10 @@ DRAMCtrl::exitPowerDown(Tick now)
         poweredDownAt_ = kMaxTick;
         return 0;
     }
+
+    TRACE(Power, "%s: waking from power-down entered at %llu",
+          name().c_str(),
+          static_cast<unsigned long long>(poweredDownAt_));
 
     // Power-down confirmed: the idle controller closed its open rows
     // on the way in (retroactively, since the model is lazy).
@@ -418,23 +426,48 @@ DRAMCtrl::recvTimingReq(Packet *pkt)
 
     if (pkt->isRead()) {
         if (readQueue_.size() + pkt_count > cfg_.readBufferSize) {
+            TRACE(DRAMCtrl, "%s: refuse %s, read queue full (%zu)",
+                  name().c_str(), pkt->toString().c_str(),
+                  readQueue_.size());
             ++stats_->numRdRetry;
             retryReq_ = true;
             return false;
         }
+        TRACE(DRAMCtrl, "%s: accept %s (%u bursts)", name().c_str(),
+              pkt->toString().c_str(), pkt_count);
+        if (auto *ct = obs::chromeTracer())
+            ct->beginSpan(name(), pkt->id(),
+                          "read " + std::to_string(pkt->addr()),
+                          curTick());
         ++stats_->readReqs;
         addToReadQueue(pkt, local);
     } else {
         if (writeQueue_.size() + pkt_count > cfg_.writeBufferSize) {
+            TRACE(DRAMCtrl, "%s: refuse %s, write queue full (%zu)",
+                  name().c_str(), pkt->toString().c_str(),
+                  writeQueue_.size());
             ++stats_->numWrRetry;
             retryReq_ = true;
             return false;
         }
+        TRACE(DRAMCtrl, "%s: accept %s (%u bursts)", name().c_str(),
+              pkt->toString().c_str(), pkt_count);
+        if (auto *ct = obs::chromeTracer())
+            ct->beginSpan(name(), pkt->id(),
+                          "write " + std::to_string(pkt->addr()),
+                          curTick());
         ++stats_->writeReqs;
         addToWriteQueue(pkt, local);
         // Early write response (Section II-A): acknowledge as soon as
         // the burst sits in the write queue.
         accessAndRespond(pkt, cfg_.frontendLatency, curTick());
+    }
+
+    if (auto *ct = obs::chromeTracer()) {
+        ct->counter(name(), "readQ", curTick(),
+                    static_cast<double>(readQueue_.size()));
+        ct->counter(name(), "writeQ", curTick(),
+                    static_cast<double>(writeQueue_.size()));
     }
 
     if (!nextReqEvent_.scheduled())
@@ -706,6 +739,13 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
     Tick data_done = data_start + t.tBURST;
     busBusyUntil_ = data_done;
     pkt->readyTime = data_done;
+    TRACE(DRAMCtrl,
+          "%s: %s burst rank %u bank %u row %llu %s, data %llu-%llu",
+          name().c_str(), pkt->isRead ? "RD" : "WR", pkt->rank,
+          pkt->bank, static_cast<unsigned long long>(pkt->row),
+          row_hit ? "hit" : "miss",
+          static_cast<unsigned long long>(data_start),
+          static_cast<unsigned long long>(data_done));
     if (cmdLogger_ != nullptr)
         cmdLogger_->record(data_start - t.tCL,
                            pkt->isRead ? DRAMCmd::Rd : DRAMCmd::Wr,
@@ -971,6 +1011,10 @@ DRAMCtrl::refreshRank(unsigned rank_idx)
     start = std::max(start, refNotBefore_);
 
     Tick done = start + t.tRFC;
+    TRACE(Refresh, "%s: REF rank %u at %llu, done %llu",
+          name().c_str(), rank_idx,
+          static_cast<unsigned long long>(start),
+          static_cast<unsigned long long>(done));
     if (cmdLogger_ != nullptr)
         cmdLogger_->record(start, DRAMCmd::Ref, rank_idx, 0);
     for (Bank &bank : rank.banks)
@@ -1061,6 +1105,10 @@ DRAMCtrl::processRefreshEvent()
     start = std::max(start, refNotBefore_);
 
     Tick done = start + t.tRFC;
+    TRACE(Refresh, "%s: REF all %zu ranks at %llu, done %llu",
+          name().c_str(), ranks_.size(),
+          static_cast<unsigned long long>(start),
+          static_cast<unsigned long long>(done));
     for (unsigned r = 0; r < ranks_.size(); ++r) {
         if (cmdLogger_ != nullptr)
             cmdLogger_->record(start, DRAMCmd::Ref, r, 0);

@@ -18,6 +18,8 @@
 
 namespace dramctrl {
 
+class CmdLogger;
+
 /**
  * The controller-behaviour summary the offline Micron power model needs
  * (Section II-G): activate count, bus utilisation per direction, the
@@ -74,6 +76,10 @@ class MemCtrlBase : public SimObject
 
     /** Inputs for the offline power calculation. */
     virtual PowerInputs powerInputs() const = 0;
+
+    /** Attach a command logger (nullptr detaches). Both models emit
+     * the explicit DRAM command stream they imply. */
+    virtual void setCmdLogger(CmdLogger *logger) = 0;
 };
 
 } // namespace dramctrl

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/chrome_trace.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -60,10 +62,20 @@ void
 RespPacketQueue::trySend()
 {
     while (!queue_.empty() && queue_.front().when <= eventq_.curTick()) {
-        if (!port_.sendTimingResp(queue_.front().pkt)) {
+        Packet *pkt = queue_.front().pkt;
+        // The receiver may delete the packet as soon as it accepts it;
+        // take what the span needs up front.
+        std::uint64_t pkt_id = pkt->id();
+        if (!port_.sendTimingResp(pkt)) {
+            TRACE(PacketQueue, "%s: response held, peer busy",
+                  sendEvent_.name().c_str());
             waitingForRetry_ = true;
             return;
         }
+        TRACE(PacketQueue, "%s: response delivered",
+              sendEvent_.name().c_str());
+        if (auto *ct = obs::chromeTracer())
+            ct->endSpan(pkt_id, eventq_.curTick());
         queue_.pop_front();
     }
     if (!queue_.empty() && !sendEvent_.scheduled())

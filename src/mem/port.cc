@@ -1,5 +1,6 @@
 #include "mem/port.hh"
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -26,7 +27,11 @@ RequestPort::sendTimingReq(Packet *pkt)
               name_.c_str());
     DC_ASSERT(pkt->isRequest(), "sendTimingReq of %s",
               pkt->toString().c_str());
-    return peer_->recvTimingReq(pkt);
+    bool accepted = peer_->recvTimingReq(pkt);
+    if (!accepted)
+        TRACE(Port, "%s: %s refused, waiting for retry", name_.c_str(),
+              pkt->toString().c_str());
+    return accepted;
 }
 
 void
@@ -44,7 +49,11 @@ ResponsePort::sendTimingResp(Packet *pkt)
               name_.c_str());
     DC_ASSERT(pkt->isResponse(), "sendTimingResp of %s",
               pkt->toString().c_str());
-    return peer_->recvTimingResp(pkt);
+    bool accepted = peer_->recvTimingResp(pkt);
+    if (!accepted)
+        TRACE(Port, "%s: %s refused, waiting for retry", name_.c_str(),
+              pkt->toString().c_str());
+    return accepted;
 }
 
 void

@@ -1,0 +1,77 @@
+#include "obs/event_profiler.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dramctrl {
+namespace obs {
+
+void
+EventProfiler::record(const Event &ev, double host_seconds)
+{
+    Entry &e = byName_[ev.name()];
+    ++e.count;
+    e.hostSeconds += host_seconds;
+    ++totalEvents_;
+    totalHostSeconds_ += host_seconds;
+}
+
+std::map<std::string, EventProfiler::Entry>
+EventProfiler::byType() const
+{
+    std::map<std::string, Entry> types;
+    for (const auto &kv : byName_) {
+        std::size_t dot = kv.first.rfind('.');
+        std::string type = dot == std::string::npos
+                               ? kv.first
+                               : kv.first.substr(dot + 1);
+        Entry &e = types[type];
+        e.count += kv.second.count;
+        e.hostSeconds += kv.second.hostSeconds;
+    }
+    return types;
+}
+
+void
+EventProfiler::report(std::ostream &os) const
+{
+    std::map<std::string, Entry> types = byType();
+    std::vector<std::pair<std::string, Entry>> rows(types.begin(),
+                                                    types.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.hostSeconds > b.second.hostSeconds;
+              });
+
+    os << "Event profile:\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-28s %12s %12s %10s\n",
+                  "event type", "count", "host (ms)", "ns/event");
+    os << buf;
+    for (const auto &row : rows) {
+        const Entry &e = row.second;
+        double nsPer = e.count > 0 ? e.hostSeconds * 1e9 / e.count : 0;
+        std::snprintf(buf, sizeof(buf), "  %-28s %12llu %12.3f %10.1f\n",
+                      row.first.c_str(),
+                      static_cast<unsigned long long>(e.count),
+                      e.hostSeconds * 1e3, nsPer);
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  events executed: %llu in %.3f ms host time "
+                  "(%.0f events/sec)\n",
+                  static_cast<unsigned long long>(totalEvents_),
+                  totalHostSeconds_ * 1e3, eventsPerSecond());
+    os << buf;
+}
+
+void
+EventProfiler::reset()
+{
+    byName_.clear();
+    totalEvents_ = 0;
+    totalHostSeconds_ = 0;
+}
+
+} // namespace obs
+} // namespace dramctrl

@@ -1,5 +1,8 @@
 #include "sim/eventq.hh"
 
+#include <chrono>
+
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -56,7 +59,19 @@ EventQueue::serviceOne()
     ev->scheduled_ = false;
     curTick_ = ev->when_;
     ++numServiced_;
-    ev->process();
+
+    TRACE(EventQ, "service '%s' (%zu pending)", ev->name().c_str(),
+          agenda_.size());
+
+    if (profiler_ != nullptr) {
+        auto t0 = std::chrono::steady_clock::now();
+        ev->process();
+        auto t1 = std::chrono::steady_clock::now();
+        profiler_->record(
+            *ev, std::chrono::duration<double>(t1 - t0).count());
+    } else {
+        ev->process();
+    }
 }
 
 Tick

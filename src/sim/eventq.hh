@@ -15,6 +15,20 @@
 namespace dramctrl {
 
 /**
+ * Observer of serviced events, attached with EventQueue::setProfiler.
+ * The queue calls record() after each event's process() returns; the
+ * hook costs one branch when no profiler is attached.
+ */
+class EventQueueProfiler
+{
+  public:
+    virtual ~EventQueueProfiler() = default;
+
+    /** @param host_seconds wall-clock time process() took. */
+    virtual void record(const Event &ev, double host_seconds) = 0;
+};
+
+/**
  * A discrete-event agenda.
  *
  * The queue owns simulated time: curTick() only advances when an event is
@@ -72,6 +86,17 @@ class EventQueue
     /** Total number of events serviced since construction. */
     std::uint64_t numEventsServiced() const { return numServiced_; }
 
+    /**
+     * Attach @p profiler (not owned; nullptr detaches) to count and
+     * time every serviced event.
+     */
+    void setProfiler(EventQueueProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
+    EventQueueProfiler *profiler() const { return profiler_; }
+
   private:
     struct EventCmp
     {
@@ -90,6 +115,7 @@ class EventQueue
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t numServiced_ = 0;
+    EventQueueProfiler *profiler_ = nullptr;
 };
 
 } // namespace dramctrl

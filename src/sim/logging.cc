@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/eventq.hh"
+
 namespace dramctrl {
 
 namespace {
@@ -12,7 +14,51 @@ namespace {
 bool quietFlag = false;
 bool throwFlag = false;
 
+std::vector<const EventQueue *> &
+tickSources()
+{
+    static std::vector<const EventQueue *> sources;
+    return sources;
+}
+
+/** "1234567: " when a simulator is active, "" otherwise. */
+std::string
+tickPrefix()
+{
+    Tick tick = 0;
+    if (!activeSimTick(tick))
+        return "";
+    return std::to_string(tick) + ": ";
+}
+
 } // namespace
+
+void
+registerTickSource(const EventQueue *eq)
+{
+    tickSources().push_back(eq);
+}
+
+void
+unregisterTickSource(const EventQueue *eq)
+{
+    auto &sources = tickSources();
+    for (auto it = sources.rbegin(); it != sources.rend(); ++it) {
+        if (*it == eq) {
+            sources.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+bool
+activeSimTick(Tick &tick)
+{
+    if (tickSources().empty())
+        return false;
+    tick = tickSources().back()->curTick();
+    return true;
+}
 
 std::string
 vformatString(const char *fmt, std::va_list args)
@@ -73,7 +119,8 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformatString(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::fprintf(stderr, "%swarn: %s\n", tickPrefix().c_str(),
+                 msg.c_str());
 }
 
 void
@@ -85,7 +132,8 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformatString(fmt, args);
     va_end(args);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::fprintf(stdout, "%sinfo: %s\n", tickPrefix().c_str(),
+                 msg.c_str());
 }
 
 void

@@ -18,7 +18,11 @@
 #include <cstdarg>
 #include <string>
 
+#include "sim/types.hh"
+
 namespace dramctrl {
+
+class EventQueue;
 
 /** Format a printf-style message into a std::string. */
 std::string vformatString(const char *fmt, std::va_list args);
@@ -35,11 +39,33 @@ std::string formatString(const char *fmt, ...)
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2), noreturn));
 
-/** Report a non-fatal modelling concern. */
+/**
+ * Report a non-fatal modelling concern. When a simulator is active
+ * (see registerTickSource) the message is prefixed with the current
+ * simulated tick, so diagnostics correlate with simulated time.
+ */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Report informational status. */
+/** Report informational status (tick-prefixed like warn()). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Register @p eq as the simulated-time source for tick-stamping
+ * warn()/inform() output and trace messages. Simulators register
+ * their event queue on construction and unregister on destruction;
+ * with several alive (nested testbenches), the most recently
+ * registered one wins.
+ */
+void registerTickSource(const EventQueue *eq);
+
+/** Remove @p eq from the tick-source stack (any position). */
+void unregisterTickSource(const EventQueue *eq);
+
+/**
+ * @return true and set @p tick to the innermost active simulator's
+ *         current tick; false when no simulator is alive.
+ */
+bool activeSimTick(Tick &tick);
 
 /** Suppress warn()/inform() output (used by tests and benchmarks). */
 void setQuiet(bool quiet);

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include "sim/logging.hh"
 #include "sim/sim_object.hh"
 
 namespace dramctrl {
@@ -7,6 +8,12 @@ namespace dramctrl {
 Simulator::Simulator(std::string name)
     : rootStats_(std::move(name), nullptr)
 {
+    registerTickSource(&eventq_);
+}
+
+Simulator::~Simulator()
+{
+    unregisterTickSource(&eventq_);
 }
 
 void

@@ -28,6 +28,7 @@ class Simulator
 {
   public:
     explicit Simulator(std::string name = "system");
+    ~Simulator();
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;

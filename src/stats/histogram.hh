@@ -67,6 +67,7 @@ class Histogram : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
+    double sampleValue() const override { return mean(); }
     void reset() override;
 
   private:

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <iomanip>
+#include <limits>
 
 #include "sim/logging.hh"
 
@@ -30,6 +31,12 @@ Stat::Stat(Group *parent, std::string name, std::string desc)
     if (!parent)
         panic("stat '%s' created without a parent group", name_.c_str());
     parent->addStat(this);
+}
+
+double
+Stat::sampleValue() const
+{
+    return std::numeric_limits<double>::quiet_NaN();
 }
 
 namespace {
@@ -231,6 +238,32 @@ Group::find(const std::string &name) const
             return s;
     }
     return nullptr;
+}
+
+const Group *
+Group::findChild(const std::string &name) const
+{
+    for (const Group *g : children_) {
+        if (g->name() == name)
+            return g;
+    }
+    return nullptr;
+}
+
+const Stat *
+Group::resolve(const std::string &path) const
+{
+    const Group *g = this;
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t dot = path.find('.', pos);
+        if (dot == std::string::npos)
+            return g->find(path.substr(pos));
+        g = g->findChild(path.substr(pos, dot - pos));
+        if (g == nullptr)
+            return nullptr;
+        pos = dot + 1;
+    }
 }
 
 } // namespace stats

@@ -46,6 +46,13 @@ class Stat
     /** Emit this statistic's value as a JSON fragment. */
     virtual void dumpJson(std::ostream &os) const = 0;
 
+    /**
+     * A single number summarising the statistic right now (the
+     * scalar's value, the vector's total, the histogram's mean, ...),
+     * for time-series sampling. NaN when no summary makes sense.
+     */
+    virtual double sampleValue() const;
+
     /** Return the statistic to its just-constructed state. */
     virtual void reset() = 0;
 
@@ -71,6 +78,7 @@ class Scalar : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
+    double sampleValue() const override { return value_; }
     void reset() override { value_ = 0; }
 
   private:
@@ -93,6 +101,7 @@ class Average : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
+    double sampleValue() const override { return value(); }
     void reset() override { sum_ = 0; count_ = 0; }
 
   private:
@@ -118,6 +127,7 @@ class Vector : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
+    double sampleValue() const override { return total(); }
     void reset() override;
 
   private:
@@ -141,6 +151,7 @@ class Formula : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void dumpJson(std::ostream &os) const override;
+    double sampleValue() const override { return fn_(); }
     void reset() override {}
 
   private:
@@ -189,6 +200,16 @@ class Group
 
     /** Locate a statistic by name in this group only. */
     const Stat *find(const std::string &name) const;
+
+    /** Locate a direct child group by name. */
+    const Group *findChild(const std::string &name) const;
+
+    /**
+     * Locate a statistic by dot-separated path below this group,
+     * e.g. "mem_ctrl.bytesRead" from the root. @return nullptr when
+     * any component is missing.
+     */
+    const Stat *resolve(const std::string &path) const;
 
     const std::vector<Stat *> &statList() const { return stats_; }
     const std::vector<Group *> &children() const { return children_; }

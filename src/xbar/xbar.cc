@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/chrome_trace.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -205,6 +207,8 @@ Crossbar::handleReq(Packet *pkt, unsigned src)
     unsigned dst = route(pkt->addr());
     Layer &layer = *reqLayers_[dst];
     if (layer.full()) {
+        TRACE(XBar, "%s: block %s from port %u, req layer %u busy",
+              name().c_str(), pkt->toString().c_str(), src, dst);
         ++stats_->reqRetries;
         auto &waiters = reqWaiters_[dst];
         if (std::find(waiters.begin(), waiters.end(), src) ==
@@ -212,6 +216,13 @@ Crossbar::handleReq(Packet *pkt, unsigned src)
             waiters.push_back(src);
         return false;
     }
+
+    TRACE(XBar, "%s: forward %s from port %u to layer %u",
+          name().c_str(), pkt->toString().c_str(), src, dst);
+    if (auto *ct = obs::chromeTracer())
+        ct->instant(name(), "req port " + std::to_string(src) +
+                                " -> mem " + std::to_string(dst),
+                    curTick());
 
     auto *rs = new RouteState;
     rs->srcPort = src;
@@ -232,12 +243,17 @@ Crossbar::handleResp(Packet *pkt, unsigned mem_idx)
 
     Layer &layer = *respLayers_[src];
     if (layer.full()) {
+        TRACE(XBar, "%s: block %s from mem %u, resp layer %u busy",
+              name().c_str(), pkt->toString().c_str(), mem_idx, src);
         auto &waiters = respWaiters_[src];
         if (std::find(waiters.begin(), waiters.end(), mem_idx) ==
             waiters.end())
             waiters.push_back(mem_idx);
         return false;
     }
+
+    TRACE(XBar, "%s: forward %s from mem %u back to port %u",
+          name().c_str(), pkt->toString().c_str(), mem_idx, src);
 
     pkt->popSenderState();
     delete rs;

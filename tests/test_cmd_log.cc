@@ -1,0 +1,104 @@
+/**
+ * @file
+ * CmdLogger memory-bounding tests: the in-memory record cap with its
+ * dropped counter, and the streaming-to-file mode that keeps nothing
+ * in memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "dram/cmd_log.hh"
+
+namespace dramctrl {
+namespace {
+
+TEST(CmdLogTest, UnboundedByDefault)
+{
+    CmdLogger log;
+    for (unsigned i = 0; i < 1000; ++i)
+        log.record(i, DRAMCmd::Rd, 0, i % 8);
+    EXPECT_EQ(log.size(), 1000u);
+    EXPECT_EQ(log.totalRecorded(), 1000u);
+    EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(CmdLogTest, CapDropsAndCounts)
+{
+    CmdLogger log;
+    log.setMaxRecords(2);
+    log.record(10, DRAMCmd::Act, 0, 0, 5);
+    log.record(20, DRAMCmd::Rd, 0, 0);
+    log.record(30, DRAMCmd::Rd, 0, 0);
+    log.record(40, DRAMCmd::Pre, 0, 0);
+
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.totalRecorded(), 4u);
+    EXPECT_EQ(log.dropped(), 2u);
+    // The kept records are the earliest-recorded ones.
+    EXPECT_EQ(log.log()[0].tick, 10u);
+    EXPECT_EQ(log.log()[1].tick, 20u);
+}
+
+TEST(CmdLogTest, ClearResetsCounters)
+{
+    CmdLogger log;
+    log.setMaxRecords(1);
+    log.record(1, DRAMCmd::Rd, 0, 0);
+    log.record(2, DRAMCmd::Rd, 0, 0);
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.totalRecorded(), 0u);
+    EXPECT_EQ(log.dropped(), 0u);
+    // The cap survives a clear.
+    log.record(3, DRAMCmd::Rd, 0, 0);
+    log.record(4, DRAMCmd::Rd, 0, 0);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.dropped(), 1u);
+}
+
+TEST(CmdLogTest, StreamingKeepsNothingInMemory)
+{
+    std::string path = testing::TempDir() + "cmd_stream.log";
+    CmdLogger log;
+    // Records collected before streaming starts get flushed to the
+    // file when it opens.
+    log.record(100, DRAMCmd::Act, 0, 3, 42);
+    ASSERT_TRUE(log.streamTo(path));
+    EXPECT_TRUE(log.streaming());
+    EXPECT_EQ(log.size(), 0u);
+
+    log.record(200, DRAMCmd::Rd, 1, 3);
+    log.record(300, DRAMCmd::Ref, 0, 0);
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.totalRecorded(), 3u);
+    EXPECT_EQ(log.dropped(), 0u);
+
+    // clear() flushes the stream so the file is readable mid-run.
+    log.clear();
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream content;
+    content << in.rdbuf();
+    std::string text = content.str();
+    EXPECT_NE(text.find("ACT"), std::string::npos) << text;
+    EXPECT_NE(text.find("rank 1 bank 3"), std::string::npos) << text;
+    EXPECT_NE(text.find("REF"), std::string::npos) << text;
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(CmdLogTest, StreamToBadPathFails)
+{
+    CmdLogger log;
+    EXPECT_FALSE(log.streamTo("/no/such/dir/cmd.log"));
+    EXPECT_FALSE(log.streaming());
+    // Still usable in memory.
+    log.record(1, DRAMCmd::Rd, 0, 0);
+    EXPECT_EQ(log.size(), 1u);
+}
+
+} // namespace
+} // namespace dramctrl

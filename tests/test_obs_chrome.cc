@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Chrome trace-event exporter tests: span/instant/counter recording,
+ * well-formedness of the emitted JSON (parsed back structurally),
+ * command-log import, the event cap, and packet lifecycle spans from a
+ * live controller run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dram/dram_ctrl.hh"
+#include "obs/chrome_trace.hh"
+#include "sim/simulator.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using testutil::TestRequestor;
+
+/** Balanced braces/brackets and quotes outside of strings. */
+bool
+structurallyValidJson(const std::string &s)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : s) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"': in_string = true; break;
+          case '{':
+          case '[': ++depth; break;
+          case '}':
+          case ']':
+            if (--depth < 0)
+                return false;
+            break;
+          default: break;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+/** Installs a writer as the global tracer, restores on destruction. */
+class ScopedTracer
+{
+  public:
+    explicit ScopedTracer(obs::ChromeTraceWriter &w)
+        : prev_(obs::chromeTracer())
+    {
+        obs::setChromeTracer(&w);
+    }
+
+    ~ScopedTracer() { obs::setChromeTracer(prev_); }
+
+  private:
+    obs::ChromeTraceWriter *prev_;
+};
+
+TEST(ChromeTraceTest, SpanLifecycle)
+{
+    obs::ChromeTraceWriter w;
+    w.beginSpan("ctrl", 1, "read 64", 1000);
+    EXPECT_TRUE(w.spanOpen(1));
+    w.endSpan(1, 5000);
+    EXPECT_FALSE(w.spanOpen(1));
+    EXPECT_EQ(w.numEvents(), 2u);
+}
+
+TEST(ChromeTraceTest, UnmatchedEndIgnored)
+{
+    obs::ChromeTraceWriter w;
+    w.endSpan(99, 1000);
+    EXPECT_EQ(w.numEvents(), 0u);
+}
+
+TEST(ChromeTraceTest, DuplicateBeginKeepsFirst)
+{
+    obs::ChromeTraceWriter w;
+    w.beginSpan("ctrl", 7, "first", 100);
+    w.beginSpan("ctrl", 7, "second", 200);
+    EXPECT_EQ(w.numEvents(), 1u);
+    std::ostringstream os;
+    w.write(os);
+    EXPECT_NE(os.str().find("\"first\""), std::string::npos);
+    EXPECT_EQ(os.str().find("\"second\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WellFormedJsonWithAllEventKinds)
+{
+    obs::ChromeTraceWriter w;
+    w.beginSpan("mem_ctrl", 11, "read 4096", 2500000);
+    w.instant("xbar", "req port 0 -> mem 1", 2600000);
+    w.counter("mem_ctrl", "readQ", 2700000, 3.0);
+    w.endSpan(11, 9500000);
+
+    std::ostringstream os;
+    w.write(os);
+    std::string out = os.str();
+
+    EXPECT_TRUE(structurallyValidJson(out)) << out;
+    EXPECT_NE(out.find("\"displayTimeUnit\": \"ns\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"traceEvents\": ["), std::string::npos);
+    // Metadata names the process and both tracks.
+    EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("{\"name\": \"mem_ctrl\"}"), std::string::npos);
+    EXPECT_NE(out.find("{\"name\": \"xbar\"}"), std::string::npos);
+    // Span pair keyed by the packet id with the async category.
+    EXPECT_NE(out.find("\"ph\": \"b\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\": \"e\""), std::string::npos);
+    EXPECT_NE(out.find("\"cat\": \"pkt\", \"id\": 11"),
+              std::string::npos);
+    // Tick 2500000 ps is exactly 2.5 us.
+    EXPECT_NE(out.find("\"ts\": 2.500000"), std::string::npos) << out;
+    // Counter carries its series value.
+    EXPECT_NE(out.find("{\"readQ\": 3}"), std::string::npos) << out;
+}
+
+TEST(ChromeTraceTest, EventCapDropsButNeverDropsEnds)
+{
+    obs::ChromeTraceWriter w;
+    w.setMaxEvents(2);
+    w.beginSpan("t", 1, "kept", 0);
+    w.instant("t", "kept too", 1);
+    w.instant("t", "dropped", 2);
+    EXPECT_EQ(w.numEvents(), 2u);
+    EXPECT_EQ(w.droppedEvents(), 1u);
+
+    // The open span must still close.
+    w.endSpan(1, 3);
+    EXPECT_EQ(w.numEvents(), 3u);
+    EXPECT_FALSE(w.spanOpen(1));
+}
+
+TEST(ChromeTraceTest, ImportCmdLogMakesPerRankTracks)
+{
+    CmdLogger log;
+    log.record(100, DRAMCmd::Act, 0, 2, 77);
+    log.record(200, DRAMCmd::Rd, 0, 2);
+    log.record(300, DRAMCmd::Ref, 1, 0);
+
+    obs::ChromeTraceWriter w;
+    w.importCmdLog(log.log(), "mem_ctrl");
+    EXPECT_EQ(w.numEvents(), 3u);
+
+    std::ostringstream os;
+    w.write(os);
+    std::string out = os.str();
+    EXPECT_TRUE(structurallyValidJson(out)) << out;
+    EXPECT_NE(out.find("{\"name\": \"mem_ctrl.rank0\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("{\"name\": \"mem_ctrl.rank1\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"ACT b2 r77\""), std::string::npos) << out;
+    EXPECT_NE(out.find("\"RD b2\""), std::string::npos) << out;
+    EXPECT_NE(out.find("\"REF\""), std::string::npos) << out;
+}
+
+TEST(ChromeTraceTest, LiveRunRecordsReadAndWriteSpans)
+{
+    obs::ChromeTraceWriter w;
+    ScopedTracer guard(w);
+
+    Simulator sim;
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    DRAMCtrl ctrl(sim, "mem_ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+
+    std::uint64_t rd = req.inject(0, MemCmd::ReadReq, 0);
+    std::uint64_t wr = req.inject(0, MemCmd::WriteReq, 4096);
+    sim.run(fromUs(10));
+    ASSERT_TRUE(req.allResponded());
+
+    // Both packets opened a span at the controller and closed it when
+    // the response left the response queue.
+    EXPECT_FALSE(w.spanOpen(rd));
+    EXPECT_FALSE(w.spanOpen(wr));
+
+    std::ostringstream os;
+    w.write(os);
+    std::string out = os.str();
+    EXPECT_TRUE(structurallyValidJson(out)) << out;
+    EXPECT_NE(out.find("\"read 0\""), std::string::npos) << out;
+    EXPECT_NE(out.find("\"write 4096\""), std::string::npos) << out;
+    // Queue-depth counters rode along.
+    EXPECT_NE(out.find("\"readQ\""), std::string::npos) << out;
+
+    // The span pairs really are in the stream: a begin and an end for
+    // each packet id.
+    EXPECT_NE(out.find("\"id\": " + std::to_string(rd)),
+              std::string::npos);
+    EXPECT_NE(out.find("\"id\": " + std::to_string(wr)),
+              std::string::npos);
+}
+
+TEST(ChromeTraceTest, GlobalTracerInstallAndDetach)
+{
+    EXPECT_EQ(obs::chromeTracer(), nullptr);
+    {
+        obs::ChromeTraceWriter w;
+        ScopedTracer guard(w);
+        EXPECT_EQ(obs::chromeTracer(), &w);
+    }
+    EXPECT_EQ(obs::chromeTracer(), nullptr);
+}
+
+} // namespace
+} // namespace dramctrl

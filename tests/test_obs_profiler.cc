@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Event-queue profiler tests: per-name counts, agreement with the
+ * queue's own serviced-event counter, per-type aggregation across
+ * instances, report formatting, and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/event_profiler.hh"
+#include "sim/simulator.hh"
+
+namespace dramctrl {
+namespace {
+
+using obs::EventProfiler;
+
+TEST(EventProfilerTest, CountsEveryServicedEvent)
+{
+    Simulator sim;
+    EventProfiler prof;
+    sim.eventq().setProfiler(&prof);
+
+    unsigned fired = 0;
+    EventFunctionWrapper a([&] { ++fired; }, "obj0.tickEvent");
+    EventFunctionWrapper b([&] { ++fired; }, "obj0.sendEvent");
+    sim.eventq().schedule(a, 10);
+    sim.eventq().schedule(b, 20);
+    std::uint64_t before = sim.eventq().numEventsServiced();
+    sim.run(fromNs(1));
+
+    EXPECT_EQ(fired, 2u);
+    EXPECT_EQ(prof.totalEvents(),
+              sim.eventq().numEventsServiced() - before);
+    ASSERT_EQ(prof.byName().count("obj0.tickEvent"), 1u);
+    EXPECT_EQ(prof.byName().at("obj0.tickEvent").count, 1u);
+    EXPECT_EQ(prof.byName().at("obj0.sendEvent").count, 1u);
+    EXPECT_GE(prof.totalHostSeconds(), 0.0);
+
+    sim.eventq().setProfiler(nullptr);
+}
+
+TEST(EventProfilerTest, DetachedProfilerSeesNothing)
+{
+    Simulator sim;
+    EventProfiler prof;
+    EventFunctionWrapper a([] {}, "ev");
+    sim.eventq().schedule(a, 10);
+    sim.run(fromNs(1));
+    EXPECT_EQ(prof.totalEvents(), 0u);
+}
+
+TEST(EventProfilerTest, RepeatingEventAccumulates)
+{
+    Simulator sim;
+    EventProfiler prof;
+    sim.eventq().setProfiler(&prof);
+
+    unsigned remaining = 5;
+    EventFunctionWrapper tick(
+        [&] {
+            if (--remaining > 0)
+                sim.eventq().schedule(tick, sim.curTick() + 100);
+        },
+        "ctrl.tickEvent");
+    sim.eventq().schedule(tick, 0);
+    sim.run(fromNs(10));
+
+    EXPECT_EQ(prof.byName().at("ctrl.tickEvent").count, 5u);
+    EXPECT_EQ(prof.totalEvents(), 5u);
+
+    sim.eventq().setProfiler(nullptr);
+}
+
+TEST(EventProfilerTest, ByTypeAggregatesAcrossInstances)
+{
+    EventProfiler prof;
+    EventFunctionWrapper a([] {}, "vault0.nextReqEvent");
+    EventFunctionWrapper b([] {}, "vault1.nextReqEvent");
+    EventFunctionWrapper c([] {}, "plain");
+    prof.record(a, 0.001);
+    prof.record(a, 0.001);
+    prof.record(b, 0.002);
+    prof.record(c, 0.004);
+
+    auto types = prof.byType();
+    ASSERT_EQ(types.count("nextReqEvent"), 1u);
+    EXPECT_EQ(types.at("nextReqEvent").count, 3u);
+    EXPECT_DOUBLE_EQ(types.at("nextReqEvent").hostSeconds, 0.004);
+    EXPECT_EQ(types.at("plain").count, 1u);
+    EXPECT_EQ(prof.totalEvents(), 4u);
+    EXPECT_DOUBLE_EQ(prof.totalHostSeconds(), 0.008);
+    EXPECT_DOUBLE_EQ(prof.eventsPerSecond(), 4 / 0.008);
+}
+
+TEST(EventProfilerTest, ReportListsTypesAndSummary)
+{
+    EventProfiler prof;
+    EventFunctionWrapper a([] {}, "ctrl.nextReqEvent");
+    EventFunctionWrapper b([] {}, "ctrl.refreshEvent");
+    prof.record(a, 0.010);
+    prof.record(b, 0.001);
+
+    std::ostringstream os;
+    prof.report(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("nextReqEvent"), std::string::npos) << out;
+    EXPECT_NE(out.find("refreshEvent"), std::string::npos) << out;
+    EXPECT_NE(out.find("events executed: 2"), std::string::npos) << out;
+    EXPECT_NE(out.find("events/sec"), std::string::npos) << out;
+    // Sorted by host time: the expensive type prints first.
+    EXPECT_LT(out.find("nextReqEvent"), out.find("refreshEvent"));
+}
+
+TEST(EventProfilerTest, ResetClears)
+{
+    EventProfiler prof;
+    EventFunctionWrapper a([] {}, "ev");
+    prof.record(a, 0.5);
+    EXPECT_EQ(prof.totalEvents(), 1u);
+    prof.reset();
+    EXPECT_EQ(prof.totalEvents(), 0u);
+    EXPECT_EQ(prof.totalHostSeconds(), 0.0);
+    EXPECT_TRUE(prof.byName().empty());
+    EXPECT_EQ(prof.eventsPerSecond(), 0.0);
+}
+
+} // namespace
+} // namespace dramctrl

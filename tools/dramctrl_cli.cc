@@ -15,13 +15,19 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "dram/cmd_log.hh"
 #include "dram/dram_presets.hh"
 #include "dram/protocol_checker.hh"
 #include "harness/testbench.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/event_profiler.hh"
+#include "obs/stats_sampler.hh"
+#include "obs/trace.hh"
 #include "power/micron_power.hh"
 #include "sim/logging.hh"
 #include "trafficgen/dram_gen.hh"
@@ -50,6 +56,17 @@ struct CliOptions
     bool json = false;
     bool audit = false;
     std::uint64_t seed = 1;
+
+    // Observability (see docs/OBSERVABILITY.md).
+    std::string traceChannels;  // csv of channel names, or "all"
+    std::string traceFile;      // text sink target; empty = stderr
+    std::string traceJsonl;     // JSONL sink target
+    std::string chromeFile;     // Chrome trace-event JSON target
+    double sampleIntervalNs = 0;
+    std::string sampleFile = "samples.csv";
+    std::string sampleFormat = "csv"; // csv | jsonl
+    std::string sampleStats;          // csv of stat paths; empty = default
+    bool profileEvents = false;
 };
 
 void
@@ -74,7 +91,21 @@ usage(const char *prog)
         "  --power-down       enable the power-down extension\n"
         "  --audit            log commands and run the JEDEC checker\n"
         "  --json             dump the full stats tree as JSON\n"
-        "  --seed N           RNG seed (default 1)\n",
+        "  --seed N           RNG seed (default 1)\n"
+        "observability:\n"
+        "  --trace LIST       enable trace channels (csv or 'all')\n"
+        "  --trace-file PATH  tick-stamped text trace to PATH "
+        "(default stderr)\n"
+        "  --trace-jsonl PATH JSONL trace to PATH\n"
+        "  --trace-chrome PATH  Chrome trace-event JSON (packet spans\n"
+        "                     + DRAM commands; open in Perfetto)\n"
+        "  --sample-interval NS  sample stats every NS ns of sim time\n"
+        "  --sample-file PATH    time series target "
+        "(default samples.csv)\n"
+        "  --sample-format F     csv|jsonl (default csv)\n"
+        "  --sample-stats LIST   csv of stat paths "
+        "(default controller set)\n"
+        "  --profile-events   count and time events per type\n",
         prog);
 }
 
@@ -108,6 +139,16 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         else if (a == "--audit") opt.audit = true;
         else if (a == "--json") opt.json = true;
         else if (a == "--seed") opt.seed = std::stoull(need(i));
+        else if (a == "--trace") opt.traceChannels = need(i);
+        else if (a == "--trace-file") opt.traceFile = need(i);
+        else if (a == "--trace-jsonl") opt.traceJsonl = need(i);
+        else if (a == "--trace-chrome") opt.chromeFile = need(i);
+        else if (a == "--sample-interval")
+            opt.sampleIntervalNs = std::stod(need(i));
+        else if (a == "--sample-file") opt.sampleFile = need(i);
+        else if (a == "--sample-format") opt.sampleFormat = need(i);
+        else if (a == "--sample-stats") opt.sampleStats = need(i);
+        else if (a == "--profile-events") opt.profileEvents = true;
         else if (a == "--help" || a == "-h") {
             usage(argv[0]);
             return false;
@@ -170,13 +211,85 @@ main(int argc, char **argv)
     if (opt.model != "cycle" && opt.model != "event")
         fatal("unknown model '%s'", opt.model.c_str());
 
+    // Trace channels and sinks. With channels enabled but no sink
+    // requested, messages fall back to stderr.
+    if (!opt.traceChannels.empty() &&
+        !obs::enableChannelsByName(opt.traceChannels))
+        fatal("unknown trace channel in '%s' (channels: DRAMCtrl, "
+              "CycleCtrl, XBar, Port, PacketQueue, EventQ, Refresh, "
+              "Power, Sampler, or 'all')",
+              opt.traceChannels.c_str());
+    std::unique_ptr<obs::FileTextSink> traceTextSink;
+    if (!opt.traceFile.empty()) {
+        traceTextSink =
+            std::make_unique<obs::FileTextSink>(opt.traceFile);
+        if (!traceTextSink->ok())
+            fatal("cannot open trace file '%s'", opt.traceFile.c_str());
+        obs::addSink(traceTextSink.get());
+    }
+    std::unique_ptr<obs::FileJsonlSink> traceJsonlSink;
+    if (!opt.traceJsonl.empty()) {
+        traceJsonlSink =
+            std::make_unique<obs::FileJsonlSink>(opt.traceJsonl);
+        if (!traceJsonlSink->ok())
+            fatal("cannot open trace file '%s'",
+                  opt.traceJsonl.c_str());
+        obs::addSink(traceJsonlSink.get());
+    }
+
+    obs::ChromeTraceWriter chrome;
+    if (!opt.chromeFile.empty())
+        obs::setChromeTracer(&chrome);
+
     harness::SingleChannelSystem tb(cfg, model);
 
     CmdLogger logger;
-    if (opt.audit) {
-        if (model != harness::CtrlModel::Event)
-            fatal("--audit currently supports the event model");
-        tb.eventCtrl().setCmdLogger(&logger);
+    if (opt.audit || !opt.chromeFile.empty())
+        tb.ctrl().setCmdLogger(&logger);
+
+    obs::EventProfiler profiler;
+    if (opt.profileEvents)
+        tb.sim().eventq().setProfiler(&profiler);
+
+    std::ofstream sampleOut;
+    std::unique_ptr<obs::StatsSampler> sampler;
+    if (opt.sampleIntervalNs > 0) {
+        sampleOut.open(opt.sampleFile);
+        if (!sampleOut.is_open())
+            fatal("cannot open sample file '%s'",
+                  opt.sampleFile.c_str());
+        if (opt.sampleFormat != "csv" && opt.sampleFormat != "jsonl")
+            fatal("unknown sample format '%s'",
+                  opt.sampleFormat.c_str());
+        auto fmt = opt.sampleFormat == "jsonl"
+                       ? obs::StatsSampler::Format::Jsonl
+                       : obs::StatsSampler::Format::Csv;
+        sampler = std::make_unique<obs::StatsSampler>(
+            tb.sim(), "sampler", fromNs(opt.sampleIntervalNs),
+            sampleOut, fmt);
+        auto addOne = [&](const std::string &path) {
+            if (!sampler->addStat(path))
+                warn("sample stat '%s' does not resolve, skipping",
+                     path.c_str());
+        };
+        if (!opt.sampleStats.empty()) {
+            std::size_t pos = 0;
+            while (pos <= opt.sampleStats.size()) {
+                std::size_t comma = opt.sampleStats.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = opt.sampleStats.size();
+                if (comma > pos)
+                    addOne(opt.sampleStats.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+        } else {
+            for (const char *s :
+                 {"readReqs", "writeReqs", "bytesRead", "bytesWritten",
+                  "busUtil", "rowHitRate", "avgRdQLen", "avgWrQLen"})
+                addOne(std::string("mem_ctrl.") + s);
+        }
+        if (sampler->numStats() == 0)
+            fatal("no sample stats resolved");
     }
 
     BaseGen *gen = nullptr;
@@ -208,6 +321,30 @@ main(int argc, char **argv)
         std::printf("%s\n", cfg.describe().c_str());
 
     tb.runToCompletion([&] { return gen->done(); });
+
+    if (!opt.chromeFile.empty()) {
+        chrome.importCmdLog(logger.log(), "mem_ctrl");
+        if (!chrome.writeFile(opt.chromeFile))
+            fatal("cannot write chrome trace '%s'",
+                  opt.chromeFile.c_str());
+        obs::setChromeTracer(nullptr);
+        if (!opt.json)
+            std::printf("chrome trace:      %s (%zu events)\n",
+                        opt.chromeFile.c_str(), chrome.numEvents());
+    }
+
+    if (sampler && !opt.json)
+        std::printf("stats samples:     %s (%llu samples of %zu "
+                    "stats)\n",
+                    opt.sampleFile.c_str(),
+                    static_cast<unsigned long long>(
+                        sampler->samplesTaken()),
+                    sampler->numStats());
+
+    if (opt.profileEvents) {
+        tb.sim().eventq().setProfiler(nullptr);
+        profiler.report(std::cout);
+    }
 
     if (opt.json) {
         tb.sim().dumpStatsJson(std::cout);
