@@ -17,6 +17,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
@@ -119,7 +121,7 @@ BM_Hmc16Channel(benchmark::State &state)
 }
 
 void
-printSpeedupSummary()
+printSpeedupSummary(const char *json_path)
 {
     std::printf("\n--- speedup summary (event vs cycle, host "
                 "wall-clock) ---\n");
@@ -127,6 +129,8 @@ printSpeedupSummary()
                 "event_s", "cycle_s", "speedup", "ev_events/s",
                 "cy_events/s");
     double total_ratio = 0;
+    std::string json = "[\n";
+    char row[256];
     for (const Pattern &p : kPatterns) {
         PointResult ev = runOnce(harness::CtrlModel::Event, p, 20000);
         PointResult cy = runOnce(harness::CtrlModel::Cycle, p, 20000);
@@ -142,10 +146,42 @@ printSpeedupSummary()
                     p.name, ev.hostSeconds, cy.hostSeconds,
                     cy.hostSeconds / ev.hostSeconds, ev_rate, cy_rate);
         total_ratio += cy.hostSeconds / ev.hostSeconds;
+        for (int m = 0; m < 2; ++m) {
+            const PointResult &r = m == 0 ? ev : cy;
+            double rate = m == 0 ? ev_rate : cy_rate;
+            std::snprintf(
+                row, sizeof(row),
+                "  {\"pattern\": \"%s\", \"model\": \"%s\", "
+                "\"events_per_sec\": %.0f, \"host_seconds\": %.6f, "
+                "\"sim_ticks\": %llu, \"events\": %llu},\n",
+                p.name, m == 0 ? "event" : "cycle", rate,
+                r.hostSeconds,
+                static_cast<unsigned long long>(
+                    fromNs(r.simSeconds * 1e9)),
+                static_cast<unsigned long long>(r.events));
+            json += row;
+        }
     }
     std::printf("average speedup: %.1fx (paper: ~7x average, up to "
                 "10x)\n",
                 total_ratio / std::size(kPatterns));
+
+    if (json_path != nullptr) {
+        std::snprintf(row, sizeof(row),
+                      "  {\"pattern\": \"all\", \"model\": \"both\", "
+                      "\"avg_speedup\": %.3f}\n]\n",
+                      total_ratio / std::size(kPatterns));
+        json += row;
+        std::FILE *f = std::fopen(json_path, "w");
+        if (f != nullptr) {
+            std::fputs(json.c_str(), f);
+            std::fclose(f);
+        } else {
+            std::fprintf(stderr,
+                         "model_performance: cannot open %s\n",
+                         json_path);
+        }
+    }
 }
 
 } // namespace
@@ -161,11 +197,23 @@ BENCHMARK(BM_Hmc16Channel)
 int
 main(int argc, char **argv)
 {
+    // Strip our own --json flag before google-benchmark sees argv.
+    const char *json_path = nullptr;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+
     setQuiet(true);
     printHeader("model_performance: simulation speed of both models",
                 "Section III-D (7x average speedup claim)");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    printSpeedupSummary();
+    printSpeedupSummary(json_path);
     return 0;
 }

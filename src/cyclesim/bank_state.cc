@@ -60,9 +60,11 @@ CycleRankState::recordActivate(Cycle c, const CycleTiming &t)
 {
     nextActAnyBank = std::max(nextActAnyBank, c + t.tRRD);
     if (t.activationLimit > 0) {
-        actWindow.push_back(c);
-        if (actWindow.size() > t.activationLimit)
-            actWindow.pop_front();
+        // Owners usually pre-size the ring; standalone state sizes it
+        // on first use.
+        if (actWindow.capacity() < t.activationLimit)
+            actWindow.init(t.activationLimit);
+        actWindow.push_back_overwrite(c);
     }
 }
 

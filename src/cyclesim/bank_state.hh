@@ -9,9 +9,9 @@
 #define DRAMCTRL_CYCLESIM_BANK_STATE_H
 
 #include <cstdint>
-#include <deque>
 
 #include "dram/dram_config.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/types.hh"
 
 namespace dramctrl {
@@ -65,7 +65,8 @@ struct CycleBankState
 struct CycleRankState
 {
     Cycle nextActAnyBank = 0;
-    std::deque<Cycle> actWindow;
+    /** Last activationLimit ACT cycles; ring sized by the owner. */
+    RingBuffer<Cycle> actWindow;
 
     /** True iff an ACT may be issued at cycle @p c. */
     bool canActivate(Cycle c, const CycleTiming &t) const;

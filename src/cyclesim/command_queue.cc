@@ -12,6 +12,9 @@ CommandQueue::CommandQueue(unsigned ranks, unsigned banks,
 {
     if (depth_ == 0)
         fatal("command queue depth must be non-zero");
+    // One spare slot for the head-repair push_front (see class docs).
+    for (auto &q : queues_)
+        q.init(depth_ + 1);
 }
 
 bool
@@ -29,13 +32,13 @@ CommandQueue::push(const Command &cmd)
     q.push_back(cmd);
 }
 
-std::deque<Command> &
+RingBuffer<Command> &
 CommandQueue::at(unsigned rank, unsigned bank)
 {
     return queues_.at(static_cast<std::size_t>(rank) * banks_ + bank);
 }
 
-const std::deque<Command> &
+const RingBuffer<Command> &
 CommandQueue::at(unsigned rank, unsigned bank) const
 {
     return queues_.at(static_cast<std::size_t>(rank) * banks_ + bank);

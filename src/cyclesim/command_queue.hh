@@ -14,10 +14,10 @@
 #define DRAMCTRL_CYCLESIM_COMMAND_QUEUE_H
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cyclesim/bank_state.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/types.hh"
 
 namespace dramctrl {
@@ -44,6 +44,11 @@ struct Command
 
 /**
  * The set of per-bank FIFO command queues with a bounded depth.
+ *
+ * Each queue is a fixed ring sized once at construction, so the
+ * cycle-by-cycle push/pop churn never allocates. The rings hold one
+ * slot beyond the nominal depth: repairQueueHeads() may push a healing
+ * precharge/activate in front of an already-full queue.
  */
 class CommandQueue
 {
@@ -55,8 +60,8 @@ class CommandQueue
 
     void push(const Command &cmd);
 
-    std::deque<Command> &at(unsigned rank, unsigned bank);
-    const std::deque<Command> &at(unsigned rank, unsigned bank) const;
+    RingBuffer<Command> &at(unsigned rank, unsigned bank);
+    const RingBuffer<Command> &at(unsigned rank, unsigned bank) const;
 
     bool empty() const;
     std::size_t totalSize() const;
@@ -68,7 +73,7 @@ class CommandQueue
     unsigned ranks_;
     unsigned banks_;
     unsigned depth_;
-    std::vector<std::deque<Command>> queues_;
+    std::vector<RingBuffer<Command>> queues_;
 };
 
 } // namespace cyclesim

@@ -85,6 +85,9 @@ CycleDRAMCtrl::CycleDRAMCtrl(Simulator &sim, std::string name,
               this->name().c_str(),
               static_cast<unsigned long long>(range_.localSize()),
               static_cast<unsigned long long>(cfg_.org.channelCapacity));
+    transQueue_.reserve(transQueueLimit_);
+    for (CycleRankState &rs : rankState_)
+        rs.actWindow.init(ct_.activationLimit);
     stats_ = std::make_unique<CtrlStats>(*this);
     statGroup().onReset([this] { windowStart_ = curTick(); });
 }
@@ -111,7 +114,9 @@ CycleDRAMCtrl::~CycleDRAMCtrl()
     // Transactions referenced only from command queues.
     for (unsigned r = 0; r < cmdQueue_.numRanks(); ++r) {
         for (unsigned b = 0; b < cmdQueue_.numBanks(); ++b) {
-            for (const Command &cmd : cmdQueue_.at(r, b)) {
+            const auto &q = cmdQueue_.at(r, b);
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                const Command &cmd = q[i];
                 if (cmd.trans &&
                     std::find(seen.begin(), seen.end(), cmd.trans) ==
                         seen.end())

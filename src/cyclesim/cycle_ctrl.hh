@@ -22,7 +22,6 @@
 #ifndef DRAMCTRL_CYCLESIM_CYCLE_CTRL_H
 #define DRAMCTRL_CYCLESIM_CYCLE_CTRL_H
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +35,7 @@
 #include "mem/mem_ctrl_iface.hh"
 #include "mem/packet_queue.hh"
 #include "mem/port.hh"
+#include "sim/pool.hh"
 #include "sim/simulator.hh"
 #include "stats/stats.hh"
 
@@ -43,7 +43,7 @@ namespace dramctrl {
 namespace cyclesim {
 
 /** A request being processed by the cycle-based controller. */
-struct CycleTransaction
+struct CycleTransaction : public Pooled<CycleTransaction>
 {
     Packet *pkt = nullptr;
     bool isRead = true;
@@ -176,7 +176,7 @@ class CycleDRAMCtrl : public MemCtrlBase
     MemoryPort port_;
     RespPacketQueue respQueue_;
 
-    std::deque<CycleTransaction *> transQueue_;
+    std::vector<CycleTransaction *> transQueue_;
     std::size_t transQueueLimit_;
     CommandQueue cmdQueue_;
     std::vector<std::uint64_t> tailRows_;

@@ -177,8 +177,28 @@ DRAMCtrl::DRAMCtrl(Simulator &sim, std::string name,
               static_cast<unsigned long long>(cfg_.org.channelCapacity));
 
     ranks_.resize(cfg_.org.ranksPerChannel);
-    for (Rank &rank : ranks_)
+    for (Rank &rank : ranks_) {
         rank.banks.resize(cfg_.org.banksPerRank);
+        rank.actWindow.init(cfg_.timing.activationLimit);
+    }
+
+    const unsigned total_banks = cfg_.org.totalBanks();
+    readyCache_.resize(total_banks);
+    bankGen_.assign(total_banks, 0);
+    rankGen_.assign(cfg_.org.ranksPerChannel, 0);
+    rdRowHitCounts_.assign(total_banks, 0);
+    wrRowHitCounts_.assign(total_banks, 0);
+    rdBankCounts_.assign(total_banks, 0);
+    wrBankCounts_.assign(total_banks, 0);
+    starvedHits_.assign(total_banks, 0);
+    for (unsigned p : cfg_.requestorPriorities)
+        maxReqPriority_ = std::max(maxReqPriority_, p);
+
+    // All steady-state queue traffic stays within these reservations.
+    readQueue_.reserve(cfg_.readBufferSize);
+    writeQueue_.reserve(cfg_.writeBufferSize);
+    rdKeys_.reserve(cfg_.readBufferSize);
+    wrKeys_.reserve(cfg_.writeBufferSize);
 
     stats_ = std::make_unique<CtrlStats>(*this);
     statGroup().onReset([this] {
@@ -481,35 +501,44 @@ DRAMCtrl::recvRespRetry()
     respQueue_.retry();
 }
 
+DRAMCtrl::DRAMPacket *
+DRAMCtrl::findWriteEntry(Addr burst_addr) const
+{
+    // Burst windows are unique in the write queue (merges coalesce),
+    // so a linear scan over the small contiguous queue replaces the
+    // old hash map — and with it the per-write node churn.
+    for (DRAMPacket *dp : writeQueue_) {
+        if (dp->burstAddr == burst_addr)
+            return dp;
+    }
+    return nullptr;
+}
+
 void
 DRAMCtrl::addToReadQueue(Packet *pkt, Addr local_addr)
 {
     std::uint64_t burst_size = cfg_.org.burstSize();
-    Addr addr = local_addr;
     Addr end = local_addr + pkt->size();
     unsigned pkt_count = burstCountFor(local_addr, pkt->size());
     stats_->readBursts += pkt_count;
 
+    // Pass 1: snoop the write queue (Section II-A): a read fully
+    // covered by queued write data is serviced without touching the
+    // DRAM. Counting first (instead of buffering new bursts) keeps the
+    // enqueue path allocation-free.
     unsigned forwarded = 0;
-    std::vector<DRAMPacket *> new_bursts;
-    while (addr < end) {
+    for (Addr addr = local_addr; addr < end;) {
         Addr window = decoder_.burstAlign(addr);
         Addr hi = std::min<Addr>(window + burst_size, end);
-
-        // Snoop the write queue (Section II-A): a read fully covered by
-        // queued write data is serviced without touching the DRAM.
-        auto it = writeIndex_.find(window);
-        if (it != writeIndex_.end() && it->second->lo <= addr &&
-            hi <= it->second->hi) {
+        const DRAMPacket *entry = findWriteEntry(window);
+        if (entry != nullptr && entry->lo <= addr && hi <= entry->hi) {
             ++forwarded;
             ++stats_->servicedByWrQ;
-        } else {
-            new_bursts.push_back(makeDRAMPacket(pkt, addr, hi, true));
         }
         addr = window + burst_size;
     }
 
-    if (new_bursts.empty()) {
+    if (forwarded == pkt_count) {
         // Entirely satisfied by the write queue.
         accessAndRespond(pkt, cfg_.frontendLatency, curTick());
         return;
@@ -520,10 +549,20 @@ DRAMCtrl::addToReadQueue(Packet *pkt, Addr local_addr)
         helper = new BurstHelper(pkt_count);
         helper->burstsServiced = forwarded;
     }
-    for (DRAMPacket *dp : new_bursts) {
-        dp->entryTime = curTick();
-        dp->burstHelper = helper;
-        readQueue_.push_back(dp);
+
+    // Pass 2: enqueue the bursts the DRAM must provide.
+    for (Addr addr = local_addr; addr < end;) {
+        Addr window = decoder_.burstAlign(addr);
+        Addr hi = std::min<Addr>(window + burst_size, end);
+        const DRAMPacket *entry = findWriteEntry(window);
+        if (entry == nullptr || entry->lo > addr || hi > entry->hi) {
+            DRAMPacket *dp = makeDRAMPacket(pkt, addr, hi, true);
+            dp->entryTime = curTick();
+            dp->burstHelper = helper;
+            readQueue_.push_back(dp);
+            noteEnqueued(*dp, true);
+        }
+        addr = window + burst_size;
     }
 }
 
@@ -539,23 +578,106 @@ DRAMCtrl::addToWriteQueue(Packet *pkt, Addr local_addr)
         Addr window = decoder_.burstAlign(addr);
         Addr hi = std::min<Addr>(window + burst_size, end);
 
-        auto it = writeIndex_.find(window);
-        if (it != writeIndex_.end()) {
+        DRAMPacket *entry = findWriteEntry(window);
+        if (entry != nullptr) {
             // Merge into the queued burst (Section II-A). The byte
             // coverage is tracked as a hull; this is a timing model, so
             // gaps inside the hull only make read forwarding slightly
             // optimistic.
-            it->second->lo = std::min(it->second->lo, addr);
-            it->second->hi = std::max(it->second->hi, hi);
+            entry->lo = std::min(entry->lo, addr);
+            entry->hi = std::max(entry->hi, hi);
             ++stats_->mergedWrBursts;
         } else {
             DRAMPacket *dp = makeDRAMPacket(nullptr, addr, hi, false);
             dp->entryTime = curTick();
             writeQueue_.push_back(dp);
-            writeIndex_.emplace(window, dp);
+            noteEnqueued(*dp, false);
         }
         addr = window + burst_size;
     }
+}
+
+void
+DRAMCtrl::noteEnqueued(const DRAMPacket &pkt, bool is_read)
+{
+    unsigned flat = pkt.rank * cfg_.org.banksPerRank + pkt.bank;
+    DC_ASSERT(pkt.row < (std::uint64_t(1) << kRowKeyBits),
+              "row index exceeds the packed key width");
+    (is_read ? rdKeys_ : wrKeys_).push_back(packKey(flat, pkt.row));
+    if (is_read)
+        ++rdBankCounts_[flat];
+    else
+        ++wrBankCounts_[flat];
+    if (ranks_[pkt.rank].banks[pkt.bank].openRow == pkt.row) {
+        bool usable = !starvedHits_[flat];
+        if (is_read) {
+            ++rdRowHitCounts_[flat];
+            if (usable)
+                ++rdRowHitTotal_;
+        } else {
+            ++wrRowHitCounts_[flat];
+            if (usable)
+                ++wrRowHitTotal_;
+        }
+    }
+}
+
+void
+DRAMCtrl::noteDequeued(const DRAMPacket &pkt, bool is_read)
+{
+    unsigned flat = pkt.rank * cfg_.org.banksPerRank + pkt.bank;
+    if (is_read)
+        --rdBankCounts_[flat];
+    else
+        --wrBankCounts_[flat];
+    if (ranks_[pkt.rank].banks[pkt.bank].openRow == pkt.row) {
+        bool usable = !starvedHits_[flat];
+        if (is_read) {
+            --rdRowHitCounts_[flat];
+            if (usable)
+                --rdRowHitTotal_;
+        } else {
+            --wrRowHitCounts_[flat];
+            if (usable)
+                --wrRowHitTotal_;
+        }
+    }
+}
+
+void
+DRAMCtrl::rowClosed(unsigned flat_bank)
+{
+    if (!starvedHits_[flat_bank]) {
+        rdRowHitTotal_ -= rdRowHitCounts_[flat_bank];
+        wrRowHitTotal_ -= wrRowHitCounts_[flat_bank];
+    }
+    rdRowHitCounts_[flat_bank] = 0;
+    wrRowHitCounts_[flat_bank] = 0;
+    starvedHits_[flat_bank] = 0;
+}
+
+void
+DRAMCtrl::rowOpened(unsigned rank, unsigned bank, std::uint64_t row)
+{
+    unsigned flat = rank * cfg_.org.banksPerRank + bank;
+    DC_ASSERT(rdRowHitCounts_[flat] == 0 && wrRowHitCounts_[flat] == 0,
+              "row opened over stale hit counts");
+    DC_ASSERT(!starvedHits_[flat], "row opened on a starved bank");
+    if (rdBankCounts_[flat] == 0 && wrBankCounts_[flat] == 0)
+        return;
+    std::uint64_t key = packKey(flat, row);
+    auto rd = rdBankCounts_[flat] == 0
+                  ? 0
+                  : static_cast<std::uint32_t>(
+                        std::count(rdKeys_.begin(), rdKeys_.end(), key));
+    auto wr = wrBankCounts_[flat] == 0
+                  ? 0
+                  : static_cast<std::uint32_t>(
+                        std::count(wrKeys_.begin(), wrKeys_.end(), key));
+    rdRowHitCounts_[flat] = rd;
+    wrRowHitCounts_[flat] = wr;
+    rdRowHitTotal_ += rd;
+    wrRowHitTotal_ += wr;
 }
 
 Tick
@@ -573,23 +695,24 @@ DRAMCtrl::recordActivate(Rank &rank, Tick act_tick)
 {
     rank.nextActAt = std::max(rank.nextActAt,
                               act_tick + cfg_.timing.tRRD);
-    if (cfg_.timing.activationLimit > 0) {
-        rank.actWindow.push_back(act_tick);
-        if (rank.actWindow.size() > cfg_.timing.activationLimit)
-            rank.actWindow.pop_front();
-    }
+    // The ring is sized to the activation limit, so overwriting the
+    // oldest launch tick is exactly the old push-then-trim.
+    if (cfg_.timing.activationLimit > 0)
+        rank.actWindow.push_back_overwrite(act_tick);
+    invalidateRank(static_cast<unsigned>(&rank - ranks_.data()));
 }
 
 void
 DRAMCtrl::prechargeBank(Rank &rank, Bank &bank, Tick pre_tick)
 {
     DC_ASSERT(bank.openRow != Bank::kNoRow, "precharging a closed bank");
-    if (cmdLogger_ != nullptr) {
-        auto rank_idx = static_cast<unsigned>(&rank - ranks_.data());
-        auto bank_idx =
-            static_cast<unsigned>(&bank - rank.banks.data());
-        cmdLogger_->record(pre_tick, DRAMCmd::Pre, rank_idx, bank_idx);
-    }
+    unsigned flat = flatBankOf(rank, bank);
+    if (cmdLogger_ != nullptr)
+        cmdLogger_->record(pre_tick, DRAMCmd::Pre,
+                           flat / cfg_.org.banksPerRank,
+                           flat % cfg_.org.banksPerRank);
+    rowClosed(flat);
+    invalidateBank(flat);
     bank.openRow = Bank::kNoRow;
     bank.rowAccesses = 0;
     Tick pre_done = pre_tick + cfg_.timing.tRP;
@@ -620,20 +743,52 @@ DRAMCtrl::bankPrecharged(Tick pre_done_tick)
 Tick
 DRAMCtrl::estimateReadyTick(const DRAMPacket &pkt) const
 {
-    const Rank &rank = ranks_[pkt.rank];
-    const Bank &bank = rank.banks[pkt.bank];
+    const Bank &bank = ranks_[pkt.rank].banks[pkt.bank];
 
     if (bank.openRow == pkt.row)
         return std::max(bank.colAllowedAt, curTick());
 
-    Tick t;
-    if (bank.openRow != Bank::kNoRow)
-        t = std::max(bank.preAllowedAt, curTick()) + cfg_.timing.tRP;
-    else
-        t = std::max(bank.actAllowedAt, curTick());
-    t = std::max(t, rank.nextActAt);
-    t = activationWindowConstraint(rank, t);
-    return t + cfg_.timing.tRCD;
+    return estimateBankReady(pkt.rank, pkt.bank);
+}
+
+Tick
+DRAMCtrl::estimateBankReady(unsigned rank_idx, unsigned bank_idx) const
+{
+    const Rank &rank = ranks_[rank_idx];
+    const Bank &bank = rank.banks[bank_idx];
+
+    // The miss estimate max-distributes into a state-dependent part
+    // (cacheable per bank) and a curTick-relative floor:
+    //   conflict: max(preAllowedAt + tRP, nextActAt, tXAW) + tRCD
+    //             vs now + tRP + tRCD
+    //   closed:   max(actAllowedAt, nextActAt, tXAW) + tRCD
+    //             vs now + tRCD
+    // The cached part survives until the owning bank or rank mutates
+    // (generation counters), so a scheduling scan computes each bank's
+    // estimate once no matter how many queued bursts target it.
+    unsigned flat = rank_idx * cfg_.org.banksPerRank + bank_idx;
+    ReadyCache &rc = readyCache_[flat];
+    std::uint64_t tag = bankGen_[flat] + rankGen_[rank_idx] + 1;
+    if (rc.tag != tag) {
+        const DRAMTiming &t = cfg_.timing;
+        Tick awc = 0;
+        unsigned limit = t.activationLimit;
+        if (limit != 0 && rank.actWindow.size() >= limit)
+            awc = rank.actWindow.front() + t.tXAW;
+        if (bank.openRow != Bank::kNoRow) {
+            rc.base = std::max({bank.preAllowedAt + t.tRP,
+                                rank.nextActAt, awc}) +
+                      t.tRCD;
+            rc.nowOffset = t.tRP + t.tRCD;
+        } else {
+            rc.base = std::max({bank.actAllowedAt, rank.nextActAt,
+                                awc}) +
+                      t.tRCD;
+            rc.nowOffset = t.tRCD;
+        }
+        rc.tag = tag;
+    }
+    return std::max(rc.base, curTick() + rc.nowOffset);
 }
 
 unsigned
@@ -646,18 +801,80 @@ DRAMCtrl::priorityOf(const DRAMPacket &pkt) const
     return 0;
 }
 
-std::deque<DRAMCtrl::DRAMPacket *>::iterator
-DRAMCtrl::chooseNext(std::deque<DRAMPacket *> &queue)
+std::vector<DRAMCtrl::DRAMPacket *>::iterator
+DRAMCtrl::chooseNext(std::vector<DRAMPacket *> &queue)
 {
     DC_ASSERT(!queue.empty(), "choosing from an empty queue");
 
     if (cfg_.schedPolicy == SchedPolicy::Fcfs || queue.size() == 1)
         return queue.begin();
 
+    // Plain FR-FCFS has two counter-driven fast paths.
+    if (cfg_.schedPolicy == SchedPolicy::FrFcfs) {
+        const bool is_read = &queue == &readQueue_;
+        unsigned hits = is_read ? rdRowHitTotal_ : wrRowHitTotal_;
+        if (hits > 0) {
+            // The totals say a usable (non-starved) hit is queued: the
+            // winner is the oldest one, no ready ticks needed.
+            for (auto it = queue.begin(); it != queue.end(); ++it) {
+                const DRAMPacket &dp = **it;
+                unsigned flat =
+                    dp.rank * cfg_.org.banksPerRank + dp.bank;
+                if (ranks_[dp.rank].banks[dp.bank].openRow == dp.row &&
+                    !starvedHits_[flat])
+                    return it;
+            }
+            DC_ASSERT(false, "row-hit counter out of sync");
+        } else {
+            // No usable hits, so every entry's estimate is a pure
+            // function of its bank: queued hits can only sit on
+            // starved banks, where they all share the column-path
+            // estimate, and misses share the bank's activate
+            // estimate. Take the minimum over banks that have queued
+            // bursts here (far fewer than queue entries), then return
+            // the oldest burst achieving it — exactly what the
+            // entry-by-entry scan selects.
+            const auto &bank_counts =
+                is_read ? rdBankCounts_ : wrBankCounts_;
+            const auto &hit_counts =
+                is_read ? rdRowHitCounts_ : wrRowHitCounts_;
+            const unsigned nbanks = cfg_.org.banksPerRank;
+            const Tick now = curTick();
+            Tick best_ready = kMaxTick;
+            for (unsigned flat = 0; flat < bank_counts.size();
+                 ++flat) {
+                if (bank_counts[flat] == 0)
+                    continue;
+                unsigned r = flat / nbanks;
+                unsigned b = flat % nbanks;
+                if (hit_counts[flat] > 0)
+                    best_ready = std::min(
+                        best_ready,
+                        std::max(ranks_[r].banks[b].colAllowedAt,
+                                 now));
+                if (bank_counts[flat] > hit_counts[flat])
+                    best_ready = std::min(best_ready,
+                                          estimateBankReady(r, b));
+            }
+            for (auto it = queue.begin(); it != queue.end(); ++it) {
+                const DRAMPacket &dp = **it;
+                const Bank &bank = ranks_[dp.rank].banks[dp.bank];
+                // Bank estimates were cached by the pass above.
+                Tick est = bank.openRow == dp.row
+                               ? std::max(bank.colAllowedAt, now)
+                               : estimateBankReady(dp.rank, dp.bank);
+                if (est == best_ready)
+                    return it;
+            }
+            DC_ASSERT(false, "no burst matches the minimum estimate");
+        }
+    }
+
     // FR-FCFS: prefer the oldest row hit; otherwise the request whose
     // bank is ready first (Section II-C). The QoS variant searches
     // priority tier by tier, so a high-priority conflict beats a
     // low-priority row hit.
+    const bool prio_sched = cfg_.schedPolicy == SchedPolicy::FrFcfsPrio;
     auto best = queue.end();
     auto best_hit = queue.end();
     Tick best_ready = kMaxTick;
@@ -671,14 +888,24 @@ DRAMCtrl::chooseNext(std::deque<DRAMPacket *> &queue)
         bool starved = cfg_.maxAccessesPerRow > 0 &&
                        bank.rowAccesses >= cfg_.maxAccessesPerRow;
         if (row_hit && !starved) {
-            if (cfg_.schedPolicy != SchedPolicy::FrFcfsPrio)
+            if (!prio_sched)
                 return it; // plain FR-FCFS: oldest row hit wins
             if (best_hit == queue.end() || prio > best_hit_prio) {
                 best_hit = it;
                 best_hit_prio = prio;
+                // A hit at the top tier wins outright: later hits only
+                // displace it at strictly higher priority, and a
+                // non-hit only wins at strictly higher priority.
+                if (best_hit_prio >= maxReqPriority_)
+                    return best_hit;
             }
             continue;
         }
+        // A non-hit at or below the best queued hit's tier can never
+        // be selected; skip its ready-tick estimate entirely.
+        if (prio_sched && best_hit != queue.end() &&
+            prio <= best_hit_prio)
+            continue;
         Tick ready = estimateReadyTick(dp);
         if (best == queue.end() || prio > best_prio ||
             (prio == best_prio && ready < best_ready)) {
@@ -721,6 +948,7 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
         bank.rowAccesses = 0;
         bank.colAllowedAt = act + t.tRCD;
         bank.preAllowedAt = act + t.tRAS;
+        rowOpened(pkt->rank, pkt->bank, pkt->row);
     }
 
     // Column access: constrained by the bank, the shared data bus, and
@@ -767,6 +995,19 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
     ++bank.rowAccesses;
 
     unsigned flat_bank = pkt->rank * cfg_.org.banksPerRank + pkt->bank;
+    invalidateBank(flat_bank);
+
+    // Crossing the per-row access limit demotes this bank's queued
+    // hits: FR-FCFS must now treat them as conflicts, so they leave
+    // the usable-hit totals (the raw counts stay, the page policy
+    // still wants them).
+    if (cfg_.maxAccessesPerRow > 0 && !starvedHits_[flat_bank] &&
+        bank.rowAccesses >= cfg_.maxAccessesPerRow) {
+        starvedHits_[flat_bank] = 1;
+        rdRowHitTotal_ -= rdRowHitCounts_[flat_bank];
+        wrRowHitTotal_ -= wrRowHitCounts_[flat_bank];
+    }
+
     std::uint64_t burst_size = cfg_.org.burstSize();
     if (pkt->isRead) {
         if (row_hit)
@@ -795,6 +1036,12 @@ bool
 DRAMCtrl::queuedRowHits(unsigned rank, unsigned bank,
                         std::uint64_t row) const
 {
+    // When asking about the currently open row (the page-policy case)
+    // the maintained hit counters already hold the answer.
+    if (ranks_[rank].banks[bank].openRow == row) {
+        unsigned flat = rank * cfg_.org.banksPerRank + bank;
+        return rdRowHitCounts_[flat] + wrRowHitCounts_[flat] > 0;
+    }
     auto match = [&](const DRAMPacket *dp) {
         return dp->rank == rank && dp->bank == bank && dp->row == row;
     };
@@ -806,6 +1053,14 @@ bool
 DRAMCtrl::queuedBankConflicts(unsigned rank, unsigned bank,
                               std::uint64_t row) const
 {
+    // Queued-for-this-bank minus queued-for-the-open-row leaves the
+    // conflicting entries, again counter-only for the open row.
+    if (ranks_[rank].banks[bank].openRow == row) {
+        unsigned flat = rank * cfg_.org.banksPerRank + bank;
+        return (rdBankCounts_[flat] - rdRowHitCounts_[flat]) +
+                   (wrBankCounts_[flat] - wrRowHitCounts_[flat]) >
+               0;
+    }
     auto conflict = [&](const DRAMPacket *dp) {
         return dp->rank == rank && dp->bank == bank && dp->row != row;
     };
@@ -928,6 +1183,8 @@ DRAMCtrl::processNextReqEvent()
         if (!readQueue_.empty()) {
             auto it = chooseNext(readQueue_);
             DRAMPacket *pkt = *it;
+            noteDequeued(*pkt, true);
+            rdKeys_.erase(rdKeys_.begin() + (it - readQueue_.begin()));
             readQueue_.erase(it);
             doDRAMAccess(pkt);
             ++readsThisTime_;
@@ -956,8 +1213,9 @@ DRAMCtrl::processNextReqEvent()
         if (!writeQueue_.empty()) {
             auto it = chooseNext(writeQueue_);
             DRAMPacket *pkt = *it;
+            noteDequeued(*pkt, false);
+            wrKeys_.erase(wrKeys_.begin() + (it - writeQueue_.begin()));
             writeQueue_.erase(it);
-            writeIndex_.erase(pkt->burstAddr);
             doDRAMAccess(pkt);
             ++writesThisTime_;
             serviced = true;
@@ -1019,6 +1277,7 @@ DRAMCtrl::refreshRank(unsigned rank_idx)
         cmdLogger_->record(start, DRAMCmd::Ref, rank_idx, 0);
     for (Bank &bank : rank.banks)
         bank.actAllowedAt = std::max(bank.actAllowedAt, done);
+    invalidateRank(rank_idx);
     ++stats_->numRefreshes;
 }
 
@@ -1114,6 +1373,7 @@ DRAMCtrl::processRefreshEvent()
             cmdLogger_->record(start, DRAMCmd::Ref, r, 0);
         for (Bank &bank : ranks_[r].banks)
             bank.actAllowedAt = std::max(bank.actAllowedAt, done);
+        invalidateRank(r);
     }
     allBanksPreSince_ = done;
     ++stats_->numRefreshes;

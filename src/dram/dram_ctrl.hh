@@ -17,10 +17,8 @@
 #ifndef DRAMCTRL_DRAM_DRAM_CTRL_H
 #define DRAMCTRL_DRAM_DRAM_CTRL_H
 
-#include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dram/addr_decoder.hh"
@@ -31,6 +29,8 @@
 #include "mem/packet.hh"
 #include "mem/packet_queue.hh"
 #include "mem/port.hh"
+#include "sim/pool.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/sim_object.hh"
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
@@ -190,14 +190,17 @@ class DRAMCtrl : public MemCtrlBase
         std::vector<Bank> banks;
         /** Earliest next activate anywhere in the rank (tRRD). */
         Tick nextActAt = 0;
-        /** Launch ticks of the last activationLimit activates. */
-        std::deque<Tick> actWindow;
+        /**
+         * Launch ticks of the last activationLimit activates, a ring
+         * sized once by the limit so tXAW bookkeeping never allocates.
+         */
+        RingBuffer<Tick> actWindow;
     };
 
     struct BurstHelper;
 
-    /** One DRAM burst in flight through the controller. */
-    struct DRAMPacket
+    /** One DRAM burst in flight through the controller (pooled). */
+    struct DRAMPacket : public Pooled<DRAMPacket>
     {
         Tick entryTime = 0;
         Tick readyTime = 0;
@@ -218,7 +221,7 @@ class DRAMCtrl : public MemCtrlBase
     };
 
     /** Completion bookkeeping for packets chopped into many bursts. */
-    struct BurstHelper
+    struct BurstHelper : public Pooled<BurstHelper>
     {
         unsigned burstCount;
         unsigned burstsServiced = 0;
@@ -263,11 +266,17 @@ class DRAMCtrl : public MemCtrlBase
     void processNextReqEvent();
 
     /** Pick the next burst per the scheduling policy; null if none. */
-    std::deque<DRAMPacket *>::iterator
-    chooseNext(std::deque<DRAMPacket *> &queue);
+    std::vector<DRAMPacket *>::iterator
+    chooseNext(std::vector<DRAMPacket *> &queue);
 
     /** Estimated earliest tick @p pkt's column command could launch. */
     Tick estimateReadyTick(const DRAMPacket &pkt) const;
+
+    /**
+     * The row-miss half of estimateReadyTick: earliest activate-then-
+     * column launch for the bank, independent of the requesting burst.
+     */
+    Tick estimateBankReady(unsigned rank_idx, unsigned bank_idx) const;
 
     /** QoS priority of @p pkt under FrFcfsPrio; 0 otherwise. */
     unsigned priorityOf(const DRAMPacket &pkt) const;
@@ -323,10 +332,97 @@ class DRAMCtrl : public MemCtrlBase
 
     std::vector<Rank> ranks_;
 
-    std::deque<DRAMPacket *> readQueue_;
-    std::deque<DRAMPacket *> writeQueue_;
-    /** Burst-aligned local addr -> write queue entry, for merging. */
-    std::unordered_map<Addr, DRAMPacket *> writeIndex_;
+    /**
+     * Pending bursts, oldest first. Vectors with capacity reserved to
+     * the queue limits: scheduling scans run over contiguous pointers,
+     * and enqueue/dequeue never allocate. Selection erases from the
+     * middle, an O(n) pointer move bounded by the small queue depth.
+     */
+    std::vector<DRAMPacket *> readQueue_;
+    std::vector<DRAMPacket *> writeQueue_;
+
+    /**
+     * Packed (flat bank, row) key of each queued burst, kept parallel
+     * to the queue vectors. Row-hit recounts after an activate scan
+     * these flat integer arrays (one vectorisable equality sweep)
+     * instead of dereferencing every queued packet.
+     */
+    std::vector<std::uint64_t> rdKeys_;
+    std::vector<std::uint64_t> wrKeys_;
+
+    static constexpr unsigned kRowKeyBits = 48;
+
+    static std::uint64_t
+    packKey(unsigned flat_bank, std::uint64_t row)
+    {
+        return (static_cast<std::uint64_t>(flat_bank) << kRowKeyBits) |
+               row;
+    }
+
+    /** Write queue entry covering the burst window at @p burst_addr. */
+    DRAMPacket *findWriteEntry(Addr burst_addr) const;
+
+    /**
+     * Incremental scheduling state. The row-hit counters track, per
+     * flat bank and per queue, how many queued bursts target the bank's
+     * currently open row (used by the O(1) adaptive page policy
+     * probes). The totals count only *usable* hits — hits on banks
+     * whose open row has not reached the starvation limit — which is
+     * exactly the set plain FR-FCFS may select, so the scheduler can
+     * stop at the oldest such hit without estimating ready ticks. The
+     * ready cache memoises the state-dependent part of the miss
+     * estimate per bank, tagged with bank+rank generation counters so
+     * entries die exactly when the owning bank or rank state changes.
+     */
+    struct ReadyCache
+    {
+        /** bankGen + rankGen + 1 at fill time; 0 means never filled. */
+        std::uint64_t tag = 0;
+        /** State-dependent lower bound (already includes tRCD). */
+        Tick base = 0;
+        /** curTick-relative lower bound: est = max(base, now + off). */
+        Tick nowOffset = 0;
+    };
+
+    mutable std::vector<ReadyCache> readyCache_;
+    std::vector<std::uint64_t> bankGen_;
+    std::vector<std::uint64_t> rankGen_;
+
+    std::vector<std::uint32_t> rdRowHitCounts_;
+    std::vector<std::uint32_t> wrRowHitCounts_;
+    std::vector<std::uint32_t> rdBankCounts_;
+    std::vector<std::uint32_t> wrBankCounts_;
+    unsigned rdRowHitTotal_ = 0;
+    unsigned wrRowHitTotal_ = 0;
+
+    /**
+     * Per flat bank: the open row hit its access limit, so its queued
+     * hits are excluded from the usable totals and must be scheduled
+     * as conflicts. Cleared whenever the row closes or a new one
+     * opens (rowAccesses restarts from zero).
+     */
+    std::vector<std::uint8_t> starvedHits_;
+
+    /** Highest priority any requestor holds under FrFcfsPrio. */
+    unsigned maxReqPriority_ = 0;
+
+    unsigned flatBankOf(const Rank &rank, const Bank &bank) const
+    {
+        auto r = static_cast<unsigned>(&rank - ranks_.data());
+        auto b = static_cast<unsigned>(&bank - rank.banks.data());
+        return r * cfg_.org.banksPerRank + b;
+    }
+
+    void invalidateBank(unsigned flat_bank) { ++bankGen_[flat_bank]; }
+    void invalidateRank(unsigned rank_idx) { ++rankGen_[rank_idx]; }
+
+    /** Track a burst entering/leaving a queue (count bookkeeping). */
+    void noteEnqueued(const DRAMPacket &pkt, bool is_read);
+    void noteDequeued(const DRAMPacket &pkt, bool is_read);
+    /** Zero the row-hit counters of a bank whose row just closed. */
+    void rowClosed(unsigned flat_bank);
+    /** Recount row hits for a bank that just opened @p row. */
+    void rowOpened(unsigned rank, unsigned bank, std::uint64_t row);
 
     BusState busState_ = BusState::Read;
 

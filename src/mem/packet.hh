@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "sim/pool.hh"
 #include "sim/types.hh"
 
 namespace dramctrl {
@@ -33,7 +34,13 @@ enum class MemCmd : std::uint8_t {
 /** @return printable name of @p cmd. */
 const char *memCmdName(MemCmd cmd);
 
-class Packet
+/**
+ * Heap-allocated packets come from a freelist pool (see sim/pool.hh):
+ * the requestor's `new Packet` and the final `delete` recycle a slot
+ * instead of touching malloc, so the steady-state request path is
+ * allocation-free. Packet::poolStats() exposes the counters.
+ */
+class Packet : public Pooled<Packet>
 {
   public:
     /**

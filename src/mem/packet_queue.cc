@@ -20,7 +20,8 @@ RespPacketQueue::~RespPacketQueue()
 {
     if (sendEvent_.scheduled())
         eventq_.deschedule(sendEvent_);
-    for (Entry &e : queue_) {
+    for (std::size_t i = head_; i < queue_.size(); ++i) {
+        Entry &e = queue_[i];
         // Undelivered responses may still carry per-hop sender state
         // from the request path; release it before the packet.
         while (e.pkt->senderState() != nullptr)
@@ -37,16 +38,16 @@ RespPacketQueue::schedSendResp(Packet *pkt, Tick when)
     DC_ASSERT(when >= eventq_.curTick(), "response in the past");
 
     // Insert keeping time order; equal ticks keep push order.
-    auto it = std::find_if(queue_.begin(), queue_.end(),
+    auto it = std::find_if(queue_.begin() + head_, queue_.end(),
                            [when](const Entry &e) { return e.when > when; });
     queue_.insert(it, Entry{when, pkt});
 
     if (!waitingForRetry_) {
-        Tick front = queue_.front().when;
+        Tick front_when = front().when;
         if (!sendEvent_.scheduled())
-            eventq_.schedule(sendEvent_, front);
-        else if (sendEvent_.when() > front)
-            eventq_.reschedule(sendEvent_, front);
+            eventq_.schedule(sendEvent_, front_when);
+        else if (sendEvent_.when() > front_when)
+            eventq_.reschedule(sendEvent_, front_when);
     }
 }
 
@@ -61,8 +62,8 @@ RespPacketQueue::retry()
 void
 RespPacketQueue::trySend()
 {
-    while (!queue_.empty() && queue_.front().when <= eventq_.curTick()) {
-        Packet *pkt = queue_.front().pkt;
+    while (!empty() && front().when <= eventq_.curTick()) {
+        Packet *pkt = front().pkt;
         // The receiver may delete the packet as soon as it accepts it;
         // take what the span needs up front.
         std::uint64_t pkt_id = pkt->id();
@@ -76,10 +77,21 @@ RespPacketQueue::trySend()
               sendEvent_.name().c_str());
         if (auto *ct = obs::chromeTracer())
             ct->endSpan(pkt_id, eventq_.curTick());
-        queue_.pop_front();
+        popFront();
     }
-    if (!queue_.empty() && !sendEvent_.scheduled())
-        eventq_.schedule(sendEvent_, queue_.front().when);
+    if (!empty() && !sendEvent_.scheduled())
+        eventq_.schedule(sendEvent_, front().when);
+}
+
+void
+RespPacketQueue::popFront()
+{
+    ++head_;
+    if (head_ == queue_.size()) {
+        // Drained: rewind into the retained storage.
+        queue_.clear();
+        head_ = 0;
+    }
 }
 
 } // namespace dramctrl

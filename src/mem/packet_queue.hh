@@ -13,8 +13,8 @@
 #ifndef DRAMCTRL_MEM_PACKET_QUEUE_H
 #define DRAMCTRL_MEM_PACKET_QUEUE_H
 
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "mem/packet.hh"
 #include "mem/port.hh"
@@ -40,11 +40,12 @@ class RespPacketQueue
     /** Hook this up to the owning port's recvRespRetry(). */
     void retry();
 
-    bool empty() const { return queue_.empty(); }
-    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return head_ == queue_.size(); }
+    std::size_t size() const { return queue_.size() - head_; }
 
   private:
     void trySend();
+    void popFront();
 
     struct Entry
     {
@@ -52,9 +53,16 @@ class RespPacketQueue
         Packet *pkt;
     };
 
+    const Entry &front() const { return queue_[head_]; }
+
     EventQueue &eventq_;
     ResponsePort &port_;
-    std::deque<Entry> queue_;
+    // Time-ordered pending responses. A flat vector plus a head index
+    // (consumed entries are dropped lazily, the storage is reused once
+    // the queue drains) keeps the steady state allocation-free, unlike
+    // the deque this replaced.
+    std::vector<Entry> queue_;
+    std::size_t head_ = 0;
     bool waitingForRetry_ = false;
     EventFunctionWrapper sendEvent_;
 };

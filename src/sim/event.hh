@@ -16,6 +16,7 @@
 #ifndef DRAMCTRL_SIM_EVENT_H
 #define DRAMCTRL_SIM_EVENT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -71,9 +72,14 @@ class Event
   private:
     friend class EventQueue;
 
+    /** Sentinel heap slot for an unscheduled event. */
+    static constexpr std::size_t kNoSlot = ~std::size_t(0);
+
     Tick when_ = 0;
     Priority priority_;
     std::uint64_t seq_ = 0;
+    /** This event's slot in the owning queue's binary heap. */
+    std::size_t heapSlot_ = kNoSlot;
     bool scheduled_ = false;
 };
 

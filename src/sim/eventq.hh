@@ -7,7 +7,7 @@
 #define DRAMCTRL_SIM_EVENTQ_H
 
 #include <cstdint>
-#include <set>
+#include <vector>
 
 #include "sim/event.hh"
 #include "sim/types.hh"
@@ -35,11 +35,20 @@ class EventQueueProfiler
  * serviced (or when simulate() runs past the last event). Events are not
  * owned by the queue; the scheduling model object keeps them as members,
  * which is safe because an object never outlives its own events.
+ *
+ * The agenda is an intrusive binary min-heap over a contiguous vector:
+ * each Event carries its own heap slot, so schedule, deschedule and
+ * reschedule are all O(log n) sift operations with no per-operation
+ * allocation (the backing vector only grows to the agenda's high-water
+ * mark). Ordering is (when, priority, seq): two events at the same tick
+ * and priority run in schedule order, and rescheduling re-enters the
+ * event at the back of its tick/priority class, exactly as the previous
+ * tree-based agenda behaved.
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() { heap_.reserve(64); }
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -60,10 +69,10 @@ class EventQueue
     Tick curTick() const { return curTick_; }
 
     /** @return true when no events are pending. */
-    bool empty() const { return agenda_.empty(); }
+    bool empty() const { return heap_.empty(); }
 
     /** Number of pending events. */
-    std::size_t size() const { return agenda_.size(); }
+    std::size_t size() const { return heap_.size(); }
 
     /** Tick of the earliest pending event; kMaxTick when empty. */
     Tick nextTick() const;
@@ -98,20 +107,25 @@ class EventQueue
     EventQueueProfiler *profiler() const { return profiler_; }
 
   private:
-    struct EventCmp
+    /** Strict weak order of the agenda: (when, priority, seq). */
+    static bool
+    before(const Event *a, const Event *b)
     {
-        bool
-        operator()(const Event *a, const Event *b) const
-        {
-            if (a->when() != b->when())
-                return a->when() < b->when();
-            if (a->priority() != b->priority())
-                return a->priority() < b->priority();
-            return a->seq_ < b->seq_;
-        }
-    };
+        if (a->when_ != b->when_)
+            return a->when_ < b->when_;
+        if (a->priority_ != b->priority_)
+            return a->priority_ < b->priority_;
+        return a->seq_ < b->seq_;
+    }
 
-    std::set<Event *, EventCmp> agenda_;
+    /** Move heap_[slot] up while it precedes its parent. */
+    void siftUp(std::size_t slot);
+    /** Move heap_[slot] down while a child precedes it. */
+    void siftDown(std::size_t slot);
+    /** Detach heap_[slot], refilling the hole from the heap's back. */
+    void removeAt(std::size_t slot);
+
+    std::vector<Event *> heap_;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t numServiced_ = 0;
