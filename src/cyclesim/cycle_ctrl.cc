@@ -627,14 +627,18 @@ CycleDRAMCtrl::execute(const Command &cmd)
             cmdLogger_->record(tickOf(c), DRAMCmd::Rd, cmd.rank,
                                cmd.bank, cmd.row);
         if (cmd.autoPrecharge) {
+            // The device engages auto-precharge only once tRAS (and
+            // every other precharge constraint) is satisfied, not
+            // blindly at data-done — on slow-tRAS parts data-done
+            // can land inside the activate's tRAS window.
+            Cycle pre_c = bank.nextPrecharge;
             bank.openRow = CycleBankState::kNoRow;
             bank.nextActivate = std::max(bank.nextActivate,
-                                         data_done + ct_.tRP);
-            refNotBefore_ = std::max(refNotBefore_,
-                                     data_done + ct_.tRP);
+                                         pre_c + ct_.tRP);
+            refNotBefore_ = std::max(refNotBefore_, pre_c + ct_.tRP);
             ++stats_->numPrecharges;
             if (cmdLogger_ != nullptr)
-                cmdLogger_->record(tickOf(data_done), DRAMCmd::Pre,
+                cmdLogger_->record(tickOf(pre_c), DRAMCmd::Pre,
                                    cmd.rank, cmd.bank);
         }
         stats_->bytesRead += static_cast<double>(burst_size);
@@ -654,15 +658,16 @@ CycleDRAMCtrl::execute(const Command &cmd)
             cmdLogger_->record(tickOf(c), DRAMCmd::Wr, cmd.rank,
                                cmd.bank, cmd.row);
         if (cmd.autoPrecharge) {
+            // As for reads: honour tRAS, not just write recovery.
+            Cycle pre_c = bank.nextPrecharge;
             bank.openRow = CycleBankState::kNoRow;
             bank.nextActivate = std::max(bank.nextActivate,
-                                         data_done + ct_.tWR + ct_.tRP);
-            refNotBefore_ = std::max(refNotBefore_,
-                                     data_done + ct_.tWR + ct_.tRP);
+                                         pre_c + ct_.tRP);
+            refNotBefore_ = std::max(refNotBefore_, pre_c + ct_.tRP);
             ++stats_->numPrecharges;
             if (cmdLogger_ != nullptr)
-                cmdLogger_->record(tickOf(data_done + ct_.tWR),
-                                   DRAMCmd::Pre, cmd.rank, cmd.bank);
+                cmdLogger_->record(tickOf(pre_c), DRAMCmd::Pre,
+                                   cmd.rank, cmd.bank);
         }
         stats_->bytesWritten += static_cast<double>(burst_size);
         burstCompleted(cmd.trans, tickOf(data_done));

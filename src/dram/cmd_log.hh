@@ -43,6 +43,20 @@ struct CmdRecord
 };
 
 /**
+ * Destination for a live command stream. Implemented by the online
+ * ProtocolChecker (and anything else that wants to audit or count
+ * commands as they are issued, without buffering the whole log).
+ */
+class CmdSink
+{
+  public:
+    virtual ~CmdSink() = default;
+
+    /** One command, in emission order (may be out of tick order). */
+    virtual void onCmdRecord(const CmdRecord &rec) = 0;
+};
+
+/**
  * Collects command records. Controllers may emit records out of tick
  * order (the event model computes future launch times analytically),
  * so consumers sort first.
@@ -51,6 +65,10 @@ struct CmdRecord
  * setMaxRecords() (excess records are counted in dropped(), not
  * stored) or divert the stream to a file with streamTo(), which keeps
  * nothing in memory. totalRecorded() always counts every record seen.
+ *
+ * An attached CmdSink receives every record as it is emitted,
+ * independent of storage — combine setSink() with setMaxRecords(0)
+ * for a pure streaming audit that keeps nothing in memory.
  */
 class CmdLogger
 {
@@ -60,12 +78,18 @@ class CmdLogger
            std::uint64_t row = 0)
     {
         ++totalRecorded_;
+        if (sink_ != nullptr)
+            sink_->onCmdRecord(CmdRecord{tick, cmd, rank, bank, row});
         if (streaming_ || log_.size() >= maxRecords_) {
             recordSlow(CmdRecord{tick, cmd, rank, bank, row});
             return;
         }
         log_.push_back(CmdRecord{tick, cmd, rank, bank, row});
     }
+
+    /** Attach a live sink (nullptr detaches). Not owned. */
+    void setSink(CmdSink *sink) { sink_ = sink; }
+    CmdSink *sink() const { return sink_; }
 
     const std::vector<CmdRecord> &log() const { return log_; }
     void clear();
@@ -105,6 +129,7 @@ class CmdLogger
     std::uint64_t dropped_ = 0;
     bool streaming_ = false;
     std::ofstream stream_;
+    CmdSink *sink_ = nullptr;
 };
 
 } // namespace dramctrl

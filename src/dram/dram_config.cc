@@ -40,6 +40,47 @@ toString(SchedPolicy s)
     return "InvalidPolicy";
 }
 
+bool
+addrMappingFromString(const std::string &name, AddrMapping &out)
+{
+    for (AddrMapping m : {AddrMapping::RoRaBaCoCh,
+                          AddrMapping::RoRaBaChCo,
+                          AddrMapping::RoCoRaBaCh}) {
+        if (name == toString(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+pagePolicyFromString(const std::string &name, PagePolicy &out)
+{
+    for (PagePolicy p : {PagePolicy::Open, PagePolicy::OpenAdaptive,
+                         PagePolicy::Closed,
+                         PagePolicy::ClosedAdaptive}) {
+        if (name == toString(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+schedPolicyFromString(const std::string &name, SchedPolicy &out)
+{
+    for (SchedPolicy s : {SchedPolicy::Fcfs, SchedPolicy::FrFcfs,
+                          SchedPolicy::FrFcfsPrio}) {
+        if (name == toString(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 DRAMOrg::check() const
 {

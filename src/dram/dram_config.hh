@@ -56,6 +56,14 @@ const char *toString(PagePolicy p);
 const char *toString(SchedPolicy s);
 
 /**
+ * Inverse of the toString()s above, for CLIs and repro files.
+ * @return false when @p name matches no enumerator (@p out untouched).
+ */
+bool addrMappingFromString(const std::string &name, AddrMapping &out);
+bool pagePolicyFromString(const std::string &name, PagePolicy &out);
+bool schedPolicyFromString(const std::string &name, SchedPolicy &out);
+
+/**
  * Memory organisation of one channel (Section II-A): geometry the
  * controller decodes addresses against. The channel data-bus width is
  * deviceBusWidth x devicesPerRank bits, and one DRAM burst moves

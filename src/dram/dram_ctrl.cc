@@ -444,6 +444,19 @@ DRAMCtrl::recvTimingReq(Packet *pkt)
     Addr local = range_.removeIntlvBits(pkt->addr());
     unsigned pkt_count = burstCountFor(local, pkt->size());
 
+    // A packet spanning more bursts than the whole queue can never be
+    // accepted; refusing it would retry forever (a silent deadlock the
+    // differential fuzzer once shrank to a single unaligned request).
+    // Fail fast and name the knob instead.
+    unsigned cap = pkt->isRead() ? cfg_.readBufferSize
+                                 : cfg_.writeBufferSize;
+    if (pkt_count > cap)
+        fatal("%s: %s spans %u bursts but the %s queue only holds %u; "
+              "increase %sBufferSize",
+              name().c_str(), pkt->toString().c_str(), pkt_count,
+              pkt->isRead() ? "read" : "write", cap,
+              pkt->isRead() ? "read" : "write");
+
     if (pkt->isRead()) {
         if (readQueue_.size() + pkt_count > cfg_.readBufferSize) {
             TRACE(DRAMCtrl, "%s: refuse %s, read queue full (%zu)",

@@ -145,6 +145,19 @@ class DRAMCtrl : public MemCtrlBase
      */
     void setCmdLogger(CmdLogger *logger) { cmdLogger_ = logger; }
 
+    /**
+     * Test-only fault injection: scale the internal tRCD by @p factor
+     * (e.g. 0.5 makes the controller schedule column commands too
+     * early). The validation harness uses this to prove the
+     * ProtocolChecker — constructed with the *unscaled* timing —
+     * actually catches timing bugs. Never call outside tests.
+     */
+    void testScaleTRCD(double factor)
+    {
+        cfg_.timing.tRCD =
+            static_cast<Tick>(cfg_.timing.tRCD * factor);
+    }
+
     /** Tick at which the current stats window started. */
     Tick statsWindowStart() const { return windowStart_; }
 

@@ -1,6 +1,7 @@
 #include "dram/protocol_checker.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -38,213 +39,305 @@ ProtocolChecker::ProtocolChecker(const DRAMOrg &org,
                                  const DRAMTiming &timing)
     : org_(org), t_(timing)
 {
+    reset();
 }
 
 void
-ProtocolChecker::fail(std::vector<ProtocolViolation> &out,
-                      const CmdRecord &c, const char *rule,
+ProtocolChecker::reset()
+{
+    banks_.assign(org_.ranksPerChannel,
+                  std::vector<BankState>(org_.banksPerRank));
+    ranks_.assign(org_.ranksPerChannel, RankState{});
+    for (RankState &r : ranks_)
+        r.actRing.assign(std::max(1u, t_.activationLimit), 0);
+    busFreeAt_ = 0;
+    lastWrDataEnd_ = 0;
+    lastRdDataEnd_ = 0;
+    anyWrite_ = false;
+    anyRead_ = false;
+    processedUpTo_ = 0;
+    anyProcessed_ = false;
+    pending_ = {};
+    nextSeq_ = 0;
+    violations_.clear();
+    violationCount_ = 0;
+    commandsChecked_ = 0;
+}
+
+void
+ProtocolChecker::fail(const CmdRecord &c, const char *rule,
                       std::string detail)
 {
-    out.push_back(ProtocolViolation{c, rule, std::move(detail)});
+    ++violationCount_;
+    if (violations_.size() < maxStored_)
+        violations_.push_back(
+            ProtocolViolation{c, rule, std::move(detail)});
 }
 
 std::vector<ProtocolViolation>
 ProtocolChecker::check(const std::vector<CmdRecord> &log)
 {
-    std::vector<ProtocolViolation> out;
+    std::size_t saved_cap = maxStored_;
+    maxStored_ = SIZE_MAX;
+    reset();
 
     std::vector<CmdRecord> cmds = log;
     std::stable_sort(cmds.begin(), cmds.end(),
                      [](const CmdRecord &a, const CmdRecord &b) {
                          return a.tick < b.tick;
                      });
+    for (const CmdRecord &c : cmds)
+        step(c);
 
-    std::vector<std::vector<BankState>> banks(
-        org_.ranksPerChannel,
-        std::vector<BankState>(org_.banksPerRank));
-    std::vector<RankState> ranks(org_.ranksPerChannel);
+    maxStored_ = saved_cap;
+    return violations_;
+}
 
-    // Channel-wide data bus state.
-    Tick bus_free_at = 0;
-    Tick last_wr_data_end = 0;
-    Tick last_rd_data_end = 0;
-    bool any_write = false;
-    bool any_read = false;
+void
+ProtocolChecker::observe(const CmdRecord &rec)
+{
+    pending_.push(Seqd{rec, nextSeq_++});
+    while (pending_.size() > maxPending_) {
+        step(pending_.top().rec);
+        pending_.pop();
+    }
+}
 
-    for (const CmdRecord &c : cmds) {
-        if (c.rank >= org_.ranksPerChannel ||
-            (c.cmd != DRAMCmd::Ref && c.bank >= org_.banksPerRank)) {
-            fail(out, c, "geometry", "rank/bank out of range");
-            continue;
-        }
-        RankState &rank = ranks[c.rank];
+void
+ProtocolChecker::drainUpTo(Tick now)
+{
+    while (!pending_.empty() && pending_.top().rec.tick <= now) {
+        step(pending_.top().rec);
+        pending_.pop();
+    }
+}
 
-        switch (c.cmd) {
-          case DRAMCmd::Act: {
-            BankState &bank = banks[c.rank][c.bank];
-            if (bank.rowOpen)
-                fail(out, c, "state", "activate with a row open");
-            if (bank.everPrecharged &&
-                c.tick < bank.lastPre + t_.tRP)
-                fail(out, c, "tRP",
-                     formatString("only %llu ps after precharge",
+void
+ProtocolChecker::finish()
+{
+    while (!pending_.empty()) {
+        step(pending_.top().rec);
+        pending_.pop();
+    }
+}
+
+Tick
+ProtocolChecker::refDeadlineTicks() const
+{
+    if (t_.tREFI == 0 || refSlack_ <= 0)
+        return 0;
+    return static_cast<Tick>(
+        std::llround(refSlack_ * static_cast<double>(t_.tREFI)));
+}
+
+void
+ProtocolChecker::checkRefreshDeadline(const CmdRecord &c,
+                                      RankState &rank)
+{
+    Tick deadline = refDeadlineTicks();
+    if (deadline == 0)
+        return;
+    Tick gap = c.tick - rank.lastRef;
+    if (gap > deadline && !rank.refOverdueFlagged) {
+        rank.refOverdueFlagged = true;
+        fail(c, "tREFI",
+             formatString("%llu ps since last refresh of rank %u "
+                          "(deadline %llu ps = %.1f x tREFI)",
+                          static_cast<unsigned long long>(gap), c.rank,
+                          static_cast<unsigned long long>(deadline),
+                          refSlack_));
+    }
+}
+
+void
+ProtocolChecker::step(const CmdRecord &c)
+{
+    ++commandsChecked_;
+
+    if (anyProcessed_ && c.tick < processedUpTo_) {
+        // A record surfaced after later ticks were finalised; either
+        // drainUpTo() ran ahead of the emitter or the controller
+        // logged a command in its own past. Flag it rather than
+        // corrupt the bank state with a backwards step.
+        fail(c, "order",
+             formatString("command finalised out of order (stream "
+                          "already checked up to %llu ps)",
+                          static_cast<unsigned long long>(
+                              processedUpTo_)));
+        return;
+    }
+    processedUpTo_ = c.tick;
+    anyProcessed_ = true;
+
+    if (c.rank >= org_.ranksPerChannel ||
+        (c.cmd != DRAMCmd::Ref && c.bank >= org_.banksPerRank)) {
+        fail(c, "geometry", "rank/bank out of range");
+        return;
+    }
+    RankState &rank = ranks_[c.rank];
+    checkRefreshDeadline(c, rank);
+
+    switch (c.cmd) {
+      case DRAMCmd::Act: {
+        BankState &bank = banks_[c.rank][c.bank];
+        if (bank.rowOpen)
+            fail(c, "state", "activate with a row open");
+        if (bank.everPrecharged && c.tick < bank.lastPre + t_.tRP)
+            fail(c, "tRP",
+                 formatString("only %llu ps after precharge",
+                              static_cast<unsigned long long>(
+                                  c.tick - bank.lastPre)));
+        if (bank.everActivated &&
+            c.tick < bank.lastAct + t_.tRAS + t_.tRP)
+            fail(c, "tRC",
+                 formatString("only %llu ps after activate",
+                              static_cast<unsigned long long>(
+                                  c.tick - bank.lastAct)));
+        if (c.tick < rank.refUntil)
+            fail(c, "tRFC", "activate during refresh");
+        if (rank.everActivated && c.tick < rank.lastAct + t_.tRRD)
+            fail(c, "tRRD",
+                 formatString("only %llu ps after previous "
+                              "activate in rank",
+                              static_cast<unsigned long long>(
+                                  c.tick - rank.lastAct)));
+        if (t_.activationLimit > 0 &&
+            rank.actCount >= t_.activationLimit) {
+            // Oldest activate still inside the rolling window.
+            Tick window_start = rank.actRing[rank.actHead];
+            if (c.tick < window_start + t_.tXAW)
+                fail(c, "tXAW",
+                     formatString("%u activates within %llu ps",
+                                  t_.activationLimit + 1,
                                   static_cast<unsigned long long>(
-                                      c.tick - bank.lastPre)));
-            if (bank.everActivated &&
-                c.tick < bank.lastAct + t_.tRAS + t_.tRP)
-                fail(out, c, "tRC",
+                                      c.tick - window_start)));
+        }
+        if (t_.activationLimit > 0) {
+            if (rank.actCount < t_.activationLimit) {
+                rank.actRing[(rank.actHead + rank.actCount) %
+                             rank.actRing.size()] = c.tick;
+                ++rank.actCount;
+            } else {
+                rank.actRing[rank.actHead] = c.tick;
+                rank.actHead = (rank.actHead + 1) %
+                               rank.actRing.size();
+            }
+        }
+        rank.lastAct = c.tick;
+        rank.everActivated = true;
+        bank.rowOpen = true;
+        bank.row = c.row;
+        bank.lastAct = c.tick;
+        bank.everActivated = true;
+        break;
+      }
+      case DRAMCmd::Pre: {
+        BankState &bank = banks_[c.rank][c.bank];
+        if (!bank.rowOpen) {
+            fail(c, "state", "precharge with no row open");
+        } else {
+            if (c.tick < bank.lastAct + t_.tRAS)
+                fail(c, "tRAS",
                      formatString("only %llu ps after activate",
                                   static_cast<unsigned long long>(
                                       c.tick - bank.lastAct)));
-            if (c.tick < rank.refUntil)
-                fail(out, c, "tRFC", "activate during refresh");
-            if (!rank.actTimes.empty() &&
-                c.tick < rank.actTimes.back() + t_.tRRD)
-                fail(out, c, "tRRD",
-                     formatString("only %llu ps after previous "
-                                  "activate in rank",
+            if (bank.everWrote &&
+                c.tick < bank.lastWrDataEnd + t_.tWR)
+                fail(c, "tWR",
+                     formatString("only %llu ps after write data",
                                   static_cast<unsigned long long>(
-                                      c.tick -
-                                      rank.actTimes.back())));
-            if (t_.activationLimit > 0 &&
-                rank.actTimes.size() >= t_.activationLimit) {
-                Tick window_start =
-                    rank.actTimes[rank.actTimes.size() -
-                                  t_.activationLimit];
-                if (c.tick < window_start + t_.tXAW)
-                    fail(out, c, "tXAW",
-                         formatString(
-                             "%u activates within %llu ps",
-                             t_.activationLimit + 1,
-                             static_cast<unsigned long long>(
-                                 c.tick - window_start)));
-            }
-            rank.actTimes.push_back(c.tick);
-            bank.rowOpen = true;
-            bank.row = c.row;
-            bank.lastAct = c.tick;
-            bank.everActivated = true;
-            break;
-          }
-          case DRAMCmd::Pre: {
-            BankState &bank = banks[c.rank][c.bank];
-            if (!bank.rowOpen) {
-                fail(out, c, "state", "precharge with no row open");
-            } else {
-                if (c.tick < bank.lastAct + t_.tRAS)
-                    fail(out, c, "tRAS",
-                         formatString(
-                             "only %llu ps after activate",
-                             static_cast<unsigned long long>(
-                                 c.tick - bank.lastAct)));
-                if (bank.everWrote &&
-                    c.tick < bank.lastWrDataEnd + t_.tWR)
-                    fail(out, c, "tWR",
-                         formatString(
-                             "only %llu ps after write data",
-                             static_cast<unsigned long long>(
-                                 c.tick - bank.lastWrDataEnd)));
-            }
-            bank.rowOpen = false;
-            bank.lastPre = c.tick;
-            bank.everPrecharged = true;
-            break;
-          }
-          case DRAMCmd::Rd:
-          case DRAMCmd::Wr: {
-            BankState &bank = banks[c.rank][c.bank];
-            bool is_read = c.cmd == DRAMCmd::Rd;
-            if (!bank.rowOpen) {
-                fail(out, c, "state",
-                     "column command to a closed bank");
-            } else {
-                if (bank.row != c.row)
-                    fail(out, c, "state",
-                         formatString("row %llu open, row %llu "
-                                      "addressed",
-                                      static_cast<unsigned long long>(
-                                          bank.row),
-                                      static_cast<unsigned long long>(
-                                          c.row)));
-                if (c.tick < bank.lastAct + t_.tRCD)
-                    fail(out, c, "tRCD",
-                         formatString(
-                             "only %llu ps after activate",
-                             static_cast<unsigned long long>(
-                                 c.tick - bank.lastAct)));
-            }
-            if (bank.everCol &&
-                c.tick < bank.lastColCmd + t_.tBURST)
-                fail(out, c, "tCCD",
-                     formatString("only %llu ps after previous "
-                                  "column command",
-                                  static_cast<unsigned long long>(
-                                      c.tick - bank.lastColCmd)));
-
-            Tick data_start = c.tick + t_.tCL;
-            Tick data_end = data_start + t_.tBURST;
-            if (data_start < bus_free_at)
-                fail(out, c, "bus",
-                     formatString("data bus busy until %llu ps",
-                                  static_cast<unsigned long long>(
-                                      bus_free_at)));
-            if (data_start < rank.refUntil && c.tick >= rank.refUntil - t_.tRFC)
-                fail(out, c, "tRFC", "data during refresh");
-            if (is_read) {
-                if (any_write &&
-                    c.tick < last_wr_data_end + t_.tWTR)
-                    fail(out, c, "tWTR",
-                         formatString(
-                             "read command only %llu ps after "
-                             "write data end",
-                             static_cast<unsigned long long>(
-                                 c.tick - last_wr_data_end)));
-                last_rd_data_end = std::max(last_rd_data_end,
-                                            data_end);
-                any_read = true;
-            } else {
-                if (any_read &&
-                    data_start < last_rd_data_end + t_.tRTW &&
-                    last_rd_data_end <= data_start)
-                    fail(out, c, "tRTW",
-                         formatString(
-                             "write data only %llu ps after read "
-                             "data end",
-                             static_cast<unsigned long long>(
-                                 data_start - last_rd_data_end)));
-                last_wr_data_end = std::max(last_wr_data_end,
-                                            data_end);
-                bank.lastWrDataEnd = data_end;
-                bank.everWrote = true;
-                any_write = true;
-            }
-            bus_free_at = std::max(bus_free_at, data_end);
-            bank.lastColCmd = c.tick;
-            bank.everCol = true;
-            break;
-          }
-          case DRAMCmd::Ref: {
-            for (unsigned b = 0; b < org_.banksPerRank; ++b) {
-                BankState &bank = banks[c.rank][b];
-                if (bank.rowOpen)
-                    fail(out, c, "state",
-                         formatString("bank %u open at refresh", b));
-                if (bank.everPrecharged &&
-                    c.tick < bank.lastPre + t_.tRP)
-                    fail(out, c, "tRP",
-                         formatString(
-                             "refresh only %llu ps after bank %u "
-                             "precharge",
-                             static_cast<unsigned long long>(
-                                 c.tick - bank.lastPre),
-                             b));
-            }
-            rank.refUntil = c.tick + t_.tRFC;
-            break;
-          }
+                                      c.tick - bank.lastWrDataEnd)));
         }
+        bank.rowOpen = false;
+        bank.lastPre = c.tick;
+        bank.everPrecharged = true;
+        break;
+      }
+      case DRAMCmd::Rd:
+      case DRAMCmd::Wr: {
+        BankState &bank = banks_[c.rank][c.bank];
+        bool is_read = c.cmd == DRAMCmd::Rd;
+        if (!bank.rowOpen) {
+            fail(c, "state", "column command to a closed bank");
+        } else {
+            if (bank.row != c.row)
+                fail(c, "state",
+                     formatString("row %llu open, row %llu addressed",
+                                  static_cast<unsigned long long>(
+                                      bank.row),
+                                  static_cast<unsigned long long>(
+                                      c.row)));
+            if (c.tick < bank.lastAct + t_.tRCD)
+                fail(c, "tRCD",
+                     formatString("only %llu ps after activate",
+                                  static_cast<unsigned long long>(
+                                      c.tick - bank.lastAct)));
+        }
+        if (bank.everCol && c.tick < bank.lastColCmd + t_.tBURST)
+            fail(c, "tCCD",
+                 formatString("only %llu ps after previous column "
+                              "command",
+                              static_cast<unsigned long long>(
+                                  c.tick - bank.lastColCmd)));
+
+        Tick data_start = c.tick + t_.tCL;
+        Tick data_end = data_start + t_.tBURST;
+        if (data_start < busFreeAt_)
+            fail(c, "bus",
+                 formatString("data bus busy until %llu ps",
+                              static_cast<unsigned long long>(
+                                  busFreeAt_)));
+        if (data_start < rank.refUntil &&
+            c.tick >= rank.refUntil - t_.tRFC)
+            fail(c, "tRFC", "data during refresh");
+        if (is_read) {
+            if (anyWrite_ && c.tick < lastWrDataEnd_ + t_.tWTR)
+                fail(c, "tWTR",
+                     formatString("read command only %llu ps after "
+                                  "write data end",
+                                  static_cast<unsigned long long>(
+                                      c.tick - lastWrDataEnd_)));
+            lastRdDataEnd_ = std::max(lastRdDataEnd_, data_end);
+            anyRead_ = true;
+        } else {
+            if (anyRead_ && data_start < lastRdDataEnd_ + t_.tRTW &&
+                lastRdDataEnd_ <= data_start)
+                fail(c, "tRTW",
+                     formatString("write data only %llu ps after "
+                                  "read data end",
+                                  static_cast<unsigned long long>(
+                                      data_start - lastRdDataEnd_)));
+            lastWrDataEnd_ = std::max(lastWrDataEnd_, data_end);
+            bank.lastWrDataEnd = data_end;
+            bank.everWrote = true;
+            anyWrite_ = true;
+        }
+        busFreeAt_ = std::max(busFreeAt_, data_end);
+        bank.lastColCmd = c.tick;
+        bank.everCol = true;
+        break;
+      }
+      case DRAMCmd::Ref: {
+        for (unsigned b = 0; b < org_.banksPerRank; ++b) {
+            BankState &bank = banks_[c.rank][b];
+            if (bank.rowOpen)
+                fail(c, "state",
+                     formatString("bank %u open at refresh", b));
+            if (bank.everPrecharged &&
+                c.tick < bank.lastPre + t_.tRP)
+                fail(c, "tRP",
+                     formatString("refresh only %llu ps after bank "
+                                  "%u precharge",
+                                  static_cast<unsigned long long>(
+                                      c.tick - bank.lastPre),
+                                  b));
+        }
+        rank.refUntil = c.tick + t_.tRFC;
+        rank.lastRef = c.tick;
+        rank.refOverdueFlagged = false;
+        break;
+      }
     }
-    return out;
 }
 
 } // namespace dramctrl

@@ -2,7 +2,7 @@
  * @file
  * JEDEC protocol checker for DRAM command streams.
  *
- * Validates a CmdLogger stream against the full timing constraint set
+ * Validates a CmdRecord stream against the full timing constraint set
  * the controller is supposed to enforce:
  *
  *  bank level:  ACT before any column command to that bank, to the
@@ -12,7 +12,10 @@
  *               column commands; write recovery tWR before precharge.
  *  rank level:  tRRD between activates; at most activationLimit
  *               activates per rolling tXAW window; all banks
- *               precharged at REF; no activate during tRFC.
+ *               precharged at REF; no activate during tRFC; a REF at
+ *               least every refSlack x tREFI (the JEDEC refresh
+ *               deadline — DDR3 allows postponing up to eight
+ *               refreshes, hence the default slack of nine intervals).
  *  channel:     data bus occupancy windows never overlap; tWTR from
  *               write data end to the next read command; tRTW
  *               turnaround from read data end to write data start.
@@ -20,11 +23,26 @@
  * The checker is the verification backstop for the paper's central
  * claim (Section II-B/II-D): pruning the *modelled* state transitions
  * must not mean violating the *real* constraints.
+ *
+ * Two modes share one rule engine:
+ *
+ *  - Batch: check(log) takes a whole command log (sorted internally)
+ *    and returns every violation. Convenient for hand-built streams.
+ *  - Online: attach the checker as a CmdLogger sink (or call
+ *    observe() directly) and it audits commands *as they are issued*,
+ *    holding only a bounded reorder window in memory. Controllers emit
+ *    records out of tick order — the event model computes future
+ *    launch ticks analytically — but never with a tick earlier than
+ *    the simulation time of emission, so drainUpTo(curTick()) may
+ *    finalise everything at or before the current tick. Call finish()
+ *    at end of stream. Memory is O(scheduling look-ahead), not
+ *    O(commands issued).
  */
 
 #ifndef DRAMCTRL_DRAM_PROTOCOL_CHECKER_H
 #define DRAMCTRL_DRAM_PROTOCOL_CHECKER_H
 
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -43,17 +61,74 @@ struct ProtocolViolation
     std::string toString() const;
 };
 
-class ProtocolChecker
+class ProtocolChecker : public CmdSink
 {
   public:
     ProtocolChecker(const DRAMOrg &org, const DRAMTiming &timing);
 
     /**
      * Check a full command stream (sorted internally by tick).
+     * Resets any online state accumulated so far.
      * @return all violations found, empty when compliant.
      */
     std::vector<ProtocolViolation>
     check(const std::vector<CmdRecord> &log);
+
+    // ----- online (incremental) mode -------------------------------
+
+    /** Drop all state and start a fresh audit. */
+    void reset();
+
+    /**
+     * Feed one command. Records are buffered in a reorder heap and
+     * checked once drainUpTo()/finish() declares them final (or when
+     * the heap exceeds its safety bound).
+     */
+    void observe(const CmdRecord &rec);
+
+    /** CmdLogger sink hookup: every record() lands in observe(). */
+    void onCmdRecord(const CmdRecord &rec) override { observe(rec); }
+
+    /**
+     * Finalise all buffered records with tick <= @p now. Safe with
+     * now = current simulation tick: no controller emits a command
+     * with a launch tick in its past.
+     */
+    void drainUpTo(Tick now);
+
+    /** Finalise every buffered record (end of stream). */
+    void finish();
+
+    /**
+     * Violations found so far. At most maxStoredViolations() are kept
+     * (violationCount() counts them all); online users should poll or
+     * check after finish().
+     */
+    const std::vector<ProtocolViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Total violations detected, stored or not. */
+    std::uint64_t violationCount() const { return violationCount_; }
+
+    /** Commands run through the rule engine so far. */
+    std::uint64_t commandsChecked() const { return commandsChecked_; }
+
+    /** Records waiting in the reorder heap (observed, not yet final). */
+    std::size_t pendingRecords() const { return pending_.size(); }
+
+    /** Cap on stored violations (default 64); further ones only count. */
+    void setMaxStoredViolations(std::size_t max) { maxStored_ = max; }
+    std::size_t maxStoredViolations() const { return maxStored_; }
+
+    /**
+     * Refresh-deadline slack as a multiple of tREFI (default 9.0, the
+     * DDR3 maximum-postponement bound). 0 disables the rule, as does
+     * tREFI == 0 in the timing set.
+     */
+    void setRefSlack(double slack) { refSlack_ = slack; }
+    double refSlack() const { return refSlack_; }
 
   private:
     struct BankState
@@ -73,15 +148,72 @@ class ProtocolChecker
 
     struct RankState
     {
-        std::vector<Tick> actTimes;
+        /**
+         * Launch ticks of the last activationLimit activates, a ring
+         * so tXAW bookkeeping stays O(1) over arbitrarily long runs.
+         */
+        std::vector<Tick> actRing;
+        std::size_t actHead = 0;
+        std::size_t actCount = 0;
+        Tick lastAct = 0;
+        bool everActivated = false;
         Tick refUntil = 0;
+        Tick lastRef = 0;
+        /** The current refresh lapse has already been reported. */
+        bool refOverdueFlagged = false;
     };
 
-    void fail(std::vector<ProtocolViolation> &out, const CmdRecord &c,
-              const char *rule, std::string detail);
+    /** Run one final (ordered) record through the rule engine. */
+    void step(const CmdRecord &c);
+
+    void fail(const CmdRecord &c, const char *rule, std::string detail);
+
+    Tick refDeadlineTicks() const;
+    void checkRefreshDeadline(const CmdRecord &c, RankState &rank);
 
     DRAMOrg org_;
     DRAMTiming t_;
+    double refSlack_ = 9.0;
+
+    // ----- rule-engine state (valid between reset()s) --------------
+    std::vector<std::vector<BankState>> banks_;
+    std::vector<RankState> ranks_;
+    Tick busFreeAt_ = 0;
+    Tick lastWrDataEnd_ = 0;
+    Tick lastRdDataEnd_ = 0;
+    bool anyWrite_ = false;
+    bool anyRead_ = false;
+    Tick processedUpTo_ = 0;
+    bool anyProcessed_ = false;
+
+    // ----- reorder buffer ------------------------------------------
+    struct Seqd
+    {
+        CmdRecord rec;
+        std::uint64_t seq;
+    };
+    struct SeqdLater
+    {
+        bool
+        operator()(const Seqd &a, const Seqd &b) const
+        {
+            if (a.rec.tick != b.rec.tick)
+                return a.rec.tick > b.rec.tick;
+            return a.seq > b.seq; // emission order breaks ties
+        }
+    };
+    std::priority_queue<Seqd, std::vector<Seqd>, SeqdLater> pending_;
+    std::uint64_t nextSeq_ = 0;
+    /**
+     * Safety valve: if the caller never drains, finalise the earliest
+     * record once this many are buffered, keeping memory bounded.
+     */
+    std::size_t maxPending_ = 16384;
+
+    std::vector<ProtocolViolation> violations_;
+    std::size_t maxStored_ = 64;
+    std::uint64_t violationCount_ = 0;
+    std::uint64_t commandsChecked_ = 0;
 };
 
 } // namespace dramctrl

@@ -1,0 +1,178 @@
+#include "validate/config_fuzzer.hh"
+
+#include <algorithm>
+
+#include "dram/dram_presets.hh"
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace validate {
+
+namespace {
+
+template <typename T, std::size_t N>
+const T &
+pick(Random &rng, const T (&options)[N])
+{
+    return options[rng.uniform(0, N - 1)];
+}
+
+} // namespace
+
+FuzzCase
+sampleCase(Random &rng, const FuzzerOptions &opts)
+{
+    static const char *kPresets[] = {
+        "ddr3_1333", "ddr3_1600", "lpddr3_1600", "wideio_200",
+        "hmc_vault",
+    };
+
+    FuzzCase fc;
+    fc.presetName = pick(rng, kPresets);
+    fc.cfg = presets::byName(fc.presetName);
+    DRAMCtrlConfig &cfg = fc.cfg;
+
+    // Organisation: multi-rank variants keep rowsPerBank a power of
+    // two because every preset capacity / geometry field already is.
+    static const unsigned kRanks[] = {1, 1, 2, 4};
+    cfg.org.ranksPerChannel = pick(rng, kRanks);
+
+    // Controller knobs (Table I space).
+    static const unsigned kReadBuf[] = {8, 16, 32, 64};
+    static const unsigned kWriteBuf[] = {16, 32, 64, 128};
+    cfg.readBufferSize = pick(rng, kReadBuf);
+    cfg.writeBufferSize = pick(rng, kWriteBuf);
+    static const double kHighWm[] = {0.7, 0.85, 0.9};
+    static const double kLowWm[] = {0.3, 0.4, 0.5};
+    cfg.writeHighThreshold = pick(rng, kHighWm);
+    cfg.writeLowThreshold = pick(rng, kLowWm);
+    cfg.minWritesPerSwitch = static_cast<unsigned>(rng.uniform(
+        1, std::min(cfg.writeBufferSize, 18u)));
+
+    if (opts.cycleCompatible) {
+        // Strict FCFS means different things to the two models: the
+        // event model serialises whole transactions analytically,
+        // the cycle model still overlaps bank preparation through its
+        // per-bank command queues. Both are defensible FCFS
+        // controllers, but they are not each other's reference, so
+        // differential runs stick to FR-FCFS (the paper's default).
+        cfg.schedPolicy = SchedPolicy::FrFcfs;
+    } else {
+        static const SchedPolicy kSched[] = {SchedPolicy::Fcfs,
+                                             SchedPolicy::FrFcfs};
+        cfg.schedPolicy = pick(rng, kSched);
+    }
+
+    static const AddrMapping kMaps[] = {AddrMapping::RoRaBaCoCh,
+                                        AddrMapping::RoRaBaChCo,
+                                        AddrMapping::RoCoRaBaCh};
+    cfg.addrMapping = pick(rng, kMaps);
+
+    if (opts.cycleCompatible) {
+        // The cycle comparator only implements the two plain policies.
+        static const PagePolicy kPages[] = {PagePolicy::Open,
+                                            PagePolicy::Closed};
+        cfg.pagePolicy = pick(rng, kPages);
+    } else {
+        static const PagePolicy kPages[] = {
+            PagePolicy::Open, PagePolicy::OpenAdaptive,
+            PagePolicy::Closed, PagePolicy::ClosedAdaptive};
+        cfg.pagePolicy = pick(rng, kPages);
+    }
+
+    static const unsigned kMaxRow[] = {0, 4, 16};
+    cfg.maxAccessesPerRow = pick(rng, kMaxRow);
+
+    // Timing mutations that stay inside DRAMTiming::check(): the
+    // activation limit (0 disables tXAW; never 1) and the refresh
+    // interval (0 disables refresh; otherwise far above every preset
+    // tRFC). Short tREFI values make refresh interactions frequent
+    // enough to matter within a short fuzz run.
+    static const unsigned kActLimit[] = {0, 2, 4};
+    cfg.timing.activationLimit = pick(rng, kActLimit);
+
+    switch (rng.uniform(0, 3)) {
+      case 0: cfg.timing.tREFI = 0; break;
+      case 1: cfg.timing.tREFI = fromUs(1.0); break;
+      case 2: cfg.timing.tREFI = fromUs(2.0); break;
+      default: break; // keep the preset value
+    }
+
+    static const double kStaticNs[] = {0.0, 5.0, 10.0, 20.0};
+    cfg.frontendLatency = fromNs(pick(rng, kStaticNs));
+    cfg.backendLatency = fromNs(pick(rng, kStaticNs));
+
+    if (!opts.cycleCompatible) {
+        // Event-model-only features: low-power states and staggered
+        // per-rank refresh have no cycle-model counterpart.
+        cfg.enablePowerDown = rng.chance(0.3);
+        if (cfg.enablePowerDown)
+            cfg.enableSelfRefresh = rng.chance(0.3);
+        cfg.perRankRefresh = rng.chance(0.5);
+    }
+
+    // Stimulus: window sized to stress either row locality (small) or
+    // bank/rank spread (large), always inside the channel.
+    StreamParams &sp = fc.stream;
+    static const std::uint64_t kWindow[] = {
+        1ULL << 16, 1ULL << 20, 1ULL << 22, 1ULL << 24};
+    sp.windowSize = std::min<std::uint64_t>(pick(rng, kWindow),
+                                            cfg.org.channelCapacity);
+    static const unsigned kReadPct[] = {0, 30, 50, 70, 100};
+    sp.readPct = pick(rng, kReadPct);
+    sp.numRequests = opts.numRequests
+                         ? opts.numRequests
+                         : rng.uniform(200, 600);
+    // Gap range spans back-to-back pressure to near-idle trickle.
+    static const double kGapLo[] = {0.0, 2.0, 10.0};
+    static const double kGapSpan[] = {5.0, 30.0, 120.0};
+    double lo = pick(rng, kGapLo);
+    double hi = lo + pick(rng, kGapSpan);
+    sp.minITT = fromNs(lo);
+    sp.maxITT = fromNs(hi);
+    sp.mixedSizes = rng.chance(0.3);
+    sp.blockSize = 64;
+
+    // A request spanning more bursts than a whole queue can never be
+    // accepted (the controller fatals on it); keep every sampled
+    // config able to hold the worst-case request. Streams align to
+    // 16 B, so an unaligned max-size request may touch one extra
+    // burst. Differential runs additionally want room for several
+    // such requests: the event model buffers *bursts* where the cycle
+    // model buffers *transactions*, and with multi-burst requests
+    // squeezed into a tiny queue that accounting difference dominates
+    // saturated throughput.
+    unsigned maxReqBytes = sp.mixedSizes ? 256 : sp.blockSize;
+    auto worstBursts = static_cast<unsigned>(
+        maxReqBytes / cfg.org.burstSize() + 1);
+    unsigned floor = opts.cycleCompatible ? 4 * worstBursts
+                                          : worstBursts;
+    cfg.readBufferSize = std::max(cfg.readBufferSize, floor);
+    cfg.writeBufferSize = std::max(cfg.writeBufferSize, floor);
+
+    cfg.check();
+    return fc;
+}
+
+std::string
+summarize(const FuzzCase &fc)
+{
+    const DRAMCtrlConfig &cfg = fc.cfg;
+    const StreamParams &sp = fc.stream;
+    return formatString(
+        "%s ranks=%u map=%s page=%s sched=%s rq=%u wq=%u xaw=%u "
+        "refi=%.1fus maxrow=%u | n=%llu win=%lluKiB rd%%=%u "
+        "itt=[%.0f,%.0f]ns%s",
+        fc.presetName.c_str(), cfg.org.ranksPerChannel,
+        toString(cfg.addrMapping), toString(cfg.pagePolicy),
+        toString(cfg.schedPolicy), cfg.readBufferSize,
+        cfg.writeBufferSize, cfg.timing.activationLimit,
+        toNs(cfg.timing.tREFI) / 1e3, cfg.maxAccessesPerRow,
+        static_cast<unsigned long long>(sp.numRequests),
+        static_cast<unsigned long long>(sp.windowSize >> 10),
+        sp.readPct, toNs(sp.minITT), toNs(sp.maxITT),
+        sp.mixedSizes ? " mixed" : "");
+}
+
+} // namespace validate
+} // namespace dramctrl

@@ -1,0 +1,345 @@
+#include "validate/repro.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace validate {
+
+namespace {
+
+Json
+orgToJson(const DRAMOrg &org)
+{
+    Json j = Json::object();
+    j.set("burstLength", org.burstLength);
+    j.set("deviceBusWidth", org.deviceBusWidth);
+    j.set("devicesPerRank", org.devicesPerRank);
+    j.set("ranksPerChannel", org.ranksPerChannel);
+    j.set("banksPerRank", org.banksPerRank);
+    j.set("rowBufferSize", org.rowBufferSize);
+    j.set("channelCapacity", org.channelCapacity);
+    return j;
+}
+
+void
+orgFromJson(const Json &j, DRAMOrg &org)
+{
+    org.burstLength =
+        static_cast<unsigned>(j["burstLength"].asUInt(org.burstLength));
+    org.deviceBusWidth = static_cast<unsigned>(
+        j["deviceBusWidth"].asUInt(org.deviceBusWidth));
+    org.devicesPerRank = static_cast<unsigned>(
+        j["devicesPerRank"].asUInt(org.devicesPerRank));
+    org.ranksPerChannel = static_cast<unsigned>(
+        j["ranksPerChannel"].asUInt(org.ranksPerChannel));
+    org.banksPerRank = static_cast<unsigned>(
+        j["banksPerRank"].asUInt(org.banksPerRank));
+    org.rowBufferSize = j["rowBufferSize"].asUInt(org.rowBufferSize);
+    org.channelCapacity =
+        j["channelCapacity"].asUInt(org.channelCapacity);
+}
+
+Json
+timingToJson(const DRAMTiming &t)
+{
+    // Ticks serialised raw (64-bit integers stay exact in this JSON
+    // model), so no ns round-trip error.
+    Json j = Json::object();
+    j.set("tCK", t.tCK);
+    j.set("tBURST", t.tBURST);
+    j.set("tRCD", t.tRCD);
+    j.set("tCL", t.tCL);
+    j.set("tRP", t.tRP);
+    j.set("tRAS", t.tRAS);
+    j.set("tWR", t.tWR);
+    j.set("tWTR", t.tWTR);
+    j.set("tRTW", t.tRTW);
+    j.set("tRRD", t.tRRD);
+    j.set("tXAW", t.tXAW);
+    j.set("tREFI", t.tREFI);
+    j.set("tRFC", t.tRFC);
+    j.set("activationLimit", t.activationLimit);
+    return j;
+}
+
+void
+timingFromJson(const Json &j, DRAMTiming &t)
+{
+    t.tCK = j["tCK"].asUInt(t.tCK);
+    t.tBURST = j["tBURST"].asUInt(t.tBURST);
+    t.tRCD = j["tRCD"].asUInt(t.tRCD);
+    t.tCL = j["tCL"].asUInt(t.tCL);
+    t.tRP = j["tRP"].asUInt(t.tRP);
+    t.tRAS = j["tRAS"].asUInt(t.tRAS);
+    t.tWR = j["tWR"].asUInt(t.tWR);
+    t.tWTR = j["tWTR"].asUInt(t.tWTR);
+    t.tRTW = j["tRTW"].asUInt(t.tRTW);
+    t.tRRD = j["tRRD"].asUInt(t.tRRD);
+    t.tXAW = j["tXAW"].asUInt(t.tXAW);
+    t.tREFI = j["tREFI"].asUInt(t.tREFI);
+    t.tRFC = j["tRFC"].asUInt(t.tRFC);
+    t.activationLimit = static_cast<unsigned>(
+        j["activationLimit"].asUInt(t.activationLimit));
+}
+
+Json
+cfgToJson(const DRAMCtrlConfig &cfg)
+{
+    Json j = Json::object();
+    j.set("org", orgToJson(cfg.org));
+    j.set("timing", timingToJson(cfg.timing));
+    j.set("readBufferSize", cfg.readBufferSize);
+    j.set("writeBufferSize", cfg.writeBufferSize);
+    j.set("writeHighThreshold", cfg.writeHighThreshold);
+    j.set("writeLowThreshold", cfg.writeLowThreshold);
+    j.set("minWritesPerSwitch", cfg.minWritesPerSwitch);
+    j.set("schedPolicy", toString(cfg.schedPolicy));
+    j.set("addrMapping", toString(cfg.addrMapping));
+    j.set("pagePolicy", toString(cfg.pagePolicy));
+    j.set("frontendLatency", cfg.frontendLatency);
+    j.set("backendLatency", cfg.backendLatency);
+    j.set("maxAccessesPerRow", cfg.maxAccessesPerRow);
+    j.set("enablePowerDown", cfg.enablePowerDown);
+    j.set("enableSelfRefresh", cfg.enableSelfRefresh);
+    j.set("perRankRefresh", cfg.perRankRefresh);
+    return j;
+}
+
+bool
+cfgFromJson(const Json &j, DRAMCtrlConfig &cfg, std::string *err)
+{
+    orgFromJson(j["org"], cfg.org);
+    timingFromJson(j["timing"], cfg.timing);
+    cfg.readBufferSize = static_cast<unsigned>(
+        j["readBufferSize"].asUInt(cfg.readBufferSize));
+    cfg.writeBufferSize = static_cast<unsigned>(
+        j["writeBufferSize"].asUInt(cfg.writeBufferSize));
+    cfg.writeHighThreshold =
+        j["writeHighThreshold"].asDouble(cfg.writeHighThreshold);
+    cfg.writeLowThreshold =
+        j["writeLowThreshold"].asDouble(cfg.writeLowThreshold);
+    cfg.minWritesPerSwitch = static_cast<unsigned>(
+        j["minWritesPerSwitch"].asUInt(cfg.minWritesPerSwitch));
+    if (j.has("schedPolicy") &&
+        !schedPolicyFromString(j["schedPolicy"].asString(),
+                               cfg.schedPolicy)) {
+        if (err)
+            *err = "unknown schedPolicy '" +
+                   j["schedPolicy"].asString() + "'";
+        return false;
+    }
+    if (j.has("addrMapping") &&
+        !addrMappingFromString(j["addrMapping"].asString(),
+                               cfg.addrMapping)) {
+        if (err)
+            *err = "unknown addrMapping '" +
+                   j["addrMapping"].asString() + "'";
+        return false;
+    }
+    if (j.has("pagePolicy") &&
+        !pagePolicyFromString(j["pagePolicy"].asString(),
+                              cfg.pagePolicy)) {
+        if (err)
+            *err = "unknown pagePolicy '" +
+                   j["pagePolicy"].asString() + "'";
+        return false;
+    }
+    cfg.frontendLatency =
+        j["frontendLatency"].asUInt(cfg.frontendLatency);
+    cfg.backendLatency = j["backendLatency"].asUInt(cfg.backendLatency);
+    cfg.maxAccessesPerRow = static_cast<unsigned>(
+        j["maxAccessesPerRow"].asUInt(cfg.maxAccessesPerRow));
+    cfg.enablePowerDown =
+        j["enablePowerDown"].asBool(cfg.enablePowerDown);
+    cfg.enableSelfRefresh =
+        j["enableSelfRefresh"].asBool(cfg.enableSelfRefresh);
+    cfg.perRankRefresh = j["perRankRefresh"].asBool(cfg.perRankRefresh);
+    return true;
+}
+
+Json
+streamParamsToJson(const StreamParams &sp)
+{
+    Json j = Json::object();
+    j.set("numRequests", sp.numRequests);
+    j.set("windowSize", sp.windowSize);
+    j.set("readPct", sp.readPct);
+    j.set("minITT", sp.minITT);
+    j.set("maxITT", sp.maxITT);
+    j.set("mixedSizes", sp.mixedSizes);
+    j.set("blockSize", sp.blockSize);
+    return j;
+}
+
+void
+streamParamsFromJson(const Json &j, StreamParams &sp)
+{
+    sp.numRequests = j["numRequests"].asUInt(sp.numRequests);
+    sp.windowSize = j["windowSize"].asUInt(sp.windowSize);
+    sp.readPct = static_cast<unsigned>(j["readPct"].asUInt(sp.readPct));
+    sp.minITT = j["minITT"].asUInt(sp.minITT);
+    sp.maxITT = j["maxITT"].asUInt(sp.maxITT);
+    sp.mixedSizes = j["mixedSizes"].asBool(sp.mixedSizes);
+    sp.blockSize = static_cast<unsigned>(
+        j["blockSize"].asUInt(sp.blockSize));
+}
+
+Json
+streamToJson(const RequestStream &stream)
+{
+    // Compact row form: [gap, addr, size, isRead].
+    Json arr = Json::array();
+    for (const StreamRequest &r : stream.reqs) {
+        Json row = Json::array();
+        row.push(r.gap);
+        row.push(r.addr);
+        row.push(r.size);
+        row.push(r.isRead);
+        arr.push(row);
+    }
+    return arr;
+}
+
+void
+streamFromJson(const Json &arr, RequestStream &stream)
+{
+    stream.reqs.clear();
+    stream.reqs.reserve(arr.size());
+    for (const Json &row : arr.items()) {
+        StreamRequest r;
+        r.gap = row.at(0).asUInt();
+        r.addr = row.at(1).asUInt();
+        r.size = static_cast<unsigned>(row.at(2).asUInt(64));
+        r.isRead = row.at(3).asBool(true);
+        stream.reqs.push_back(r);
+    }
+}
+
+Json
+optsToJson(const DiffOptions &opts)
+{
+    Json j = Json::object();
+    j.set("bandwidthRelTol", opts.bandwidthRelTol);
+    j.set("bandwidthAbsSlackNs", opts.bandwidthAbsSlackNs);
+    j.set("latencyRelTol", opts.latencyRelTol);
+    j.set("latencyAbsSlackNs", opts.latencyAbsSlackNs);
+    j.set("saturationRatio", opts.saturationRatio);
+    j.set("congestionFactor", opts.congestionFactor);
+    j.set("maxTicks", opts.maxTicks);
+    j.set("injectTRCDScale", opts.injectTRCDScale);
+    j.set("audit", opts.audit);
+    j.set("runCycle", opts.runCycle);
+    return j;
+}
+
+void
+optsFromJson(const Json &j, DiffOptions &opts)
+{
+    opts.bandwidthRelTol =
+        j["bandwidthRelTol"].asDouble(opts.bandwidthRelTol);
+    opts.bandwidthAbsSlackNs =
+        j["bandwidthAbsSlackNs"].asDouble(opts.bandwidthAbsSlackNs);
+    opts.latencyRelTol = j["latencyRelTol"].asDouble(opts.latencyRelTol);
+    opts.latencyAbsSlackNs =
+        j["latencyAbsSlackNs"].asDouble(opts.latencyAbsSlackNs);
+    opts.saturationRatio =
+        j["saturationRatio"].asDouble(opts.saturationRatio);
+    opts.congestionFactor =
+        j["congestionFactor"].asDouble(opts.congestionFactor);
+    opts.maxTicks = j["maxTicks"].asUInt(opts.maxTicks);
+    opts.injectTRCDScale =
+        j["injectTRCDScale"].asDouble(opts.injectTRCDScale);
+    opts.audit = j["audit"].asBool(opts.audit);
+    opts.runCycle = j["runCycle"].asBool(opts.runCycle);
+}
+
+} // namespace
+
+RequestStream
+ReproFile::materialise() const
+{
+    return stream.empty() ? generateStream(fc.stream, streamSeed)
+                          : stream;
+}
+
+Json
+toJson(const ReproFile &repro)
+{
+    Json j = Json::object();
+    j.set("format", "dramctrl-fuzz-repro-v1");
+    j.set("note", repro.note);
+    j.set("preset", repro.fc.presetName);
+    j.set("config", cfgToJson(repro.fc.cfg));
+    j.set("streamParams", streamParamsToJson(repro.fc.stream));
+    j.set("streamSeed", repro.streamSeed);
+    j.set("options", optsToJson(repro.opts));
+    if (!repro.stream.empty())
+        j.set("stream", streamToJson(repro.stream));
+    return j;
+}
+
+bool
+fromJson(const Json &j, ReproFile &repro, std::string *err)
+{
+    if (!j.isObject()) {
+        if (err)
+            *err = "repro root is not an object";
+        return false;
+    }
+    if (j["format"].asString() != "dramctrl-fuzz-repro-v1") {
+        if (err)
+            *err = "unknown repro format '" + j["format"].asString() +
+                   "'";
+        return false;
+    }
+    repro.note = j["note"].asString();
+    repro.fc.presetName = j["preset"].asString();
+    if (!cfgFromJson(j["config"], repro.fc.cfg, err))
+        return false;
+    streamParamsFromJson(j["streamParams"], repro.fc.stream);
+    repro.streamSeed = j["streamSeed"].asUInt();
+    optsFromJson(j["options"], repro.opts);
+    if (j.has("stream"))
+        streamFromJson(j["stream"], repro.stream);
+    return true;
+}
+
+bool
+writeReproFile(const std::string &path, const ReproFile &repro)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson(repro).dump(2) << "\n";
+    return static_cast<bool>(out);
+}
+
+bool
+loadReproFile(const std::string &path, ReproFile &repro,
+              std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    Json j;
+    if (!parseJson(ss.str(), j, err))
+        return false;
+    return fromJson(j, repro, err);
+}
+
+DiffResult
+replay(const ReproFile &repro)
+{
+    return runDiffStream(repro.fc, repro.materialise(), repro.opts);
+}
+
+} // namespace validate
+} // namespace dramctrl

@@ -1,0 +1,77 @@
+#include "validate/shrinker.hh"
+
+#include <algorithm>
+
+namespace dramctrl {
+namespace validate {
+
+namespace {
+
+RequestStream
+without(const RequestStream &s, std::size_t from, std::size_t count)
+{
+    RequestStream out;
+    out.reqs.reserve(s.reqs.size() - count);
+    for (std::size_t i = 0; i < s.reqs.size(); ++i)
+        if (i < from || i >= from + count)
+            out.reqs.push_back(s.reqs[i]);
+    return out;
+}
+
+} // namespace
+
+ShrinkOutcome
+shrinkStreamWith(const RequestStream &failing,
+                 const std::function<bool(const RequestStream &)> &fails,
+                 unsigned maxEvaluations)
+{
+    ShrinkOutcome out;
+    out.stream = failing;
+
+    std::size_t chunk = std::max<std::size_t>(out.stream.size() / 2, 1);
+    while (chunk >= 1) {
+        bool removedAny = false;
+        for (std::size_t from = 0; from < out.stream.size();) {
+            if (out.evaluations >= maxEvaluations)
+                return out;
+            std::size_t count =
+                std::min(chunk, out.stream.size() - from);
+            if (count == out.stream.size())
+                break; // never probe the empty stream
+            RequestStream cand = without(out.stream, from, count);
+            ++out.evaluations;
+            if (fails(cand)) {
+                out.stream = std::move(cand);
+                removedAny = true;
+                // Same index now names the next chunk; stay put.
+            } else {
+                from += count;
+            }
+        }
+        if (chunk == 1) {
+            // A full single-request sweep with no removal: minimal.
+            if (!removedAny) {
+                out.minimal = true;
+                break;
+            }
+        } else {
+            chunk = chunk / 2;
+        }
+    }
+    return out;
+}
+
+ShrinkOutcome
+shrinkStream(const FuzzCase &fc, const RequestStream &failing,
+             const DiffOptions &opts, unsigned maxEvaluations)
+{
+    return shrinkStreamWith(
+        failing,
+        [&](const RequestStream &cand) {
+            return !runDiffStream(fc, cand, opts).pass;
+        },
+        maxEvaluations);
+}
+
+} // namespace validate
+} // namespace dramctrl

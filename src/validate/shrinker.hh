@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing request streams.
+ *
+ * Given a stream that makes the differential check fail, repeatedly
+ * tries removing chunks of requests (classic ddmin: halves, then
+ * quarters, down to single requests) and keeps any removal that still
+ * fails. The result is a locally-minimal reproducer: removing any
+ * single remaining request makes the failure disappear (up to the
+ * evaluation budget). Each probe is a full deterministic re-run of
+ * both models, so shrinking is expensive — it only happens once a
+ * failure is already in hand.
+ */
+
+#ifndef DRAMCTRL_VALIDATE_SHRINKER_H
+#define DRAMCTRL_VALIDATE_SHRINKER_H
+
+#include <functional>
+
+#include "validate/diff_runner.hh"
+#include "validate/request_stream.hh"
+
+namespace dramctrl {
+namespace validate {
+
+struct ShrinkOutcome
+{
+    RequestStream stream;
+    /** Differential runs spent probing. */
+    unsigned evaluations = 0;
+    /** True when the loop converged before exhausting the budget. */
+    bool minimal = false;
+};
+
+/**
+ * Shrink @p failing under the predicate "runDiffStream still fails".
+ * @p maxEvaluations bounds the probe count (each probe simulates both
+ * models end to end).
+ */
+ShrinkOutcome shrinkStream(const FuzzCase &fc,
+                           const RequestStream &failing,
+                           const DiffOptions &opts,
+                           unsigned maxEvaluations = 300);
+
+/**
+ * Generic ddmin over a stream for an arbitrary "still interesting"
+ * predicate (exposed for tests).
+ */
+ShrinkOutcome
+shrinkStreamWith(const RequestStream &failing,
+                 const std::function<bool(const RequestStream &)> &fails,
+                 unsigned maxEvaluations = 300);
+
+} // namespace validate
+} // namespace dramctrl
+
+#endif // DRAMCTRL_VALIDATE_SHRINKER_H

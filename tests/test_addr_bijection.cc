@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Property tests: address decomposition must never alias.
+ *
+ * For every address mapping and a spread of channel organisations,
+ * AddrDecoder::decode must be injective over a channel span with
+ * encode as its exact inverse, every decoded coordinate must be in
+ * range, and the crossbar's interleaved ranges must partition the
+ * global window so each address routes to exactly one channel and
+ * the dense (channel-stripped) addresses tile the channel span.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/addr_decoder.hh"
+#include "dram/dram_config.hh"
+#include "mem/addr_range.hh"
+#include "sim/random.hh"
+#include "xbar/xbar.hh"
+
+namespace dramctrl {
+namespace {
+
+const AddrMapping kMappings[] = {
+    AddrMapping::RoRaBaChCo,
+    AddrMapping::RoRaBaCoCh,
+    AddrMapping::RoCoRaBaCh,
+};
+
+std::vector<DRAMOrg>
+orgVariants()
+{
+    std::vector<DRAMOrg> out;
+
+    DRAMOrg base; // DDR3-like: 64 B burst, 1 KiB row, 8 banks
+    base.channelCapacity = 1ULL << 22; // keep spans exhaustive
+    out.push_back(base);
+
+    DRAMOrg multiRank = base;
+    multiRank.ranksPerChannel = 4;
+    out.push_back(multiRank);
+
+    DRAMOrg wide = base; // WideIO-like: 32 B burst, 4 banks
+    wide.burstLength = 4;
+    wide.deviceBusWidth = 64;
+    wide.devicesPerRank = 1;
+    wide.banksPerRank = 4;
+    wide.rowBufferSize = 2048;
+    out.push_back(wide);
+
+    DRAMOrg vault = base; // HMC-vault-like: 2 banks, small rows
+    vault.burstLength = 4;
+    vault.deviceBusWidth = 64;
+    vault.devicesPerRank = 1;
+    vault.banksPerRank = 2;
+    vault.rowBufferSize = 256;
+    vault.channelCapacity = 1ULL << 21;
+    out.push_back(vault);
+
+    return out;
+}
+
+/** Pack a coordinate into one comparable/index-able integer. */
+std::uint64_t
+key(const DRAMOrg &org, const DRAMAddr &da)
+{
+    std::uint64_t k = da.rank;
+    k = k * org.banksPerRank + da.bank;
+    k = k * org.rowsPerBank() + da.row;
+    k = k * org.burstsPerRow() + da.col;
+    return k;
+}
+
+TEST(AddrBijection, DecodeIsInjectiveAndEncodeInverts)
+{
+    for (const DRAMOrg &org : orgVariants()) {
+        const std::uint64_t burst = org.burstSize();
+        const std::uint64_t bursts = org.channelCapacity / burst;
+        for (AddrMapping m : kMappings) {
+            AddrDecoder dec(org, m);
+            // One slot per possible coordinate: decode must hit each
+            // at most once (and, over a full span, exactly once).
+            std::vector<bool> seen(bursts, false);
+            for (std::uint64_t i = 0; i < bursts; ++i) {
+                Addr dense = i * burst;
+                DRAMAddr da = dec.decode(dense);
+
+                ASSERT_LT(da.rank, org.ranksPerChannel);
+                ASSERT_LT(da.bank, org.banksPerRank);
+                ASSERT_LT(da.row, org.rowsPerBank());
+                ASSERT_LT(da.col, org.burstsPerRow());
+
+                std::uint64_t k = key(org, da);
+                ASSERT_FALSE(seen[k])
+                    << "mapping " << toString(m) << " aliases burst "
+                    << i << " onto an earlier coordinate";
+                seen[k] = true;
+
+                ASSERT_EQ(dec.encode(da), dense)
+                    << "mapping " << toString(m)
+                    << " encode does not invert decode at " << dense;
+            }
+            // seen[] has exactly `bursts` slots, all now set: decode
+            // over the span is a bijection onto the coordinate space.
+        }
+    }
+}
+
+TEST(AddrBijection, DecodeIgnoresSubBurstBits)
+{
+    DRAMOrg org;
+    org.channelCapacity = 1ULL << 22;
+    for (AddrMapping m : kMappings) {
+        AddrDecoder dec(org, m);
+        Random rng(7);
+        for (int i = 0; i < 2000; ++i) {
+            Addr a = rng.uniform(0, org.channelCapacity - 1);
+            EXPECT_EQ(key(org, dec.decode(a)),
+                      key(org, dec.decode(dec.burstAlign(a))));
+        }
+    }
+}
+
+TEST(AddrBijection, InterleavedRangesPartitionTheWindow)
+{
+    const std::uint64_t total = 1ULL << 20;
+    const std::uint64_t granularities[] = {64, 1024}; // burst, row
+    const unsigned channelCounts[] = {1, 2, 4};
+
+    for (std::uint64_t gran : granularities) {
+        for (unsigned nch : channelCounts) {
+            auto ranges = interleavedRanges(0, total, gran, nch);
+            ASSERT_EQ(ranges.size(), nch);
+
+            // Dense per-channel images must each tile the channel
+            // span [0, total/nch) exactly once.
+            std::vector<std::vector<bool>> dense(
+                nch, std::vector<bool>(total / nch / gran, false));
+
+            for (Addr a = 0; a < total; a += gran) {
+                unsigned owner = 0, owners = 0;
+                for (unsigned c = 0; c < nch; ++c) {
+                    if (ranges[c].contains(a)) {
+                        owner = c;
+                        ++owners;
+                    }
+                }
+                ASSERT_EQ(owners, 1u)
+                    << a << " owned by " << owners << " channels "
+                    << "(gran " << gran << ", " << nch << " ch)";
+
+                Addr d = ranges[owner].removeIntlvBits(a);
+                ASSERT_LT(d, total / nch);
+                ASSERT_EQ(d % gran, 0u);
+                ASSERT_FALSE(dense[owner][d / gran])
+                    << "channel " << owner << " dense address " << d
+                    << " hit twice";
+                dense[owner][d / gran] = true;
+            }
+            // Every slot visited exactly once => partition + bijection
+            // between the window and the union of channel spans.
+        }
+    }
+}
+
+} // namespace
+} // namespace dramctrl

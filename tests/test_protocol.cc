@@ -381,5 +381,146 @@ TEST(ProtocolAuditExtra, DramAwareSaturationIsCompliant)
         << v.size() << " violations, first:\n" << firstViolations(v);
 }
 
+// ---------------------------------------------------------------
+// Refresh-deadline (tREFI slack) rule.
+// ---------------------------------------------------------------
+
+TEST(ProtocolCheckerTest, DetectsMissedRefreshDeadline)
+{
+    DRAMTiming t = checkerTiming();
+    t.tREFI = fromUs(1); // default slack 9 => deadline at 9 us
+    ProtocolChecker checker(checkerOrg(), t);
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Ref, 0, 0, 0},
+        {fromUs(10), DRAMCmd::Act, 0, 0, 5}, // 10 us > 9 x tREFI
+    };
+    auto v = checker.check(log);
+    ASSERT_FALSE(v.empty()) << "missed deadline not flagged";
+    EXPECT_EQ(v[0].rule, "tREFI");
+}
+
+TEST(ProtocolCheckerTest, TimelyRefreshMeetsDeadline)
+{
+    DRAMTiming t = checkerTiming();
+    t.tREFI = fromUs(1);
+    ProtocolChecker checker(checkerOrg(), t);
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Ref, 0, 0, 0},
+        {fromUs(5), DRAMCmd::Ref, 0, 0, 0},
+        {fromUs(10), DRAMCmd::Act, 0, 0, 5}, // 5 us since last REF
+    };
+    auto v = checker.check(log);
+    EXPECT_TRUE(v.empty()) << firstViolations(v);
+}
+
+TEST(ProtocolCheckerTest, RefreshDeadlineLapseFlaggedOnce)
+{
+    DRAMTiming t = checkerTiming();
+    t.tREFI = fromUs(1);
+    ProtocolChecker checker(checkerOrg(), t);
+    // Several commands inside one overdue stretch: one report, not a
+    // flood; a REF re-arms the rule.
+    std::vector<CmdRecord> log = {
+        {0, DRAMCmd::Ref, 0, 0, 0},
+        {fromUs(10), DRAMCmd::Act, 0, 0, 5},
+        {fromUs(10) + fromNs(20), DRAMCmd::Rd, 0, 0, 5},
+        {fromUs(10) + fromNs(100), DRAMCmd::Pre, 0, 0, 0},
+        {fromUs(11), DRAMCmd::Ref, 0, 0, 0},
+        {fromUs(21), DRAMCmd::Act, 0, 0, 5}, // second lapse
+    };
+    auto v = checker.check(log);
+    std::size_t deadline = 0;
+    for (const auto &viol : v)
+        if (viol.rule == "tREFI")
+            ++deadline;
+    EXPECT_EQ(deadline, 2u) << firstViolations(v, 6);
+}
+
+TEST(ProtocolCheckerTest, RefreshDeadlineDisabledBySlackOrTrefi)
+{
+    DRAMTiming t = checkerTiming();
+    std::vector<CmdRecord> log = {
+        {fromUs(50), DRAMCmd::Act, 0, 0, 5},
+        {fromUs(50) + fromNs(20), DRAMCmd::Rd, 0, 0, 5},
+    };
+
+    // tREFI == 0 (refresh off) => rule off.
+    ProtocolChecker off(checkerOrg(), t);
+    EXPECT_TRUE(off.check(log).empty());
+
+    // Slack 0 => rule off even with tREFI set.
+    t.tREFI = fromUs(1);
+    ProtocolChecker slackOff(checkerOrg(), t);
+    slackOff.setRefSlack(0.0);
+    EXPECT_TRUE(slackOff.check(log).empty());
+}
+
+// ---------------------------------------------------------------
+// Online (incremental) mode.
+// ---------------------------------------------------------------
+
+TEST(ProtocolCheckerTest, OnlineModeReordersAndMatchesBatch)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    // Emission order != tick order (the event model computes future
+    // launch ticks): the reorder heap must sort before checking.
+    std::vector<CmdRecord> emitted = {
+        {fromNs(13.75), DRAMCmd::Rd, 0, 0, 5},
+        {0, DRAMCmd::Act, 0, 0, 5},
+        {fromNs(80), DRAMCmd::Rd, 0, 1, 7},
+        {fromNs(60), DRAMCmd::Act, 0, 1, 7},
+    };
+    for (const CmdRecord &r : emitted)
+        checker.observe(r);
+    EXPECT_EQ(checker.pendingRecords(), emitted.size());
+
+    // Partial drain finalises only the settled prefix.
+    checker.drainUpTo(fromNs(20));
+    EXPECT_EQ(checker.commandsChecked(), 2u);
+    EXPECT_EQ(checker.pendingRecords(), 2u);
+
+    checker.finish();
+    EXPECT_EQ(checker.commandsChecked(), emitted.size());
+    EXPECT_EQ(checker.pendingRecords(), 0u);
+    EXPECT_EQ(checker.violationCount(), 0u);
+}
+
+TEST(ProtocolCheckerTest, OnlineModeDetectsViolationIncrementally)
+{
+    ProtocolChecker checker(checkerOrg(), checkerTiming());
+    checker.observe({0, DRAMCmd::Act, 0, 0, 5});
+    checker.observe({fromNs(5), DRAMCmd::Rd, 0, 0, 5}); // < tRCD
+    checker.drainUpTo(fromNs(5));
+    EXPECT_EQ(checker.violationCount(), 1u);
+    ASSERT_FALSE(checker.violations().empty());
+    EXPECT_EQ(checker.violations().front().rule, "tRCD");
+
+    // reset() must clear violations and rule-engine state alike.
+    checker.reset();
+    EXPECT_EQ(checker.violationCount(), 0u);
+    checker.observe({0, DRAMCmd::Act, 0, 0, 5});
+    checker.observe({fromNs(13.75), DRAMCmd::Rd, 0, 0, 5});
+    checker.finish();
+    EXPECT_EQ(checker.violationCount(), 0u);
+}
+
+TEST(ProtocolCheckerTest, OnlineModeBoundsMemory)
+{
+    DRAMTiming t = checkerTiming();
+    ProtocolChecker checker(checkerOrg(), t);
+    checker.setMaxStoredViolations(8);
+    // Never drain: the safety valve must keep the heap bounded while
+    // still counting every violation past the storage cap.
+    Tick when = 0;
+    for (unsigned i = 0; i < 40000; ++i) {
+        when += fromNs(50);
+        checker.observe({when, DRAMCmd::Rd, 0, 0, 5}); // closed bank
+    }
+    EXPECT_LE(checker.pendingRecords(), 16384u);
+    checker.finish();
+    EXPECT_EQ(checker.violationCount(), 40000u);
+    EXPECT_EQ(checker.violations().size(), 8u);
+}
+
 } // namespace
 } // namespace dramctrl

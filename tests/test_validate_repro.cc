@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Replays the repro files committed under tests/repros/.
+ *
+ * Each file is a self-contained fuzz scenario (ISSUE: the
+ * `validate_repro` target). Files whose note starts with
+ * "expect-fail" capture a recorded failure — typically an injected
+ * fault — and must still fail when replayed; all other files are
+ * regression scenarios that must pass. Either way the replay
+ * exercises the full load -> materialise -> differential-run path on
+ * real files, not in-memory JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "validate/repro.hh"
+
+#ifndef DRAMCTRL_REPRO_DIR
+#error "DRAMCTRL_REPRO_DIR must point at tests/repros"
+#endif
+
+namespace dramctrl {
+namespace validate {
+namespace {
+
+std::vector<std::string>
+reproFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &e :
+         std::filesystem::directory_iterator(DRAMCTRL_REPRO_DIR))
+        if (e.path().extension() == ".json")
+            files.push_back(e.path().string());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(ValidateRepro, CommittedReprosReplayAsRecorded)
+{
+    std::vector<std::string> files = reproFiles();
+    ASSERT_FALSE(files.empty())
+        << "no repro files in " << DRAMCTRL_REPRO_DIR;
+
+    for (const std::string &path : files) {
+        SCOPED_TRACE(path);
+        ReproFile repro;
+        std::string err;
+        ASSERT_TRUE(loadReproFile(path, repro, &err)) << err;
+        ASSERT_FALSE(repro.materialise().empty());
+
+        bool expectFail = repro.note.rfind("expect-fail", 0) == 0;
+        DiffResult dr = replay(repro);
+        if (expectFail)
+            EXPECT_FALSE(dr.pass)
+                << "recorded failure no longer reproduces";
+        else
+            EXPECT_TRUE(dr.pass) << dr.describe();
+    }
+}
+
+} // namespace
+} // namespace validate
+} // namespace dramctrl

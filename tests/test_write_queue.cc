@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Write-queue semantics, verified down to the command bus: read
+ * snooping/forwarding must answer from the queue without issuing DRAM
+ * bursts, write merging must collapse overlapping bursts, writes must
+ * be acknowledged at acceptance (early write response, long before —
+ * or even without — the DRAM burst), and the whole path must satisfy
+ * the conservation laws
+ *
+ *   RD commands issued == read bursts  - bursts forwarded from the
+ *                                        write queue
+ *   WR commands issued == write bursts - bursts merged in the queue
+ *
+ * which the differential fuzzer also checks on every run. Note the
+ * drain policy (Section II-C): writes park below the low watermark
+ * until enough accumulate, so single writes never reach the DRAM in
+ * these short runs — the tests exploit that to observe the queue, and
+ * push past the watermark when they need an actual drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/cmd_log.hh"
+#include "dram/dram_ctrl.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using testutil::TestRequestor;
+
+class WriteQueueTest : public ::testing::Test
+{
+  protected:
+    void
+    build(DRAMCtrlConfig cfg)
+    {
+        sim = std::make_unique<Simulator>();
+        ctrl = std::make_unique<DRAMCtrl>(
+            *sim, "ctrl", cfg, AddrRange(0, cfg.org.channelCapacity));
+        ctrl->setCmdLogger(&log);
+        req = std::make_unique<TestRequestor>(*sim, "req");
+        req->port().bind(ctrl->port());
+    }
+
+    std::uint64_t
+    countCmds(DRAMCmd kind) const
+    {
+        std::uint64_t n = 0;
+        for (const CmdRecord &r : log.log())
+            if (r.cmd == kind)
+                ++n;
+        return n;
+    }
+
+    /**
+     * Queue enough distinct-line writes from @p from to push the
+     * write queue past the low watermark and force a full drain.
+     */
+    Tick
+    forceDrain(Tick from, unsigned count)
+    {
+        Tick when = from;
+        for (unsigned i = 0; i < count; ++i) {
+            when += fromNs(2.0);
+            req->inject(when, MemCmd::WriteReq,
+                        0x100000 + Addr(i) * 64);
+        }
+        return when;
+    }
+
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<DRAMCtrl> ctrl;
+    std::unique_ptr<TestRequestor> req;
+    CmdLogger log;
+};
+
+TEST_F(WriteQueueTest, ForwardedReadIssuesNoDRAMBurst)
+{
+    build(testutil::bareTimingConfig());
+    req->inject(0, MemCmd::WriteReq, 0x4000);
+    // Read of the same line while the write still sits in the queue:
+    // serviced by snooping, so the command bus must show zero RDs.
+    req->inject(fromNs(5.0), MemCmd::ReadReq, 0x4000);
+    sim->run(fromUs(100));
+    EXPECT_TRUE(req->allResponded());
+    EXPECT_EQ(ctrl->ctrlStats().servicedByWrQ.value(), 1.0);
+    EXPECT_EQ(countCmds(DRAMCmd::Rd), 0u);
+}
+
+TEST_F(WriteQueueTest, ForwardingSurvivesTheDrain)
+{
+    build(testutil::bareTimingConfig());
+    req->inject(0, MemCmd::WriteReq, 0x4000);
+    req->inject(fromNs(5.0), MemCmd::ReadReq, 0x4000);
+    // Now force the queue past the watermark: the parked write (and
+    // the fillers) must all reach the DRAM exactly once, and the
+    // earlier forwarding must still have cost zero RD commands.
+    forceDrain(fromNs(10.0), 40);
+    sim->run(fromUs(200));
+    ASSERT_TRUE(req->allResponded());
+
+    const auto &st = ctrl->ctrlStats();
+    EXPECT_EQ(st.servicedByWrQ.value(), 1.0);
+    EXPECT_EQ(countCmds(DRAMCmd::Rd), 0u);
+    EXPECT_EQ(static_cast<double>(countCmds(DRAMCmd::Wr)),
+              st.writeBursts.value() - st.mergedWrBursts.value());
+    EXPECT_EQ(countCmds(DRAMCmd::Wr), 41u); // nothing merged here
+}
+
+TEST_F(WriteQueueTest, PartialOverlapForwardsPerBurst)
+{
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    build(cfg);
+    // A 64 B write covers one burst; a 128 B read splits into two.
+    // Forwarding is per burst: the covered half comes from the queue,
+    // the uncovered half must still be fetched — exactly one RD.
+    req->inject(0, MemCmd::WriteReq, 0x8000, 64);
+    req->inject(fromNs(5.0), MemCmd::ReadReq, 0x8000, 128);
+    sim->run(fromUs(100));
+    EXPECT_TRUE(req->allResponded());
+    const auto &st = ctrl->ctrlStats();
+    EXPECT_EQ(st.servicedByWrQ.value(), 1.0);
+    EXPECT_EQ(st.readBursts.value(), 2.0);
+    EXPECT_EQ(countCmds(DRAMCmd::Rd), 1u);
+}
+
+TEST_F(WriteQueueTest, MergedWriteIssuesSingleBurst)
+{
+    build(testutil::bareTimingConfig());
+    // Two writes to the same burst merge into one queue entry; after
+    // a forced drain the bus shows one WR for them, plus the fillers.
+    req->inject(0, MemCmd::WriteReq, 0x2000);
+    req->inject(fromNs(2.0), MemCmd::WriteReq, 0x2000);
+    forceDrain(fromNs(10.0), 40);
+    sim->run(fromUs(200));
+    ASSERT_TRUE(req->allResponded());
+
+    const auto &st = ctrl->ctrlStats();
+    EXPECT_EQ(st.mergedWrBursts.value(), 1.0);
+    EXPECT_EQ(static_cast<double>(countCmds(DRAMCmd::Wr)),
+              st.writeBursts.value() - st.mergedWrBursts.value());
+    EXPECT_EQ(countCmds(DRAMCmd::Wr), 41u); // 2 merged + 40 fillers
+}
+
+TEST_F(WriteQueueTest, EarlyWriteResponsePrecedesDRAMWrite)
+{
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.frontendLatency = fromNs(10.0);
+    build(cfg);
+    std::uint64_t id = req->inject(0, MemCmd::WriteReq, 0x1000);
+    sim->run(fromUs(100));
+    ASSERT_TRUE(req->allResponded());
+
+    // The strongest form of "early": the ack left after just the
+    // frontend pipeline, while the write itself never even reached
+    // the DRAM (it parks below the drain watermark).
+    EXPECT_EQ(req->responseTick(id), cfg.frontendLatency);
+    EXPECT_EQ(countCmds(DRAMCmd::Wr), 0u);
+}
+
+TEST_F(WriteQueueTest, ConservationLawUnderMixedTraffic)
+{
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    cfg.writeBufferSize = 16; // low watermark 8: drains interleave
+    build(cfg);
+    // Interleave writes and reads over a small window so some reads
+    // hit queued writes, some miss, and the queue drains repeatedly.
+    Random rng(42);
+    Tick when = 0;
+    for (unsigned i = 0; i < 200; ++i) {
+        when += fromNs(rng.uniform(2, 20));
+        Addr a = rng.uniform(0, 63) * 64;
+        req->inject(when, rng.chance(0.5) ? MemCmd::WriteReq
+                                          : MemCmd::ReadReq,
+                    a);
+    }
+    // Flush: writes below the low watermark would otherwise stay
+    // parked at end of run and break the WR-side bookkeeping.
+    forceDrain(when + fromNs(100.0), 16);
+    sim->run(fromUs(500));
+    ASSERT_TRUE(req->allResponded());
+
+    const auto &st = ctrl->ctrlStats();
+    EXPECT_GT(st.servicedByWrQ.value(), 0.0); // scenario exercises it
+    EXPECT_GT(countCmds(DRAMCmd::Wr), 0u);    // ...and real drains
+    EXPECT_EQ(static_cast<double>(countCmds(DRAMCmd::Rd)),
+              st.readBursts.value() - st.servicedByWrQ.value());
+    // Merged writes must likewise vanish from the bus.
+    EXPECT_EQ(static_cast<double>(countCmds(DRAMCmd::Wr)),
+              st.writeBursts.value() - st.mergedWrBursts.value());
+}
+
+} // namespace
+} // namespace dramctrl

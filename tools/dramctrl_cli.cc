@@ -347,13 +347,18 @@ main(int argc, char **argv)
     }
 
     if (opt.json) {
+        // Envelope so the seed rides along with the stats: rerunning
+        // with --seed <seed> reproduces the run bit for bit.
+        std::cout << "{\"seed\": " << opt.seed << ", \"stats\": ";
         tb.sim().dumpStatsJson(std::cout);
-        std::cout << "\n";
+        std::cout << "}\n";
     } else {
-        std::printf("preset %s, %s model, %s pattern, %llu requests\n",
+        std::printf("preset %s, %s model, %s pattern, %llu requests, "
+                    "seed %llu\n",
                     opt.preset.c_str(), harness::toString(model),
                     opt.pattern.c_str(),
-                    static_cast<unsigned long long>(opt.requests));
+                    static_cast<unsigned long long>(opt.requests),
+                    static_cast<unsigned long long>(opt.seed));
         std::printf("simulated time:    %.2f us\n",
                     toSeconds(tb.sim().curTick()) * 1e6);
         std::printf("avg read latency:  %.1f ns\n",

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Differential fuzz driver: event model vs cycle model vs protocol
+ * checker, over randomised configurations and request streams.
+ *
+ * Each run samples a configuration and a stream from the master seed,
+ * feeds the identical stream to both controller models, audits both
+ * command streams online against the JEDEC constraint set, and
+ * compares functional behaviour exactly and aggregate timing within
+ * tolerances. On failure the driver re-runs the case with trace
+ * channels captured to a file, shrinks the stream to a locally-minimal
+ * reproducer, and writes a self-contained repro JSON that
+ * `fuzz_cli --repro FILE` (and the validate_repro test) replays.
+ *
+ * Examples:
+ *   fuzz_cli --runs 200 --seed 1
+ *   fuzz_cli --runs 0 --duration-s 60 --out-dir repros
+ *   fuzz_cli --runs 5 --inject-bug          # must fail: proves the
+ *                                           # checker catches faults
+ *   fuzz_cli --repro repros/fuzz_fail_42.json
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "obs/trace.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "validate/config_fuzzer.hh"
+#include "validate/diff_runner.hh"
+#include "validate/repro.hh"
+#include "validate/shrinker.hh"
+
+using namespace dramctrl;
+using namespace dramctrl::validate;
+
+namespace {
+
+struct FuzzCliOptions
+{
+    std::uint64_t runs = 50;
+    std::uint64_t seed = 1;
+    std::uint64_t requests = 0;  // 0 = per-case sample
+    double durationS = 0;        // wall-clock budget; 0 = unlimited
+    double toleranceBw = DiffOptions{}.bandwidthRelTol;
+    double toleranceLat = DiffOptions{}.latencyRelTol;
+    std::string outDir = ".";
+    std::string repro;           // replay mode
+    bool injectBug = false;
+    bool noShrink = false;
+    bool verbose = false;
+};
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --runs N           fuzz cases to run (default 50; 0 = "
+        "until --duration-s)\n"
+        "  --seed N           master seed (default 1); every failure "
+        "is\n"
+        "                     reproducible from this seed + run index\n"
+        "  --requests N       override per-case request count\n"
+        "  --duration-s S     stop after S wall-clock seconds\n"
+        "  --tolerance-bw F   relative completion-time tolerance "
+        "(default 0.5)\n"
+        "  --tolerance-lat F  relative read-latency tolerance "
+        "(default 0.60)\n"
+        "  --out-dir PATH     where repro/trace files go (default .)\n"
+        "  --inject-bug       scale the event model's tRCD by 0.5 — "
+        "the run\n"
+        "                     must fail and the checker must say "
+        "tRCD\n"
+        "  --no-shrink        skip stream minimisation on failure\n"
+        "  --repro FILE       replay a repro file instead of fuzzing\n"
+        "  --verbose          print every case, not just failures\n",
+        prog);
+}
+
+bool
+parseArgs(int argc, char **argv, FuzzCliOptions &opt)
+{
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--runs") opt.runs = std::stoull(need(i));
+        else if (a == "--seed") opt.seed = std::stoull(need(i));
+        else if (a == "--requests")
+            opt.requests = std::stoull(need(i));
+        else if (a == "--duration-s")
+            opt.durationS = std::stod(need(i));
+        else if (a == "--tolerance-bw")
+            opt.toleranceBw = std::stod(need(i));
+        else if (a == "--tolerance-lat")
+            opt.toleranceLat = std::stod(need(i));
+        else if (a == "--out-dir") opt.outDir = need(i);
+        else if (a == "--inject-bug") opt.injectBug = true;
+        else if (a == "--no-shrink") opt.noShrink = true;
+        else if (a == "--repro") opt.repro = need(i);
+        else if (a == "--verbose") opt.verbose = true;
+        else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            fatal("unknown option '%s' (try --help)", a.c_str());
+        }
+    }
+    return true;
+}
+
+int
+replayRepro(const FuzzCliOptions &opt)
+{
+    ReproFile repro;
+    std::string err;
+    if (!loadReproFile(opt.repro, repro, &err))
+        fatal("cannot load repro '%s': %s", opt.repro.c_str(),
+              err.c_str());
+    std::printf("replaying %s (%zu scripted requests%s)\n",
+                opt.repro.c_str(), repro.materialise().size(),
+                repro.opts.injectTRCDScale != 1.0 ? ", fault injected"
+                                                  : "");
+    if (!repro.note.empty())
+        std::printf("note: %s\n", repro.note.c_str());
+    DiffResult dr = replay(repro);
+    if (dr.pass) {
+        std::printf("repro PASSED: the recorded failure no longer "
+                    "reproduces\n");
+        return 0;
+    }
+    std::printf("repro FAILED (as recorded):\n%s\n",
+                dr.describe().c_str());
+    return 2;
+}
+
+/** Per-run derivation so case N is reproducible without runs 0..N-1. */
+std::uint64_t
+caseSeed(std::uint64_t master, std::uint64_t run)
+{
+    // splitmix64 over (master, run): independent well-mixed streams.
+    std::uint64_t z = master + 0x9e3779b97f4a7c15ULL * (run + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void
+handleFailure(const FuzzCliOptions &opt, std::uint64_t run,
+              const FuzzCase &fc, std::uint64_t streamSeed,
+              const DiffOptions &dopts, const DiffResult &dr)
+{
+    std::printf("run %llu FAILED: %s\n  case: %s\n%s\n",
+                static_cast<unsigned long long>(run),
+                "divergence or violation detected",
+                summarize(fc).c_str(), dr.describe().c_str());
+
+    // Re-run once with the DRAM trace channels captured, so the
+    // repro ships with a command-level account of the failure.
+    std::string base = opt.outDir + "/fuzz_fail_" +
+                       std::to_string(run);
+    {
+        obs::ChannelMask saved = obs::channelMask();
+        obs::FileTextSink traceSink(base + ".trace");
+        if (traceSink.ok()) {
+            obs::addSink(&traceSink);
+            obs::enableChannelsByName("DRAMCtrl,CycleCtrl,Refresh");
+            runDiffStream(fc, generateStream(fc.stream, streamSeed),
+                          dopts);
+            obs::removeSink(&traceSink);
+            std::printf("  trace: %s.trace\n", base.c_str());
+        }
+        obs::setChannelMask(saved);
+    }
+
+    RequestStream stream = generateStream(fc.stream, streamSeed);
+    ReproFile repro;
+    repro.fc = fc;
+    repro.streamSeed = streamSeed;
+    repro.opts = dopts;
+    repro.note = formatString(
+        "master seed %llu run %llu: %s",
+        static_cast<unsigned long long>(opt.seed),
+        static_cast<unsigned long long>(run),
+        dr.failures.empty() ? "unknown"
+                            : dr.failures.front().c_str());
+
+    if (!opt.noShrink) {
+        ShrinkOutcome sh = shrinkStream(fc, stream, dopts);
+        std::printf("  shrink: %zu -> %zu requests (%u runs%s)\n",
+                    stream.size(), sh.stream.size(), sh.evaluations,
+                    sh.minimal ? ", minimal" : ", budget hit");
+        repro.stream = sh.stream;
+    } else {
+        repro.stream = stream;
+    }
+
+    std::string path = base + ".json";
+    if (writeReproFile(path, repro))
+        std::printf("  repro: %s\n", path.c_str());
+    else
+        std::printf("  repro: FAILED to write %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzCliOptions opt;
+    if (!parseArgs(argc, argv, opt))
+        return 0;
+    if (!opt.repro.empty())
+        return replayRepro(opt);
+    if (opt.runs == 0 && opt.durationS <= 0)
+        fatal("--runs 0 needs --duration-s");
+
+    DiffOptions dopts;
+    dopts.bandwidthRelTol = opt.toleranceBw;
+    dopts.latencyRelTol = opt.toleranceLat;
+    if (opt.injectBug)
+        dopts.injectTRCDScale = 0.5;
+
+    auto start = std::chrono::steady_clock::now();
+    auto elapsedS = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    FuzzerOptions fopts;
+    fopts.numRequests = opt.requests;
+
+    std::uint64_t ran = 0, failed = 0;
+    for (std::uint64_t run = 0;; ++run) {
+        if (opt.runs != 0 && run >= opt.runs)
+            break;
+        if (opt.durationS > 0 && elapsedS() >= opt.durationS)
+            break;
+
+        std::uint64_t cs = caseSeed(opt.seed, run);
+        Random rng(cs);
+        FuzzCase fc = sampleCase(rng, fopts);
+        std::uint64_t streamSeed = rng.next();
+
+        if (opt.verbose)
+            std::printf("run %llu: %s\n",
+                        static_cast<unsigned long long>(run),
+                        summarize(fc).c_str());
+
+        DiffResult dr = runDiff(fc, streamSeed, dopts);
+        ++ran;
+        if (!dr.pass) {
+            ++failed;
+            handleFailure(opt, run, fc, streamSeed, dopts, dr);
+        }
+    }
+
+    std::printf("fuzz: %llu runs, %llu failures, %.1f s "
+                "(master seed %llu)\n",
+                static_cast<unsigned long long>(ran),
+                static_cast<unsigned long long>(failed), elapsedS(),
+                static_cast<unsigned long long>(opt.seed));
+    return failed ? 2 : 0;
+}
