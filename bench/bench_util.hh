@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 
 #include "dram/dram_presets.hh"
+#include "exec/thread_pool.hh"
 #include "harness/testbench.hh"
 #include "power/micron_power.hh"
 #include "sim/logging.hh"
@@ -196,6 +198,25 @@ runLinearPoint(const PointConfig &pc, bool random = false)
     }
     r.latencyModes = h.numModes(0.02);
     return r;
+}
+
+/**
+ * Pull `--jobs N` (0 = one per core) out of argv for benches whose
+ * trials run on the batch engine. Defaults to 1: serial timing is
+ * the paper-faithful measurement; parallel trials are for quick
+ * shape checks. Output is identical either way.
+ */
+inline unsigned
+parseJobs(int argc, char **argv, unsigned fallback = 1)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            unsigned j = static_cast<unsigned>(
+                std::stoul(argv[i + 1]));
+            return j == 0 ? exec::ThreadPool::hardwareThreads() : j;
+        }
+    }
+    return fallback;
 }
 
 inline void

@@ -27,6 +27,7 @@
 #include "bench_util.hh"
 #include "cpu/workload.hh"
 #include "dram/dram_ctrl.hh"
+#include "exec/batch_runner.hh"
 
 using namespace dramctrl;
 using namespace dramctrl::bench;
@@ -109,9 +110,10 @@ runTech(const std::string &preset, unsigned channels)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = bench::parseJobs(argc, argv);
     printHeader("fig9_mem_exploration: DDR3 vs LPDDR3 vs WideIO, "
                 "16-core canneal",
                 "Figure 9 / Tables III & IV (Section IV-B)");
@@ -130,14 +132,25 @@ main()
 
     std::printf("%-14s %8s %10s %9s %9s\n", "technology", "ipc",
                 "l2miss_ns", "bus_util", "bw_GB/s");
+    // One batch job per technology; rows print in table order as
+    // each result lands, identical for any --jobs value.
     std::vector<TechResult> results;
-    for (const Tech &t : techs) {
-        TechResult r = runTech(t.preset, t.channels);
-        results.push_back(r);
-        std::printf("%-14s %8.2f %10.1f %8.1f%% %9.2f\n", t.label,
-                    r.ipc, r.l2MissNs, 100 * r.busUtil,
-                    r.bandwidthGBs);
-    }
+    exec::BatchRunner runner(jobs);
+    runner.run<TechResult>(
+        std::size(techs),
+        [&](std::size_t i) {
+            return runTech(techs[i].preset, techs[i].channels);
+        },
+        [&](const exec::JobOutcome<TechResult> &out) {
+            if (!out.ok)
+                fatal("tech %s failed: %s", techs[out.index].label,
+                      out.error.c_str());
+            const TechResult &r = out.value;
+            results.push_back(r);
+            std::printf("%-14s %8.2f %10.1f %8.1f%% %9.2f\n",
+                        techs[out.index].label, r.ipc, r.l2MissNs,
+                        100 * r.busUtil, r.bandwidthGBs);
+        });
 
     std::printf("\nread latency breakdown per DRAM burst (ns):\n");
     std::printf("%-14s %8s %8s %8s %8s %8s\n", "technology", "static",

@@ -11,16 +11,19 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
+#include "exec/batch_runner.hh"
 
 using namespace dramctrl;
 using namespace dramctrl::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    unsigned jobs = parseJobs(argc, argv);
     printHeader("latency_load_curve: read latency vs offered load",
                 "supplementary to Section III (model correlation)");
 
@@ -30,32 +33,53 @@ main()
     std::printf("%10s | %12s %12s | %12s %12s\n", "GB/s", "ns",
                 "GB/s", "ns", "GB/s");
 
-    for (double load : {1.0, 2.0, 4.0, 6.0, 7.0, 8.0, 9.0, 10.0,
-                        12.0}) {
-        double itt_ns = 64.0 / load; // 64-byte requests
-        PointConfig pc;
-        pc.page = PagePolicy::Open;
-        pc.mapping = AddrMapping::RoRaBaCoCh;
-        pc.readPct = 100;
-        pc.numRequests = 8000;
-        pc.itt = fromNs(itt_ns);
-        // Match effective queue capacity for read-only traffic: the
-        // cycle model's unified transaction queue holds read + write
-        // entries, the event model only queues reads here
-        // (Section III: "we match the queue sizes depending on the
-        // experiment").
-        pc.readBufferSize = 28;
-        pc.writeBufferSize = 4;
+    const std::vector<double> loads = {1.0, 2.0, 4.0, 6.0, 7.0, 8.0,
+                                       9.0, 10.0, 12.0};
 
-        pc.model = harness::CtrlModel::Event;
-        PointResult ev = runLinearPoint(pc, /*random=*/true);
-        pc.model = harness::CtrlModel::Cycle;
-        PointResult cy = runLinearPoint(pc, /*random=*/true);
+    struct LoadResult
+    {
+        PointResult ev, cy;
+    };
 
-        std::printf("%10.1f | %12.1f %12.2f | %12.1f %12.2f\n", load,
-                    ev.avgReadLatencyNs, ev.bandwidthGBs,
-                    cy.avgReadLatencyNs, cy.bandwidthGBs);
-    }
+    // One batch job per offered load (each runs both models); rows
+    // print in load order as they land, identical for any --jobs.
+    exec::BatchRunner runner(jobs);
+    runner.run<LoadResult>(
+        loads.size(),
+        [&](std::size_t i) {
+            double itt_ns = 64.0 / loads[i]; // 64-byte requests
+            PointConfig pc;
+            pc.page = PagePolicy::Open;
+            pc.mapping = AddrMapping::RoRaBaCoCh;
+            pc.readPct = 100;
+            pc.numRequests = 8000;
+            pc.itt = fromNs(itt_ns);
+            // Match effective queue capacity for read-only traffic:
+            // the cycle model's unified transaction queue holds read
+            // + write entries, the event model only queues reads
+            // here (Section III: "we match the queue sizes depending
+            // on the experiment").
+            pc.readBufferSize = 28;
+            pc.writeBufferSize = 4;
+
+            LoadResult r;
+            pc.model = harness::CtrlModel::Event;
+            r.ev = runLinearPoint(pc, /*random=*/true);
+            pc.model = harness::CtrlModel::Cycle;
+            r.cy = runLinearPoint(pc, /*random=*/true);
+            return r;
+        },
+        [&](const exec::JobOutcome<LoadResult> &out) {
+            if (!out.ok)
+                fatal("load point %.1f failed: %s", loads[out.index],
+                      out.error.c_str());
+            std::printf("%10.1f | %12.1f %12.2f | %12.1f %12.2f\n",
+                        loads[out.index],
+                        out.value.ev.avgReadLatencyNs,
+                        out.value.ev.bandwidthGBs,
+                        out.value.cy.avgReadLatencyNs,
+                        out.value.cy.bandwidthGBs);
+        });
 
     std::printf("\nexpected: both models flat at low load, a shared "
                 "knee near the random-access\nservice limit, and "

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Batch-engine scaling: the differential-fuzz workload (sample a
+ * random configuration, run both controller models, compare) at 1,
+ * 2, 4 and 8 worker threads. Each case is an independent
+ * shared-nothing simulation, so ideal scaling is linear up to the
+ * core count; the measured runs/sec and speedup-vs-serial quantify
+ * how close the engine gets on this host.
+ *
+ * The same cases (same master seed, same per-case derived seeds) run
+ * at every width — the batch engine's determinism contract means the
+ * only thing that changes is wall-clock.
+ *
+ * Usage: parallel_scaling [--runs N] [--seed S]
+ *                         [--json BENCH_parallel.json]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/batch_runner.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "validate/config_fuzzer.hh"
+#include "validate/diff_runner.hh"
+
+using namespace dramctrl;
+using namespace dramctrl::validate;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t runs = 48;
+    std::uint64_t seed = 1;
+    const char *json_path = nullptr;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--runs") == 0)
+            runs = std::stoull(argv[++i]);
+        else if (std::strcmp(argv[i], "--seed") == 0)
+            seed = std::stoull(argv[++i]);
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json_path = argv[++i];
+    }
+
+    setQuiet(true);
+    setThrowOnError(true);
+
+    std::printf("parallel_scaling: %llu differential-fuzz runs per "
+                "width (master seed %llu, %u hardware threads)\n\n",
+                static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(seed),
+                exec::ThreadPool::hardwareThreads());
+    std::printf("%6s %10s %10s %9s %9s\n", "jobs", "seconds",
+                "runs/sec", "speedup", "failures");
+
+    DiffOptions dopts;
+    FuzzerOptions fopts;
+
+    auto fuzzOnce = [&](std::uint64_t run) {
+        Random rng(exec::deriveSeed(seed, run));
+        FuzzCase fc = sampleCase(rng, fopts);
+        std::uint64_t streamSeed = rng.next();
+        return runDiff(fc, streamSeed, dopts).pass;
+    };
+
+    struct Width
+    {
+        unsigned jobs;
+        double seconds;
+        double runsPerSec;
+        double speedup;
+        std::uint64_t failures;
+    };
+    std::vector<Width> widths;
+
+    double serial_s = 0;
+    for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+        exec::BatchRunner runner(jobs);
+        std::uint64_t failures = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        runner.run<bool>(
+            runs, [&](std::size_t i) { return fuzzOnce(i); },
+            [&](const exec::JobOutcome<bool> &out) {
+                if (!out.ok || !out.value)
+                    ++failures;
+            });
+        auto t1 = std::chrono::steady_clock::now();
+        Width w;
+        w.jobs = jobs;
+        w.seconds = std::chrono::duration<double>(t1 - t0).count();
+        w.runsPerSec = w.seconds > 0
+                           ? static_cast<double>(runs) / w.seconds
+                           : 0;
+        if (jobs == 1)
+            serial_s = w.seconds;
+        w.speedup = w.seconds > 0 ? serial_s / w.seconds : 0;
+        w.failures = failures;
+        widths.push_back(w);
+        std::printf("%6u %10.3f %10.2f %8.2fx %9llu\n", w.jobs,
+                    w.seconds, w.runsPerSec, w.speedup,
+                    static_cast<unsigned long long>(w.failures));
+    }
+
+    if (json_path != nullptr) {
+        std::FILE *f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "parallel_scaling: cannot open %s\n",
+                         json_path);
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\"bench\": \"parallel_scaling\", \"workload\": "
+                     "\"differential_fuzz\",\n"
+                     " \"runs\": %llu, \"master_seed\": %llu, "
+                     "\"hardware_threads\": %u,\n"
+                     " \"widths\": [\n",
+                     static_cast<unsigned long long>(runs),
+                     static_cast<unsigned long long>(seed),
+                     exec::ThreadPool::hardwareThreads());
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const Width &w = widths[i];
+            std::fprintf(f,
+                         "  {\"jobs\": %u, \"seconds\": %.6f, "
+                         "\"runs_per_sec\": %.3f, \"speedup\": %.3f, "
+                         "\"failures\": %llu}%s\n",
+                         w.jobs, w.seconds, w.runsPerSec, w.speedup,
+                         static_cast<unsigned long long>(w.failures),
+                         i + 1 < widths.size() ? "," : "");
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("\nwrote %s\n", json_path);
+    }
+    return 0;
+}

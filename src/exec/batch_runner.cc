@@ -1,0 +1,19 @@
+#include "exec/batch_runner.hh"
+
+namespace dramctrl {
+namespace exec {
+
+std::uint64_t
+deriveSeed(std::uint64_t master, std::uint64_t index)
+{
+    // splitmix64 over (master, index): independent well-mixed
+    // streams, and the historic derivation of fuzz_cli's case seeds
+    // (repro files in the wild depend on it staying put).
+    std::uint64_t z = master + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace exec
+} // namespace dramctrl

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Deterministic batch engine over shared-nothing simulation jobs.
+ *
+ * A batch is N independent jobs, each a pure function of its index
+ * (and, by convention, of a seed derived from (master seed, index) via
+ * deriveSeed()). BatchRunner executes them on a fixed-size worker
+ * pool and delivers the outcomes to a consumer callback **on the
+ * calling thread, in submission order**, as soon as each next-in-line
+ * job finishes. That contract is what makes parallel batches
+ * reproducible:
+ *
+ *  - a job never observes which thread runs it or how many jobs run
+ *    concurrently (every Simulator is shared-nothing, and the
+ *    library's cross-cutting state — pools, tick sources, trace
+ *    sinks — is thread-local);
+ *  - the consumer sees outcome i before outcome i+1, always, so
+ *    anything it prints or writes is byte-identical regardless of the
+ *    worker count;
+ *  - a job that throws is isolated: its outcome carries the error
+ *    text, later jobs are unaffected, and the consumer can react (log
+ *    the seed, start shrinking) while the remaining jobs drain in the
+ *    background.
+ *
+ * fatal()/panic() terminate the process rather than throw unless
+ * setThrowOnError(true) is active; batch front ends that want
+ * per-job failure isolation enable it around the batch.
+ */
+
+#ifndef DRAMCTRL_EXEC_BATCH_RUNNER_H
+#define DRAMCTRL_EXEC_BATCH_RUNNER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+
+namespace dramctrl {
+namespace exec {
+
+/**
+ * Derive the seed of job @p index from @p master: a splitmix64 hash
+ * of the pair, so consecutive indices get independent, well-mixed
+ * streams and job N is reproducible without running jobs 0..N-1.
+ */
+std::uint64_t deriveSeed(std::uint64_t master, std::uint64_t index);
+
+/** What one job produced (or how it failed). */
+template <typename Result>
+struct JobOutcome
+{
+    std::size_t index = 0;
+    /** False when the job threw; @p error carries the message. */
+    bool ok = false;
+    std::string error;
+    /** Wall-clock seconds the job spent executing. */
+    double hostSeconds = 0;
+    Result value{};
+};
+
+/**
+ * Runs batches of independent jobs on a fixed worker pool with
+ * deterministic, in-submission-order result delivery.
+ */
+class BatchRunner
+{
+  public:
+    /** @param jobs worker threads (0 and 1 both mean one worker). */
+    explicit BatchRunner(unsigned jobs)
+        : pool_(jobs == 0 ? 1 : jobs)
+    {
+    }
+
+    unsigned jobs() const { return pool_.numThreads(); }
+
+    /**
+     * Execute @p fn(0..n-1) on the pool. @p consume — when set — is
+     * called once per job on the calling thread, strictly in index
+     * order, interleaved with execution (outcome i is delivered as
+     * soon as jobs 0..i have all finished). Blocks until every job
+     * has run and every outcome has been consumed.
+     *
+     * @return the number of jobs that threw.
+     */
+    template <typename Result>
+    std::size_t
+    run(std::size_t n, const std::function<Result(std::size_t)> &fn,
+        const std::function<void(const JobOutcome<Result> &)>
+            &consume = {})
+    {
+        struct Shared
+        {
+            std::mutex mutex;
+            std::condition_variable advanced;
+            std::vector<JobOutcome<Result>> slots;
+            std::vector<char> done;
+        };
+        Shared sh;
+        sh.slots.resize(n);
+        sh.done.assign(n, 0);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            pool_.post([&sh, &fn, i] {
+                JobOutcome<Result> out;
+                out.index = i;
+                auto t0 = std::chrono::steady_clock::now();
+                try {
+                    out.value = fn(i);
+                    out.ok = true;
+                } catch (const std::exception &e) {
+                    out.error = e.what();
+                } catch (...) {
+                    out.error = "unknown exception";
+                }
+                out.hostSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                {
+                    std::unique_lock<std::mutex> lock(sh.mutex);
+                    sh.slots[i] = std::move(out);
+                    sh.done[i] = 1;
+                }
+                sh.advanced.notify_all();
+            });
+        }
+
+        std::size_t failures = 0;
+        for (std::size_t next = 0; next < n; ++next) {
+            JobOutcome<Result> out;
+            {
+                std::unique_lock<std::mutex> lock(sh.mutex);
+                sh.advanced.wait(
+                    lock, [&] { return sh.done[next] != 0; });
+                out = std::move(sh.slots[next]);
+            }
+            if (!out.ok)
+                ++failures;
+            if (consume)
+                consume(out);
+        }
+        // All n slots were consumed, so every task has finished; the
+        // drain keeps the invariant explicit for the next run().
+        pool_.drain();
+        return failures;
+    }
+
+    /**
+     * Convenience wrapper: run the batch and return all outcomes in
+     * index order (no streaming consumer).
+     */
+    template <typename Result>
+    std::vector<JobOutcome<Result>>
+    runCollect(std::size_t n,
+               const std::function<Result(std::size_t)> &fn)
+    {
+        std::vector<JobOutcome<Result>> all;
+        all.reserve(n);
+        run<Result>(n, fn,
+                    [&all](const JobOutcome<Result> &out) {
+                        all.push_back(out);
+                    });
+        return all;
+    }
+
+  private:
+    ThreadPool pool_;
+};
+
+} // namespace exec
+} // namespace dramctrl
+
+#endif // DRAMCTRL_EXEC_BATCH_RUNNER_H

@@ -1,0 +1,178 @@
+#include "exec/sweep.hh"
+
+#include <algorithm>
+
+#include "dram/dram_presets.hh"
+#include "exec/batch_runner.hh"
+#include "sim/logging.hh"
+#include "trafficgen/dram_gen.hh"
+#include "trafficgen/linear_gen.hh"
+#include "trafficgen/random_gen.hh"
+
+namespace dramctrl {
+namespace exec {
+
+std::vector<SweepPoint>
+expandGrid(const SweepSpec &spec)
+{
+    std::vector<SweepPoint> grid;
+    unsigned seeds = std::max(1u, spec.numSeeds);
+    for (const std::string &preset : spec.presets)
+        for (const std::string &pattern : spec.patterns)
+            for (PagePolicy page : spec.pages)
+                for (AddrMapping mapping : spec.mappings)
+                    for (unsigned read_pct : spec.readPcts)
+                        for (double itt_ns : spec.ittNs)
+                            for (harness::CtrlModel model : spec.models)
+                                for (unsigned s = 0; s < seeds; ++s) {
+                                    SweepPoint pt;
+                                    pt.index = grid.size();
+                                    pt.preset = preset;
+                                    pt.pattern = pattern;
+                                    pt.page = page;
+                                    pt.mapping = mapping;
+                                    pt.readPct = read_pct;
+                                    pt.ittNs = itt_ns;
+                                    pt.model = model;
+                                    pt.seedIndex = s;
+                                    pt.seed = deriveSeed(
+                                        spec.masterSeed, pt.index);
+                                    grid.push_back(std::move(pt));
+                                }
+    return grid;
+}
+
+bool
+checkSpec(const SweepSpec &spec, std::string *err)
+{
+    auto known = presets::names();
+    for (const std::string &p : spec.presets) {
+        if (std::find(known.begin(), known.end(), p) == known.end()) {
+            if (err != nullptr)
+                *err = "unknown preset '" + p + "'";
+            return false;
+        }
+    }
+    for (const std::string &p : spec.patterns) {
+        if (p != "linear" && p != "random" && p != "dram") {
+            if (err != nullptr)
+                *err = "unknown pattern '" + p + "'";
+            return false;
+        }
+    }
+    for (unsigned pct : spec.readPcts) {
+        if (pct > 100) {
+            if (err != nullptr)
+                *err = "read-pct above 100";
+            return false;
+        }
+    }
+    if (spec.presets.empty() || spec.patterns.empty() ||
+        spec.pages.empty() || spec.mappings.empty() ||
+        spec.readPcts.empty() || spec.ittNs.empty() ||
+        spec.models.empty()) {
+        if (err != nullptr)
+            *err = "empty sweep axis";
+        return false;
+    }
+    return true;
+}
+
+SweepRow
+runSweepPoint(const SweepPoint &point, const SweepSpec &spec)
+{
+    DRAMCtrlConfig cfg = presets::byName(point.preset);
+    cfg.pagePolicy = point.page;
+    cfg.addrMapping = point.mapping;
+    cfg.writeLowThreshold = 0.0; // drain fully so every run terminates
+    cfg.check();
+
+    harness::SingleChannelSystem tb(cfg, point.model);
+
+    GenConfig gc;
+    gc.windowSize =
+        std::min<std::uint64_t>(cfg.org.channelCapacity, 1ULL << 26);
+    gc.readPct = point.readPct;
+    gc.minITT = gc.maxITT = fromNs(point.ittNs);
+    gc.numRequests = spec.requests;
+    gc.seed = point.seed;
+
+    BaseGen *gen = nullptr;
+    if (point.pattern == "linear") {
+        gen = &tb.addGen<LinearGen>(gc);
+    } else if (point.pattern == "random") {
+        gen = &tb.addGen<RandomGen>(gc);
+    } else if (point.pattern == "dram") {
+        DramGenConfig dgc;
+        static_cast<GenConfig &>(dgc) = gc;
+        dgc.org = cfg.org;
+        dgc.mapping = cfg.addrMapping;
+        dgc.strideBytes = spec.strideBytes;
+        dgc.numBanksTarget = spec.banks;
+        gen = &tb.addGen<DramGen>(dgc);
+    } else {
+        fatal("unknown sweep pattern '%s'", point.pattern.c_str());
+    }
+
+    tb.runToCompletion([&] { return gen->done(); });
+
+    SweepRow row;
+    row.point = point;
+    row.simulatedUs = toSeconds(tb.sim().curTick()) * 1e6;
+    row.bandwidthGBs = tb.ctrl().achievedBandwidthGBs();
+    row.avgReadLatencyNs = gen->avgReadLatencyNs();
+    row.busUtil = tb.ctrl().busUtilisation();
+    if (point.model == harness::CtrlModel::Event)
+        row.rowHitRate = tb.eventCtrl().ctrlStats().rowHitRate.value();
+    row.responses = static_cast<std::uint64_t>(
+        gen->genStats().recvResponses.value());
+    return row;
+}
+
+std::string
+csvHeader()
+{
+    return "index,preset,pattern,page,mapping,read_pct,itt_ns,model,"
+           "seed_index,seed,simulated_us,bandwidth_gbs,"
+           "avg_read_latency_ns,bus_util,row_hit_rate,responses";
+}
+
+std::string
+toCsv(const SweepRow &row)
+{
+    const SweepPoint &pt = row.point;
+    return formatString(
+        "%zu,%s,%s,%s,%s,%u,%.3f,%s,%u,%llu,%.3f,%.4f,%.2f,%.4f,"
+        "%.4f,%llu",
+        pt.index, pt.preset.c_str(), pt.pattern.c_str(),
+        toString(pt.page), toString(pt.mapping), pt.readPct, pt.ittNs,
+        harness::toString(pt.model), pt.seedIndex,
+        static_cast<unsigned long long>(pt.seed), row.simulatedUs,
+        row.bandwidthGBs, row.avgReadLatencyNs, row.busUtil,
+        row.rowHitRate,
+        static_cast<unsigned long long>(row.responses));
+}
+
+std::string
+toJsonl(const SweepRow &row)
+{
+    const SweepPoint &pt = row.point;
+    return formatString(
+        "{\"index\": %zu, \"preset\": \"%s\", \"pattern\": \"%s\", "
+        "\"page\": \"%s\", \"mapping\": \"%s\", \"read_pct\": %u, "
+        "\"itt_ns\": %.3f, \"model\": \"%s\", \"seed_index\": %u, "
+        "\"seed\": %llu, \"simulated_us\": %.3f, "
+        "\"bandwidth_gbs\": %.4f, \"avg_read_latency_ns\": %.2f, "
+        "\"bus_util\": %.4f, \"row_hit_rate\": %.4f, "
+        "\"responses\": %llu}",
+        pt.index, pt.preset.c_str(), pt.pattern.c_str(),
+        toString(pt.page), toString(pt.mapping), pt.readPct, pt.ittNs,
+        harness::toString(pt.model), pt.seedIndex,
+        static_cast<unsigned long long>(pt.seed), row.simulatedUs,
+        row.bandwidthGBs, row.avgReadLatencyNs, row.busUtil,
+        row.rowHitRate,
+        static_cast<unsigned long long>(row.responses));
+}
+
+} // namespace exec
+} // namespace dramctrl

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Design-space sweeps: a config-grid x seed x traffic-pattern product
+ * expanded into independent simulation jobs, one result row per run.
+ *
+ * This is the paper's whole use case (Section IV: fast models exist
+ * to make full design-space exploration tractable) packaged as a
+ * library: describe the axes once, expand the cartesian product, run
+ * every point as a shared-nothing job — serially or on the batch
+ * engine — and emit one CSV/JSONL row per run. Rows contain only
+ * simulated quantities (no wall-clock), so a sweep's output file is
+ * byte-identical however many worker threads produced it.
+ */
+
+#ifndef DRAMCTRL_EXEC_SWEEP_H
+#define DRAMCTRL_EXEC_SWEEP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hh"
+#include "harness/testbench.hh"
+
+namespace dramctrl {
+namespace exec {
+
+/** The axes of one sweep; the grid is their cartesian product. */
+struct SweepSpec
+{
+    std::vector<std::string> presets{"ddr3_1333"};
+    /** Traffic patterns: "linear", "random" or "dram". */
+    std::vector<std::string> patterns{"random"};
+    std::vector<PagePolicy> pages{PagePolicy::Open};
+    std::vector<AddrMapping> mappings{AddrMapping::RoRaBaCoCh};
+    std::vector<unsigned> readPcts{100};
+    std::vector<double> ittNs{6.0};
+    std::vector<harness::CtrlModel> models{harness::CtrlModel::Event};
+    /** Seeds per grid point, derived from (masterSeed, run index). */
+    unsigned numSeeds = 1;
+    std::uint64_t masterSeed = 1;
+
+    /** Fixed per-run stimulus parameters. */
+    std::uint64_t requests = 5000;
+    std::uint64_t strideBytes = 256;
+    unsigned banks = 4;
+};
+
+/** One expanded grid point: a fully specified run. */
+struct SweepPoint
+{
+    std::size_t index = 0; ///< position in the expanded grid
+    std::string preset;
+    std::string pattern;
+    PagePolicy page = PagePolicy::Open;
+    AddrMapping mapping = AddrMapping::RoRaBaCoCh;
+    unsigned readPct = 100;
+    double ittNs = 6.0;
+    harness::CtrlModel model = harness::CtrlModel::Event;
+    unsigned seedIndex = 0;
+    /** Generator seed: deriveSeed(masterSeed, index). */
+    std::uint64_t seed = 0;
+};
+
+/** Simulated results of one run (deliberately no host timings). */
+struct SweepRow
+{
+    SweepPoint point;
+    double simulatedUs = 0;
+    double bandwidthGBs = 0;
+    double avgReadLatencyNs = 0;
+    double busUtil = 0;
+    /** Event model only; 0 for the cycle model. */
+    double rowHitRate = 0;
+    std::uint64_t responses = 0;
+};
+
+/**
+ * Expand @p spec into the full grid, seeds varying fastest, in a
+ * fixed documented order (preset, pattern, page, mapping, read-pct,
+ * itt, model, seed — rightmost fastest). Point i is independent of
+ * every other point, so any subset can run in any order.
+ */
+std::vector<SweepPoint> expandGrid(const SweepSpec &spec);
+
+/**
+ * Simulate one point to completion. Deterministic: depends only on
+ * @p point and @p spec, never on threads or timing. fatal()s on
+ * unknown preset/pattern names (validate the spec up front with
+ * checkSpec() for a softer failure mode).
+ */
+SweepRow runSweepPoint(const SweepPoint &point, const SweepSpec &spec);
+
+/**
+ * Validate names in @p spec without running anything.
+ * @return false and fill @p err with the first offending name.
+ */
+bool checkSpec(const SweepSpec &spec, std::string *err);
+
+/** Header line matching toCsv()'s columns (no trailing newline). */
+std::string csvHeader();
+
+/** One fixed-precision CSV row (no trailing newline). */
+std::string toCsv(const SweepRow &row);
+
+/** One JSONL object (no trailing newline). */
+std::string toJsonl(const SweepRow &row);
+
+} // namespace exec
+} // namespace dramctrl
+
+#endif // DRAMCTRL_EXEC_SWEEP_H

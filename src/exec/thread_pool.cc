@@ -1,0 +1,80 @@
+#include "exec/thread_pool.hh"
+
+namespace dramctrl {
+namespace exec {
+
+ThreadPool::ThreadPool(unsigned threads,
+                       std::function<void()> thread_init)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back(
+            [this, thread_init] { workerLoop(thread_init); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+        ++outstanding_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+ThreadPool::workerLoop(const std::function<void()> &thread_init)
+{
+    if (thread_init)
+        thread_init();
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return; // stopping, queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--outstanding_ == 0)
+                allIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace exec
+} // namespace dramctrl

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-size worker pool for the batch-execution engine.
+ *
+ * The pool is deliberately minimal: a fixed set of workers created up
+ * front, a FIFO task queue, and a drain barrier. All the scheduling
+ * intelligence (ordering, seeding, failure isolation) lives one layer
+ * up in BatchRunner; the pool only guarantees that every posted task
+ * runs exactly once on some worker thread.
+ *
+ * Workers run an optional per-thread init hook before their first
+ * task, so callers can replicate main-thread environment (trace
+ * channel masks, quiet flags) into the pool when they want it —
+ * by default worker threads start with the library's thread-local
+ * state at its defaults, which is what the deterministic batch
+ * front ends rely on.
+ */
+
+#ifndef DRAMCTRL_EXEC_THREAD_POOL_H
+#define DRAMCTRL_EXEC_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dramctrl {
+namespace exec {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers (clamped to at least one). @p
+     * thread_init, when set, runs once on each worker before it
+     * services any task.
+     */
+    explicit ThreadPool(unsigned threads,
+                        std::function<void()> thread_init = {});
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; it runs exactly once on some worker. */
+    void post(std::function<void()> task);
+
+    /** Block until every posted task has finished. */
+    void drain();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Best-effort host parallelism for "--jobs 0 = auto" style flags:
+     * hardware_concurrency(), or 1 when the runtime cannot tell.
+     */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop(const std::function<void()> &thread_init);
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allIdle_;
+    /** Tasks posted but not yet finished (queued + running). */
+    std::size_t outstanding_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace exec
+} // namespace dramctrl
+
+#endif // DRAMCTRL_EXEC_THREAD_POOL_H

@@ -1,15 +1,19 @@
 #include "mem/packet.hh"
 
-#include <atomic>
-
 #include "sim/logging.hh"
 
 namespace dramctrl {
 
 namespace {
 
-std::atomic<std::uint64_t> nextPacketId{1};
-std::atomic<std::uint64_t> livePackets{0};
+// Per thread, not process-wide atomics: packets are shared-nothing
+// (a packet lives and dies on the thread that created it), so ids
+// are a pure function of the thread's own simulation history. That
+// keeps captured traces byte-identical regardless of how many batch
+// workers run concurrently, and liveCount() is a per-thread leak
+// check a batch job can assert inside its own closure.
+thread_local std::uint64_t nextPacketId = 1;
+thread_local std::uint64_t livePackets = 0;
 
 } // namespace
 
@@ -28,12 +32,12 @@ memCmdName(MemCmd cmd)
 Packet::Packet(MemCmd cmd, Addr addr, unsigned size,
                RequestorId requestor)
     : cmd_(cmd), addr_(addr), size_(size), requestorId_(requestor),
-      id_(nextPacketId.fetch_add(1))
+      id_(nextPacketId++)
 {
     if (size == 0)
         panic("zero-size packet at %#llx",
               static_cast<unsigned long long>(addr));
-    livePackets.fetch_add(1);
+    ++livePackets;
 }
 
 Packet::~Packet()
@@ -43,7 +47,7 @@ Packet::~Packet()
     if (senderState_ != nullptr)
         panic("packet %s destroyed with sender state attached",
               toString().c_str());
-    livePackets.fetch_sub(1);
+    --livePackets;
 }
 
 void
@@ -94,7 +98,7 @@ Packet::toString() const
 std::uint64_t
 Packet::liveCount()
 {
-    return livePackets.load();
+    return livePackets;
 }
 
 } // namespace dramctrl

@@ -113,7 +113,7 @@ class Packet : public Pooled<Packet>
 
     std::string toString() const;
 
-    /** Number of live packets, for leak checks in tests. */
+    /** Live packets created by the calling thread, for leak checks. */
     static std::uint64_t liveCount();
 
   private:

@@ -8,7 +8,9 @@ namespace obs {
 
 namespace {
 
-ChromeTraceWriter *g_chromeTracer = nullptr;
+// Per thread, like the trace-point sinks: a batch worker's packets
+// never feed an exporter installed by another thread.
+thread_local ChromeTraceWriter *g_chromeTracer = nullptr;
 
 /** Ticks (ps) to trace-format microseconds, exact to 1e-6 us. */
 void

@@ -122,8 +122,10 @@ class ChromeTraceWriter
 };
 
 /**
- * Install @p writer (not owned; nullptr detaches) as the process-wide
- * packet-lifecycle recorder that instrumented components feed.
+ * Install @p writer (not owned; nullptr detaches) as the calling
+ * thread's packet-lifecycle recorder that instrumented components
+ * feed. The pointer is thread-local, so batch workers never write
+ * into an exporter installed by the main thread.
  */
 void setChromeTracer(ChromeTraceWriter *writer);
 

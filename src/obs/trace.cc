@@ -9,7 +9,7 @@ namespace dramctrl {
 namespace obs {
 
 namespace detail {
-ChannelMask traceMask = 0;
+thread_local ChannelMask traceMask = 0;
 } // namespace detail
 
 namespace {
@@ -17,7 +17,7 @@ namespace {
 std::vector<TraceSink *> &
 sinks()
 {
-    static std::vector<TraceSink *> s;
+    static thread_local std::vector<TraceSink *> s;
     return s;
 }
 

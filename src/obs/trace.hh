@@ -71,8 +71,15 @@ allChannels()
 }
 
 namespace detail {
-/** The global flag word the TRACE macro tests. */
-extern ChannelMask traceMask;
+/**
+ * The flag word the TRACE macro tests. Thread-local, like the sink
+ * registry: each thread of the batch engine owns an independent trace
+ * configuration, so a worker capturing a failure trace (or the main
+ * thread shrinking one) never interleaves with — or races against —
+ * simulations running on other threads. Worker threads start with
+ * every channel off.
+ */
+extern thread_local ChannelMask traceMask;
 } // namespace detail
 
 /** True when @p ch is enabled (the TRACE macro's guard). */
@@ -165,7 +172,9 @@ class FileJsonlSink : public JsonlSink
 /**
  * Register @p sink (not owned) to receive enabled-channel messages.
  * With no sink registered, messages fall back to stderr so enabling a
- * channel always produces output.
+ * channel always produces output. The registry is per thread (see
+ * detail::traceMask): a sink only sees messages emitted by the thread
+ * that registered it.
  */
 void addSink(TraceSink *sink);
 void removeSink(TraceSink *sink);

@@ -7,6 +7,17 @@
 
 namespace dramctrl {
 
+EventQueue::EventQueue()
+{
+    heap_.reserve(64);
+    registerTickSource(this);
+}
+
+EventQueue::~EventQueue()
+{
+    unregisterTickSource(this);
+}
+
 void
 EventQueue::siftUp(std::size_t slot)
 {

@@ -48,7 +48,11 @@ class EventQueueProfiler
 class EventQueue
 {
   public:
-    EventQueue() { heap_.reserve(64); }
+    /** Registers the queue as its thread's tick source (logging.hh). */
+    EventQueue();
+
+    /** Unregisters, so a dead queue is never left in the registry. */
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;

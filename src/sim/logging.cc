@@ -1,8 +1,12 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/eventq.hh"
@@ -11,13 +15,36 @@ namespace dramctrl {
 
 namespace {
 
-bool quietFlag = false;
-bool throwFlag = false;
+std::atomic<bool> quietFlag{false};
+std::atomic<bool> throwFlag{false};
 
-std::vector<const EventQueue *> &
+/**
+ * Tick-source registry: per-thread stacks of live event queues,
+ * keyed by thread id and guarded by one mutex. Keeping the stacks
+ * per thread matters for the batch engine twice over: a warn() on a
+ * worker thread is stamped with *its own* simulation's tick, never a
+ * concurrently advancing one, and reading another thread's
+ * (non-atomic) curTick would itself be a data race. The mutex makes
+ * registration, unregistration and lookup safe against concurrent
+ * simulator construction/destruction on other threads.
+ *
+ * Queues register in their constructor and unregister in their
+ * destructor (see EventQueue), so a destroyed queue can never be left
+ * dangling in the registry for the next warn() to dereference.
+ */
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::unordered_map<std::thread::id, std::vector<const EventQueue *>> &
 tickSources()
 {
-    static std::vector<const EventQueue *> sources;
+    static std::unordered_map<std::thread::id,
+                              std::vector<const EventQueue *>>
+        sources;
     return sources;
 }
 
@@ -36,27 +63,44 @@ tickPrefix()
 void
 registerTickSource(const EventQueue *eq)
 {
-    tickSources().push_back(eq);
+    std::lock_guard<std::mutex> lock(registryMutex());
+    tickSources()[std::this_thread::get_id()].push_back(eq);
 }
 
 void
 unregisterTickSource(const EventQueue *eq)
 {
-    auto &sources = tickSources();
-    for (auto it = sources.rbegin(); it != sources.rend(); ++it) {
-        if (*it == eq) {
-            sources.erase(std::next(it).base());
-            return;
+    std::lock_guard<std::mutex> lock(registryMutex());
+    auto &map = tickSources();
+    auto removeFrom = [eq](std::vector<const EventQueue *> &sources) {
+        for (auto it = sources.rbegin(); it != sources.rend(); ++it) {
+            if (*it == eq) {
+                sources.erase(std::next(it).base());
+                return true;
+            }
         }
+        return false;
+    };
+    // The common case: the queue dies on the thread it lived on.
+    auto own = map.find(std::this_thread::get_id());
+    if (own != map.end() && removeFrom(own->second))
+        return;
+    // Pathological hand-off between threads: still never dangle.
+    for (auto &entry : map) {
+        if (removeFrom(entry.second))
+            return;
     }
 }
 
 bool
 activeSimTick(Tick &tick)
 {
-    if (tickSources().empty())
+    std::lock_guard<std::mutex> lock(registryMutex());
+    auto &map = tickSources();
+    auto it = map.find(std::this_thread::get_id());
+    if (it == map.end() || it->second.empty())
         return false;
-    tick = tickSources().back()->curTick();
+    tick = it->second.back()->curTick();
     return true;
 }
 
@@ -91,7 +135,7 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformatString(fmt, args);
     va_end(args);
-    if (throwFlag)
+    if (throwFlag.load(std::memory_order_relaxed))
         throw std::runtime_error("panic: " + msg);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
     std::abort();
@@ -104,7 +148,7 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformatString(fmt, args);
     va_end(args);
-    if (throwFlag)
+    if (throwFlag.load(std::memory_order_relaxed))
         throw std::runtime_error("fatal: " + msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
@@ -113,7 +157,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -126,7 +170,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -139,19 +183,19 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 isQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 void
 setThrowOnError(bool throw_on_error)
 {
-    throwFlag = throw_on_error;
+    throwFlag.store(throw_on_error, std::memory_order_relaxed);
 }
 
 } // namespace dramctrl

@@ -50,20 +50,24 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
- * Register @p eq as the simulated-time source for tick-stamping
- * warn()/inform() output and trace messages. Simulators register
- * their event queue on construction and unregister on destruction;
- * with several alive (nested testbenches), the most recently
- * registered one wins.
+ * Register @p eq as the calling thread's simulated-time source for
+ * tick-stamping warn()/inform() output and trace messages. Event
+ * queues register themselves on construction and unregister on
+ * destruction, so the registry never holds a dangling queue; with
+ * several alive on one thread (nested testbenches), the most
+ * recently registered one wins. The registry keeps one stack per
+ * thread behind a mutex: concurrent batch workers each stamp with
+ * their own simulation's tick.
  */
 void registerTickSource(const EventQueue *eq);
 
-/** Remove @p eq from the tick-source stack (any position). */
+/** Remove @p eq from its tick-source stack (any position). */
 void unregisterTickSource(const EventQueue *eq);
 
 /**
- * @return true and set @p tick to the innermost active simulator's
- *         current tick; false when no simulator is alive.
+ * @return true and set @p tick to the calling thread's innermost
+ *         active simulator's current tick; false when this thread
+ *         has no simulator alive.
  */
 bool activeSimTick(Tick &tick);
 

@@ -10,9 +10,21 @@
  * and every deallocate() a pointer push, and the recycled storage stays
  * hot in cache.
  *
- * The pools are deliberately single-threaded, like the event kernel
- * they serve. Counters are exposed so tests can assert that a warmed-up
- * simulation performs no fresh (chunk-carving) allocations at all.
+ * The pools are **per thread** (`thread_local`), matching the
+ * shared-nothing threading model of the batch engine: every Simulator,
+ * and every pooled object it creates, lives and dies on one thread, so
+ * each thread gets a private freelist with zero synchronisation on the
+ * allocation fast path and the steady-state no-fresh-alloc guarantee
+ * holds per thread. The corollary is a hard rule: a pooled object must
+ * be deallocated on the thread that allocated it (shared-nothing jobs
+ * satisfy this by construction).
+ *
+ * Counters are exposed per thread (poolStats()) so tests can assert
+ * that a warmed-up simulation performs no fresh (chunk-carving)
+ * allocations, and aggregated across threads (aggregatedPoolStats())
+ * for whole-batch accounting. Aggregation may only be called while no
+ * other thread is allocating (e.g. after a BatchRunner::run returned,
+ * which synchronises with its workers).
  */
 
 #ifndef DRAMCTRL_SIM_POOL_H
@@ -21,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <vector>
 
@@ -43,6 +56,68 @@ struct PoolStats
     std::uint64_t freshAllocs = 0;
 };
 
+namespace detail {
+
+/**
+ * Per-type registry of every live thread's pool counters, plus the
+ * folded totals of pools whose threads have exited. Guarded by a
+ * mutex; only touched on pool construction/destruction and by
+ * aggregate(), never on the allocation fast path.
+ */
+class PoolStatsRegistry
+{
+  public:
+    void
+    attach(const PoolStats *stats)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        live_.push_back(stats);
+    }
+
+    void
+    detach(const PoolStats *stats)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = live_.begin(); it != live_.end(); ++it) {
+            if (*it == stats) {
+                retired_.capacity += stats->capacity;
+                retired_.inUse += stats->inUse;
+                retired_.totalAllocs += stats->totalAllocs;
+                retired_.freshAllocs += stats->freshAllocs;
+                live_.erase(it);
+                return;
+            }
+        }
+    }
+
+    /**
+     * Sum of the retired totals and every live thread's counters.
+     * Caller must ensure the live threads are quiescent (their
+     * counters are plain fields, synchronised only by thread
+     * join/condvar edges).
+     */
+    PoolStats
+    aggregate() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PoolStats sum = retired_;
+        for (const PoolStats *s : live_) {
+            sum.capacity += s->capacity;
+            sum.inUse += s->inUse;
+            sum.totalAllocs += s->totalAllocs;
+            sum.freshAllocs += s->freshAllocs;
+        }
+        return sum;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<const PoolStats *> live_;
+    PoolStats retired_;
+};
+
+} // namespace detail
+
 /**
  * A growing freelist pool handing out raw storage for objects of type
  * @p T. Storage is carved from geometrically growing chunks and never
@@ -53,15 +128,18 @@ template <typename T>
 class ObjectPool
 {
   public:
-    /** The process-wide pool for @p T (one per translation set). */
+    /** This thread's pool for @p T (created on first use). */
     static ObjectPool &
     instance()
     {
-        static ObjectPool pool;
+        static thread_local ObjectPool pool;
         return pool;
     }
 
-    ObjectPool() = default;
+    ObjectPool() { registry().attach(&stats_); }
+
+    ~ObjectPool() { registry().detach(&stats_); }
+
     ObjectPool(const ObjectPool &) = delete;
     ObjectPool &operator=(const ObjectPool &) = delete;
 
@@ -95,12 +173,35 @@ class ObjectPool
 
     const PoolStats &stats() const { return stats_; }
 
+    /**
+     * Counters summed over every thread that ever pooled a T (live
+     * threads plus folded totals of exited ones). Only meaningful
+     * while no other thread is allocating.
+     */
+    static PoolStats
+    aggregatedStats()
+    {
+        return registry().aggregate();
+    }
+
   private:
     union Slot
     {
         Slot *next;
         alignas(T) unsigned char storage[sizeof(T)];
     };
+
+    /**
+     * The process-wide counter registry for T. A function-local
+     * static (not thread_local): constructed before the first pool
+     * attaches, destroyed after the main thread's pool detaches.
+     */
+    static detail::PoolStatsRegistry &
+    registry()
+    {
+        static detail::PoolStatsRegistry reg;
+        return reg;
+    }
 
     void
     grow()
@@ -125,8 +226,10 @@ class ObjectPool
 /**
  * Mixin giving a class pooled operator new/delete. Deriving (or
  * defining the two operators in terms of ObjectPool directly) routes
- * every `new T` / `delete t` through the freelist with no call-site
- * changes. Array forms intentionally stay on the global allocator.
+ * every `new T` / `delete t` through the calling thread's freelist
+ * with no call-site changes. Array forms intentionally stay on the
+ * global allocator. `new` and `delete` of one object must happen on
+ * the same thread (see the file comment).
  */
 template <typename T>
 class Pooled
@@ -152,10 +255,19 @@ class Pooled
         ObjectPool<T>::instance().deallocate(p);
     }
 
-    /** Pool counters for T, for allocation-regression tests. */
+    /**
+     * This thread's pool counters for T, for allocation-regression
+     * tests.
+     */
     static const PoolStats &poolStats()
     {
         return ObjectPool<T>::instance().stats();
+    }
+
+    /** Counters summed across threads (see ObjectPool). */
+    static PoolStats aggregatedPoolStats()
+    {
+        return ObjectPool<T>::aggregatedStats();
     }
 };
 

@@ -8,13 +8,11 @@ namespace dramctrl {
 Simulator::Simulator(std::string name)
     : rootStats_(std::move(name), nullptr)
 {
-    registerTickSource(&eventq_);
+    // The event queue registered itself as this thread's tick source
+    // in its own constructor (and unregisters in its destructor).
 }
 
-Simulator::~Simulator()
-{
-    unregisterTickSource(&eventq_);
-}
+Simulator::~Simulator() = default;
 
 void
 Simulator::registerObject(SimObject *obj)

@@ -11,6 +11,14 @@
  *   dramctrl_cli --preset wideio_200 --model cycle --json
  *   dramctrl_cli --preset ddr3_1333 --pattern dram --stride 512 \
  *                --banks 4 --audit
+ *   dramctrl_cli --preset ddr3_1600 --runs 16 --jobs 4
+ *
+ * `--runs N` repeats the run N times with per-run seeds derived from
+ * (--seed, run index) and prints one summary row per run; `--jobs M`
+ * executes them on the batch engine. Rows are emitted in run order
+ * and contain only simulated quantities, so output is identical for
+ * every --jobs value. A run that dies reports its index and seed and
+ * the tool exits non-zero.
  */
 
 #include <cstdio>
@@ -21,6 +29,8 @@
 #include <string>
 
 #include "dram/cmd_log.hh"
+#include "exec/batch_runner.hh"
+#include "exec/sweep.hh"
 #include "dram/dram_presets.hh"
 #include "dram/protocol_checker.hh"
 #include "harness/testbench.hh"
@@ -56,6 +66,8 @@ struct CliOptions
     bool json = false;
     bool audit = false;
     std::uint64_t seed = 1;
+    std::uint64_t runs = 1;  // > 1 = batch mode over derived seeds
+    unsigned jobs = 1;
 
     // Observability (see docs/OBSERVABILITY.md).
     std::string traceChannels;  // csv of channel names, or "all"
@@ -92,6 +104,14 @@ usage(const char *prog)
         "  --audit            log commands and run the JEDEC checker\n"
         "  --json             dump the full stats tree as JSON\n"
         "  --seed N           RNG seed (default 1)\n"
+        "  --runs N           repeat with seeds derived from (seed, "
+        "run\n"
+        "                     index), one summary row per run\n"
+        "  --jobs M           concurrent runs in batch mode "
+        "(default 1;\n"
+        "                     0 = one per core); output is identical "
+        "for\n"
+        "                     every value\n"
         "observability:\n"
         "  --trace LIST       enable trace channels (csv or 'all')\n"
         "  --trace-file PATH  tick-stamped text trace to PATH "
@@ -139,6 +159,12 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         else if (a == "--audit") opt.audit = true;
         else if (a == "--json") opt.json = true;
         else if (a == "--seed") opt.seed = std::stoull(need(i));
+        else if (a == "--runs") opt.runs = std::stoull(need(i));
+        else if (a == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::stoul(need(i)));
+            if (opt.jobs == 0)
+                opt.jobs = exec::ThreadPool::hardwareThreads();
+        }
         else if (a == "--trace") opt.traceChannels = need(i);
         else if (a == "--trace-file") opt.traceFile = need(i);
         else if (a == "--trace-jsonl") opt.traceJsonl = need(i);
@@ -186,6 +212,92 @@ schedFromString(const std::string &s)
     fatal("unknown scheduler '%s'", s.c_str());
 }
 
+/**
+ * --runs N: the same configuration, N derived seeds, on the batch
+ * engine. Reuses the sweep-point runner so the row contents (and
+ * therefore the output bytes) match a single-point sweep_cli grid.
+ */
+int
+runBatch(const CliOptions &opt, const DRAMCtrlConfig &cfg,
+         harness::CtrlModel model)
+{
+    if (!opt.sched.empty() || opt.audit || opt.powerDown ||
+        opt.temperatureC != 85.0 || !opt.traceChannels.empty() ||
+        !opt.traceFile.empty() || !opt.traceJsonl.empty() ||
+        !opt.chromeFile.empty() || opt.sampleIntervalNs > 0 ||
+        opt.profileEvents)
+        fatal("--runs batch mode supports the preset/pattern/page/"
+              "mapping/read-pct/itt-ns/model/requests/stride/banks/"
+              "seed axes only; use a single run (or sweep_cli) for "
+              "the rest");
+
+    exec::SweepSpec spec;
+    spec.presets = {opt.preset};
+    spec.patterns = {opt.pattern};
+    spec.pages = {cfg.pagePolicy};
+    spec.mappings = {cfg.addrMapping};
+    spec.readPcts = {opt.readPct};
+    spec.ittNs = {opt.ittNs};
+    spec.models = {model};
+    spec.numSeeds = static_cast<unsigned>(opt.runs);
+    spec.masterSeed = opt.seed;
+    spec.requests = opt.requests;
+    spec.strideBytes = opt.strideBytes;
+    spec.banks = opt.banks;
+
+    std::string err;
+    if (!exec::checkSpec(spec, &err))
+        fatal("%s", err.c_str());
+    std::vector<exec::SweepPoint> grid = exec::expandGrid(spec);
+
+    // A run that fatal()s fails its own job, not the whole batch.
+    setThrowOnError(true);
+    std::size_t failed = 0;
+    exec::BatchRunner runner(opt.jobs);
+    runner.run<exec::SweepRow>(
+        grid.size(),
+        [&](std::size_t i) {
+            return exec::runSweepPoint(grid[i], spec);
+        },
+        [&](const exec::JobOutcome<exec::SweepRow> &out) {
+            if (!out.ok) {
+                ++failed;
+                std::printf("run %zu FAILED (seed %llu, master "
+                            "%llu): %s\n",
+                            out.index,
+                            static_cast<unsigned long long>(
+                                grid[out.index].seed),
+                            static_cast<unsigned long long>(opt.seed),
+                            out.error.c_str());
+                return;
+            }
+            const exec::SweepRow &r = out.value;
+            if (opt.json) {
+                std::printf("%s\n", exec::toJsonl(r).c_str());
+            } else {
+                std::printf("run %zu (seed %llu): %.2f us, %.2f "
+                            "GB/s, %.1f ns read latency, bus "
+                            "%.1f%%\n",
+                            out.index,
+                            static_cast<unsigned long long>(
+                                r.point.seed),
+                            r.simulatedUs, r.bandwidthGBs,
+                            r.avgReadLatencyNs, 100 * r.busUtil);
+            }
+        });
+    setThrowOnError(false);
+
+    if (failed) {
+        std::fprintf(stderr,
+                     "batch: %zu of %zu runs failed (master seed "
+                     "%llu)\n",
+                     failed, grid.size(),
+                     static_cast<unsigned long long>(opt.seed));
+        return 2;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -210,6 +322,9 @@ main(int argc, char **argv)
                                       : harness::CtrlModel::Event;
     if (opt.model != "cycle" && opt.model != "event")
         fatal("unknown model '%s'", opt.model.c_str());
+
+    if (opt.runs > 1)
+        return runBatch(opt, cfg, model);
 
     // Trace channels and sinks. With channels enabled but no sink
     // requested, messages fall back to stderr.

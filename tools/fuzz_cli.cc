@@ -12,11 +12,21 @@
  * reproducer, and writes a self-contained repro JSON that
  * `fuzz_cli --repro FILE` (and the validate_repro test) replays.
  *
+ * Runs execute on the batch engine: `--jobs N` fuzzes N cases
+ * concurrently (each case is an independent shared-nothing
+ * simulation), while results are consumed in run order on the main
+ * thread — so all output, including failure repro files and the
+ * shrink of the first failure (which proceeds while later jobs drain
+ * in the background), is byte-identical whatever N is. A case that
+ * dies with a fatal()/panic() is isolated to its job; the driver
+ * prints the run index and seed and exits non-zero.
+ *
  * Examples:
- *   fuzz_cli --runs 200 --seed 1
+ *   fuzz_cli --runs 200 --seed 1 --jobs 4
  *   fuzz_cli --runs 0 --duration-s 60 --out-dir repros
  *   fuzz_cli --runs 5 --inject-bug          # must fail: proves the
  *                                           # checker catches faults
+ *   fuzz_cli --seed 1 --first-run 42 --runs 1   # replay case 42
  *   fuzz_cli --repro repros/fuzz_fail_42.json
  */
 
@@ -25,6 +35,7 @@
 #include <memory>
 #include <string>
 
+#include "exec/batch_runner.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -42,12 +53,14 @@ struct FuzzCliOptions
 {
     std::uint64_t runs = 50;
     std::uint64_t seed = 1;
+    std::uint64_t firstRun = 0;  // start index into the case sequence
     std::uint64_t requests = 0;  // 0 = per-case sample
     double durationS = 0;        // wall-clock budget; 0 = unlimited
     double toleranceBw = DiffOptions{}.bandwidthRelTol;
     double toleranceLat = DiffOptions{}.latencyRelTol;
     std::string outDir = ".";
     std::string repro;           // replay mode
+    unsigned jobs = 1;
     bool injectBug = false;
     bool noShrink = false;
     bool verbose = false;
@@ -63,6 +76,14 @@ usage(const char *prog)
         "  --seed N           master seed (default 1); every failure "
         "is\n"
         "                     reproducible from this seed + run index\n"
+        "  --first-run N      start at case index N (replay one case "
+        "as\n"
+        "                     --first-run N --runs 1)\n"
+        "  --jobs N           concurrent fuzz jobs (default 1; 0 = "
+        "one\n"
+        "                     per core); output is byte-identical "
+        "for\n"
+        "                     every value\n"
         "  --requests N       override per-case request count\n"
         "  --duration-s S     stop after S wall-clock seconds\n"
         "  --tolerance-bw F   relative completion-time tolerance "
@@ -92,6 +113,13 @@ parseArgs(int argc, char **argv, FuzzCliOptions &opt)
         std::string a = argv[i];
         if (a == "--runs") opt.runs = std::stoull(need(i));
         else if (a == "--seed") opt.seed = std::stoull(need(i));
+        else if (a == "--first-run")
+            opt.firstRun = std::stoull(need(i));
+        else if (a == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::stoul(need(i)));
+            if (opt.jobs == 0)
+                opt.jobs = exec::ThreadPool::hardwareThreads();
+        }
         else if (a == "--requests")
             opt.requests = std::stoull(need(i));
         else if (a == "--duration-s")
@@ -140,17 +168,6 @@ replayRepro(const FuzzCliOptions &opt)
     return 2;
 }
 
-/** Per-run derivation so case N is reproducible without runs 0..N-1. */
-std::uint64_t
-caseSeed(std::uint64_t master, std::uint64_t run)
-{
-    // splitmix64 over (master, run): independent well-mixed streams.
-    std::uint64_t z = master + 0x9e3779b97f4a7c15ULL * (run + 1);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
 void
 handleFailure(const FuzzCliOptions &opt, std::uint64_t run,
               const FuzzCase &fc, std::uint64_t streamSeed,
@@ -160,9 +177,14 @@ handleFailure(const FuzzCliOptions &opt, std::uint64_t run,
                 static_cast<unsigned long long>(run),
                 "divergence or violation detected",
                 summarize(fc).c_str(), dr.describe().c_str());
+    std::printf("  reproduce: --seed %llu --first-run %llu --runs 1\n",
+                static_cast<unsigned long long>(opt.seed),
+                static_cast<unsigned long long>(run));
 
     // Re-run once with the DRAM trace channels captured, so the
-    // repro ships with a command-level account of the failure.
+    // repro ships with a command-level account of the failure. The
+    // sink and channel mask are thread-local, so jobs draining on
+    // worker threads neither race with nor write into this capture.
     std::string base = opt.outDir + "/fuzz_fail_" +
                        std::to_string(run);
     {
@@ -171,8 +193,13 @@ handleFailure(const FuzzCliOptions &opt, std::uint64_t run,
         if (traceSink.ok()) {
             obs::addSink(&traceSink);
             obs::enableChannelsByName("DRAMCtrl,CycleCtrl,Refresh");
-            runDiffStream(fc, generateStream(fc.stream, streamSeed),
-                          dopts);
+            try {
+                runDiffStream(fc,
+                              generateStream(fc.stream, streamSeed),
+                              dopts);
+            } catch (const std::exception &e) {
+                std::printf("  trace capture died: %s\n", e.what());
+            }
             obs::removeSink(&traceSink);
             std::printf("  trace: %s.trace\n", base.c_str());
         }
@@ -208,6 +235,14 @@ handleFailure(const FuzzCliOptions &opt, std::uint64_t run,
         std::printf("  repro: FAILED to write %s\n", path.c_str());
 }
 
+/** What one fuzz job hands back to the in-order consumer. */
+struct CaseResult
+{
+    FuzzCase fc;
+    std::uint64_t streamSeed = 0;
+    DiffResult dr;
+};
+
 } // namespace
 
 int
@@ -237,35 +272,94 @@ main(int argc, char **argv)
     FuzzerOptions fopts;
     fopts.numRequests = opt.requests;
 
+    // A case that fatal()s must fail its own job, not the batch.
+    setThrowOnError(true);
+
     std::uint64_t ran = 0, failed = 0;
-    for (std::uint64_t run = 0;; ++run) {
-        if (opt.runs != 0 && run >= opt.runs)
-            break;
-        if (opt.durationS > 0 && elapsedS() >= opt.durationS)
-            break;
+    exec::BatchRunner runner(opt.jobs);
 
-        std::uint64_t cs = caseSeed(opt.seed, run);
+    auto worker = [&](std::uint64_t run) {
+        // Per-run derivation (splitmix64 over (master, run)) so case
+        // N is reproducible without running cases 0..N-1.
+        std::uint64_t cs = exec::deriveSeed(opt.seed, run);
         Random rng(cs);
-        FuzzCase fc = sampleCase(rng, fopts);
-        std::uint64_t streamSeed = rng.next();
+        CaseResult r;
+        r.fc = sampleCase(rng, fopts);
+        r.streamSeed = rng.next();
+        r.dr = runDiff(r.fc, r.streamSeed, dopts);
+        return r;
+    };
 
+    auto consumeAt = [&](std::uint64_t base_run,
+                         const exec::JobOutcome<CaseResult> &out) {
+        std::uint64_t run = base_run + out.index;
+        ++ran;
+        if (!out.ok) {
+            ++failed;
+            std::printf("run %llu DIED (seed %llu): %s\n"
+                        "  reproduce: --seed %llu --first-run %llu "
+                        "--runs 1\n",
+                        static_cast<unsigned long long>(run),
+                        static_cast<unsigned long long>(
+                            exec::deriveSeed(opt.seed, run)),
+                        out.error.c_str(),
+                        static_cast<unsigned long long>(opt.seed),
+                        static_cast<unsigned long long>(run));
+            return;
+        }
         if (opt.verbose)
             std::printf("run %llu: %s\n",
                         static_cast<unsigned long long>(run),
-                        summarize(fc).c_str());
-
-        DiffResult dr = runDiff(fc, streamSeed, dopts);
-        ++ran;
-        if (!dr.pass) {
+                        summarize(out.value.fc).c_str());
+        if (!out.value.dr.pass) {
             ++failed;
-            handleFailure(opt, run, fc, streamSeed, dopts, dr);
+            // Capture + shrink runs here on the main thread while
+            // later jobs keep draining on the pool.
+            try {
+                handleFailure(opt, run, out.value.fc,
+                              out.value.streamSeed, dopts,
+                              out.value.dr);
+            } catch (const std::exception &e) {
+                std::printf("  failure handling died: %s\n",
+                            e.what());
+            }
+        }
+    };
+
+    if (opt.runs != 0) {
+        std::uint64_t base = opt.firstRun;
+        runner.run<CaseResult>(
+            opt.runs,
+            [&](std::size_t i) { return worker(base + i); },
+            [&](const exec::JobOutcome<CaseResult> &out) {
+                consumeAt(base, out);
+            });
+    } else {
+        // Time-boxed mode: waves of one batch per worker, checking
+        // the budget between waves.
+        std::uint64_t next = opt.firstRun;
+        while (elapsedS() < opt.durationS) {
+            std::uint64_t base = next;
+            std::uint64_t wave = opt.jobs;
+            runner.run<CaseResult>(
+                wave,
+                [&](std::size_t i) { return worker(base + i); },
+                [&](const exec::JobOutcome<CaseResult> &out) {
+                    consumeAt(base, out);
+                });
+            next += wave;
         }
     }
 
-    std::printf("fuzz: %llu runs, %llu failures, %.1f s "
-                "(master seed %llu)\n",
-                static_cast<unsigned long long>(ran),
-                static_cast<unsigned long long>(failed), elapsedS(),
-                static_cast<unsigned long long>(opt.seed));
+    setThrowOnError(false);
+
+    // Summary goes to stderr: it carries wall-clock time and the job
+    // count, while stdout stays byte-identical whatever --jobs is.
+    std::fprintf(stderr,
+                 "fuzz: %llu runs, %llu failures, %.1f s "
+                 "(master seed %llu, %u jobs)\n",
+                 static_cast<unsigned long long>(ran),
+                 static_cast<unsigned long long>(failed), elapsedS(),
+                 static_cast<unsigned long long>(opt.seed), opt.jobs);
     return failed ? 2 : 0;
 }

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Design-space sweep driver: expand a config-grid x seed x
+ * traffic-pattern product into independent jobs, run them on the
+ * batch engine, and emit one CSV/JSONL row per run.
+ *
+ * Rows are written in grid order and contain only simulated
+ * quantities, so the output file is byte-identical whatever --jobs
+ * is. A job that fails (a fatal() or panic() inside the simulation)
+ * is isolated: its index and seed are reported on stderr, the row is
+ * skipped, and the driver exits non-zero after the batch drains —
+ * re-running that one point is `--seed <master>` with the printed
+ * index (seeds derive from (master, index)).
+ *
+ * Examples:
+ *   sweep_cli --preset ddr3_1333,lpddr3_1600 --pattern random,dram \
+ *             --read-pct 50,100 --jobs 4 --out sweep.csv
+ *   sweep_cli --page open,closed --mapping RoRaBaCoCh,RoCoRaBaCh \
+ *             --model both --seeds 3 --format jsonl
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/batch_runner.hh"
+#include "exec/sweep.hh"
+#include "sim/logging.hh"
+
+using namespace dramctrl;
+using namespace dramctrl::exec;
+
+namespace {
+
+struct SweepCliOptions
+{
+    SweepSpec spec;
+    unsigned jobs = 1;
+    std::string out;             // empty = stdout
+    std::string format = "csv";  // csv | jsonl
+};
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]   (list-valued options take csv)\n"
+        "  --preset LIST      ddr3_1333|ddr3_1600|lpddr3_1600|"
+        "wideio_200|hmc_vault\n"
+        "  --pattern LIST     linear|random|dram\n"
+        "  --page LIST        open|open_adaptive|closed|"
+        "closed_adaptive\n"
+        "  --mapping LIST     RoRaBaCoCh|RoRaBaChCo|RoCoRaBaCh\n"
+        "  --read-pct LIST    read percentages\n"
+        "  --itt-ns LIST      inter-transaction times, ns\n"
+        "  --model NAME       event|cycle|both (default event)\n"
+        "  --seeds N          seeds per grid point (default 1)\n"
+        "  --seed N           master seed (default 1); run seeds "
+        "derive\n"
+        "                     from (master seed, grid index)\n"
+        "  --requests N       requests per run (default 5000)\n"
+        "  --stride BYTES     dram-pattern stride (default 256)\n"
+        "  --banks N          dram-pattern banks (default 4)\n"
+        "  --jobs N           worker threads (default 1; 0 = one "
+        "per core);\n"
+        "                     output is identical for every value\n"
+        "  --out PATH         result file (default stdout)\n"
+        "  --format F         csv|jsonl (default csv)\n",
+        prog);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > pos)
+            out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseArgs(int argc, char **argv, SweepCliOptions &opt)
+{
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    SweepSpec &spec = opt.spec;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--preset") {
+            spec.presets = splitCsv(need(i));
+        } else if (a == "--pattern") {
+            spec.patterns = splitCsv(need(i));
+        } else if (a == "--page") {
+            spec.pages.clear();
+            for (const std::string &s : splitCsv(need(i))) {
+                PagePolicy p;
+                if (!pagePolicyFromString(s, p))
+                    fatal("unknown page policy '%s'", s.c_str());
+                spec.pages.push_back(p);
+            }
+        } else if (a == "--mapping") {
+            spec.mappings.clear();
+            for (const std::string &s : splitCsv(need(i))) {
+                AddrMapping m;
+                if (!addrMappingFromString(s, m))
+                    fatal("unknown mapping '%s'", s.c_str());
+                spec.mappings.push_back(m);
+            }
+        } else if (a == "--read-pct") {
+            spec.readPcts.clear();
+            for (const std::string &s : splitCsv(need(i)))
+                spec.readPcts.push_back(
+                    static_cast<unsigned>(std::stoul(s)));
+        } else if (a == "--itt-ns") {
+            spec.ittNs.clear();
+            for (const std::string &s : splitCsv(need(i)))
+                spec.ittNs.push_back(std::stod(s));
+        } else if (a == "--model") {
+            std::string m = need(i);
+            if (m == "event")
+                spec.models = {harness::CtrlModel::Event};
+            else if (m == "cycle")
+                spec.models = {harness::CtrlModel::Cycle};
+            else if (m == "both")
+                spec.models = {harness::CtrlModel::Event,
+                               harness::CtrlModel::Cycle};
+            else
+                fatal("unknown model '%s'", m.c_str());
+        } else if (a == "--seeds") {
+            spec.numSeeds =
+                static_cast<unsigned>(std::stoul(need(i)));
+        } else if (a == "--seed") {
+            spec.masterSeed = std::stoull(need(i));
+        } else if (a == "--requests") {
+            spec.requests = std::stoull(need(i));
+        } else if (a == "--stride") {
+            spec.strideBytes = std::stoull(need(i));
+        } else if (a == "--banks") {
+            spec.banks = static_cast<unsigned>(std::stoul(need(i)));
+        } else if (a == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::stoul(need(i)));
+            if (opt.jobs == 0)
+                opt.jobs = ThreadPool::hardwareThreads();
+        } else if (a == "--out") {
+            opt.out = need(i);
+        } else if (a == "--format") {
+            opt.format = need(i);
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            fatal("unknown option '%s' (try --help)", a.c_str());
+        }
+    }
+    if (opt.format != "csv" && opt.format != "jsonl")
+        fatal("unknown format '%s'", opt.format.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    SweepCliOptions opt;
+    if (!parseArgs(argc, argv, opt))
+        return 0;
+
+    std::string err;
+    if (!checkSpec(opt.spec, &err))
+        fatal("%s", err.c_str());
+
+    std::vector<SweepPoint> grid = expandGrid(opt.spec);
+    std::fprintf(stderr,
+                 "sweep: %zu runs (%u worker%s, master seed %llu)\n",
+                 grid.size(), opt.jobs, opt.jobs == 1 ? "" : "s",
+                 static_cast<unsigned long long>(
+                     opt.spec.masterSeed));
+
+    std::FILE *out = stdout;
+    if (!opt.out.empty()) {
+        out = std::fopen(opt.out.c_str(), "w");
+        if (out == nullptr)
+            fatal("cannot open '%s'", opt.out.c_str());
+    }
+    if (opt.format == "csv")
+        std::fprintf(out, "%s\n", csvHeader().c_str());
+
+    // Failures must throw out of the job (isolated by the runner)
+    // instead of exiting the whole batch.
+    setThrowOnError(true);
+
+    const SweepSpec &spec = opt.spec;
+    std::vector<std::size_t> failedJobs;
+    BatchRunner runner(opt.jobs);
+    runner.run<SweepRow>(
+        grid.size(),
+        [&grid, &spec](std::size_t i) {
+            return runSweepPoint(grid[i], spec);
+        },
+        [&](const exec::JobOutcome<SweepRow> &out_come) {
+            if (!out_come.ok) {
+                std::fprintf(
+                    stderr,
+                    "sweep job %zu FAILED (seed %llu, master %llu): "
+                    "%s\n",
+                    out_come.index,
+                    static_cast<unsigned long long>(
+                        grid[out_come.index].seed),
+                    static_cast<unsigned long long>(spec.masterSeed),
+                    out_come.error.c_str());
+                failedJobs.push_back(out_come.index);
+                return;
+            }
+            std::fprintf(out, "%s\n",
+                         (opt.format == "csv"
+                              ? toCsv(out_come.value)
+                              : toJsonl(out_come.value))
+                             .c_str());
+        });
+    setThrowOnError(false);
+
+    if (out != stdout)
+        std::fclose(out);
+
+    if (!failedJobs.empty()) {
+        std::fprintf(stderr, "sweep: %zu of %zu runs failed\n",
+                     failedJobs.size(), grid.size());
+        return 2;
+    }
+    std::fprintf(stderr, "sweep: all %zu runs completed\n",
+                 grid.size());
+    return 0;
+}
