@@ -11,10 +11,18 @@
  * at every width — the batch engine's determinism contract means the
  * only thing that changes is wall-clock.
  *
+ * A second section compares cold-start and warm-start execution of a
+ * multi-seed sweep: cold runs the warm-up inside every job, warm runs
+ * it once per config group, checkpoints, and fans the measured phases
+ * out from the shared snapshot (docs/CHECKPOINT.md). The two modes
+ * must produce identical rows; the benchmark reports the wall-clock
+ * saved.
+ *
  * Usage: parallel_scaling [--runs N] [--seed S]
  *                         [--json BENCH_parallel.json]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "exec/batch_runner.hh"
+#include "exec/sweep.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "validate/config_fuzzer.hh"
@@ -104,6 +113,86 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(w.failures));
     }
 
+    // --- Warm-start vs cold-start sweep -----------------------------
+    // A sweep with a warm-up phase: 2 configurations x 8 seeds. Cold
+    // mode repeats the warm-up in all 16 jobs; warm mode runs it twice
+    // (once per config group), checkpoints, and restores per seed.
+    exec::SweepSpec sspec;
+    sspec.presets = {"ddr3_1333", "ddr3_1600"};
+    sspec.patterns = {"random"};
+    sspec.numSeeds = 8;
+    sspec.masterSeed = seed;
+    sspec.warmupRequests = 3000;
+    sspec.requests = 1000;
+    const auto grid = exec::expandGrid(sspec);
+    const std::size_t groups =
+        grid.size() / std::max(1u, sspec.numSeeds);
+    const unsigned sweep_jobs = 8;
+
+    std::vector<exec::SweepRow> cold_rows(grid.size());
+    auto c0 = std::chrono::steady_clock::now();
+    {
+        exec::BatchRunner runner(sweep_jobs);
+        runner.run<exec::SweepRow>(
+            grid.size(),
+            [&](std::size_t i) {
+                return exec::runSweepPoint(grid[i], sspec);
+            },
+            [&](const exec::JobOutcome<exec::SweepRow> &out) {
+                cold_rows[out.index] = out.value;
+            });
+    }
+    auto c1 = std::chrono::steady_clock::now();
+    double cold_s = std::chrono::duration<double>(c1 - c0).count();
+
+    std::vector<exec::SweepRow> warm_rows(grid.size());
+    auto w0 = std::chrono::steady_clock::now();
+    {
+        std::vector<std::string> snapshots(groups);
+        exec::BatchRunner warmup(sweep_jobs);
+        warmup.run<std::string>(
+            groups,
+            [&](std::size_t g) {
+                return exec::captureWarmupSnapshot(
+                    grid[g * sspec.numSeeds], sspec);
+            },
+            [&](const exec::JobOutcome<std::string> &out) {
+                snapshots[out.index] = out.value;
+            });
+        exec::BatchRunner measured(sweep_jobs);
+        measured.run<exec::SweepRow>(
+            grid.size(),
+            [&](std::size_t i) {
+                return exec::runMeasuredFromSnapshot(
+                    grid[i], sspec,
+                    snapshots[exec::configGroupOf(grid[i], sspec)]);
+            },
+            [&](const exec::JobOutcome<exec::SweepRow> &out) {
+                warm_rows[out.index] = out.value;
+            });
+    }
+    auto w1 = std::chrono::steady_clock::now();
+    double warm_s = std::chrono::duration<double>(w1 - w0).count();
+
+    bool rows_match = true;
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        if (exec::toCsv(warm_rows[i]) != exec::toCsv(cold_rows[i]))
+            rows_match = false;
+
+    std::printf("\nwarm-start sweep (%zu points, %zu config groups, "
+                "%llu warm-up + %llu measured requests, %u jobs)\n",
+                grid.size(), groups,
+                static_cast<unsigned long long>(sspec.warmupRequests),
+                static_cast<unsigned long long>(sspec.requests),
+                sweep_jobs);
+    std::printf("%12s %10s %9s %8s\n", "mode", "seconds", "speedup",
+                "match");
+    std::printf("%12s %10.3f %8.2fx %8s\n", "cold-start", cold_s, 1.0,
+                "-");
+    std::printf("%12s %10.3f %8.2fx %8s\n", "warm-start", warm_s,
+                warm_s > 0 ? cold_s / warm_s : 0,
+                rows_match ? "yes" : "NO");
+
     if (json_path != nullptr) {
         std::FILE *f = std::fopen(json_path, "w");
         if (f == nullptr) {
@@ -130,7 +219,20 @@ main(int argc, char **argv)
                          static_cast<unsigned long long>(w.failures),
                          i + 1 < widths.size() ? "," : "");
         }
-        std::fprintf(f, "]}\n");
+        std::fprintf(f,
+                     "],\n \"warm_start\": {\"points\": %zu, "
+                     "\"config_groups\": %zu, \"jobs\": %u,\n"
+                     "  \"warmup_requests\": %llu, "
+                     "\"measured_requests\": %llu,\n"
+                     "  \"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+                     "\"speedup\": %.3f, \"rows_match\": %s}}\n",
+                     grid.size(), groups, sweep_jobs,
+                     static_cast<unsigned long long>(
+                         sspec.warmupRequests),
+                     static_cast<unsigned long long>(sspec.requests),
+                     cold_s, warm_s,
+                     warm_s > 0 ? cold_s / warm_s : 0,
+                     rows_match ? "true" : "false");
         std::fclose(f);
         std::printf("\nwrote %s\n", json_path);
     }

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The interface every stateful component implements to take part in
+ * checkpointing.
+ *
+ * Kept deliberately tiny (two forward-declared visitor types, no other
+ * includes) so that base headers like sim_object.hh can inherit from
+ * Serializable without pulling the checkpoint machinery into every
+ * translation unit.
+ */
+
+#ifndef DRAMCTRL_CKPT_SERIALIZABLE_H
+#define DRAMCTRL_CKPT_SERIALIZABLE_H
+
+namespace dramctrl {
+namespace ckpt {
+
+class CkptOut;
+class CkptIn;
+
+/**
+ * A component that can write its dynamic state into a checkpoint and
+ * later reconstruct it. The contract is strict determinism: after
+ * unserialize() the component must behave byte-for-byte like the
+ * instance serialize() was called on, provided it was constructed with
+ * an identical configuration (serializers record a configuration
+ * fingerprint and fatal() on mismatch rather than continue silently).
+ *
+ * Both methods default to no-ops so purely structural objects (ports,
+ * crossbars, recorders whose state is diagnostic only) need no code.
+ */
+class Serializable
+{
+  public:
+    virtual ~Serializable() = default;
+
+    /** Write all dynamic state into the currently open section. */
+    virtual void serialize(CkptOut &out) const { (void)out; }
+
+    /**
+     * Read the state written by serialize(). Called on a freshly
+     * constructed object (same configuration, nothing scheduled).
+     * Event reconstruction is deferred: see CkptIn::getEvent().
+     */
+    virtual void unserialize(CkptIn &in) { (void)in; }
+};
+
+} // namespace ckpt
+} // namespace dramctrl
+
+#endif // DRAMCTRL_CKPT_SERIALIZABLE_H

@@ -1,8 +1,10 @@
 #include "dram/dram_ctrl.hh"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "ckpt/ckpt.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
@@ -259,6 +261,240 @@ DRAMCtrl::startup()
             schedule(refreshEvent_, nextRefreshAt_);
         }
     }
+}
+
+void
+DRAMCtrl::serialize(ckpt::CkptOut &out) const
+{
+    ckpt::putCheck(out, "cfgHash", ckpt::fnv1a(cfg_.describe()));
+
+    // Bank and rank timing state, flattened rank-major so a vector per
+    // field covers the whole channel.
+    std::vector<std::uint64_t> open_row, pre_at, act_at, col_at,
+        row_acc, next_act;
+    for (const Rank &rank : ranks_) {
+        next_act.push_back(rank.nextActAt);
+        for (const Bank &bank : rank.banks) {
+            open_row.push_back(bank.openRow);
+            pre_at.push_back(bank.preAllowedAt);
+            act_at.push_back(bank.actAllowedAt);
+            col_at.push_back(bank.colAllowedAt);
+            row_acc.push_back(bank.rowAccesses);
+        }
+    }
+    out.putU64Vec("bank.openRow", open_row);
+    out.putU64Vec("bank.preAllowedAt", pre_at);
+    out.putU64Vec("bank.actAllowedAt", act_at);
+    out.putU64Vec("bank.colAllowedAt", col_at);
+    out.putU64Vec("bank.rowAccesses", row_acc);
+    out.putU64Vec("rank.nextActAt", next_act);
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        std::vector<std::uint64_t> window;
+        for (std::size_t i = 0; i < ranks_[r].actWindow.size(); ++i)
+            window.push_back(ranks_[r].actWindow[i]);
+        out.putU64Vec("rank.actWindow" + std::to_string(r), window);
+    }
+    out.putU64Vec("starvedHits",
+                  std::vector<std::uint64_t>(starvedHits_.begin(),
+                                             starvedHits_.end()));
+
+    // Unique system packets and burst helpers the read queue refers
+    // to; queue entries reference them by index (0 = none). Parked
+    // writes were answered on acceptance and carry neither.
+    std::vector<const Packet *> pkts;
+    std::unordered_map<const Packet *, std::uint64_t> pkt_idx;
+    std::vector<const BurstHelper *> helpers;
+    std::unordered_map<const BurstHelper *, std::uint64_t> helper_idx;
+    for (const DRAMPacket *dp : readQueue_) {
+        if (dp->pkt != nullptr && pkt_idx.emplace(
+                dp->pkt, pkts.size() + 1).second)
+            pkts.push_back(dp->pkt);
+        if (dp->burstHelper != nullptr && helper_idx.emplace(
+                dp->burstHelper, helpers.size() + 1).second)
+            helpers.push_back(dp->burstHelper);
+    }
+    out.putU64("pkts.count", pkts.size());
+    for (std::size_t i = 0; i < pkts.size(); ++i)
+        out.putPacket("pkts." + std::to_string(i), pkts[i]);
+    out.putU64("helpers.count", helpers.size());
+    for (std::size_t i = 0; i < helpers.size(); ++i)
+        out.putU64Vec("helpers." + std::to_string(i),
+                      {helpers[i]->burstCount,
+                       helpers[i]->burstsServiced});
+
+    auto save_queue = [&](const char *prefix,
+                          const std::vector<DRAMPacket *> &queue) {
+        out.putU64(std::string(prefix) + ".count", queue.size());
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const DRAMPacket *dp = queue[i];
+            out.putU64Vec(
+                std::string(prefix) + "." + std::to_string(i),
+                {dp->entryTime, dp->readyTime,
+                 dp->isRead ? std::uint64_t(1) : 0, dp->requestorId,
+                 dp->rank, dp->bank, dp->row, dp->col, dp->burstAddr,
+                 dp->lo, dp->hi,
+                 dp->pkt != nullptr ? pkt_idx.at(dp->pkt) : 0,
+                 dp->burstHelper != nullptr
+                     ? helper_idx.at(dp->burstHelper)
+                     : 0});
+        }
+    };
+    save_queue("rq", readQueue_);
+    save_queue("wq", writeQueue_);
+
+    out.putU64("maxReqPriority", maxReqPriority_);
+    out.putBool("busStateWrite", busState_ == BusState::Write);
+    out.putTick("busBusyUntil", busBusyUntil_);
+    out.putTick("nextReqTime", nextReqTime_);
+    out.putTick("nextRdCmdAt", nextRdCmdAt_);
+    out.putTick("nextWrDataAt", nextWrDataAt_);
+    out.putBool("lastBurstWasRead", lastBurstWasRead_);
+    out.putU64("readsThisTime", readsThisTime_);
+    out.putU64("writesThisTime", writesThisTime_);
+    out.putBool("retryReq", retryReq_);
+    out.putTick("nextRefreshAt", nextRefreshAt_);
+    out.putU64Vec("rankRefreshDue",
+                  std::vector<std::uint64_t>(rankRefreshDue_.begin(),
+                                             rankRefreshDue_.end()));
+    out.putTick("refNotBefore", refNotBefore_);
+    out.putTick("poweredDownAt", poweredDownAt_);
+    out.putTick("wakeConstraint", wakeConstraint_);
+    out.putU64("numBanksActive", numBanksActive_);
+    out.putTick("allBanksPreSince", allBanksPreSince_);
+    out.putTick("windowStart", windowStart_);
+    out.putTick("lastQStatUpdate", lastQStatUpdate_);
+
+    respQueue_.serialize(out);
+    out.putEvent("nextReqEvent", eventq(), nextReqEvent_);
+    out.putEvent("refreshEvent", eventq(), refreshEvent_);
+}
+
+void
+DRAMCtrl::unserialize(ckpt::CkptIn &in)
+{
+    ckpt::verifyCheck(in, "cfgHash", ckpt::fnv1a(cfg_.describe()),
+                      "DRAM controller configuration");
+    DC_ASSERT(readQueue_.empty() && writeQueue_.empty(),
+              "restore into a non-empty controller");
+
+    const unsigned total_banks = cfg_.org.totalBanks();
+    const auto &open_row = in.getU64Vec("bank.openRow");
+    const auto &pre_at = in.getU64Vec("bank.preAllowedAt");
+    const auto &act_at = in.getU64Vec("bank.actAllowedAt");
+    const auto &col_at = in.getU64Vec("bank.colAllowedAt");
+    const auto &row_acc = in.getU64Vec("bank.rowAccesses");
+    if (open_row.size() != total_banks)
+        fatal("checkpoint controller '%s' covers %zu banks, this one "
+              "has %u", name().c_str(), open_row.size(), total_banks);
+    const auto &next_act = in.getU64Vec("rank.nextActAt");
+    std::size_t flat = 0;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        Rank &rank = ranks_[r];
+        rank.nextActAt = next_act.at(r);
+        const auto &window =
+            in.getU64Vec("rank.actWindow" + std::to_string(r));
+        rank.actWindow.clear();
+        for (std::uint64_t t : window)
+            rank.actWindow.push_back(t);
+        for (Bank &bank : rank.banks) {
+            bank.openRow = open_row[flat];
+            bank.preAllowedAt = pre_at.at(flat);
+            bank.actAllowedAt = act_at.at(flat);
+            bank.colAllowedAt = col_at.at(flat);
+            bank.rowAccesses =
+                static_cast<unsigned>(row_acc.at(flat));
+            ++flat;
+        }
+    }
+    const auto &starved = in.getU64Vec("starvedHits");
+    if (starved.size() != starvedHits_.size())
+        fatal("checkpoint controller '%s': starvation map size "
+              "mismatch", name().c_str());
+    for (std::size_t i = 0; i < starved.size(); ++i)
+        starvedHits_[i] = static_cast<std::uint8_t>(starved[i]);
+
+    std::vector<Packet *> pkts;
+    std::size_t pkt_count = in.getU64("pkts.count");
+    for (std::size_t i = 0; i < pkt_count; ++i)
+        pkts.push_back(in.getPacket("pkts." + std::to_string(i)));
+    std::vector<BurstHelper *> helpers;
+    std::size_t helper_count = in.getU64("helpers.count");
+    for (std::size_t i = 0; i < helper_count; ++i) {
+        const auto &h =
+            in.getU64Vec("helpers." + std::to_string(i));
+        if (h.size() != 2)
+            fatal("checkpoint controller '%s': malformed burst "
+                  "helper %zu", name().c_str(), i);
+        auto *helper =
+            new BurstHelper(static_cast<unsigned>(h[0]));
+        helper->burstsServiced = static_cast<unsigned>(h[1]);
+        helpers.push_back(helper);
+    }
+
+    auto load_queue = [&](const char *prefix,
+                          std::vector<DRAMPacket *> &queue) {
+        std::size_t count =
+            in.getU64(std::string(prefix) + ".count");
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto &f = in.getU64Vec(std::string(prefix) + "." +
+                                         std::to_string(i));
+            if (f.size() != 13)
+                fatal("checkpoint controller '%s': malformed queue "
+                      "entry %s.%zu", name().c_str(), prefix, i);
+            auto *dp = new DRAMPacket;
+            dp->entryTime = f[0];
+            dp->readyTime = f[1];
+            dp->isRead = f[2] != 0;
+            dp->requestorId = static_cast<RequestorId>(f[3]);
+            dp->rank = static_cast<unsigned>(f[4]);
+            dp->bank = static_cast<unsigned>(f[5]);
+            dp->row = f[6];
+            dp->col = f[7];
+            dp->burstAddr = f[8];
+            dp->lo = f[9];
+            dp->hi = f[10];
+            dp->pkt = f[11] != 0 ? pkts.at(f[11] - 1) : nullptr;
+            dp->burstHelper =
+                f[12] != 0 ? helpers.at(f[12] - 1) : nullptr;
+            queue.push_back(dp);
+            // Replaying the enqueue bookkeeping against the restored
+            // bank state rebuilds the packed key arrays and the
+            // incremental row-hit/bank counters exactly.
+            noteEnqueued(*dp, dp->isRead);
+        }
+    };
+    load_queue("rq", readQueue_);
+    load_queue("wq", writeQueue_);
+
+    maxReqPriority_ =
+        static_cast<unsigned>(in.getU64("maxReqPriority"));
+    busState_ = in.getBool("busStateWrite") ? BusState::Write
+                                            : BusState::Read;
+    busBusyUntil_ = in.getTick("busBusyUntil");
+    nextReqTime_ = in.getTick("nextReqTime");
+    nextRdCmdAt_ = in.getTick("nextRdCmdAt");
+    nextWrDataAt_ = in.getTick("nextWrDataAt");
+    lastBurstWasRead_ = in.getBool("lastBurstWasRead");
+    readsThisTime_ =
+        static_cast<unsigned>(in.getU64("readsThisTime"));
+    writesThisTime_ =
+        static_cast<unsigned>(in.getU64("writesThisTime"));
+    retryReq_ = in.getBool("retryReq");
+    nextRefreshAt_ = in.getTick("nextRefreshAt");
+    const auto &due = in.getU64Vec("rankRefreshDue");
+    rankRefreshDue_.assign(due.begin(), due.end());
+    refNotBefore_ = in.getTick("refNotBefore");
+    poweredDownAt_ = in.getTick("poweredDownAt");
+    wakeConstraint_ = in.getTick("wakeConstraint");
+    numBanksActive_ =
+        static_cast<unsigned>(in.getU64("numBanksActive"));
+    allBanksPreSince_ = in.getTick("allBanksPreSince");
+    windowStart_ = in.getTick("windowStart");
+    lastQStatUpdate_ = in.getTick("lastQStatUpdate");
+
+    respQueue_.unserialize(in);
+    in.getEvent("nextReqEvent", nextReqEvent_);
+    in.getEvent("refreshEvent", refreshEvent_);
 }
 
 bool

@@ -180,6 +180,9 @@ class DRAMCtrl : public MemCtrlBase
 
     void startup() override;
 
+    void serialize(ckpt::CkptOut &out) const override;
+    void unserialize(ckpt::CkptIn &in) override;
+
   private:
     /** State of one DRAM bank, expressed as future-legal ticks. */
     struct Bank

@@ -1,7 +1,9 @@
 #include "exec/sweep.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "ckpt/ckpt.hh"
 #include "dram/dram_presets.hh"
 #include "exec/batch_runner.hh"
 #include "sim/logging.hh"
@@ -78,8 +80,22 @@ checkSpec(const SweepSpec &spec, std::string *err)
     return true;
 }
 
-SweepRow
-runSweepPoint(const SweepPoint &point, const SweepSpec &spec)
+namespace {
+
+/** A built-but-not-yet-run sweep point system. */
+struct BuiltPoint
+{
+    std::unique_ptr<harness::SingleChannelSystem> tb;
+    BaseGen *gen = nullptr;
+};
+
+/**
+ * Assemble the system for @p point with an explicit request budget and
+ * seed (so the warm-up and measured phases can use the same assembly).
+ */
+BuiltPoint
+buildPoint(const SweepPoint &point, const SweepSpec &spec,
+           std::uint64_t num_requests, std::uint64_t seed)
 {
     DRAMCtrlConfig cfg = presets::byName(point.preset);
     cfg.pagePolicy = point.page;
@@ -87,21 +103,22 @@ runSweepPoint(const SweepPoint &point, const SweepSpec &spec)
     cfg.writeLowThreshold = 0.0; // drain fully so every run terminates
     cfg.check();
 
-    harness::SingleChannelSystem tb(cfg, point.model);
+    BuiltPoint built;
+    built.tb =
+        std::make_unique<harness::SingleChannelSystem>(cfg, point.model);
 
     GenConfig gc;
     gc.windowSize =
         std::min<std::uint64_t>(cfg.org.channelCapacity, 1ULL << 26);
     gc.readPct = point.readPct;
     gc.minITT = gc.maxITT = fromNs(point.ittNs);
-    gc.numRequests = spec.requests;
-    gc.seed = point.seed;
+    gc.numRequests = num_requests;
+    gc.seed = seed;
 
-    BaseGen *gen = nullptr;
     if (point.pattern == "linear") {
-        gen = &tb.addGen<LinearGen>(gc);
+        built.gen = &built.tb->addGen<LinearGen>(gc);
     } else if (point.pattern == "random") {
-        gen = &tb.addGen<RandomGen>(gc);
+        built.gen = &built.tb->addGen<RandomGen>(gc);
     } else if (point.pattern == "dram") {
         DramGenConfig dgc;
         static_cast<GenConfig &>(dgc) = gc;
@@ -109,24 +126,95 @@ runSweepPoint(const SweepPoint &point, const SweepSpec &spec)
         dgc.mapping = cfg.addrMapping;
         dgc.strideBytes = spec.strideBytes;
         dgc.numBanksTarget = spec.banks;
-        gen = &tb.addGen<DramGen>(dgc);
+        built.gen = &built.tb->addGen<DramGen>(dgc);
     } else {
         fatal("unknown sweep pattern '%s'", point.pattern.c_str());
     }
+    return built;
+}
 
-    tb.runToCompletion([&] { return gen->done(); });
-
+SweepRow
+collectRow(const SweepPoint &point, harness::SingleChannelSystem &tb,
+           BaseGen &gen)
+{
     SweepRow row;
     row.point = point;
     row.simulatedUs = toSeconds(tb.sim().curTick()) * 1e6;
     row.bandwidthGBs = tb.ctrl().achievedBandwidthGBs();
-    row.avgReadLatencyNs = gen->avgReadLatencyNs();
+    row.avgReadLatencyNs = gen.avgReadLatencyNs();
     row.busUtil = tb.ctrl().busUtilisation();
     if (point.model == harness::CtrlModel::Event)
         row.rowHitRate = tb.eventCtrl().ctrlStats().rowHitRate.value();
     row.responses = static_cast<std::uint64_t>(
-        gen->genStats().recvResponses.value());
+        gen.genStats().recvResponses.value());
     return row;
+}
+
+/**
+ * The warm-up stimulus stream: one seed per config group, disjoint
+ * from every measured seed (which derive from masterSeed and the point
+ * index directly).
+ */
+std::uint64_t
+warmupSeedOf(const SweepSpec &spec, std::size_t group)
+{
+    return deriveSeed(spec.masterSeed ^ 0x5741524d55500aULL, group);
+}
+
+} // namespace
+
+std::size_t
+configGroupOf(const SweepPoint &point, const SweepSpec &spec)
+{
+    return point.index / std::max(1u, spec.numSeeds);
+}
+
+SweepRow
+runSweepPoint(const SweepPoint &point, const SweepSpec &spec)
+{
+    if (spec.warmupRequests == 0) {
+        BuiltPoint built =
+            buildPoint(point, spec, spec.requests, point.seed);
+        built.tb->runToCompletion([&] { return built.gen->done(); });
+        return collectRow(point, *built.tb, *built.gen);
+    }
+
+    // Cold warm-up: run the group's warm-up stream inline, reset the
+    // statistics, then extend the run with the measured requests.
+    BuiltPoint built =
+        buildPoint(point, spec, spec.warmupRequests,
+                   warmupSeedOf(spec, configGroupOf(point, spec)));
+    built.tb->runToCompletion([&] { return built.gen->done(); });
+    built.tb->sim().resetStats();
+    built.gen->extendRun(spec.requests, point.seed);
+    built.tb->runToCompletion([&] { return built.gen->done(); });
+    return collectRow(point, *built.tb, *built.gen);
+}
+
+std::string
+captureWarmupSnapshot(const SweepPoint &point, const SweepSpec &spec)
+{
+    DC_ASSERT(spec.warmupRequests > 0,
+              "warm-start snapshot requested without warmupRequests");
+    BuiltPoint built =
+        buildPoint(point, spec, spec.warmupRequests,
+                   warmupSeedOf(spec, configGroupOf(point, spec)));
+    built.tb->runToCompletion([&] { return built.gen->done(); });
+    built.tb->sim().resetStats();
+    return ckpt::saveToString(built.tb->sim());
+}
+
+SweepRow
+runMeasuredFromSnapshot(const SweepPoint &point, const SweepSpec &spec,
+                        const std::string &snapshot)
+{
+    BuiltPoint built =
+        buildPoint(point, spec, spec.warmupRequests,
+                   warmupSeedOf(spec, configGroupOf(point, spec)));
+    ckpt::restoreFromString(built.tb->sim(), snapshot);
+    built.gen->extendRun(spec.requests, point.seed);
+    built.tb->runToCompletion([&] { return built.gen->done(); });
+    return collectRow(point, *built.tb, *built.gen);
 }
 
 std::string

@@ -44,6 +44,16 @@ struct SweepSpec
     std::uint64_t requests = 5000;
     std::uint64_t strideBytes = 256;
     unsigned banks = 4;
+
+    /**
+     * Warm-up requests injected (from a seed-independent stream)
+     * before statistics reset and the measured @ref requests begin.
+     * 0 disables warm-up. With warm-up on, a sweep can run in
+     * warm-start mode: one warm-up per config group, checkpointed,
+     * with the measured phases fanned out from the shared snapshot
+     * (see captureWarmupSnapshot / runMeasuredFromSnapshot).
+     */
+    std::uint64_t warmupRequests = 0;
 };
 
 /** One expanded grid point: a fully specified run. */
@@ -96,6 +106,35 @@ SweepRow runSweepPoint(const SweepPoint &point, const SweepSpec &spec);
  * @return false and fill @p err with the first offending name.
  */
 bool checkSpec(const SweepSpec &spec, std::string *err);
+
+/**
+ * Config-group index of @p point: all seeds of one configuration share
+ * a group (seeds vary fastest in expandGrid), and therefore share one
+ * warm-up phase in warm-start mode.
+ */
+std::size_t configGroupOf(const SweepPoint &point, const SweepSpec &spec);
+
+/**
+ * Run the warm-up phase for @p point's config group and return the
+ * post-warm-up, post-stats-reset checkpoint as a string. The warm-up
+ * stimulus depends only on the configuration (not on point.seed), so
+ * any point of the group produces the same snapshot. Requires
+ * spec.warmupRequests > 0.
+ */
+std::string captureWarmupSnapshot(const SweepPoint &point,
+                                  const SweepSpec &spec);
+
+/**
+ * Complete @p point from a warm-up snapshot captured by
+ * captureWarmupSnapshot() for the same config group: rebuild the
+ * system, restore the snapshot, inject the measured requests with the
+ * point's own seed. The row is byte-identical to what runSweepPoint()
+ * produces for the same point with the same spec (which runs the
+ * warm-up inline).
+ */
+SweepRow runMeasuredFromSnapshot(const SweepPoint &point,
+                                 const SweepSpec &spec,
+                                 const std::string &snapshot);
 
 /** Header line matching toCsv()'s columns (no trailing newline). */
 std::string csvHeader();

@@ -34,8 +34,14 @@ runUntil(Simulator &sim, const std::function<bool()> &done, Tick step,
          Tick max_ticks)
 {
     Tick limit = sim.curTick() + max_ticks;
-    while (!done() && sim.curTick() < limit)
-        sim.run(std::min(sim.curTick() + step, limit));
+    // Poll at absolute multiples of the step so the stopping tick
+    // doesn't depend on where the run started: a simulation resumed
+    // from a mid-step checkpoint observes done() at the same absolute
+    // times an uninterrupted run does.
+    while (!done() && sim.curTick() < limit) {
+        Tick next = (sim.curTick() / step + 1) * step;
+        sim.run(std::min(next, limit));
+    }
     return sim.curTick();
 }
 

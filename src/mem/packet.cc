@@ -101,4 +101,16 @@ Packet::liveCount()
     return livePackets;
 }
 
+std::uint64_t
+Packet::nextId()
+{
+    return nextPacketId;
+}
+
+void
+Packet::setNextId(std::uint64_t id)
+{
+    nextPacketId = id;
+}
+
 } // namespace dramctrl

@@ -116,6 +116,14 @@ class Packet : public Pooled<Packet>
     /** Live packets created by the calling thread, for leak checks. */
     static std::uint64_t liveCount();
 
+    /**
+     * The calling thread's next packet id. Checkpoints save and
+     * restore the id stream so packet identity (visible in traces)
+     * survives a save/load cycle.
+     */
+    static std::uint64_t nextId();
+    static void setNextId(std::uint64_t id);
+
   private:
     MemCmd cmd_;
     Addr addr_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
@@ -81,6 +82,44 @@ RespPacketQueue::trySend()
     }
     if (!empty() && !sendEvent_.scheduled())
         eventq_.schedule(sendEvent_, front().when);
+}
+
+void
+RespPacketQueue::serialize(ckpt::CkptOut &out) const
+{
+    out.putU64("respq.count", size());
+    std::vector<std::uint64_t> whens;
+    whens.reserve(size());
+    for (std::size_t i = head_; i < queue_.size(); ++i)
+        whens.push_back(queue_[i].when);
+    out.putU64Vec("respq.whens", whens);
+    for (std::size_t i = head_; i < queue_.size(); ++i)
+        out.putPacket("respq.pkt" + std::to_string(i - head_),
+                      queue_[i].pkt);
+    out.putBool("respq.waitingForRetry", waitingForRetry_);
+    out.putEvent("respq.sendEvent", eventq_, sendEvent_);
+}
+
+void
+RespPacketQueue::unserialize(ckpt::CkptIn &in)
+{
+    DC_ASSERT(queue_.empty(), "restore into a non-empty packet queue");
+    std::size_t count = in.getU64("respq.count");
+    const auto &whens = in.getU64Vec("respq.whens");
+    if (whens.size() != count)
+        fatal("checkpoint response queue promises %zu entries but "
+              "lists %zu delivery ticks", count, whens.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        Packet *pkt =
+            in.getPacket("respq.pkt" + std::to_string(i));
+        if (pkt == nullptr)
+            fatal("checkpoint response queue entry %zu has no packet",
+                  i);
+        queue_.push_back(Entry{whens[i], pkt});
+    }
+    head_ = 0;
+    waitingForRetry_ = in.getBool("respq.waitingForRetry");
+    in.getEvent("respq.sendEvent", sendEvent_);
 }
 
 void

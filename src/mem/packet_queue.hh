@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serializable.hh"
 #include "mem/packet.hh"
 #include "mem/port.hh"
 #include "sim/event.hh"
@@ -42,6 +43,14 @@ class RespPacketQueue
 
     bool empty() const { return head_ == queue_.size(); }
     std::size_t size() const { return queue_.size() - head_; }
+
+    /**
+     * Checkpoint hooks, called from the owning controller's section
+     * with all keys prefixed "respq." (the queue is a sub-object, not
+     * a SimObject with a section of its own).
+     */
+    void serialize(ckpt::CkptOut &out) const;
+    void unserialize(ckpt::CkptIn &in);
 
   private:
     void trySend();

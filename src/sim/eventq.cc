@@ -120,6 +120,28 @@ EventQueue::reschedule(Event &ev, Tick when)
     siftUp(ev.heapSlot_);
 }
 
+std::uint64_t
+EventQueue::orderOf(const Event &ev) const
+{
+    if (!ev.scheduled_)
+        panic("orderOf() on unscheduled event '%s'", ev.name().c_str());
+    std::uint64_t rank = 0;
+    for (const Event *other : heap_)
+        if (other != &ev && before(other, &ev))
+            ++rank;
+    return rank;
+}
+
+void
+EventQueue::restoreState(Tick when, std::uint64_t num_serviced)
+{
+    if (!heap_.empty())
+        panic("EventQueue::restoreState() with %zu events pending",
+              heap_.size());
+    curTick_ = when;
+    numServiced_ = num_serviced;
+}
+
 Tick
 EventQueue::nextTick() const
 {

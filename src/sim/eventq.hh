@@ -100,6 +100,21 @@ class EventQueue
     std::uint64_t numEventsServiced() const { return numServiced_; }
 
     /**
+     * Service rank of scheduled event @p ev: the number of pending
+     * events that would run before it. Checkpoints record this so a
+     * restore can re-schedule events in the original relative order
+     * (fresh sequence numbers then break same-tick ties identically).
+     */
+    std::uint64_t orderOf(const Event &ev) const;
+
+    /**
+     * Reset simulated time and the serviced-event count to the values
+     * a checkpoint recorded. Only legal on an empty agenda (restore
+     * sets time before any event is re-scheduled).
+     */
+    void restoreState(Tick when, std::uint64_t num_serviced);
+
+    /**
      * Attach @p profiler (not owned; nullptr detaches) to count and
      * time every serviced event.
      */

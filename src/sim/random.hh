@@ -37,6 +37,18 @@ class Random
     /** Geometric-ish integer: number of failures before success(p). */
     std::uint64_t geometric(double p);
 
+    /** Raw generator state, for checkpointing. */
+    std::uint64_t rawState() const { return state_; }
+    std::uint64_t rawInc() const { return inc_; }
+
+    /** Restore a stream captured via rawState()/rawInc(). */
+    void
+    setRaw(std::uint64_t state, std::uint64_t inc)
+    {
+        state_ = state;
+        inc_ = inc;
+    }
+
   private:
     std::uint64_t state_;
     std::uint64_t inc_;

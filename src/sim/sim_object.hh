@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "ckpt/serializable.hh"
 #include "sim/eventq.hh"
 #include "sim/types.hh"
 #include "stats/stats.hh"
@@ -21,9 +22,11 @@ class Simulator;
  *
  * A SimObject owns a statistics group (named after the object, parented
  * under the simulator's root) and has access to the shared event queue.
- * Subclasses override startup() to schedule their first events.
+ * Subclasses override startup() to schedule their first events, and the
+ * ckpt::Serializable hooks to take part in checkpointing (each object
+ * gets its own checkpoint section, named after the object).
  */
-class SimObject
+class SimObject : public ckpt::Serializable
 {
   public:
     SimObject(Simulator &sim, std::string name);

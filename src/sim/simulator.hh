@@ -65,6 +65,16 @@ class Simulator
     /** Reset all statistics, e.g. after a warm-up phase. */
     void resetStats() { rootStats_.resetAll(); }
 
+    /** True once every object's startup() has run. */
+    bool startupDone() const { return startupDone_; }
+
+    /**
+     * Suppress startup(): a checkpoint restore reconstructs the state
+     * startup() would have created, so running it again would
+     * double-schedule the initial events.
+     */
+    void markStartupDone() { startupDone_ = true; }
+
   private:
     EventQueue eventq_;
     stats::Group rootStats_;

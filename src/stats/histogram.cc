@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 
+#include "ckpt/ckpt.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -186,6 +187,39 @@ Histogram::dumpJson(std::ostream &os) const
         os << buckets_[i];
     }
     os << "]}";
+}
+
+void
+Histogram::ckptSave(ckpt::CkptOut &out, const std::string &key) const
+{
+    out.putF64Vec(key + ".meta",
+                  {bucketSize_, sum_, squares_, min_, max_});
+    out.putU64(key + ".count", count_);
+    out.putU64Vec(key + ".buckets", buckets_);
+}
+
+void
+Histogram::ckptRestore(ckpt::CkptIn &in, const std::string &key)
+{
+    const auto &meta = in.getF64Vec(key + ".meta");
+    if (meta.size() != 5)
+        fatal("checkpoint histogram '%s' has a malformed meta record",
+              key.c_str());
+    const auto &buckets = in.getU64Vec(key + ".buckets");
+    if (buckets.size() != buckets_.size())
+        fatal("checkpoint histogram '%s' has %zu buckets, this one "
+              "has %zu — configuration mismatch", key.c_str(),
+              buckets.size(), buckets_.size());
+
+    // Overwrite, never accumulate: a restore after a warmup phase must
+    // not add the snapshot's bins on top of already-counted samples.
+    bucketSize_ = meta[0];
+    sum_ = meta[1];
+    squares_ = meta[2];
+    min_ = meta[3];
+    max_ = meta[4];
+    count_ = in.getU64(key + ".count");
+    buckets_ = buckets;
 }
 
 void

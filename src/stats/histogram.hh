@@ -69,6 +69,9 @@ class Histogram : public Stat
     void dumpJson(std::ostream &os) const override;
     double sampleValue() const override { return mean(); }
     void reset() override;
+    void ckptSave(ckpt::CkptOut &out,
+                  const std::string &key) const override;
+    void ckptRestore(ckpt::CkptIn &in, const std::string &key) override;
 
   private:
     void grow();

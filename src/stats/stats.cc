@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <limits>
 
+#include "ckpt/ckpt.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -37,6 +38,63 @@ double
 Stat::sampleValue() const
 {
     return std::numeric_limits<double>::quiet_NaN();
+}
+
+void
+Stat::ckptSave(ckpt::CkptOut &out, const std::string &key) const
+{
+    (void)out;
+    (void)key;
+}
+
+void
+Stat::ckptRestore(ckpt::CkptIn &in, const std::string &key)
+{
+    (void)in;
+    (void)key;
+}
+
+void
+Scalar::ckptSave(ckpt::CkptOut &out, const std::string &key) const
+{
+    out.putF64(key, value_);
+}
+
+void
+Scalar::ckptRestore(ckpt::CkptIn &in, const std::string &key)
+{
+    value_ = in.getF64(key);
+}
+
+void
+Average::ckptSave(ckpt::CkptOut &out, const std::string &key) const
+{
+    out.putF64(key + ".sum", sum_);
+    out.putU64(key + ".count", count_);
+}
+
+void
+Average::ckptRestore(ckpt::CkptIn &in, const std::string &key)
+{
+    sum_ = in.getF64(key + ".sum");
+    count_ = in.getU64(key + ".count");
+}
+
+void
+Vector::ckptSave(ckpt::CkptOut &out, const std::string &key) const
+{
+    out.putF64Vec(key, values_);
+}
+
+void
+Vector::ckptRestore(ckpt::CkptIn &in, const std::string &key)
+{
+    const auto &v = in.getF64Vec(key);
+    if (v.size() != values_.size())
+        fatal("checkpoint stat '%s' has %zu entries, this vector has "
+              "%zu — configuration mismatch", key.c_str(), v.size(),
+              values_.size());
+    values_ = v;
 }
 
 namespace {

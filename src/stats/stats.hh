@@ -19,6 +19,12 @@
 #include <vector>
 
 namespace dramctrl {
+
+namespace ckpt {
+class CkptOut;
+class CkptIn;
+} // namespace ckpt
+
 namespace stats {
 
 class Group;
@@ -56,6 +62,21 @@ class Stat
     /** Return the statistic to its just-constructed state. */
     virtual void reset() = 0;
 
+    /**
+     * Write this statistic's accumulated state under @p key into the
+     * checkpoint section currently open on @p out. Derived values
+     * (Formula) have no state and use the no-op default.
+     */
+    virtual void ckptSave(ckpt::CkptOut &out,
+                          const std::string &key) const;
+
+    /**
+     * Overwrite this statistic with the state ckptSave() recorded.
+     * Restore always assigns — never accumulates — so restoring after
+     * a warmup phase cannot double-count samples.
+     */
+    virtual void ckptRestore(ckpt::CkptIn &in, const std::string &key);
+
   private:
     std::string name_;
     std::string desc_;
@@ -80,6 +101,9 @@ class Scalar : public Stat
     void dumpJson(std::ostream &os) const override;
     double sampleValue() const override { return value_; }
     void reset() override { value_ = 0; }
+    void ckptSave(ckpt::CkptOut &out,
+                  const std::string &key) const override;
+    void ckptRestore(ckpt::CkptIn &in, const std::string &key) override;
 
   private:
     double value_ = 0;
@@ -103,6 +127,9 @@ class Average : public Stat
     void dumpJson(std::ostream &os) const override;
     double sampleValue() const override { return value(); }
     void reset() override { sum_ = 0; count_ = 0; }
+    void ckptSave(ckpt::CkptOut &out,
+                  const std::string &key) const override;
+    void ckptRestore(ckpt::CkptIn &in, const std::string &key) override;
 
   private:
     double sum_ = 0;
@@ -129,6 +156,9 @@ class Vector : public Stat
     void dumpJson(std::ostream &os) const override;
     double sampleValue() const override { return total(); }
     void reset() override;
+    void ckptSave(ckpt::CkptOut &out,
+                  const std::string &key) const override;
+    void ckptRestore(ckpt::CkptIn &in, const std::string &key) override;
 
   private:
     std::vector<double> values_;

@@ -1,5 +1,6 @@
 #include "trafficgen/base_gen.hh"
 
+#include "ckpt/ckpt.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -74,6 +75,63 @@ double
 BaseGen::avgReadLatencyNs() const
 {
     return stats_->avgReadLatencyNs.value();
+}
+
+std::uint64_t
+BaseGen::configHash() const
+{
+    std::string shape = formatString(
+        "gen:%llx:%llu:%u:%u:%llu:%llu:%u:%llu",
+        static_cast<unsigned long long>(cfg_.startAddr),
+        static_cast<unsigned long long>(cfg_.windowSize),
+        cfg_.blockSize, cfg_.readPct,
+        static_cast<unsigned long long>(cfg_.minITT),
+        static_cast<unsigned long long>(cfg_.maxITT),
+        cfg_.maxOutstanding,
+        static_cast<unsigned long long>(cfg_.startTick));
+    return ckpt::fnv1a(shape);
+}
+
+void
+BaseGen::serialize(ckpt::CkptOut &out) const
+{
+    ckpt::putCheck(out, "cfgHash", configHash());
+    out.putU64("numRequests", cfg_.numRequests);
+    out.putU64Vec("rng", {rng_.rawState(), rng_.rawInc()});
+    out.putU64("sent", sent_);
+    out.putU64("outstanding", outstanding_);
+    out.putBool("throttled", throttled_);
+    out.putPacket("blockedPkt", blockedPkt_);
+    out.putEvent("injectEvent", eventq(), injectEvent_);
+}
+
+void
+BaseGen::unserialize(ckpt::CkptIn &in)
+{
+    ckpt::verifyCheck(in, "cfgHash", configHash(),
+                      "traffic-generator configuration");
+    cfg_.numRequests = in.getU64("numRequests");
+    const auto &rng = in.getU64Vec("rng");
+    if (rng.size() != 2)
+        fatal("checkpoint generator '%s' has a malformed rng record",
+              name().c_str());
+    rng_.setRaw(rng[0], rng[1]);
+    sent_ = in.getU64("sent");
+    outstanding_ = static_cast<unsigned>(in.getU64("outstanding"));
+    throttled_ = in.getBool("throttled");
+    blockedPkt_ = in.getPacket("blockedPkt");
+    in.getEvent("injectEvent", injectEvent_);
+}
+
+void
+BaseGen::extendRun(std::uint64_t extra_requests, std::uint64_t reseed)
+{
+    cfg_.numRequests += extra_requests;
+    rng_ = Random(reseed);
+    if (!injectEvent_.scheduled() && !throttled_ &&
+        blockedPkt_ == nullptr &&
+        (cfg_.numRequests == 0 || sent_ < cfg_.numRequests))
+        schedule(injectEvent_, curTick() + drawITT());
 }
 
 bool

@@ -89,6 +89,18 @@ class BaseGen : public SimObject
     /** Mean end-to-end read latency in nanoseconds. */
     double avgReadLatencyNs() const;
 
+    void serialize(ckpt::CkptOut &out) const override;
+    void unserialize(ckpt::CkptIn &in) override;
+
+    /**
+     * Warm-start hook: raise the request budget by @p extra_requests,
+     * re-seed the random stream with @p reseed (so the measured phase
+     * draws the same stream whether it follows the warmup in-process
+     * or after a checkpoint restore), and resume injecting if the
+     * generator had gone idle.
+     */
+    void extendRun(std::uint64_t extra_requests, std::uint64_t reseed);
+
   protected:
     /** Next request address; implemented by each generator flavour. */
     virtual Addr nextAddr() = 0;
@@ -97,6 +109,13 @@ class BaseGen : public SimObject
     virtual bool nextIsRead();
 
     Random &rng() { return rng_; }
+
+    /**
+     * Fingerprint of the immutable configuration shape (everything
+     * except seed and the request budget, which extendRun() mutates),
+     * recorded in checkpoints and verified on restore.
+     */
+    std::uint64_t configHash() const;
 
   private:
     class GenPort : public RequestPort

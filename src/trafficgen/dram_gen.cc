@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/ckpt.hh"
 #include "sim/logging.hh"
 
 namespace dramctrl {
@@ -37,6 +38,54 @@ DramGen::expectedOpenPageHitRate() const
                     static_cast<double>(dcfg_.org.burstSize());
     bursts = std::max(bursts, 1.0);
     return (bursts - 1.0) / bursts;
+}
+
+namespace {
+
+std::uint64_t
+dramGenShapeHash(const DramGenConfig &cfg)
+{
+    return ckpt::fnv1a(formatString(
+        "dramgen:%u:%u:%u:%u:%u:%llu:%llu:%u:%llu:%u",
+        cfg.org.burstLength, cfg.org.deviceBusWidth,
+        cfg.org.devicesPerRank, cfg.org.ranksPerChannel,
+        cfg.org.banksPerRank,
+        static_cast<unsigned long long>(cfg.org.rowBufferSize),
+        static_cast<unsigned long long>(cfg.org.channelCapacity),
+        static_cast<unsigned>(cfg.mapping),
+        static_cast<unsigned long long>(cfg.strideBytes),
+        cfg.numBanksTarget));
+}
+
+} // namespace
+
+void
+DramGen::serialize(ckpt::CkptOut &out) const
+{
+    BaseGen::serialize(out);
+    ckpt::putCheck(out, "dramCfgHash", dramGenShapeHash(dcfg_));
+    out.putU64("bankCursor", bankCursor_);
+    out.putU64("byteOffset", byteOffset_);
+    out.putU64("bytesLeftInStride", bytesLeftInStride_);
+    out.putU64("currentRow", currentRow_);
+    out.putU64Vec("nextRow", nextRow_);
+}
+
+void
+DramGen::unserialize(ckpt::CkptIn &in)
+{
+    BaseGen::unserialize(in);
+    ckpt::verifyCheck(in, "dramCfgHash", dramGenShapeHash(dcfg_),
+                      "dram-aware generator configuration");
+    bankCursor_ = static_cast<unsigned>(in.getU64("bankCursor"));
+    byteOffset_ = in.getU64("byteOffset");
+    bytesLeftInStride_ = in.getU64("bytesLeftInStride");
+    currentRow_ = in.getU64("currentRow");
+    const auto &rows = in.getU64Vec("nextRow");
+    if (rows.size() != nextRow_.size())
+        fatal("checkpoint generator '%s' targets %zu banks, this one "
+              "%zu", name().c_str(), rows.size(), nextRow_.size());
+    nextRow_ = rows;
 }
 
 Addr

@@ -7,6 +7,7 @@
 #ifndef DRAMCTRL_TRAFFICGEN_LINEAR_GEN_H
 #define DRAMCTRL_TRAFFICGEN_LINEAR_GEN_H
 
+#include "ckpt/ckpt.hh"
 #include "trafficgen/base_gen.hh"
 
 namespace dramctrl {
@@ -19,6 +20,20 @@ class LinearGen : public BaseGen
         : BaseGen(sim, std::move(name), cfg, id),
           next_(cfg.startAddr)
     {}
+
+    void
+    serialize(ckpt::CkptOut &out) const override
+    {
+        BaseGen::serialize(out);
+        out.putU64("next", next_);
+    }
+
+    void
+    unserialize(ckpt::CkptIn &in) override
+    {
+        BaseGen::unserialize(in);
+        next_ = in.getU64("next");
+    }
 
   protected:
     Addr

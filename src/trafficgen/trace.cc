@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "ckpt/ckpt.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
 
@@ -126,6 +127,34 @@ TracePlayer::avgReadLatencyNs() const
                ? toNs(totReadLatency_) /
                      static_cast<double>(readResponses_)
                : 0.0;
+}
+
+void
+TracePlayer::serialize(ckpt::CkptOut &out) const
+{
+    ckpt::putCheck(out, "traceLen", trace_.size());
+    out.putU64("next", next_);
+    out.putU64("responses", responses_);
+    out.putU64("outstandingReads", outstandingReads_);
+    out.putPacket("blockedPkt", blockedPkt_);
+    out.putTick("slip", slip_);
+    out.putTick("totReadLatency", totReadLatency_);
+    out.putU64("readResponses", readResponses_);
+    out.putEvent("injectEvent", eventq(), injectEvent_);
+}
+
+void
+TracePlayer::unserialize(ckpt::CkptIn &in)
+{
+    ckpt::verifyCheck(in, "traceLen", trace_.size(), "trace length");
+    next_ = in.getU64("next");
+    responses_ = in.getU64("responses");
+    outstandingReads_ = in.getU64("outstandingReads");
+    blockedPkt_ = in.getPacket("blockedPkt");
+    slip_ = in.getTick("slip");
+    totReadLatency_ = in.getTick("totReadLatency");
+    readResponses_ = in.getU64("readResponses");
+    in.getEvent("injectEvent", injectEvent_);
 }
 
 void

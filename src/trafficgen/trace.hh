@@ -134,6 +134,9 @@ class TracePlayer : public SimObject
     /** Mean end-to-end read latency in nanoseconds. */
     double avgReadLatencyNs() const;
 
+    void serialize(ckpt::CkptOut &out) const override;
+    void unserialize(ckpt::CkptIn &in) override;
+
   private:
     class PlayerPort : public RequestPort
     {

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Golden-stats regression corpus (`ctest -R golden_`).
+ *
+ * Each DRAM preset runs a short deterministic workload per traffic
+ * shape (linear, random, mixed read/write, write drain) and the full
+ * stats JSON is compared byte-for-byte against the reference under
+ * tests/golden/. Any change to controller timing, scheduling, stats
+ * bookkeeping or the JSON writer shows up as a diff here — if the
+ * change is intended, regenerate with tools/regen_golden.sh and
+ * review the diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dram/dram_presets.hh"
+#include "harness/testbench.hh"
+#include "trafficgen/linear_gen.hh"
+#include "trafficgen/random_gen.hh"
+
+namespace dramctrl {
+namespace {
+
+struct GoldenCase
+{
+    std::string preset;
+    std::string shape; // linear | random | mixed | writedrain
+};
+
+std::string
+goldenName(const GoldenCase &c)
+{
+    return "golden_" + c.preset + "_" + c.shape;
+}
+
+std::string
+caseName(const testing::TestParamInfo<GoldenCase> &info)
+{
+    return goldenName(info.param);
+}
+
+/** Run the canned workload for @p c and return the stats JSON. */
+std::string
+runCase(const GoldenCase &c)
+{
+    DRAMCtrlConfig cfg = presets::byName(c.preset);
+    cfg.writeLowThreshold = 0.0;
+    cfg.check();
+
+    harness::SingleChannelSystem tb(cfg, harness::CtrlModel::Event);
+
+    GenConfig gc;
+    gc.windowSize =
+        std::min<std::uint64_t>(cfg.org.channelCapacity, 1ULL << 22);
+    gc.minITT = gc.maxITT = fromNs(6.0);
+    gc.numRequests = 300;
+    gc.seed = 7;
+
+    BaseGen *gen = nullptr;
+    if (c.shape == "linear") {
+        gc.readPct = 100;
+        gen = &tb.addGen<LinearGen>(gc);
+    } else if (c.shape == "random") {
+        gc.readPct = 100;
+        gen = &tb.addGen<RandomGen>(gc);
+    } else if (c.shape == "mixed") {
+        gc.readPct = 50;
+        gen = &tb.addGen<RandomGen>(gc);
+    } else { // writedrain: all writes, exercises the drain mode
+        gc.readPct = 0;
+        gen = &tb.addGen<LinearGen>(gc);
+    }
+
+    tb.runToCompletion([&] { return gen->done(); });
+
+    std::ostringstream os;
+    tb.sim().dumpStatsJson(os);
+    os << "\n";
+    return os.str();
+}
+
+class GoldenStats : public testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenStats, MatchesReference)
+{
+    const GoldenCase &c = GetParam();
+    const std::string path =
+        std::string(GOLDEN_DIR) + "/" + goldenName(c) + ".json";
+    const std::string got = runCase(c);
+
+    if (std::getenv("GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+        out << got;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open())
+        << "missing reference " << path
+        << " — generate the corpus with tools/regen_golden.sh";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "stats drifted from the reference; if intended, regenerate "
+        << "with tools/regen_golden.sh and review the diff";
+}
+
+std::vector<GoldenCase>
+allCases()
+{
+    std::vector<GoldenCase> cases;
+    for (const std::string &preset : presets::names())
+        for (const char *shape :
+             {"linear", "random", "mixed", "writedrain"})
+            cases.push_back({preset, shape});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenStats,
+                         testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace dramctrl

@@ -10,6 +10,7 @@
 
 #include <sstream>
 
+#include "ckpt/ckpt.hh"
 #include "sim/logging.hh"
 #include "stats/histogram.hh"
 #include "stats/stats.hh"
@@ -236,6 +237,136 @@ TEST(HistogramTest, NegativeSamplePanics)
     Group g("g");
     Histogram h(&g, "h", "hist", 8);
     EXPECT_THROW(h.sample(-1.0), std::runtime_error);
+    setThrowOnError(false);
+}
+
+/** Round-trip one stat through a single-section checkpoint. */
+template <typename StatT>
+std::string
+saveStat(const StatT &stat)
+{
+    std::ostringstream os;
+    {
+        ckpt::CkptOut out(os);
+        out.beginSection("stats");
+        stat.ckptSave(out, "s");
+        out.endSection();
+    }
+    return os.str();
+}
+
+template <typename StatT>
+void
+restoreStat(StatT &stat, const std::string &buf)
+{
+    std::istringstream is(buf);
+    ckpt::CkptIn in(is);
+    in.openSection("stats");
+    stat.ckptRestore(in, "s");
+}
+
+TEST(StatsCkpt, ScalarRestoreAssignsNotAccumulates)
+{
+    Group g("g");
+    Scalar a(&g, "s", "src");
+    a += 17;
+    const std::string buf = saveStat(a);
+
+    Group g2("g");
+    Scalar b(&g2, "s", "dst");
+    b += 99; // pre-restore garbage that must be overwritten
+    restoreStat(b, buf);
+    EXPECT_EQ(b.value(), 17.0);
+
+    // A second restore must not double anything either.
+    restoreStat(b, buf);
+    EXPECT_EQ(b.value(), 17.0);
+}
+
+TEST(StatsCkpt, AverageRestorePreservesSumAndCount)
+{
+    Group g("g");
+    Average a(&g, "s", "src");
+    a.sample(10);
+    a.sample(20);
+    const std::string buf = saveStat(a);
+
+    Group g2("g");
+    Average b(&g2, "s", "dst");
+    b.sample(1000); // must be discarded by the restore
+    restoreStat(b, buf);
+    EXPECT_EQ(b.value(), 15.0);
+    b.sample(30);
+    EXPECT_EQ(b.value(), 20.0); // (10+20+30)/3: count restored too
+}
+
+TEST(StatsCkpt, HistogramRestoreDoesNotDoubleCountWarmupBins)
+{
+    Group g("g");
+    Histogram a(&g, "s", "src", 8);
+    for (int i = 0; i < 100; ++i)
+        a.sample(40.0 + (i % 5));
+    const std::string buf = saveStat(a);
+
+    // The restore target has already seen samples (the double-count
+    // hazard of --ckpt-restore after a warmup run): restore must
+    // overwrite the bins, not add to them.
+    Group g2("g");
+    Histogram b(&g2, "s", "dst", 8);
+    for (int i = 0; i < 1000; ++i)
+        b.sample(200.0);
+    restoreStat(b, buf);
+
+    EXPECT_EQ(b.count(), 100u);
+    EXPECT_EQ(b.mean(), a.mean());
+    EXPECT_EQ(b.stddev(), a.stddev());
+    EXPECT_EQ(b.bucketSize(), a.bucketSize());
+    EXPECT_EQ(b.minSample(), a.minSample());
+    EXPECT_EQ(b.maxSample(), a.maxSample());
+    ASSERT_EQ(b.numBuckets(), a.numBuckets());
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < b.numBuckets(); ++i) {
+        EXPECT_EQ(b.bucketCount(i), a.bucketCount(i)) << "bucket " << i;
+        total += b.bucketCount(i);
+    }
+    EXPECT_EQ(total, 100u); // no stale bins left behind
+}
+
+TEST(StatsCkpt, HistogramBucketCountMismatchIsFatal)
+{
+    Group g("g");
+    Histogram a(&g, "s", "src", 8);
+    a.sample(1.0);
+    const std::string buf = saveStat(a);
+
+    Group g2("g");
+    Histogram b(&g2, "s", "dst", 16); // different configuration
+    setThrowOnError(true);
+    EXPECT_THROW(restoreStat(b, buf), std::runtime_error);
+    setThrowOnError(false);
+}
+
+TEST(StatsCkpt, VectorRestoreOverwritesEveryLane)
+{
+    Group g("g");
+    Vector a(&g, "s", "src", 3);
+    a[0] += 1;
+    a[1] += 2;
+    a[2] += 3;
+    const std::string buf = saveStat(a);
+
+    Group g2("g");
+    Vector b(&g2, "s", "dst", 3);
+    b[0] += 50;
+    restoreStat(b, buf);
+    EXPECT_EQ(b[0], 1.0);
+    EXPECT_EQ(b[1], 2.0);
+    EXPECT_EQ(b[2], 3.0);
+
+    Group g3("g");
+    Vector c(&g3, "s", "dst", 4); // size mismatch must be fatal
+    setThrowOnError(true);
+    EXPECT_THROW(restoreStat(c, buf), std::runtime_error);
     setThrowOnError(false);
 }
 

@@ -28,6 +28,7 @@
 #include <memory>
 #include <string>
 
+#include "ckpt/ckpt.hh"
 #include "dram/cmd_log.hh"
 #include "exec/batch_runner.hh"
 #include "exec/sweep.hh"
@@ -79,6 +80,12 @@ struct CliOptions
     std::string sampleFormat = "csv"; // csv | jsonl
     std::string sampleStats;          // csv of stat paths; empty = default
     bool profileEvents = false;
+
+    // Checkpointing (see docs/CHECKPOINT.md).
+    double ckptAtNs = 0;        // > 0 = stop and save at this time
+    std::string ckptOut = "ckpt.bin";
+    std::string ckptRestore;    // restore before running
+    std::string ckptJson;       // dump a checkpoint as JSON and exit
 };
 
 void
@@ -125,7 +132,15 @@ usage(const char *prog)
         "  --sample-format F     csv|jsonl (default csv)\n"
         "  --sample-stats LIST   csv of stat paths "
         "(default controller set)\n"
-        "  --profile-events   count and time events per type\n",
+        "  --profile-events   count and time events per type\n"
+        "checkpointing:\n"
+        "  --ckpt-at NS       simulate to NS ns, save a checkpoint, "
+        "stop\n"
+        "  --ckpt-out PATH    checkpoint target (default ckpt.bin)\n"
+        "  --ckpt-restore P   restore checkpoint P (same config "
+        "flags!)\n"
+        "                     before simulating to completion\n"
+        "  --ckpt-json PATH   print checkpoint PATH as JSON and exit\n",
         prog);
 }
 
@@ -175,6 +190,10 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         else if (a == "--sample-format") opt.sampleFormat = need(i);
         else if (a == "--sample-stats") opt.sampleStats = need(i);
         else if (a == "--profile-events") opt.profileEvents = true;
+        else if (a == "--ckpt-at") opt.ckptAtNs = std::stod(need(i));
+        else if (a == "--ckpt-out") opt.ckptOut = need(i);
+        else if (a == "--ckpt-restore") opt.ckptRestore = need(i);
+        else if (a == "--ckpt-json") opt.ckptJson = need(i);
         else if (a == "--help" || a == "-h") {
             usage(argv[0]);
             return false;
@@ -307,6 +326,11 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, opt))
         return 0;
 
+    if (!opt.ckptJson.empty()) {
+        ckpt::dumpJsonFile(opt.ckptJson, std::cout);
+        return 0;
+    }
+
     DRAMCtrlConfig cfg = presets::byName(opt.preset);
     if (!opt.page.empty())
         cfg.pagePolicy = pageFromString(opt.page);
@@ -432,8 +456,21 @@ main(int argc, char **argv)
         fatal("unknown pattern '%s'", opt.pattern.c_str());
     }
 
+    if (!opt.ckptRestore.empty())
+        ckpt::restoreFile(tb.sim(), opt.ckptRestore);
+
     if (!opt.json)
         std::printf("%s\n", cfg.describe().c_str());
+
+    if (opt.ckptAtNs > 0) {
+        tb.sim().run(fromNs(opt.ckptAtNs));
+        ckpt::saveFile(tb.sim(), opt.ckptOut);
+        if (!opt.json)
+            std::printf("checkpoint:        %s (at %.2f us)\n",
+                        opt.ckptOut.c_str(),
+                        toSeconds(tb.sim().curTick()) * 1e6);
+        return 0;
+    }
 
     tb.runToCompletion([&] { return gen->done(); });
 

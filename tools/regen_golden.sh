@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Regenerate the golden-stats regression corpus (tests/golden/*.json).
+#
+# Usage: tools/regen_golden.sh [build-dir]
+#
+# Runs the golden_* tests with GOLDEN_REGEN=1, which makes each case
+# rewrite its reference file instead of comparing against it. Review
+# the resulting diff under tests/golden/ like any other code change.
+set -eu
+
+BUILD_DIR="${1:-build}"
+TESTS_BIN="$BUILD_DIR/tests/dramctrl_tests"
+
+if [ ! -x "$TESTS_BIN" ]; then
+    echo "error: $TESTS_BIN not found; build first" \
+         "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+fi
+
+GOLDEN_REGEN=1 "$TESTS_BIN" --gtest_filter='*golden_*' >/dev/null
+echo "golden corpus regenerated under tests/golden/"
+git -C "$(dirname "$0")/.." status --short tests/golden/ 2>/dev/null || true

@@ -38,6 +38,7 @@ struct SweepCliOptions
     unsigned jobs = 1;
     std::string out;             // empty = stdout
     std::string format = "csv";  // csv | jsonl
+    bool warmStart = false;
 };
 
 void
@@ -59,6 +60,12 @@ usage(const char *prog)
         "derive\n"
         "                     from (master seed, grid index)\n"
         "  --requests N       requests per run (default 5000)\n"
+        "  --warmup N         warm-up requests before the stats reset\n"
+        "                     (default 0 = none)\n"
+        "  --warm-start       checkpoint each config group once after\n"
+        "                     warm-up and fan the measured phases out\n"
+        "                     from the shared snapshot (needs "
+        "--warmup)\n"
         "  --stride BYTES     dram-pattern stride (default 256)\n"
         "  --banks N          dram-pattern banks (default 4)\n"
         "  --jobs N           worker threads (default 1; 0 = one "
@@ -143,6 +150,10 @@ parseArgs(int argc, char **argv, SweepCliOptions &opt)
             spec.masterSeed = std::stoull(need(i));
         } else if (a == "--requests") {
             spec.requests = std::stoull(need(i));
+        } else if (a == "--warmup") {
+            spec.warmupRequests = std::stoull(need(i));
+        } else if (a == "--warm-start") {
+            opt.warmStart = true;
         } else if (a == "--stride") {
             spec.strideBytes = std::stoull(need(i));
         } else if (a == "--banks") {
@@ -164,6 +175,8 @@ parseArgs(int argc, char **argv, SweepCliOptions &opt)
     }
     if (opt.format != "csv" && opt.format != "jsonl")
         fatal("unknown format '%s'", opt.format.c_str());
+    if (opt.warmStart && spec.warmupRequests == 0)
+        fatal("--warm-start needs --warmup N");
     return true;
 }
 
@@ -202,11 +215,53 @@ main(int argc, char **argv)
     setThrowOnError(true);
 
     const SweepSpec &spec = opt.spec;
+
+    // Warm-start: phase 1 runs each config group's warm-up once and
+    // keeps the post-reset snapshot; phase 2 completes every point
+    // from its group's shared snapshot. Rows are identical to the
+    // cold (inline warm-up) path at any --jobs width.
+    std::vector<std::string> snapshots;
+    if (opt.warmStart) {
+        const unsigned seeds = std::max(1u, spec.numSeeds);
+        const std::size_t groups = grid.size() / seeds;
+        snapshots.resize(groups);
+        std::fprintf(stderr,
+                     "sweep: warm-start, %zu warm-up snapshot%s\n",
+                     groups, groups == 1 ? "" : "s");
+        BatchRunner warmup(opt.jobs);
+        bool warmupFailed = false;
+        warmup.run<std::string>(
+            groups,
+            [&grid, &spec, seeds](std::size_t g) {
+                return captureWarmupSnapshot(grid[g * seeds], spec);
+            },
+            [&](const exec::JobOutcome<std::string> &out_come) {
+                if (!out_come.ok) {
+                    std::fprintf(stderr,
+                                 "sweep warm-up %zu FAILED: %s\n",
+                                 out_come.index,
+                                 out_come.error.c_str());
+                    warmupFailed = true;
+                    return;
+                }
+                snapshots[out_come.index] = out_come.value;
+            });
+        if (warmupFailed) {
+            setThrowOnError(false);
+            std::fprintf(stderr, "sweep: warm-up phase failed\n");
+            return 2;
+        }
+    }
+
     std::vector<std::size_t> failedJobs;
     BatchRunner runner(opt.jobs);
     runner.run<SweepRow>(
         grid.size(),
-        [&grid, &spec](std::size_t i) {
+        [&grid, &spec, &snapshots, &opt](std::size_t i) {
+            if (opt.warmStart)
+                return runMeasuredFromSnapshot(
+                    grid[i], spec,
+                    snapshots[configGroupOf(grid[i], spec)]);
             return runSweepPoint(grid[i], spec);
         },
         [&](const exec::JobOutcome<SweepRow> &out_come) {
