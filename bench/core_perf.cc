@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Core simulation-throughput benchmark: requests per host-second for
+ * both controller models over a small fixed pattern matrix. This is
+ * the repo's headline perf trajectory — CI writes the result to
+ * BENCH_core.json and diffs it against the committed baseline
+ * (bench/baselines/BENCH_core.json, refreshed with
+ * tools/regen_perf_baseline.sh), so a req/s regression between PRs is
+ * visible as a number, not a feeling. It is also the harness for the
+ * observability overhead budget: attribution stamping is always
+ * compiled in, and this benchmark runs with every sink disabled, so
+ * its req/s directly prices the sinks-off overhead.
+ *
+ * Usage: core_perf [--json FILE] [--requests N] [--model event|cycle]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace dramctrl;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    std::string model;
+    std::uint64_t requests;
+    double hostSeconds;
+    double reqPerSec;
+    double eventsPerSec;
+};
+
+Row
+measure(const char *name, harness::CtrlModel model,
+        unsigned read_pct, unsigned banks, std::uint64_t requests)
+{
+    bench::PointConfig pc;
+    pc.model = model;
+    pc.readPct = read_pct;
+    pc.banks = banks;
+    pc.numRequests = requests;
+    bench::PointResult r = bench::runPoint(pc);
+    Row row;
+    row.name = name;
+    row.model = harness::toString(model);
+    row.requests = requests;
+    row.hostSeconds = r.hostSeconds;
+    row.reqPerSec =
+        r.hostSeconds > 0
+            ? static_cast<double>(requests) / r.hostSeconds
+            : 0;
+    row.eventsPerSec =
+        r.hostSeconds > 0
+            ? static_cast<double>(r.events) / r.hostSeconds
+            : 0;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *json_path = nullptr;
+    std::uint64_t requests = 20000;
+    const char *model_filter = nullptr;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--requests") == 0)
+            requests = std::stoull(argv[++i]);
+        else if (std::strcmp(argv[i], "--model") == 0)
+            model_filter = argv[++i];
+    }
+
+    std::printf("core_perf: controller throughput "
+                "(sinks disabled, attribution compiled in)\n");
+    std::printf("%-16s %-6s %12s %12s %10s\n", "pattern", "model",
+                "req/s", "events/s", "host_s");
+
+    struct Spec
+    {
+        const char *name;
+        unsigned readPct;
+        unsigned banks;
+    };
+    const Spec kSpecs[] = {
+        {"row_hit_read", 100, 1},
+        {"multibank_read", 100, 4},
+        {"mixed_70r", 70, 4},
+    };
+
+    std::vector<Row> rows;
+    for (const Spec &s : kSpecs) {
+        for (harness::CtrlModel m :
+             {harness::CtrlModel::Event, harness::CtrlModel::Cycle}) {
+            if (model_filter != nullptr &&
+                harness::toString(m) != std::string(model_filter))
+                continue;
+            rows.push_back(
+                measure(s.name, m, s.readPct, s.banks, requests));
+            const Row &r = rows.back();
+            std::printf("%-16s %-6s %12.0f %12.0f %10.4f\n",
+                        r.name.c_str(), r.model.c_str(), r.reqPerSec,
+                        r.eventsPerSec, r.hostSeconds);
+        }
+    }
+
+    if (json_path != nullptr) {
+        std::FILE *f = std::fopen(json_path, "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "core_perf: cannot open %s\n",
+                         json_path);
+            return 1;
+        }
+        std::fprintf(f, "[\n");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            std::fprintf(
+                f,
+                "  {\"name\": \"%s\", \"model\": \"%s\", "
+                "\"requests\": %llu, \"req_per_sec\": %.0f, "
+                "\"events_per_sec\": %.0f, \"host_seconds\": %.6f}%s\n",
+                r.name.c_str(), r.model.c_str(),
+                static_cast<unsigned long long>(r.requests),
+                r.reqPerSec, r.eventsPerSec, r.hostSeconds,
+                i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+        std::printf("\nwrote %s\n", json_path);
+    }
+    return 0;
+}

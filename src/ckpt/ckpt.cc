@@ -312,10 +312,13 @@ CkptOut::putPacket(const std::string &key, const Packet *pkt)
         putU64Vec(key, {0});
         return;
     }
+    const stats::LatencySpan &sp = pkt->span();
     putU64Vec(key,
               {1, pkt->id(), static_cast<std::uint64_t>(pkt->cmd()),
                pkt->addr(), pkt->size(), pkt->requestorId(),
-               pkt->injectedTick()});
+               pkt->injectedTick(), sp.valid ? std::uint64_t(1) : 0,
+               sp.enqueue, sp.pick, sp.bankReady, sp.issue,
+               sp.burstStart, sp.done, sp.staticLat});
 }
 
 //
@@ -621,7 +624,7 @@ CkptIn::getPacket(const std::string &key) const
               "record", cur_->name.c_str(), key.c_str());
     if (vec[0] == 0)
         return nullptr;
-    if (vec.size() != 7)
+    if (vec.size() != 15)
         fatal("checkpoint section '%s': key '%s' is not a packet "
               "record", cur_->name.c_str(), key.c_str());
 
@@ -634,6 +637,16 @@ CkptIn::getPacket(const std::string &key) const
                            static_cast<RequestorId>(vec[5]));
     Packet::setNextId(counter);
     pkt->setInjectedTick(vec[6]);
+    stats::LatencySpan sp;
+    sp.valid = vec[7] != 0;
+    sp.enqueue = vec[8];
+    sp.pick = vec[9];
+    sp.bankReady = vec[10];
+    sp.issue = vec[11];
+    sp.burstStart = vec[12];
+    sp.done = vec[13];
+    sp.staticLat = vec[14];
+    pkt->setSpan(sp);
     return pkt;
 }
 

@@ -44,7 +44,9 @@ class Simulator;
 namespace ckpt {
 
 /** Checkpoint stream format version written by this build. */
-constexpr std::uint32_t kFormatVersion = 1;
+// Version 2: packet records carry the latency-attribution span and
+// stats sections include the per-stage latency histograms.
+constexpr std::uint32_t kFormatVersion = 2;
 
 /** CRC32 (IEEE 802.3 polynomial) of @p len bytes at @p data. */
 std::uint32_t crc32(const void *data, std::size_t len);

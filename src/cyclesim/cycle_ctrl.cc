@@ -48,7 +48,8 @@ CycleDRAMCtrl::CtrlStats::CtrlStats(CycleDRAMCtrl &ctrl)
                  }),
       busUtil(&ctrl.statGroup(), "busUtil",
               "data bus utilisation, both directions",
-              [&ctrl] { return ctrl.busUtilisation(); })
+              [&ctrl] { return ctrl.busUtilisation(); }),
+      lat(&ctrl.statGroup(), "lat", "read")
 {
 }
 
@@ -174,7 +175,8 @@ CycleDRAMCtrl::serialize(ckpt::CkptOut &out) const
         out.putU64Vec(formatString("trans%zu.f", i),
                       {t->isRead ? std::uint64_t(1) : 0, t->entryTime,
                        t->localAddr, t->size, t->burstsTotal,
-                       t->burstsQueued, t->burstsDone});
+                       t->burstsQueued, t->burstsDone, t->pickTime,
+                       t->issueTime});
     }
 
     std::vector<std::uint64_t> tq;
@@ -261,9 +263,9 @@ CycleDRAMCtrl::unserialize(ckpt::CkptIn &in)
     for (std::uint64_t i = 0; i < trans_count; ++i) {
         auto fields = in.getU64Vec(formatString("trans%llu.f",
                                                 static_cast<unsigned long long>(i)));
-        if (fields.size() != 7)
+        if (fields.size() != 9)
             fatal("checkpoint transaction %llu of '%s' has %zu fields, "
-                  "expected 7",
+                  "expected 9",
                   static_cast<unsigned long long>(i), name().c_str(),
                   fields.size());
         auto *t = new CycleTransaction;
@@ -276,6 +278,8 @@ CycleDRAMCtrl::unserialize(ckpt::CkptIn &in)
         t->burstsTotal = static_cast<unsigned>(fields[4]);
         t->burstsQueued = static_cast<unsigned>(fields[5]);
         t->burstsDone = static_cast<unsigned>(fields[6]);
+        t->pickTime = fields[7];
+        t->issueTime = fields[8];
         table.push_back(t);
     }
 
@@ -489,6 +493,9 @@ CycleDRAMCtrl::recvTimingReq(Packet *pkt)
         ++stats_->writeReqs;
         stats_->writeBursts += trans->burstsTotal;
         // Writes are acknowledged on acceptance, as in the event model.
+        pkt->setSpan(
+            stats::LatencySpan::immediate(curTick(),
+                                          cfg_.frontendLatency));
         pkt->makeResponse();
         respQueue_.schedSendResp(pkt, curTick() + cfg_.frontendLatency);
         trans->pkt = nullptr;
@@ -786,6 +793,7 @@ CycleDRAMCtrl::decomposeTransactions()
         }
 
         ++trans->burstsQueued;
+        trans->pickTime = tickOf(cycle_);
         if (trans->burstsQueued == trans->burstsTotal) {
             transQueue_.erase(it);
             if (retryReq_) {
@@ -878,6 +886,7 @@ CycleDRAMCtrl::execute(const Command &cmd)
                                    cmd.rank, cmd.bank);
         }
         stats_->bytesRead += static_cast<double>(burst_size);
+        cmd.trans->issueTime = tickOf(c);
         burstCompleted(cmd.trans, tickOf(data_done));
         break;
       }
@@ -906,9 +915,21 @@ CycleDRAMCtrl::execute(const Command &cmd)
                                    cmd.rank, cmd.bank);
         }
         stats_->bytesWritten += static_cast<double>(burst_size);
+        cmd.trans->issueTime = tickOf(c);
         burstCompleted(cmd.trans, tickOf(data_done));
         break;
       }
+    }
+
+    if (auto *ct = obs::chromeTracer()) {
+        if (cmd.type == CmdType::Act || cmd.type == CmdType::Pre ||
+            cmd.autoPrecharge) {
+            auto open = std::count_if(
+                banks_.begin(), banks_.end(),
+                [](const CycleBankState &b) { return b.rowOpen(); });
+            ct->counter(name(), "openBanks", tickOf(c),
+                        static_cast<double>(open));
+        }
     }
 }
 
@@ -968,6 +989,25 @@ CycleDRAMCtrl::burstCompleted(CycleTransaction *trans,
     if (trans->isRead) {
         stats_->totMemAccLat +=
             static_cast<double>(data_done_tick - trans->entryTime);
+
+        // Attribution span. The cycle model has no scheduler-stall
+        // notion distinct from the command queue: bankTiming covers the
+        // whole command-queue residency (decompose to column issue) and
+        // schedStall is structurally zero. The bus stage is the CAS
+        // latency (tCL); the burst stage the data transfer itself.
+        stats::LatencySpan span;
+        span.enqueue = trans->entryTime;
+        span.pick = trans->pickTime;
+        span.bankReady = trans->issueTime;
+        span.issue = trans->issueTime;
+        span.burstStart =
+            data_done_tick - ct_.burstCycles * cfg_.timing.tCK;
+        span.done = data_done_tick;
+        span.staticLat = cfg_.frontendLatency + cfg_.backendLatency;
+        span.valid = true;
+        stats_->lat.record(span);
+        trans->pkt->setSpan(span);
+
         trans->pkt->makeResponse();
         respQueue_.schedSendResp(trans->pkt,
                                  data_done_tick + cfg_.frontendLatency +

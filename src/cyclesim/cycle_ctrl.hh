@@ -37,6 +37,7 @@
 #include "mem/port.hh"
 #include "sim/pool.hh"
 #include "sim/simulator.hh"
+#include "stats/latency_attr.hh"
 #include "stats/stats.hh"
 
 namespace dramctrl {
@@ -53,6 +54,14 @@ struct CycleTransaction : public Pooled<CycleTransaction>
     unsigned burstsTotal = 0;
     unsigned burstsQueued = 0;
     unsigned burstsDone = 0;
+    /**
+     * Attribution stamps: tick of the last decomposition into the
+     * command queues (pickTime) and of the last column command issue
+     * (issueTime). For multi-burst transactions the last burst wins —
+     * it is the one that completes the response.
+     */
+    Tick pickTime = 0;
+    Tick issueTime = 0;
 };
 
 class CycleDRAMCtrl : public MemCtrlBase
@@ -76,6 +85,12 @@ class CycleDRAMCtrl : public MemCtrlBase
     const DRAMCtrlConfig &config() const override { return cfg_; }
 
     bool idle() const override;
+
+    std::size_t queuedRequests() const override
+    {
+        return transQueue_.size();
+    }
+
     double busUtilisation() const override;
     double achievedBandwidthGBs() const override;
     double peakBandwidthGBs() const override;
@@ -111,6 +126,8 @@ class CycleDRAMCtrl : public MemCtrlBase
         stats::Scalar numCycles;
         stats::Formula rowHitRate;
         stats::Formula busUtil;
+        /** Per-stage read latency attribution (see latency_attr.hh). */
+        stats::StageLatencyStats lat;
     };
 
     const CtrlStats &ctrlStats() const { return *stats_; }

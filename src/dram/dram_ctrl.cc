@@ -67,6 +67,7 @@ DRAMCtrl::CtrlStats::CtrlStats(DRAMCtrl &ctrl)
                       "writes drained per write episode"),
       readLatencyHist(&ctrl.statGroup(), "readLatencyHist",
                       "controller read latency distribution (ns)", 48),
+      lat(&ctrl.statGroup(), "lat", "read"),
       perBankRdBursts(&ctrl.statGroup(), "perBankRdBursts",
                       "read bursts per bank",
                       ctrl.cfg_.org.totalBanks()),
@@ -728,7 +729,11 @@ DRAMCtrl::recvTimingReq(Packet *pkt)
         ++stats_->writeReqs;
         addToWriteQueue(pkt, local);
         // Early write response (Section II-A): acknowledge as soon as
-        // the burst sits in the write queue.
+        // the burst sits in the write queue. The observed latency is
+        // pure frontend pipeline, so every DRAM stage is zero.
+        pkt->setSpan(
+            stats::LatencySpan::immediate(curTick(),
+                                          cfg_.frontendLatency));
         accessAndRespond(pkt, cfg_.frontendLatency, curTick());
     }
 
@@ -788,7 +793,10 @@ DRAMCtrl::addToReadQueue(Packet *pkt, Addr local_addr)
     }
 
     if (forwarded == pkt_count) {
-        // Entirely satisfied by the write queue.
+        // Entirely satisfied by the write queue: no DRAM stage ran.
+        pkt->setSpan(
+            stats::LatencySpan::immediate(curTick(),
+                                          cfg_.frontendLatency));
         accessAndRespond(pkt, cfg_.frontendLatency, curTick());
         return;
     }
@@ -969,6 +977,12 @@ DRAMCtrl::prechargeBank(Rank &rank, Bank &bank, Tick pre_tick)
     refNotBefore_ = std::max(refNotBefore_, pre_done);
     ++stats_->numPrecharges;
     bankPrecharged(pre_done);
+    if (auto *ct = obs::chromeTracer()) {
+        ct->counter(name(), "openBanks", pre_done,
+                    static_cast<double>(numBanksActive_));
+        ct->counter(name() + ".banks", "bank" + std::to_string(flat),
+                    pre_done, 0.0);
+    }
 }
 
 void
@@ -1198,24 +1212,43 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
         bank.colAllowedAt = act + t.tRCD;
         bank.preAllowedAt = act + t.tRAS;
         rowOpened(pkt->rank, pkt->bank, pkt->row);
+        if (auto *ct = obs::chromeTracer()) {
+            ct->counter(name(), "openBanks", act,
+                        static_cast<double>(numBanksActive_));
+            ct->counter(name() + ".banks",
+                        "bank" + std::to_string(
+                                     pkt->rank * cfg_.org.banksPerRank +
+                                     pkt->bank),
+                        act, 1.0);
+        }
     }
 
     // Column access: constrained by the bank, the shared data bus, and
-    // the read/write turnaround timings (Section II-B).
+    // the read/write turnaround timings (Section II-B). The three
+    // intermediate ticks are the attribution stamps: bank_ready is
+    // when the bank alone would let the column command go, cmd_at is
+    // when it actually goes (turnaround/wake stalls on top), and
+    // data_start is when the bus is free for the data.
+    Tick bank_ready = std::max(bank.colAllowedAt, curTick());
+    Tick cmd_at;
     Tick data_start;
     if (pkt->isRead) {
-        Tick cmd_at = std::max({bank.colAllowedAt, curTick(),
-                                nextRdCmdAt_, wakeConstraint_});
+        cmd_at = std::max({bank_ready, nextRdCmdAt_, wakeConstraint_});
         data_start = std::max(cmd_at + t.tCL, busBusyUntil_);
     } else {
-        Tick cmd_at = std::max({bank.colAllowedAt, curTick(),
-                                wakeConstraint_});
+        cmd_at = std::max(bank_ready, wakeConstraint_);
         data_start = std::max({cmd_at + t.tCL, busBusyUntil_,
                                nextWrDataAt_});
     }
     Tick data_done = data_start + t.tBURST;
     busBusyUntil_ = data_done;
     pkt->readyTime = data_done;
+    if (auto *ct = obs::chromeTracer()) {
+        // Bus-occupancy counter track: 1 while a burst's data is on
+        // the wire. Back-to-back bursts toggle at the same tick.
+        ct->counter(name(), "busBusy", data_start, 1.0);
+        ct->counter(name(), "busBusy", data_done, 0.0);
+    }
     TRACE(DRAMCtrl,
           "%s: %s burst rank %u bank %u row %llu %s, data %llu-%llu",
           name().c_str(), pkt->isRead ? "RD" : "WR", pkt->rank,
@@ -1271,6 +1304,24 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
         stats_->readLatencyHist.sample(
             toNs(data_done - pkt->entryTime + cfg_.frontendLatency +
                  cfg_.backendLatency));
+
+        // Attribution span: the stamps above decompose exactly the
+        // latency readLatencyHist just sampled. For a chopped packet
+        // every burst overwrites the span; the burst that completes
+        // the response (the last one, since data_done is monotonic on
+        // the shared bus) is the one the requestor sees.
+        stats::LatencySpan span;
+        span.enqueue = pkt->entryTime;
+        span.pick = curTick();
+        span.bankReady = bank_ready;
+        span.issue = cmd_at;
+        span.burstStart = data_start;
+        span.done = data_done;
+        span.staticLat = cfg_.frontendLatency + cfg_.backendLatency;
+        span.valid = true;
+        stats_->lat.record(span);
+        if (pkt->pkt != nullptr)
+            pkt->pkt->setSpan(span);
     } else {
         if (row_hit)
             ++stats_->writeRowHits;

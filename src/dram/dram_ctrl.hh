@@ -34,6 +34,7 @@
 #include "sim/sim_object.hh"
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
+#include "stats/latency_attr.hh"
 #include "stats/stats.hh"
 
 namespace dramctrl {
@@ -68,6 +69,11 @@ class DRAMCtrl : public MemCtrlBase
      * when they were accepted (Section II-A early write response).
      */
     bool idle() const override;
+
+    std::size_t queuedRequests() const override
+    {
+        return readQueue_.size() + writeQueue_.size();
+    }
 
     /**
      * Externally visible statistics (fed to the Micron power model and
@@ -119,6 +125,12 @@ class DRAMCtrl : public MemCtrlBase
         stats::Average wrPerTurnAround;
         /** End-to-end controller read latency distribution (ns). */
         stats::Histogram readLatencyHist;
+        /**
+         * Read latency attribution: per-stage histograms under the
+         * "lat" child group whose stages sum exactly to the
+         * end-to-end latency readLatencyHist measures.
+         */
+        stats::StageLatencyStats lat;
         stats::Vector perBankRdBursts;
         stats::Vector perBankWrBursts;
 

@@ -77,6 +77,12 @@ class MemCtrlBase : public SimObject
     /** Inputs for the offline power calculation. */
     virtual PowerInputs powerInputs() const = 0;
 
+    /**
+     * Requests currently buffered in the controller's queues — the
+     * live occupancy the introspection endpoint reports.
+     */
+    virtual std::size_t queuedRequests() const = 0;
+
     /** Attach a command logger (nullptr detaches). Both models emit
      * the explicit DRAM command stream they imply. */
     virtual void setCmdLogger(CmdLogger *logger) = 0;

@@ -20,6 +20,7 @@
 
 #include "sim/pool.hh"
 #include "sim/types.hh"
+#include "stats/latency_span.hh"
 
 namespace dramctrl {
 
@@ -88,6 +89,15 @@ class Packet : public Pooled<Packet>
     Tick injectedTick() const { return injectedTick_; }
     void setInjectedTick(Tick t) { injectedTick_ = t; }
 
+    /**
+     * The latency-attribution span (see stats/latency_span.hh),
+     * stamped by the controller that serviced this packet. Invalid
+     * until a controller responds; for multi-burst packets it
+     * describes the burst that completed the response.
+     */
+    const stats::LatencySpan &span() const { return span_; }
+    void setSpan(const stats::LatencySpan &s) { span_ = s; }
+
     /** Push per-hop state (request path). */
     void pushSenderState(SenderState *state);
 
@@ -131,6 +141,7 @@ class Packet : public Pooled<Packet>
     RequestorId requestorId_;
     std::uint64_t id_;
     Tick injectedTick_ = 0;
+    stats::LatencySpan span_;
     SenderState *senderState_ = nullptr;
 };
 

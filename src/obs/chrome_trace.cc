@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "sim/logging.hh"
+
 namespace dramctrl {
 namespace obs {
 
@@ -23,16 +25,13 @@ writeTs(std::ostream &os, Tick tick)
     os << buf;
 }
 
+// Track and event names are config-derived (preset names, object
+// names) and may contain anything; the shared escaper also covers
+// control characters, which the old local version did not.
 void
 writeJsonString(std::ostream &os, const std::string &s)
 {
-    os << '"';
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            os << '\\';
-        os << c;
-    }
-    os << '"';
+    writeJsonEscaped(os, s);
 }
 
 } // namespace

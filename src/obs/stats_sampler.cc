@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ckpt/ckpt.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
@@ -34,7 +36,10 @@ StatsSampler::~StatsSampler()
 bool
 StatsSampler::addStat(const std::string &path)
 {
-    const stats::Stat *stat = simulator().rootStats().resolve(path);
+    // Resolution goes through the metrics registry, which searches
+    // every attached tree (the simulator's root is pre-attached), so
+    // a sampler can also bind stats a tool attached separately.
+    const stats::Stat *stat = simulator().metrics().resolveStat(path);
     if (stat == nullptr)
         return false;
     paths_.push_back(path);
@@ -106,7 +111,8 @@ StatsSampler::sampleNow()
         for (std::size_t i = 0; i < stats_.size(); ++i) {
             if (i > 0)
                 os_ << ", ";
-            os_ << '"' << paths_[i] << "\": ";
+            writeJsonEscaped(os_, paths_[i]);
+            os_ << ": ";
             double v = stats_[i]->sampleValue();
             if (std::isfinite(v))
                 os_ << v;
@@ -115,6 +121,22 @@ StatsSampler::sampleNow()
         }
         os_ << "}}\n";
     }
+}
+
+void
+StatsSampler::serialize(ckpt::CkptOut &out) const
+{
+    out.putU64("samplesTaken", samplesTaken_);
+    out.putBool("headerWritten", headerWritten_);
+    out.putEvent("sampleEvent", eventq(), sampleEvent_);
+}
+
+void
+StatsSampler::unserialize(ckpt::CkptIn &in)
+{
+    samplesTaken_ = in.getU64("samplesTaken");
+    headerWritten_ = in.getBool("headerWritten");
+    in.getEvent("sampleEvent", sampleEvent_);
 }
 
 void

@@ -70,6 +70,16 @@ class StatsSampler : public SimObject
 
     void startup() override;
 
+    /**
+     * Checkpoint the sampling timeline: the pending sample event, the
+     * sample index and whether the header went out. A restored run
+     * produces byte-identical rows from the resume point on; the
+     * header is not re-emitted when the restored sink continues an
+     * existing file.
+     */
+    void serialize(ckpt::CkptOut &out) const override;
+    void unserialize(ckpt::CkptIn &in) override;
+
   private:
     void processSample();
     void writeHeader();

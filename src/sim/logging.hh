@@ -16,6 +16,7 @@
 #define DRAMCTRL_SIM_LOGGING_H
 
 #include <cstdarg>
+#include <iosfwd>
 #include <string>
 
 #include "sim/types.hh"
@@ -26,6 +27,18 @@ class EventQueue;
 
 /** Format a printf-style message into a std::string. */
 std::string vformatString(const char *fmt, std::va_list args);
+
+/**
+ * Write @p s to @p os as a double-quoted JSON string, escaping
+ * quotes, backslashes and all control characters. Every sink that
+ * embeds a config-derived name (preset names, instance names, stat
+ * paths) in JSON output must go through this — a hostile preset name
+ * must never produce an unparsable trace.
+ */
+void writeJsonEscaped(std::ostream &os, const std::string &s);
+
+/** writeJsonEscaped() into a returned string (including the quotes). */
+std::string jsonEscaped(const std::string &s);
 
 /** Format a printf-style message into a std::string. */
 std::string formatString(const char *fmt, ...)

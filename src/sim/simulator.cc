@@ -1,15 +1,18 @@
 #include "sim/simulator.hh"
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 #include "sim/sim_object.hh"
 
 namespace dramctrl {
 
 Simulator::Simulator(std::string name)
-    : rootStats_(std::move(name), nullptr)
+    : rootStats_(std::move(name), nullptr),
+      metrics_(std::make_unique<obs::MetricsRegistry>())
 {
     // The event queue registered itself as this thread's tick source
     // in its own constructor (and unregisters in its destructor).
+    metrics_->attachStats(&rootStats_);
 }
 
 Simulator::~Simulator() = default;

@@ -7,6 +7,7 @@
 #ifndef DRAMCTRL_SIM_SIMULATOR_H
 #define DRAMCTRL_SIM_SIMULATOR_H
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -18,6 +19,10 @@
 namespace dramctrl {
 
 class SimObject;
+
+namespace obs {
+class MetricsRegistry;
+} // namespace obs
 
 /**
  * Owns simulated time and the roots of the stats tree. Model objects are
@@ -65,6 +70,15 @@ class Simulator
     /** Reset all statistics, e.g. after a warm-up phase. */
     void resetStats() { rootStats_.resetAll(); }
 
+    /**
+     * The simulator's metrics registry (see obs/metrics.hh). The root
+     * statistics tree is pre-attached, so every registered statistic
+     * is visible through the introspection endpoint without extra
+     * plumbing; tools add their own counters and gauges to the same
+     * registry.
+     */
+    obs::MetricsRegistry &metrics() { return *metrics_; }
+
     /** True once every object's startup() has run. */
     bool startupDone() const { return startupDone_; }
 
@@ -78,6 +92,7 @@ class Simulator
   private:
     EventQueue eventq_;
     stats::Group rootStats_;
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
     std::vector<SimObject *> objects_;
     bool startupDone_ = false;
 };

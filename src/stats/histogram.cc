@@ -21,24 +21,9 @@ Histogram::Histogram(Group *parent, std::string name, std::string desc,
 }
 
 void
-Histogram::sample(double v, std::uint64_t count)
+Histogram::sampleNegative(double v) const
 {
-    if (v < 0)
-        panic("histogram '%s': negative sample %f", name().c_str(), v);
-
-    if (count_ == 0) {
-        min_ = max_ = v;
-    } else {
-        min_ = std::min(min_, v);
-        max_ = std::max(max_, v);
-    }
-    count_ += count;
-    sum_ += v * count;
-    squares_ += v * v * count;
-
-    while (v >= bucketSize_ * buckets_.size())
-        grow();
-    buckets_[static_cast<std::size_t>(v / bucketSize_)] += count;
+    panic("histogram '%s': negative sample %f", name().c_str(), v);
 }
 
 void
@@ -59,6 +44,7 @@ Histogram::grow()
                   buckets_.end(), 0);
     }
     bucketSize_ *= 2;
+    invBucketSize_ *= 0.5;
 }
 
 double
@@ -97,6 +83,30 @@ Histogram::cdfAt(double v) const
         }
     }
     return below / static_cast<double>(count_);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(100.0, std::max(0.0, p));
+    double target = p / 100.0 * static_cast<double>(count_);
+    double cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double n = static_cast<double>(buckets_[i]);
+        if (n == 0)
+            continue;
+        if (cum + n >= target) {
+            // Interpolate inside this bucket, then clamp to the
+            // observed range (the extreme buckets over-cover it).
+            double frac = n > 0 ? (target - cum) / n : 0.0;
+            double v = bucketLow(i) + frac * bucketSize_;
+            return std::min(max_, std::max(min_, v));
+        }
+        cum += n;
+    }
+    return max_;
 }
 
 unsigned
@@ -161,6 +171,12 @@ Histogram::dump(std::ostream &os, const std::string &prefix) const
        << std::right << std::setw(14) << min_ << '\n';
     os << std::left << std::setw(44) << (base + "::max") << ' '
        << std::right << std::setw(14) << max_ << '\n';
+    os << std::left << std::setw(44) << (base + "::p50") << ' '
+       << std::right << std::setw(14) << percentile(50) << '\n';
+    os << std::left << std::setw(44) << (base + "::p95") << ' '
+       << std::right << std::setw(14) << percentile(95) << '\n';
+    os << std::left << std::setw(44) << (base + "::p99") << ' '
+       << std::right << std::setw(14) << percentile(99) << '\n';
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         if (buckets_[i] == 0)
             continue;
@@ -179,7 +195,10 @@ Histogram::dumpJson(std::ostream &os) const
 {
     os << "{\"samples\": " << count_ << ", \"mean\": " << mean()
        << ", \"stdev\": " << stddev() << ", \"min\": " << min_
-       << ", \"max\": " << max_ << ", \"bucketSize\": " << bucketSize_
+       << ", \"max\": " << max_ << ", \"p50\": " << percentile(50)
+       << ", \"p95\": " << percentile(95)
+       << ", \"p99\": " << percentile(99)
+       << ", \"bucketSize\": " << bucketSize_
        << ", \"buckets\": [";
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         if (i > 0)
@@ -214,6 +233,7 @@ Histogram::ckptRestore(ckpt::CkptIn &in, const std::string &key)
     // Overwrite, never accumulate: a restore after a warmup phase must
     // not add the snapshot's bins on top of already-counted samples.
     bucketSize_ = meta[0];
+    invBucketSize_ = 1.0 / bucketSize_;
     sum_ = meta[1];
     squares_ = meta[2];
     min_ = meta[3];
@@ -227,6 +247,7 @@ Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     bucketSize_ = 1.0;
+    invBucketSize_ = 1.0;
     count_ = 0;
     sum_ = 0;
     squares_ = 0;

@@ -1,0 +1,64 @@
+#include "stats/latency_attr.hh"
+
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace stats {
+
+const char *
+toString(LatStage s)
+{
+    switch (s) {
+      case LatStage::Queueing: return "queueing";
+      case LatStage::BankTiming: return "bankTiming";
+      case LatStage::SchedStall: return "schedStall";
+      case LatStage::Bus: return "bus";
+      case LatStage::Burst: return "burst";
+      case LatStage::FrontBack: return "frontBack";
+      default: return "invalid";
+    }
+}
+
+StageLatencyStats::StageLatencyStats(Group *parent,
+                                     const std::string &group_name,
+                                     const std::string &what)
+    : group_(group_name, parent),
+      queueing_(&group_, "queueing",
+                what + " queueing stage latency (ns)"),
+      bankTiming_(&group_, "bankTiming",
+                  what + " bankTiming stage latency (ns)"),
+      schedStall_(&group_, "schedStall",
+                  what + " schedStall stage latency (ns)"),
+      bus_(&group_, "bus", what + " bus stage latency (ns)"),
+      burst_(&group_, "burst", what + " burst stage latency (ns)"),
+      frontBack_(&group_, "frontBack",
+                 what + " frontBack stage latency (ns)"),
+      total_(&group_, "total", what + " end-to-end latency (ns)"),
+      stages_{&queueing_, &bankTiming_, &schedStall_,
+              &bus_,      &burst_,      &frontBack_}
+{
+}
+
+void
+StageLatencyStats::inconsistentSpan(const LatencySpan &span) const
+{
+    panic("latency span stages do not sum to the end-to-end "
+          "latency (enq %llu pick %llu bank %llu issue %llu "
+          "burst %llu done %llu static %llu)",
+          static_cast<unsigned long long>(span.enqueue),
+          static_cast<unsigned long long>(span.pick),
+          static_cast<unsigned long long>(span.bankReady),
+          static_cast<unsigned long long>(span.issue),
+          static_cast<unsigned long long>(span.burstStart),
+          static_cast<unsigned long long>(span.done),
+          static_cast<unsigned long long>(span.staticLat));
+}
+
+const TickHistogram &
+StageLatencyStats::stageHist(LatStage s) const
+{
+    return *stages_[static_cast<unsigned>(s)];
+}
+
+} // namespace stats
+} // namespace dramctrl

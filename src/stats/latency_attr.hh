@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Request-lifecycle latency attribution.
+ *
+ * Every read request leaving a controller carries a LatencySpan (see
+ * latency_span.hh): the ticks at which it was enqueued, picked by the
+ * scheduler, issued to the DRAM, put on the data bus, and completed,
+ * plus the static front/back-end pipeline latency. The span
+ * decomposes the measured end-to-end latency into stages whose sum is
+ * exactly — not approximately — the measured latency:
+ *
+ *   queueing   pick - enqueue      waiting in the controller queue
+ *   bankTiming bankReady - pick    bank preparation (PRE/ACT/tRCD,
+ *                                  or the command-queue wait in the
+ *                                  cycle model)
+ *   schedStall issue - bankReady   bus-turnaround / rank wake stalls
+ *                                  after the bank itself is ready
+ *   bus        burstStart - issue  CAS latency plus data-bus
+ *                                  contention
+ *   burst      done - burstStart   the data transfer itself (tBURST)
+ *   frontBack  staticLat           static front/back-end pipeline
+ *                                  (the controller's crossbar-facing
+ *                                  stages)
+ *
+ * so queueing + bankTiming + schedStall + bus + burst + frontBack ==
+ * done - enqueue + staticLat == the latency the controller reports.
+ * The requestor additionally sees the interconnect on top: its
+ * end-to-end latency minus the span total is the crossbar/delivery
+ * residual, asserted non-negative at every response.
+ *
+ * StageLatencyStats aggregates spans into one histogram per stage
+ * (nanoseconds) with p50/p95/p99 digests.
+ */
+
+#ifndef DRAMCTRL_STATS_LATENCY_ATTR_H
+#define DRAMCTRL_STATS_LATENCY_ATTR_H
+
+#include <cstdint>
+#include <string>
+
+#include "stats/latency_span.hh"
+#include "stats/stats.hh"
+#include "stats/tick_histogram.hh"
+
+namespace dramctrl {
+namespace stats {
+
+/**
+ * Per-stage latency histograms plus an end-to-end total, grouped
+ * under a child stats group named @p group_name so the stages show up
+ * as e.g. "mem_ctrl.lat.queueing" in dumps, samplers and the metrics
+ * registry. Reported in nanoseconds; aggregated as TickHistograms
+ * because record() runs once per serviced read — seven all-integer
+ * bucket updates, cheap enough to stay unconditionally on.
+ */
+class StageLatencyStats
+{
+  public:
+    StageLatencyStats(Group *parent, const std::string &group_name,
+                      const std::string &what);
+
+    /** Sample every stage of @p span (and the total), in ticks. */
+    void
+    record(const LatencySpan &span)
+    {
+        if (!span.consistent())
+            inconsistentSpan(span);
+        queueing_.sample(span.stage(LatStage::Queueing));
+        bankTiming_.sample(span.stage(LatStage::BankTiming));
+        schedStall_.sample(span.stage(LatStage::SchedStall));
+        bus_.sample(span.stage(LatStage::Bus));
+        burst_.sample(span.stage(LatStage::Burst));
+        frontBack_.sample(span.stage(LatStage::FrontBack));
+        total_.sample(span.total());
+    }
+
+    const TickHistogram &stageHist(LatStage s) const;
+    const TickHistogram &totalHist() const { return total_; }
+
+  private:
+    [[noreturn]] void inconsistentSpan(const LatencySpan &span) const;
+
+    Group group_;
+    // By value, in declaration order: record() runs once per serviced
+    // read, and direct members keep the hot counters in one object
+    // instead of eight heap allocations.
+    TickHistogram queueing_;
+    TickHistogram bankTiming_;
+    TickHistogram schedStall_;
+    TickHistogram bus_;
+    TickHistogram burst_;
+    TickHistogram frontBack_;
+    TickHistogram total_;
+    TickHistogram *const
+        stages_[static_cast<unsigned>(LatStage::NumStages)];
+};
+
+} // namespace stats
+} // namespace dramctrl
+
+#endif // DRAMCTRL_STATS_LATENCY_ATTR_H

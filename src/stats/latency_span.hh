@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The compact per-packet latency span record (see latency_attr.hh for
+ * the full attribution story). Split into its own header so that
+ * mem/packet.hh can embed a span without pulling the statistics
+ * framework into every translation unit.
+ */
+
+#ifndef DRAMCTRL_STATS_LATENCY_SPAN_H
+#define DRAMCTRL_STATS_LATENCY_SPAN_H
+
+#include "sim/types.hh"
+
+namespace dramctrl {
+namespace stats {
+
+/** The attribution stages, in lifecycle order. */
+enum class LatStage : unsigned {
+    Queueing,   ///< enqueue -> scheduler pick
+    BankTiming, ///< pick -> bank ready (PRE/ACT/tRCD)
+    SchedStall, ///< bank ready -> column command issue (turnaround)
+    Bus,        ///< issue -> first data beat (CAS + bus contention)
+    Burst,      ///< the data transfer (tBURST)
+    FrontBack,  ///< static front-end + back-end pipeline latency
+    NumStages,
+};
+
+/** Printable name of @p s (also the stats/metrics path component). */
+const char *toString(LatStage s);
+
+/**
+ * Per-packet lifecycle stamps. Stamped by the controller that
+ * services the request (for multi-burst packets, by the burst that
+ * completes the response) and consumed by the requestor. All stamps
+ * are absolute ticks; stage durations are derived differences, so the
+ * decomposition cannot drift from the stamps it came from.
+ */
+struct LatencySpan
+{
+    Tick enqueue = 0;    ///< accepted into the controller queue
+    Tick pick = 0;       ///< selected by the scheduler
+    Tick bankReady = 0;  ///< bank timing satisfied
+    Tick issue = 0;      ///< column command launched
+    Tick burstStart = 0; ///< first beat on the data bus
+    Tick done = 0;       ///< last beat on the data bus
+    Tick staticLat = 0;  ///< frontend + backend pipeline latency
+    bool valid = false;  ///< stamped by a controller
+
+    /** Duration of @p s; all stages are non-negative by construction. */
+    Tick stage(LatStage s) const
+    {
+        switch (s) {
+          case LatStage::Queueing: return pick - enqueue;
+          case LatStage::BankTiming: return bankReady - pick;
+          case LatStage::SchedStall: return issue - bankReady;
+          case LatStage::Bus: return burstStart - issue;
+          case LatStage::Burst: return done - burstStart;
+          case LatStage::FrontBack: return staticLat;
+          default: return 0;
+        }
+    }
+
+    /** Sum of the six stages == done - enqueue + staticLat. */
+    Tick total() const { return done - enqueue + staticLat; }
+
+    /**
+     * True when the stamps are ordered and the stage decomposition
+     * sums exactly to total(); asserted on every response.
+     */
+    bool consistent() const
+    {
+        if (!valid)
+            return false;
+        if (enqueue > pick || pick > bankReady || bankReady > issue ||
+            issue > burstStart || burstStart > done)
+            return false;
+        Tick sum = 0;
+        for (unsigned s = 0;
+             s < static_cast<unsigned>(LatStage::NumStages); ++s)
+            sum += stage(static_cast<LatStage>(s));
+        return sum == total();
+    }
+
+    /**
+     * A degenerate span for requests answered without touching the
+     * DRAM (early write responses, reads forwarded from the write
+     * queue): every stage is zero except the static pipeline.
+     */
+    static LatencySpan immediate(Tick now, Tick static_lat)
+    {
+        LatencySpan s;
+        s.enqueue = s.pick = s.bankReady = s.issue = s.burstStart =
+            s.done = now;
+        s.staticLat = static_lat;
+        s.valid = true;
+        return s;
+    }
+};
+
+} // namespace stats
+} // namespace dramctrl
+
+#endif // DRAMCTRL_STATS_LATENCY_SPAN_H

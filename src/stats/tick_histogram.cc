@@ -1,0 +1,155 @@
+#include "stats/tick_histogram.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <vector>
+
+#include "ckpt/ckpt.hh"
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace stats {
+
+TickHistogram::TickHistogram(Group *parent, std::string name,
+                             std::string desc)
+    : Stat(parent, std::move(name), std::move(desc))
+{
+}
+
+double
+TickHistogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return toNs(1) * static_cast<double>(sumTicks_) /
+           static_cast<double>(count_);
+}
+
+double
+TickHistogram::percentileTicks(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kNumBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        double next = static_cast<double>(seen + buckets_[i]);
+        if (next >= target) {
+            double frac =
+                (target - static_cast<double>(seen)) /
+                static_cast<double>(buckets_[i]);
+            double v = static_cast<double>(bucketLow(i)) +
+                       frac * static_cast<double>(bucketWidth(i));
+            return std::clamp(v, static_cast<double>(minT_),
+                              static_cast<double>(maxT_));
+        }
+        seen += buckets_[i];
+    }
+    return static_cast<double>(maxT_);
+}
+
+double
+TickHistogram::percentile(double p) const
+{
+    return toNs(1) * percentileTicks(p);
+}
+
+void
+TickHistogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string base = prefix + name();
+    os << std::left << std::setw(44) << (base + "::samples") << ' '
+       << std::right << std::setw(14) << count_ << "  # " << desc()
+       << '\n';
+    os << std::left << std::setw(44) << (base + "::mean") << ' '
+       << std::right << std::setw(14) << mean() << '\n';
+    os << std::left << std::setw(44) << (base + "::min") << ' '
+       << std::right << std::setw(14) << toNs(minT_) << '\n';
+    os << std::left << std::setw(44) << (base + "::max") << ' '
+       << std::right << std::setw(14) << toNs(maxT_) << '\n';
+    os << std::left << std::setw(44) << (base + "::p50") << ' '
+       << std::right << std::setw(14) << percentile(50) << '\n';
+    os << std::left << std::setw(44) << (base + "::p95") << ' '
+       << std::right << std::setw(14) << percentile(95) << '\n';
+    os << std::left << std::setw(44) << (base + "::p99") << ' '
+       << std::right << std::setw(14) << percentile(99) << '\n';
+}
+
+void
+TickHistogram::dumpJson(std::ostream &os) const
+{
+    os << "{\"samples\": " << count_ << ", \"mean\": " << mean()
+       << ", \"min\": " << toNs(minT_) << ", \"max\": " << toNs(maxT_)
+       << ", \"p50\": " << percentile(50)
+       << ", \"p95\": " << percentile(95)
+       << ", \"p99\": " << percentile(99) << ", \"buckets\": [";
+    bool first = true;
+    for (unsigned i = 0; i < kNumBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << '[' << i << ", " << buckets_[i] << ']';
+    }
+    os << "]}";
+}
+
+void
+TickHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sumTicks_ = 0;
+    minT_ = 0;
+    maxT_ = 0;
+}
+
+void
+TickHistogram::ckptSave(ckpt::CkptOut &out,
+                        const std::string &key) const
+{
+    out.putU64Vec(key + ".meta", {count_, sumTicks_, minT_, maxT_});
+    // Sparse [index, count] pairs: latencies cluster, so almost all
+    // of the log-linear index space is empty.
+    std::vector<std::uint64_t> sparse;
+    for (unsigned i = 0; i < kNumBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        sparse.push_back(i);
+        sparse.push_back(buckets_[i]);
+    }
+    out.putU64Vec(key + ".buckets", sparse);
+}
+
+void
+TickHistogram::ckptRestore(ckpt::CkptIn &in, const std::string &key)
+{
+    const auto &meta = in.getU64Vec(key + ".meta");
+    if (meta.size() != 4)
+        fatal("checkpoint tick-histogram '%s' has a malformed meta "
+              "record", key.c_str());
+    const auto &sparse = in.getU64Vec(key + ".buckets");
+    if (sparse.size() % 2 != 0)
+        fatal("checkpoint tick-histogram '%s' has a malformed bucket "
+              "record", key.c_str());
+
+    // Overwrite, never accumulate (same contract as Histogram).
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = meta[0];
+    sumTicks_ = meta[1];
+    minT_ = meta[2];
+    maxT_ = meta[3];
+    for (std::size_t i = 0; i < sparse.size(); i += 2) {
+        if (sparse[i] >= kNumBuckets)
+            fatal("checkpoint tick-histogram '%s' bucket index %llu "
+                  "out of range", key.c_str(),
+                  static_cast<unsigned long long>(sparse[i]));
+        buckets_[static_cast<std::size_t>(sparse[i])] = sparse[i + 1];
+    }
+}
+
+} // namespace stats
+} // namespace dramctrl

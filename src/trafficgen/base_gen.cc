@@ -25,7 +25,11 @@ BaseGen::GenStats::GenStats(BaseGen &gen)
                            return n > 0 ? toNs(static_cast<Tick>(
                                               totReadLatency.value())) / n
                                         : 0.0;
-                       })
+                       }),
+      xbarLatencyHist(&gen.statGroup(), "xbarLatencyHist",
+                      "end-to-end latency outside the controller span "
+                      "(ns)",
+                      32)
 {
 }
 
@@ -222,6 +226,27 @@ BaseGen::recvTimingResp(Packet *pkt)
         Tick lat = curTick() - pkt->injectedTick();
         stats_->totReadLatency += static_cast<double>(lat);
         stats_->readLatencyHist.sample(toNs(lat));
+
+        // The controller's span decomposes the time from queue entry to
+        // response launch; anything beyond that is interconnect and
+        // delivery. The difference can never be negative: the response
+        // arrives no earlier than the controller launched it, and the
+        // packet entered the controller queue no earlier than it was
+        // injected.
+        const stats::LatencySpan &span = pkt->span();
+        if (span.valid) {
+            DC_ASSERT(span.consistent(),
+                      "inconsistent latency span on %s",
+                      pkt->toString().c_str());
+            Tick inner = span.total();
+            DC_ASSERT(inner <= lat,
+                      "span total %llu exceeds end-to-end latency %llu "
+                      "for %s",
+                      static_cast<unsigned long long>(inner),
+                      static_cast<unsigned long long>(lat),
+                      pkt->toString().c_str());
+            stats_->xbarLatencyHist.sample(toNs(lat - inner));
+        }
     }
     delete pkt;
 

@@ -82,6 +82,13 @@ class BaseGen : public SimObject
         stats::Scalar totReadLatency;
         stats::Histogram readLatencyHist;
         stats::Formula avgReadLatencyNs;
+        /**
+         * End-to-end latency not covered by the controller's span:
+         * crossbar traversal, response-queue residency and port
+         * retries. Sampled (in ns) only for responses that carry a
+         * valid attribution span.
+         */
+        stats::Histogram xbarLatencyHist;
     };
 
     const GenStats &genStats() const { return *stats_; }

@@ -37,7 +37,7 @@ Crossbar::XBarStats::XBarStats(Crossbar &xbar)
 
 Crossbar::Layer::Layer(Simulator &sim, std::string name,
                        unsigned queue_limit)
-    : sim_(sim), queueLimit_(queue_limit),
+    : sim_(sim), name_(name), queueLimit_(queue_limit),
       sendEvent_([this] { trySend(); }, name + ".sendEvent")
 {
 }
@@ -61,6 +61,9 @@ Crossbar::Layer::admit(Packet *pkt, Tick occupancy, Tick latency)
     busyUntil_ = std::max(busyUntil_, now) + occupancy;
     Tick deliver_at = busyUntil_ + latency;
     queue_.push_back(Entry{deliver_at, pkt});
+    if (auto *ct = obs::chromeTracer())
+        ct->counter(name_, "depth", now,
+                    static_cast<double>(queue_.size()));
     if (!waitingForRetry_ && !sendEvent_.scheduled())
         sim_.eventq().schedule(sendEvent_,
                                std::max(now, queue_.front().deliverAt));
@@ -77,16 +80,25 @@ Crossbar::Layer::retry()
 void
 Crossbar::Layer::trySend()
 {
+    bool sent = false;
     while (!queue_.empty() &&
            queue_.front().deliverAt <= sim_.curTick()) {
         if (!sendFn(queue_.front().pkt)) {
             waitingForRetry_ = true;
-            return;
+            break;
         }
         queue_.pop_front();
+        sent = true;
         if (onSlotFreed)
             onSlotFreed();
     }
+    if (sent) {
+        if (auto *ct = obs::chromeTracer())
+            ct->counter(name_, "depth", sim_.curTick(),
+                        static_cast<double>(queue_.size()));
+    }
+    if (waitingForRetry_)
+        return;
     if (!queue_.empty() && !sendEvent_.scheduled())
         sim_.eventq().schedule(
             sendEvent_,
@@ -178,6 +190,17 @@ Crossbar::route(Addr addr) const
     }
     fatal("crossbar '%s': no range covers address %#llx",
           name().c_str(), static_cast<unsigned long long>(addr));
+}
+
+std::size_t
+Crossbar::queuedPackets() const
+{
+    std::size_t n = 0;
+    for (const auto &layer : reqLayers_)
+        n += layer->size();
+    for (const auto &layer : respLayers_)
+        n += layer->size();
+    return n;
 }
 
 bool

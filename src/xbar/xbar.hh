@@ -81,6 +81,12 @@ class Crossbar : public SimObject
     /** True when no packet is held in any layer. */
     bool idle() const;
 
+    /**
+     * Packets currently buffered across every layer — the in-flight
+     * crossbar occupancy the introspection endpoint reports.
+     */
+    std::size_t queuedPackets() const;
+
     struct XBarStats
     {
         explicit XBarStats(Crossbar &xbar);
@@ -107,6 +113,7 @@ class Crossbar : public SimObject
 
         bool full() const { return queue_.size() >= queueLimit_; }
         bool empty() const { return queue_.empty(); }
+        std::size_t size() const { return queue_.size(); }
 
         /** Admit a packet; the caller must have checked full(). */
         void admit(Packet *pkt, Tick occupancy, Tick latency);
@@ -129,6 +136,7 @@ class Crossbar : public SimObject
         };
 
         Simulator &sim_;
+        std::string name_;
         std::deque<Entry> queue_;
         unsigned queueLimit_;
         /** Serialisation horizon of admitted packets. */

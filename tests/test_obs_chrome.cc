@@ -207,6 +207,64 @@ TEST(ChromeTraceTest, LiveRunRecordsReadAndWriteSpans)
               std::string::npos);
 }
 
+TEST(ChromeTraceTest, HostileNamesAreJsonEscaped)
+{
+    // Config-derived names can carry quotes, backslashes and control
+    // characters (a hostile preset name); the trace must stay valid
+    // JSON regardless.
+    obs::ChromeTraceWriter w;
+    const std::string evil = "pre\"set\\na\nme\ttab";
+    w.beginSpan(evil, 1, "read \"0x0\"", 100);
+    w.instant(evil, "inst\\ant", 200);
+    w.counter(evil, "dep\"th", 300, 1.0);
+    w.endSpan(1, 400);
+
+    std::ostringstream os;
+    w.write(os);
+    std::string out = os.str();
+    EXPECT_TRUE(structurallyValidJson(out)) << out;
+    // The escaped forms are present; no raw control char survives.
+    EXPECT_NE(out.find("pre\\\"set\\\\na\\nme\\ttab"),
+              std::string::npos)
+        << out;
+    EXPECT_EQ(out.find('\t'), std::string::npos);
+    for (char c : out)
+        EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+            << "raw control char in trace";
+}
+
+TEST(ChromeTraceTest, LiveRunEmitsUtilisationCounters)
+{
+    obs::ChromeTraceWriter w;
+    ScopedTracer guard(w);
+
+    Simulator sim;
+    DRAMCtrlConfig cfg = testutil::bareTimingConfig();
+    DRAMCtrl ctrl(sim, "mem_ctrl", cfg,
+                  AddrRange(0, cfg.org.channelCapacity));
+    TestRequestor req(sim, "req");
+    req.port().bind(ctrl.port());
+
+    // Two different rows of one bank: an ACT, a PRE and another ACT.
+    req.inject(0, MemCmd::ReadReq, 0);
+    req.inject(0, MemCmd::ReadReq, 1 << 16);
+    sim.run(fromUs(10));
+    ASSERT_TRUE(req.allResponded());
+
+    std::ostringstream os;
+    w.write(os);
+    std::string out = os.str();
+    EXPECT_TRUE(structurallyValidJson(out)) << out;
+    // Data-bus utilisation toggles 0/1 around each burst.
+    EXPECT_NE(out.find("\"busBusy\""), std::string::npos) << out;
+    // Open-row population and the per-bank state series.
+    EXPECT_NE(out.find("\"openBanks\""), std::string::npos) << out;
+    EXPECT_NE(out.find("{\"name\": \"mem_ctrl.banks\"}"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"bank0\""), std::string::npos) << out;
+}
+
 TEST(ChromeTraceTest, GlobalTracerInstallAndDetach)
 {
     EXPECT_EQ(obs::chromeTracer(), nullptr);

@@ -36,6 +36,10 @@ class TestRequestor : public SimObject
         std::uint64_t pktId;
         MemCmd cmd;
         Addr addr;
+        /** Tick the request was first put on the wire. */
+        Tick injected;
+        /** Latency attribution stamps carried by the response. */
+        stats::LatencySpan span;
     };
 
     TestRequestor(Simulator &sim, std::string name)
@@ -154,8 +158,10 @@ class TestRequestor : public SimObject
     bool
     recvResp(Packet *pkt)
     {
-        responses_.push_back(
-            Response{curTick(), pkt->id(), pkt->cmd(), pkt->addr()});
+        responses_.push_back(Response{curTick(), pkt->id(),
+                                      pkt->cmd(), pkt->addr(),
+                                      pkt->injectedTick(),
+                                      pkt->span()});
         respByPkt_[pkt->id()] = curTick();
         --outstanding_;
         delete pkt;

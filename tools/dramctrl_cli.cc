@@ -37,6 +37,8 @@
 #include "harness/testbench.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/event_profiler.hh"
+#include "obs/metrics.hh"
+#include "obs/metrics_server.hh"
 #include "obs/stats_sampler.hh"
 #include "obs/trace.hh"
 #include "power/micron_power.hh"
@@ -80,6 +82,8 @@ struct CliOptions
     std::string sampleFormat = "csv"; // csv | jsonl
     std::string sampleStats;          // csv of stat paths; empty = default
     bool profileEvents = false;
+    std::string metricsListen;        // live endpoint listen spec
+    double metricsIntervalNs = 1000.0;
 
     // Checkpointing (see docs/CHECKPOINT.md).
     double ckptAtNs = 0;        // > 0 = stop and save at this time
@@ -133,6 +137,13 @@ usage(const char *prog)
         "  --sample-stats LIST   csv of stat paths "
         "(default controller set)\n"
         "  --profile-events   count and time events per type\n"
+        "  --metrics-listen SPEC  serve live metrics while running: a\n"
+        "                     Unix socket path (contains '/') or a\n"
+        "                     loopback TCP port (0 = ephemeral);\n"
+        "                     Prometheus text by default, /json for "
+        "JSON\n"
+        "  --metrics-interval NS  publish cadence in ns "
+        "(default 1000)\n"
         "checkpointing:\n"
         "  --ckpt-at NS       simulate to NS ns, save a checkpoint, "
         "stop\n"
@@ -190,6 +201,9 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         else if (a == "--sample-format") opt.sampleFormat = need(i);
         else if (a == "--sample-stats") opt.sampleStats = need(i);
         else if (a == "--profile-events") opt.profileEvents = true;
+        else if (a == "--metrics-listen") opt.metricsListen = need(i);
+        else if (a == "--metrics-interval")
+            opt.metricsIntervalNs = std::stod(need(i));
         else if (a == "--ckpt-at") opt.ckptAtNs = std::stod(need(i));
         else if (a == "--ckpt-out") opt.ckptOut = need(i);
         else if (a == "--ckpt-restore") opt.ckptRestore = need(i);
@@ -244,7 +258,7 @@ runBatch(const CliOptions &opt, const DRAMCtrlConfig &cfg,
         opt.temperatureC != 85.0 || !opt.traceChannels.empty() ||
         !opt.traceFile.empty() || !opt.traceJsonl.empty() ||
         !opt.chromeFile.empty() || opt.sampleIntervalNs > 0 ||
-        opt.profileEvents)
+        opt.profileEvents || !opt.metricsListen.empty())
         fatal("--runs batch mode supports the preset/pattern/page/"
               "mapping/read-pct/itt-ns/model/requests/stride/banks/"
               "seed axes only; use a single run (or sweep_cli) for "
@@ -429,6 +443,31 @@ main(int argc, char **argv)
         }
         if (sampler->numStats() == 0)
             fatal("no sample stats resolved");
+    }
+
+    // Live introspection endpoint: a poll-based server fed by a
+    // periodic publisher. The publisher is a SimObject, so it must be
+    // constructed before any checkpoint restore (the object lists
+    // have to match — same rule as the sampler, hence the "same
+    // config flags" note under --ckpt-restore).
+    std::unique_ptr<obs::MetricsServer> metricsServer;
+    std::unique_ptr<obs::MetricsPublisher> metricsPublisher;
+    if (!opt.metricsListen.empty()) {
+        metricsServer =
+            std::make_unique<obs::MetricsServer>(opt.metricsListen);
+        metricsServer->start();
+        MemCtrlBase &ctrl = tb.ctrl();
+        metricsPublisher = std::make_unique<obs::MetricsPublisher>(
+            tb.sim(), "metrics", tb.sim().metrics(), *metricsServer,
+            fromNs(opt.metricsIntervalNs),
+            [&ctrl](obs::MetricsRegistry &reg) {
+                reg.gauge("ctrl.queued_requests",
+                          "requests buffered in the controller")
+                    .set(static_cast<double>(ctrl.queuedRequests()));
+            });
+        if (!opt.json)
+            std::printf("metrics endpoint:  %s\n",
+                        metricsServer->endpoint().c_str());
     }
 
     BaseGen *gen = nullptr;

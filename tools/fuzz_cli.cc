@@ -33,9 +33,12 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "exec/batch_runner.hh"
+#include "obs/metrics.hh"
+#include "obs/metrics_server.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -60,6 +63,7 @@ struct FuzzCliOptions
     double toleranceLat = DiffOptions{}.latencyRelTol;
     std::string outDir = ".";
     std::string repro;           // replay mode
+    std::string metricsListen;   // live endpoint listen spec
     unsigned jobs = 1;
     bool injectBug = false;
     bool noShrink = false;
@@ -97,6 +101,10 @@ usage(const char *prog)
         "tRCD\n"
         "  --no-shrink        skip stream minimisation on failure\n"
         "  --repro FILE       replay a repro file instead of fuzzing\n"
+        "  --metrics-listen SPEC  serve live fuzz progress (Unix "
+        "socket\n"
+        "                     path or loopback TCP port; see "
+        "dramctrl_cli)\n"
         "  --verbose          print every case, not just failures\n",
         prog);
 }
@@ -132,6 +140,8 @@ parseArgs(int argc, char **argv, FuzzCliOptions &opt)
         else if (a == "--inject-bug") opt.injectBug = true;
         else if (a == "--no-shrink") opt.noShrink = true;
         else if (a == "--repro") opt.repro = need(i);
+        else if (a == "--metrics-listen")
+            opt.metricsListen = need(i);
         else if (a == "--verbose") opt.verbose = true;
         else if (a == "--help" || a == "-h") {
             usage(argv[0]);
@@ -275,6 +285,36 @@ main(int argc, char **argv)
     // A case that fatal()s must fail its own job, not the batch.
     setThrowOnError(true);
 
+    // Live fuzz progress: driver-level counters published after every
+    // consumed case (the consumer runs on the main thread).
+    std::unique_ptr<obs::MetricsRegistry> metricsReg;
+    std::unique_ptr<obs::MetricsServer> metricsServer;
+    if (!opt.metricsListen.empty()) {
+        metricsReg = std::make_unique<obs::MetricsRegistry>();
+        metricsServer =
+            std::make_unique<obs::MetricsServer>(opt.metricsListen);
+        metricsServer->start();
+        std::fprintf(stderr, "fuzz: metrics endpoint %s\n",
+                     metricsServer->endpoint().c_str());
+    }
+    auto publishMetrics = [&](std::uint64_t ran_n,
+                              std::uint64_t failed_n) {
+        if (!metricsServer)
+            return;
+        metricsReg->gauge("fuzz.cases_run", "fuzz cases consumed")
+            .set(static_cast<double>(ran_n));
+        metricsReg->gauge("fuzz.cases_failed", "fuzz cases failed")
+            .set(static_cast<double>(failed_n));
+        metricsReg->gauge("fuzz.elapsed_s", "wall-clock seconds")
+            .set(elapsedS());
+        std::ostringstream prom;
+        std::ostringstream json;
+        metricsReg->writeProm(prom);
+        metricsReg->writeJson(json);
+        metricsServer->publish(prom.str(), json.str());
+    };
+    publishMetrics(0, 0);
+
     std::uint64_t ran = 0, failed = 0;
     exec::BatchRunner runner(opt.jobs);
 
@@ -333,6 +373,7 @@ main(int argc, char **argv)
             [&](std::size_t i) { return worker(base + i); },
             [&](const exec::JobOutcome<CaseResult> &out) {
                 consumeAt(base, out);
+                publishMetrics(ran, failed);
             });
     } else {
         // Time-boxed mode: waves of one batch per worker, checking
@@ -346,12 +387,17 @@ main(int argc, char **argv)
                 [&](std::size_t i) { return worker(base + i); },
                 [&](const exec::JobOutcome<CaseResult> &out) {
                     consumeAt(base, out);
+                    publishMetrics(ran, failed);
                 });
             next += wave;
         }
     }
 
     setThrowOnError(false);
+
+    publishMetrics(ran, failed);
+    if (metricsServer)
+        metricsServer->stop();
 
     // Summary goes to stderr: it carries wall-clock time and the job
     // count, while stdout stays byte-identical whatever --jobs is.

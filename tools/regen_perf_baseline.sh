@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Regenerate the committed performance baselines under bench/baselines/.
+#
+# Usage: tools/regen_perf_baseline.sh [build-dir]
+#
+# Runs the headline throughput benchmark (core_perf) and the
+# batch-engine scaling benchmark (parallel_scaling) and rewrites
+# bench/baselines/BENCH_core.json and bench/baselines/BENCH_parallel.json.
+# CI diffs every run against these files (informational — runner timing
+# is noisy), so refresh them on the machine class you care about after
+# any deliberate perf-relevant change, and review the diff like any
+# other code change.
+set -eu
+
+BUILD_DIR="${1:-build}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="$REPO_DIR/bench/baselines"
+
+for bin in core_perf parallel_scaling; do
+    if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+        echo "error: $BUILD_DIR/bench/$bin not found; build first" \
+             "(cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release" \
+             "&& cmake --build $BUILD_DIR -j --target $bin)" >&2
+        exit 1
+    fi
+done
+
+mkdir -p "$OUT_DIR"
+"$BUILD_DIR/bench/core_perf" --json "$OUT_DIR/BENCH_core.json"
+"$BUILD_DIR/bench/parallel_scaling" --runs 48 \
+    --json "$OUT_DIR/BENCH_parallel.json"
+echo "perf baselines regenerated under bench/baselines/"
+git -C "$REPO_DIR" status --short bench/baselines/ 2>/dev/null || true

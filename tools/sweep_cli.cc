@@ -20,11 +20,15 @@
  */
 
 #include <cstdio>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "exec/batch_runner.hh"
 #include "exec/sweep.hh"
+#include "obs/metrics.hh"
+#include "obs/metrics_server.hh"
 #include "sim/logging.hh"
 
 using namespace dramctrl;
@@ -39,6 +43,7 @@ struct SweepCliOptions
     std::string out;             // empty = stdout
     std::string format = "csv";  // csv | jsonl
     bool warmStart = false;
+    std::string metricsListen;   // live endpoint listen spec
 };
 
 void
@@ -72,7 +77,11 @@ usage(const char *prog)
         "per core);\n"
         "                     output is identical for every value\n"
         "  --out PATH         result file (default stdout)\n"
-        "  --format F         csv|jsonl (default csv)\n",
+        "  --format F         csv|jsonl (default csv)\n"
+        "  --metrics-listen SPEC  serve live batch progress (Unix "
+        "socket\n"
+        "                     path or loopback TCP port; see "
+        "dramctrl_cli)\n",
         prog);
 }
 
@@ -166,6 +175,8 @@ parseArgs(int argc, char **argv, SweepCliOptions &opt)
             opt.out = need(i);
         } else if (a == "--format") {
             opt.format = need(i);
+        } else if (a == "--metrics-listen") {
+            opt.metricsListen = need(i);
         } else if (a == "--help" || a == "-h") {
             usage(argv[0]);
             return false;
@@ -200,6 +211,34 @@ main(int argc, char **argv)
                  grid.size(), opt.jobs, opt.jobs == 1 ? "" : "s",
                  static_cast<unsigned long long>(
                      opt.spec.masterSeed));
+
+    // Live batch progress: a standalone registry (the per-job
+    // simulators live inside worker threads and are torn down with
+    // each job, so only driver-level progress is exposed) published
+    // after every job outcome. Outcome callbacks run on the driver
+    // thread, so rendering needs no extra locking.
+    std::unique_ptr<obs::MetricsRegistry> metricsReg;
+    std::unique_ptr<obs::MetricsServer> metricsServer;
+    if (!opt.metricsListen.empty()) {
+        metricsReg = std::make_unique<obs::MetricsRegistry>();
+        metricsServer =
+            std::make_unique<obs::MetricsServer>(opt.metricsListen);
+        metricsServer->start();
+        std::fprintf(stderr, "sweep: metrics endpoint %s\n",
+                     metricsServer->endpoint().c_str());
+        metricsReg->gauge("sweep.jobs_total", "runs in the grid")
+            .set(static_cast<double>(grid.size()));
+    }
+    auto publishMetrics = [&]() {
+        if (!metricsServer)
+            return;
+        std::ostringstream prom;
+        std::ostringstream json;
+        metricsReg->writeProm(prom);
+        metricsReg->writeJson(json);
+        metricsServer->publish(prom.str(), json.str());
+    };
+    publishMetrics();
 
     std::FILE *out = stdout;
     if (!opt.out.empty()) {
@@ -236,6 +275,13 @@ main(int argc, char **argv)
                 return captureWarmupSnapshot(grid[g * seeds], spec);
             },
             [&](const exec::JobOutcome<std::string> &out_come) {
+                if (metricsReg) {
+                    metricsReg
+                        ->counter("sweep.warmups_done",
+                                  "warm-up snapshots captured")
+                        .inc();
+                    publishMetrics();
+                }
                 if (!out_come.ok) {
                     std::fprintf(stderr,
                                  "sweep warm-up %zu FAILED: %s\n",
@@ -265,6 +311,16 @@ main(int argc, char **argv)
             return runSweepPoint(grid[i], spec);
         },
         [&](const exec::JobOutcome<SweepRow> &out_come) {
+            if (metricsReg) {
+                metricsReg
+                    ->counter("sweep.jobs_completed", "runs finished")
+                    .inc();
+                if (!out_come.ok)
+                    metricsReg
+                        ->counter("sweep.jobs_failed", "runs failed")
+                        .inc();
+                publishMetrics();
+            }
             if (!out_come.ok) {
                 std::fprintf(
                     stderr,
@@ -285,6 +341,10 @@ main(int argc, char **argv)
                              .c_str());
         });
     setThrowOnError(false);
+
+    publishMetrics();
+    if (metricsServer)
+        metricsServer->stop();
 
     if (out != stdout)
         std::fclose(out);
