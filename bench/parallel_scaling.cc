@@ -18,6 +18,12 @@
  * must produce identical rows; the benchmark reports the wall-clock
  * saved.
  *
+ * A third section measures *intra-run* scaling: one 16-channel
+ * sharded simulation at increasing --sim-threads widths, the
+ * complement of the batch engine's between-runs parallelism (the
+ * deeper channels x threads grid lives in bench/channel_scaling).
+ * Every width must reproduce the single-threaded stats byte for byte.
+ *
  * Usage: parallel_scaling [--runs N] [--seed S]
  *                         [--json BENCH_parallel.json]
  */
@@ -26,13 +32,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "dram/dram_presets.hh"
 #include "exec/batch_runner.hh"
 #include "exec/sweep.hh"
+#include "harness/multichannel.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "trafficgen/random_gen.hh"
 #include "validate/config_fuzzer.hh"
 #include "validate/diff_runner.hh"
 
@@ -179,6 +189,73 @@ main(int argc, char **argv)
         if (exec::toCsv(warm_rows[i]) != exec::toCsv(cold_rows[i]))
             rows_match = false;
 
+    // --- Intra-run sharded scaling ----------------------------------
+    // One 16-channel stack, one generator per channel, run at 1..8
+    // sim threads. The stats JSON must match the 1-thread run exactly
+    // at every width (the sharded engine's determinism contract).
+    struct IntraWidth
+    {
+        unsigned simThreads;
+        double seconds;
+        double speedup;
+        bool match;
+    };
+    const unsigned intra_channels = 16;
+    const std::uint64_t intra_reqs = 120;
+    auto intraOnce = [&](unsigned sim_threads, std::string &stats_out) {
+        harness::MultiChannelConfig mcfg;
+        mcfg.channels = intra_channels;
+        mcfg.ctrl = presets::hmcVault();
+        mcfg.ctrl.writeLowThreshold = 0.0;
+        mcfg.ctrl.check();
+        mcfg.simThreads = sim_threads;
+        harness::MultiChannelSystem mc(mcfg);
+        GenConfig gc;
+        gc.minITT = gc.maxITT = fromNs(4.0);
+        gc.numRequests = intra_reqs;
+        gc.readPct = 67;
+        for (unsigned i = 0; i < intra_channels; ++i) {
+            GenConfig g = harness::sliceGenWindow(
+                gc, i, intra_channels, mc.totalCapacity());
+            g.seed = exec::deriveSeed(seed, i);
+            mc.addGen<RandomGen>(g);
+        }
+        auto i0 = std::chrono::steady_clock::now();
+        mc.runToCompletion();
+        auto i1 = std::chrono::steady_clock::now();
+        std::ostringstream os;
+        mc.sim().dumpStatsJson(os);
+        stats_out = os.str();
+        return std::chrono::duration<double>(i1 - i0).count();
+    };
+
+    std::vector<IntraWidth> intra;
+    std::string intra_ref;
+    double intra_serial_s = 0;
+    for (unsigned st : {1u, 2u, 4u, 8u}) {
+        std::string stats;
+        IntraWidth iw;
+        iw.simThreads = st;
+        iw.seconds = intraOnce(st, stats);
+        if (st == 1) {
+            intra_serial_s = iw.seconds;
+            intra_ref = stats;
+        }
+        iw.speedup = iw.seconds > 0 ? intra_serial_s / iw.seconds : 0;
+        iw.match = stats == intra_ref;
+        intra.push_back(iw);
+    }
+
+    std::printf("\nintra-run sharded scaling (%u channels, %llu "
+                "requests/gen)\n",
+                intra_channels,
+                static_cast<unsigned long long>(intra_reqs));
+    std::printf("%12s %10s %9s %8s\n", "sim-threads", "seconds",
+                "speedup", "match");
+    for (const IntraWidth &iw : intra)
+        std::printf("%12u %10.3f %8.2fx %8s\n", iw.simThreads,
+                    iw.seconds, iw.speedup, iw.match ? "yes" : "NO");
+
     std::printf("\nwarm-start sweep (%zu points, %zu config groups, "
                 "%llu warm-up + %llu measured requests, %u jobs)\n",
                 grid.size(), groups,
@@ -220,7 +297,21 @@ main(int argc, char **argv)
                          i + 1 < widths.size() ? "," : "");
         }
         std::fprintf(f,
-                     "],\n \"warm_start\": {\"points\": %zu, "
+                     "],\n \"intra_run\": {\"channels\": %u, "
+                     "\"requests_per_gen\": %llu, \"widths\": [\n",
+                     intra_channels,
+                     static_cast<unsigned long long>(intra_reqs));
+        for (std::size_t i = 0; i < intra.size(); ++i) {
+            const IntraWidth &iw = intra[i];
+            std::fprintf(f,
+                         "  {\"sim_threads\": %u, \"seconds\": %.6f, "
+                         "\"speedup\": %.3f, \"match\": %s}%s\n",
+                         iw.simThreads, iw.seconds, iw.speedup,
+                         iw.match ? "true" : "false",
+                         i + 1 < intra.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "]},\n \"warm_start\": {\"points\": %zu, "
                      "\"config_groups\": %zu, \"jobs\": %u,\n"
                      "  \"warmup_requests\": %llu, "
                      "\"measured_requests\": %llu,\n"

@@ -602,7 +602,7 @@ CkptIn::getOrBool(const std::string &key, bool def) const
 }
 
 void
-CkptIn::getEvent(const std::string &key, Event &ev)
+CkptIn::getEvent(const std::string &key, EventQueue &eq, Event &ev)
 {
     const auto &vec = getU64Vec(key);
     if (vec.size() != 3)
@@ -612,7 +612,7 @@ CkptIn::getEvent(const std::string &key, Event &ev)
         panic("checkpoint restore of already-scheduled event '%s'",
               ev.name().c_str());
     if (vec[0] != 0)
-        deferred_.push_back({vec[2], vec[1], &ev});
+        deferred_.push_back({vec[2], vec[1], &eq, &ev});
 }
 
 Packet *
@@ -651,7 +651,7 @@ CkptIn::getPacket(const std::string &key) const
 }
 
 void
-CkptIn::finalizeEvents(EventQueue &eq)
+CkptIn::finalizeEvents()
 {
     if (finalized_)
         panic("finalizeEvents() called twice on one checkpoint");
@@ -659,12 +659,15 @@ CkptIn::finalizeEvents(EventQueue &eq)
     // Scheduling in saved service-rank order hands out fresh sequence
     // numbers in the original relative order, so ties at the same
     // (tick, priority) resolve exactly as in the uninterrupted run.
+    // Ranks are per queue (each shard numbers its own services), and a
+    // global sort keeps every queue's internal order intact, so one
+    // pass schedules all shards correctly.
     std::stable_sort(deferred_.begin(), deferred_.end(),
                      [](const DeferredEvent &a, const DeferredEvent &b) {
                          return a.rank < b.rank;
                      });
     for (const DeferredEvent &d : deferred_)
-        eq.schedule(*d.ev, d.when);
+        d.eq->schedule(*d.ev, d.when);
     deferred_.clear();
 }
 
@@ -729,6 +732,18 @@ save(Simulator &sim, std::ostream &os)
     out.putU64("numServiced", sim.eventq().numEventsServiced());
     out.putU64("nextPacketId", Packet::nextId());
     out.putU64("objectCount", sim.objects().size());
+    // Per-shard clocks and service counts. Saves only happen with the
+    // engine quiesced at a barrier, so every shard sits at a common
+    // tick; the service counts still differ per shard.
+    if (sim.numShards() > 1) {
+        std::vector<std::uint64_t> ticks, serviced;
+        for (unsigned s = 0; s < sim.numShards(); ++s) {
+            ticks.push_back(sim.shardQueue(s).curTick());
+            serviced.push_back(sim.shardQueue(s).numEventsServiced());
+        }
+        out.putU64Vec("shardTicks", ticks);
+        out.putU64Vec("shardServiced", serviced);
+    }
     out.endSection();
 
     out.beginSection("stats");
@@ -745,8 +760,12 @@ save(Simulator &sim, std::ostream &os)
 void
 restore(Simulator &sim, std::istream &is)
 {
-    if (!sim.eventq().empty() || sim.curTick() != 0 ||
-        sim.startupDone())
+    for (unsigned s = 0; s < sim.numShards(); ++s)
+        if (!sim.shardQueue(s).empty() ||
+            sim.shardQueue(s).curTick() != 0)
+            fatal("checkpoint restore requires a freshly constructed "
+                  "simulator (nothing run, nothing scheduled)");
+    if (sim.startupDone())
         fatal("checkpoint restore requires a freshly constructed "
               "simulator (nothing run, nothing scheduled)");
 
@@ -755,8 +774,22 @@ restore(Simulator &sim, std::istream &is)
     in.openSection("sim");
     // Time first: deferred events re-schedule against the restored
     // tick, and components may sanity-check against curTick().
-    sim.eventq().restoreState(in.getTick("curTick"),
-                              in.getU64("numServiced"));
+    if (in.has("shardTicks")) {
+        const auto &ticks = in.getU64Vec("shardTicks");
+        const auto &serviced = in.getU64Vec("shardServiced");
+        if (ticks.size() != sim.numShards())
+            fatal("checkpoint holds %zu shards but the restoring "
+                  "simulator has %u — rebuild with the same channel "
+                  "count", ticks.size(), sim.numShards());
+        for (unsigned s = 0; s < sim.numShards(); ++s)
+            sim.shardQueue(s).restoreState(ticks[s], serviced[s]);
+    } else {
+        if (sim.numShards() > 1)
+            fatal("unsharded checkpoint cannot restore into a "
+                  "sharded simulator");
+        sim.eventq().restoreState(in.getTick("curTick"),
+                                  in.getU64("numServiced"));
+    }
     Packet::setNextId(in.getU64("nextPacketId"));
     if (in.getU64("objectCount") != sim.objects().size())
         fatal("checkpoint holds %llu objects but the restoring "
@@ -773,7 +806,7 @@ restore(Simulator &sim, std::istream &is)
         obj->unserialize(in);
     }
 
-    in.finalizeEvents(sim.eventq());
+    in.finalizeEvents();
     sim.markStartupDone();
 }
 

@@ -174,7 +174,7 @@ class CkptIn
      * together with its saved tick and rank, and actually scheduled by
      * finalizeEvents(). @p ev must outlive this reader.
      */
-    void getEvent(const std::string &key, Event &ev);
+    void getEvent(const std::string &key, EventQueue &eq, Event &ev);
 
     /** Recreate a packet written by putPacket() (null allowed). */
     Packet *getPacket(const std::string &key) const;
@@ -184,7 +184,7 @@ class CkptIn
      * order. Call exactly once, after every section has been read and
      * after the queue's current tick has been restored.
      */
-    void finalizeEvents(EventQueue &eq);
+    void finalizeEvents();
 
   private:
     struct Value
@@ -211,6 +211,7 @@ class CkptIn
     {
         std::uint64_t rank;
         Tick when;
+        EventQueue *eq;
         Event *ev;
     };
 

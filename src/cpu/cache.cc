@@ -51,7 +51,7 @@ Cache::Cache(Simulator &sim, std::string name, const CacheConfig &cfg)
     : SimObject(sim, std::move(name)), cfg_(cfg),
       cpuSide_(this->name() + ".cpuSide", *this),
       memSide_(this->name() + ".memSide", *this),
-      respQueue_(sim.eventq(), cpuSide_, this->name() + ".respQueue"),
+      respQueue_(this->eventq(), cpuSide_, this->name() + ".respQueue"),
       prefetcher_(cfg.prefetcher, cfg.blockSize)
 {
     if (!isPowerOf2(cfg_.blockSize))

@@ -59,7 +59,7 @@ CycleDRAMCtrl::CycleDRAMCtrl(Simulator &sim, std::string name,
     : MemCtrlBase(sim, std::move(name)), cfg_(config), range_(range),
       decoder_(cfg_.org, cfg_.addrMapping), ct_(cfg_.timing),
       port_(this->name() + ".port", *this),
-      respQueue_(sim.eventq(), port_, this->name() + ".respQueue"),
+      respQueue_(this->eventq(), port_, this->name() + ".respQueue"),
       transQueueLimit_(cfg_.readBufferSize + cfg_.writeBufferSize),
       cmdQueue_(cfg_.org.ranksPerChannel, cfg_.org.banksPerRank,
                 cmd_queue_depth),
@@ -373,7 +373,7 @@ CycleDRAMCtrl::unserialize(ckpt::CkptIn &in)
     windowStart_ = in.getTick("windowStart");
 
     respQueue_.unserialize(in);
-    in.getEvent("tickEvent", tickEvent_);
+    in.getEvent("tickEvent", eventq(), tickEvent_);
 }
 
 bool

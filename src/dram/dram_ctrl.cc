@@ -163,7 +163,7 @@ DRAMCtrl::DRAMCtrl(Simulator &sim, std::string name,
     : MemCtrlBase(sim, std::move(name)), cfg_(config), range_(range),
       decoder_(cfg_.org, cfg_.addrMapping),
       port_(this->name() + ".port", *this),
-      respQueue_(sim.eventq(), port_, this->name() + ".respQueue"),
+      respQueue_(this->eventq(), port_, this->name() + ".respQueue"),
       nextReqEvent_([this] { processNextReqEvent(); },
                     this->name() + ".nextReqEvent"),
       refreshEvent_([this] { processRefreshEvent(); },
@@ -180,12 +180,15 @@ DRAMCtrl::DRAMCtrl(Simulator &sim, std::string name,
               static_cast<unsigned long long>(cfg_.org.channelCapacity));
 
     ranks_.resize(cfg_.org.ranksPerChannel);
-    for (Rank &rank : ranks_) {
-        rank.banks.resize(cfg_.org.banksPerRank);
+    for (Rank &rank : ranks_)
         rank.actWindow.init(cfg_.timing.activationLimit);
-    }
 
     const unsigned total_banks = cfg_.org.totalBanks();
+    bankOpenRow_.assign(total_banks, kNoRow);
+    bankPreAllowedAt_.assign(total_banks, 0);
+    bankActAllowedAt_.assign(total_banks, 0);
+    bankColAllowedAt_.assign(total_banks, 0);
+    bankRowAccesses_.assign(total_banks, 0);
     readyCache_.resize(total_banks);
     bankGen_.assign(total_banks, 0);
     rankGen_.assign(cfg_.org.ranksPerChannel, 0);
@@ -269,25 +272,18 @@ DRAMCtrl::serialize(ckpt::CkptOut &out) const
 {
     ckpt::putCheck(out, "cfgHash", ckpt::fnv1a(cfg_.describe()));
 
-    // Bank and rank timing state, flattened rank-major so a vector per
-    // field covers the whole channel.
-    std::vector<std::uint64_t> open_row, pre_at, act_at, col_at,
-        row_acc, next_act;
-    for (const Rank &rank : ranks_) {
+    // Bank timing state is already flat rank-major struct-of-arrays,
+    // the exact layout the checkpoint format records.
+    std::vector<std::uint64_t> next_act;
+    for (const Rank &rank : ranks_)
         next_act.push_back(rank.nextActAt);
-        for (const Bank &bank : rank.banks) {
-            open_row.push_back(bank.openRow);
-            pre_at.push_back(bank.preAllowedAt);
-            act_at.push_back(bank.actAllowedAt);
-            col_at.push_back(bank.colAllowedAt);
-            row_acc.push_back(bank.rowAccesses);
-        }
-    }
-    out.putU64Vec("bank.openRow", open_row);
-    out.putU64Vec("bank.preAllowedAt", pre_at);
-    out.putU64Vec("bank.actAllowedAt", act_at);
-    out.putU64Vec("bank.colAllowedAt", col_at);
-    out.putU64Vec("bank.rowAccesses", row_acc);
+    out.putU64Vec("bank.openRow", bankOpenRow_);
+    out.putU64Vec("bank.preAllowedAt", bankPreAllowedAt_);
+    out.putU64Vec("bank.actAllowedAt", bankActAllowedAt_);
+    out.putU64Vec("bank.colAllowedAt", bankColAllowedAt_);
+    out.putU64Vec("bank.rowAccesses",
+                  std::vector<std::uint64_t>(bankRowAccesses_.begin(),
+                                             bankRowAccesses_.end()));
     out.putU64Vec("rank.nextActAt", next_act);
     for (std::size_t r = 0; r < ranks_.size(); ++r) {
         std::vector<std::uint64_t> window;
@@ -388,7 +384,6 @@ DRAMCtrl::unserialize(ckpt::CkptIn &in)
         fatal("checkpoint controller '%s' covers %zu banks, this one "
               "has %u", name().c_str(), open_row.size(), total_banks);
     const auto &next_act = in.getU64Vec("rank.nextActAt");
-    std::size_t flat = 0;
     for (std::size_t r = 0; r < ranks_.size(); ++r) {
         Rank &rank = ranks_[r];
         rank.nextActAt = next_act.at(r);
@@ -397,15 +392,14 @@ DRAMCtrl::unserialize(ckpt::CkptIn &in)
         rank.actWindow.clear();
         for (std::uint64_t t : window)
             rank.actWindow.push_back(t);
-        for (Bank &bank : rank.banks) {
-            bank.openRow = open_row[flat];
-            bank.preAllowedAt = pre_at.at(flat);
-            bank.actAllowedAt = act_at.at(flat);
-            bank.colAllowedAt = col_at.at(flat);
-            bank.rowAccesses =
-                static_cast<unsigned>(row_acc.at(flat));
-            ++flat;
-        }
+    }
+    for (unsigned flat = 0; flat < total_banks; ++flat) {
+        bankOpenRow_[flat] = open_row[flat];
+        bankPreAllowedAt_[flat] = pre_at.at(flat);
+        bankActAllowedAt_[flat] = act_at.at(flat);
+        bankColAllowedAt_[flat] = col_at.at(flat);
+        bankRowAccesses_[flat] =
+            static_cast<std::uint32_t>(row_acc.at(flat));
     }
     const auto &starved = in.getU64Vec("starvedHits");
     if (starved.size() != starvedHits_.size())
@@ -494,8 +488,8 @@ DRAMCtrl::unserialize(ckpt::CkptIn &in)
     lastQStatUpdate_ = in.getTick("lastQStatUpdate");
 
     respQueue_.unserialize(in);
-    in.getEvent("nextReqEvent", nextReqEvent_);
-    in.getEvent("refreshEvent", refreshEvent_);
+    in.getEvent("nextReqEvent", eventq(), nextReqEvent_);
+    in.getEvent("refreshEvent", eventq(), refreshEvent_);
 }
 
 bool
@@ -604,13 +598,12 @@ DRAMCtrl::armPowerDown()
     // exitPowerDown), so a request arriving inside the delay window
     // still enjoys its open pages.
     Tick entry = std::max(curTick(), busBusyUntil_);
-    for (const Rank &rank : ranks_) {
-        for (const Bank &bank : rank.banks) {
-            if (bank.openRow != Bank::kNoRow)
-                entry = std::max(entry, std::max(curTick(),
-                                                 bank.preAllowedAt) +
-                                            cfg_.timing.tRP);
-        }
+    for (std::size_t flat = 0; flat < bankOpenRow_.size(); ++flat) {
+        if (bankOpenRow_[flat] != kNoRow)
+            entry = std::max(entry,
+                             std::max(curTick(),
+                                      bankPreAllowedAt_[flat]) +
+                                 cfg_.timing.tRP);
     }
     poweredDownAt_ = entry + cfg_.powerDownDelay;
     TRACE(Power, "%s: power-down armed for %llu", name().c_str(),
@@ -634,14 +627,12 @@ DRAMCtrl::exitPowerDown(Tick now)
 
     // Power-down confirmed: the idle controller closed its open rows
     // on the way in (retroactively, since the model is lazy).
-    for (Rank &rank : ranks_) {
-        for (Bank &bank : rank.banks) {
-            if (bank.openRow != Bank::kNoRow)
-                prechargeBank(rank, bank,
-                              std::max(bank.preAllowedAt,
-                                       poweredDownAt_ -
-                                           cfg_.powerDownDelay));
-        }
+    for (unsigned flat = 0; flat < bankOpenRow_.size(); ++flat) {
+        if (bankOpenRow_[flat] != kNoRow)
+            prechargeBank(flat,
+                          std::max(bankPreAllowedAt_[flat],
+                                   poweredDownAt_ -
+                                       cfg_.powerDownDelay));
     }
 
     // The episode may have deepened into self-refresh.
@@ -865,7 +856,7 @@ DRAMCtrl::noteEnqueued(const DRAMPacket &pkt, bool is_read)
         ++rdBankCounts_[flat];
     else
         ++wrBankCounts_[flat];
-    if (ranks_[pkt.rank].banks[pkt.bank].openRow == pkt.row) {
+    if (bankOpenRow_[flat] == pkt.row) {
         bool usable = !starvedHits_[flat];
         if (is_read) {
             ++rdRowHitCounts_[flat];
@@ -887,7 +878,7 @@ DRAMCtrl::noteDequeued(const DRAMPacket &pkt, bool is_read)
         --rdBankCounts_[flat];
     else
         --wrBankCounts_[flat];
-    if (ranks_[pkt.rank].banks[pkt.bank].openRow == pkt.row) {
+    if (bankOpenRow_[flat] == pkt.row) {
         bool usable = !starvedHits_[flat];
         if (is_read) {
             --rdRowHitCounts_[flat];
@@ -960,20 +951,21 @@ DRAMCtrl::recordActivate(Rank &rank, Tick act_tick)
 }
 
 void
-DRAMCtrl::prechargeBank(Rank &rank, Bank &bank, Tick pre_tick)
+DRAMCtrl::prechargeBank(unsigned flat, Tick pre_tick)
 {
-    DC_ASSERT(bank.openRow != Bank::kNoRow, "precharging a closed bank");
-    unsigned flat = flatBankOf(rank, bank);
+    DC_ASSERT(bankOpenRow_[flat] != kNoRow,
+              "precharging a closed bank");
     if (cmdLogger_ != nullptr)
         cmdLogger_->record(pre_tick, DRAMCmd::Pre,
                            flat / cfg_.org.banksPerRank,
                            flat % cfg_.org.banksPerRank);
     rowClosed(flat);
     invalidateBank(flat);
-    bank.openRow = Bank::kNoRow;
-    bank.rowAccesses = 0;
+    bankOpenRow_[flat] = kNoRow;
+    bankRowAccesses_[flat] = 0;
     Tick pre_done = pre_tick + cfg_.timing.tRP;
-    bank.actAllowedAt = std::max(bank.actAllowedAt, pre_done);
+    bankActAllowedAt_[flat] =
+        std::max(bankActAllowedAt_[flat], pre_done);
     refNotBefore_ = std::max(refNotBefore_, pre_done);
     ++stats_->numPrecharges;
     bankPrecharged(pre_done);
@@ -1006,10 +998,9 @@ DRAMCtrl::bankPrecharged(Tick pre_done_tick)
 Tick
 DRAMCtrl::estimateReadyTick(const DRAMPacket &pkt) const
 {
-    const Bank &bank = ranks_[pkt.rank].banks[pkt.bank];
-
-    if (bank.openRow == pkt.row)
-        return std::max(bank.colAllowedAt, curTick());
+    unsigned flat = flatIdx(pkt.rank, pkt.bank);
+    if (bankOpenRow_[flat] == pkt.row)
+        return std::max(bankColAllowedAt_[flat], curTick());
 
     return estimateBankReady(pkt.rank, pkt.bank);
 }
@@ -1018,7 +1009,6 @@ Tick
 DRAMCtrl::estimateBankReady(unsigned rank_idx, unsigned bank_idx) const
 {
     const Rank &rank = ranks_[rank_idx];
-    const Bank &bank = rank.banks[bank_idx];
 
     // The miss estimate max-distributes into a state-dependent part
     // (cacheable per bank) and a curTick-relative floor:
@@ -1038,14 +1028,14 @@ DRAMCtrl::estimateBankReady(unsigned rank_idx, unsigned bank_idx) const
         unsigned limit = t.activationLimit;
         if (limit != 0 && rank.actWindow.size() >= limit)
             awc = rank.actWindow.front() + t.tXAW;
-        if (bank.openRow != Bank::kNoRow) {
-            rc.base = std::max({bank.preAllowedAt + t.tRP,
+        if (bankOpenRow_[flat] != kNoRow) {
+            rc.base = std::max({bankPreAllowedAt_[flat] + t.tRP,
                                 rank.nextActAt, awc}) +
                       t.tRCD;
             rc.nowOffset = t.tRP + t.tRCD;
         } else {
-            rc.base = std::max({bank.actAllowedAt, rank.nextActAt,
-                                awc}) +
+            rc.base = std::max({bankActAllowedAt_[flat],
+                                rank.nextActAt, awc}) +
                       t.tRCD;
             rc.nowOffset = t.tRCD;
         }
@@ -1081,9 +1071,8 @@ DRAMCtrl::chooseNext(std::vector<DRAMPacket *> &queue)
             // winner is the oldest one, no ready ticks needed.
             for (auto it = queue.begin(); it != queue.end(); ++it) {
                 const DRAMPacket &dp = **it;
-                unsigned flat =
-                    dp.rank * cfg_.org.banksPerRank + dp.bank;
-                if (ranks_[dp.rank].banks[dp.bank].openRow == dp.row &&
+                unsigned flat = flatIdx(dp.rank, dp.bank);
+                if (bankOpenRow_[flat] == dp.row &&
                     !starvedHits_[flat])
                     return it;
             }
@@ -1108,24 +1097,24 @@ DRAMCtrl::chooseNext(std::vector<DRAMPacket *> &queue)
                  ++flat) {
                 if (bank_counts[flat] == 0)
                     continue;
-                unsigned r = flat / nbanks;
-                unsigned b = flat % nbanks;
                 if (hit_counts[flat] > 0)
                     best_ready = std::min(
                         best_ready,
-                        std::max(ranks_[r].banks[b].colAllowedAt,
-                                 now));
+                        std::max(bankColAllowedAt_[flat], now));
                 if (bank_counts[flat] > hit_counts[flat])
-                    best_ready = std::min(best_ready,
-                                          estimateBankReady(r, b));
+                    best_ready =
+                        std::min(best_ready,
+                                 estimateBankReady(flat / nbanks,
+                                                   flat % nbanks));
             }
             for (auto it = queue.begin(); it != queue.end(); ++it) {
                 const DRAMPacket &dp = **it;
-                const Bank &bank = ranks_[dp.rank].banks[dp.bank];
+                unsigned flat = flatIdx(dp.rank, dp.bank);
                 // Bank estimates were cached by the pass above.
-                Tick est = bank.openRow == dp.row
-                               ? std::max(bank.colAllowedAt, now)
-                               : estimateBankReady(dp.rank, dp.bank);
+                Tick est =
+                    bankOpenRow_[flat] == dp.row
+                        ? std::max(bankColAllowedAt_[flat], now)
+                        : estimateBankReady(dp.rank, dp.bank);
                 if (est == best_ready)
                     return it;
             }
@@ -1145,11 +1134,12 @@ DRAMCtrl::chooseNext(std::vector<DRAMPacket *> &queue)
     unsigned best_hit_prio = 0;
     for (auto it = queue.begin(); it != queue.end(); ++it) {
         const DRAMPacket &dp = **it;
-        const Bank &bank = ranks_[dp.rank].banks[dp.bank];
+        unsigned flat = flatIdx(dp.rank, dp.bank);
         unsigned prio = priorityOf(dp);
-        bool row_hit = bank.openRow == dp.row;
-        bool starved = cfg_.maxAccessesPerRow > 0 &&
-                       bank.rowAccesses >= cfg_.maxAccessesPerRow;
+        bool row_hit = bankOpenRow_[flat] == dp.row;
+        bool starved =
+            cfg_.maxAccessesPerRow > 0 &&
+            bankRowAccesses_[flat] >= cfg_.maxAccessesPerRow;
         if (row_hit && !starved) {
             if (!prio_sched)
                 return it; // plain FR-FCFS: oldest row hit wins
@@ -1189,15 +1179,16 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
 {
     const DRAMTiming &t = cfg_.timing;
     Rank &rank = ranks_[pkt->rank];
-    Bank &bank = rank.banks[pkt->bank];
+    const unsigned flat_bank = flatIdx(pkt->rank, pkt->bank);
 
-    bool row_hit = bank.openRow == pkt->row;
+    bool row_hit = bankOpenRow_[flat_bank] == pkt->row;
     if (!row_hit) {
-        if (bank.openRow != Bank::kNoRow)
-            prechargeBank(rank, bank,
-                          std::max(curTick(), bank.preAllowedAt));
+        if (bankOpenRow_[flat_bank] != kNoRow)
+            prechargeBank(flat_bank,
+                          std::max(curTick(),
+                                   bankPreAllowedAt_[flat_bank]));
 
-        Tick act = std::max({curTick(), bank.actAllowedAt,
+        Tick act = std::max({curTick(), bankActAllowedAt_[flat_bank],
                              rank.nextActAt, wakeConstraint_});
         act = activationWindowConstraint(rank, act);
         recordActivate(rank, act);
@@ -1207,19 +1198,16 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
             cmdLogger_->record(act, DRAMCmd::Act, pkt->rank, pkt->bank,
                                pkt->row);
 
-        bank.openRow = pkt->row;
-        bank.rowAccesses = 0;
-        bank.colAllowedAt = act + t.tRCD;
-        bank.preAllowedAt = act + t.tRAS;
+        bankOpenRow_[flat_bank] = pkt->row;
+        bankRowAccesses_[flat_bank] = 0;
+        bankColAllowedAt_[flat_bank] = act + t.tRCD;
+        bankPreAllowedAt_[flat_bank] = act + t.tRAS;
         rowOpened(pkt->rank, pkt->bank, pkt->row);
         if (auto *ct = obs::chromeTracer()) {
             ct->counter(name(), "openBanks", act,
                         static_cast<double>(numBanksActive_));
             ct->counter(name() + ".banks",
-                        "bank" + std::to_string(
-                                     pkt->rank * cfg_.org.banksPerRank +
-                                     pkt->bank),
-                        act, 1.0);
+                        "bank" + std::to_string(flat_bank), act, 1.0);
         }
     }
 
@@ -1229,7 +1217,7 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
     // when the bank alone would let the column command go, cmd_at is
     // when it actually goes (turnaround/wake stalls on top), and
     // data_start is when the bus is free for the data.
-    Tick bank_ready = std::max(bank.colAllowedAt, curTick());
+    Tick bank_ready = std::max(bankColAllowedAt_[flat_bank], curTick());
     Tick cmd_at;
     Tick data_start;
     if (pkt->isRead) {
@@ -1263,20 +1251,21 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
 
     if (pkt->isRead) {
         nextWrDataAt_ = std::max(nextWrDataAt_, data_done + t.tRTW);
-        bank.preAllowedAt = std::max(bank.preAllowedAt, data_done);
+        bankPreAllowedAt_[flat_bank] =
+            std::max(bankPreAllowedAt_[flat_bank], data_done);
     } else {
         nextRdCmdAt_ = std::max(nextRdCmdAt_, data_done + t.tWTR);
-        bank.preAllowedAt = std::max(bank.preAllowedAt,
-                                     data_done + t.tWR);
+        bankPreAllowedAt_[flat_bank] =
+            std::max(bankPreAllowedAt_[flat_bank], data_done + t.tWR);
     }
     lastBurstWasRead_ = pkt->isRead;
 
     // The burst occupies the bank's column path for tBURST (tCCD).
-    bank.colAllowedAt = std::max(bank.colAllowedAt,
-                                 data_start - t.tCL + t.tBURST);
-    ++bank.rowAccesses;
+    bankColAllowedAt_[flat_bank] =
+        std::max(bankColAllowedAt_[flat_bank],
+                 data_start - t.tCL + t.tBURST);
+    ++bankRowAccesses_[flat_bank];
 
-    unsigned flat_bank = pkt->rank * cfg_.org.banksPerRank + pkt->bank;
     invalidateBank(flat_bank);
 
     // Crossing the per-row access limit demotes this bank's queued
@@ -1284,7 +1273,7 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
     // the usable-hit totals (the raw counts stay, the page policy
     // still wants them).
     if (cfg_.maxAccessesPerRow > 0 && !starvedHits_[flat_bank] &&
-        bank.rowAccesses >= cfg_.maxAccessesPerRow) {
+        bankRowAccesses_[flat_bank] >= cfg_.maxAccessesPerRow) {
         starvedHits_[flat_bank] = 1;
         rdRowHitTotal_ -= rdRowHitCounts_[flat_bank];
         wrRowHitTotal_ -= wrRowHitCounts_[flat_bank];
@@ -1338,8 +1327,8 @@ DRAMCtrl::queuedRowHits(unsigned rank, unsigned bank,
 {
     // When asking about the currently open row (the page-policy case)
     // the maintained hit counters already hold the answer.
-    if (ranks_[rank].banks[bank].openRow == row) {
-        unsigned flat = rank * cfg_.org.banksPerRank + bank;
+    if (bankOpenRow_[flatIdx(rank, bank)] == row) {
+        unsigned flat = flatIdx(rank, bank);
         return rdRowHitCounts_[flat] + wrRowHitCounts_[flat] > 0;
     }
     auto match = [&](const DRAMPacket *dp) {
@@ -1355,8 +1344,8 @@ DRAMCtrl::queuedBankConflicts(unsigned rank, unsigned bank,
 {
     // Queued-for-this-bank minus queued-for-the-open-row leaves the
     // conflicting entries, again counter-only for the open row.
-    if (ranks_[rank].banks[bank].openRow == row) {
-        unsigned flat = rank * cfg_.org.banksPerRank + bank;
+    if (bankOpenRow_[flatIdx(rank, bank)] == row) {
+        unsigned flat = flatIdx(rank, bank);
         return (rdBankCounts_[flat] - rdRowHitCounts_[flat]) +
                    (wrBankCounts_[flat] - wrRowHitCounts_[flat]) >
                0;
@@ -1371,9 +1360,8 @@ DRAMCtrl::queuedBankConflicts(unsigned rank, unsigned bank,
 void
 DRAMCtrl::applyPagePolicy(const DRAMPacket &pkt)
 {
-    Rank &rank = ranks_[pkt.rank];
-    Bank &bank = rank.banks[pkt.bank];
-    DC_ASSERT(bank.openRow == pkt.row, "page policy on stale row");
+    const unsigned flat = flatIdx(pkt.rank, pkt.bank);
+    DC_ASSERT(bankOpenRow_[flat] == pkt.row, "page policy on stale row");
 
     bool auto_precharge = false;
     switch (cfg_.pagePolicy) {
@@ -1396,8 +1384,8 @@ DRAMCtrl::applyPagePolicy(const DRAMPacket &pkt)
     }
 
     if (auto_precharge)
-        prechargeBank(rank, bank,
-                      std::max(curTick(), bank.preAllowedAt));
+        prechargeBank(flat,
+                      std::max(curTick(), bankPreAllowedAt_[flat]));
 }
 
 void
@@ -1551,20 +1539,21 @@ void
 DRAMCtrl::refreshRank(unsigned rank_idx)
 {
     const DRAMTiming &t = cfg_.timing;
-    Rank &rank = ranks_[rank_idx];
 
     // Only this rank's banks must be closed; the bus must be quiet so
     // no in-flight data to this rank overlaps the refresh (shared-bus
     // conservatism: transfers to other ranks also push this out).
+    const unsigned lo = rank_idx * cfg_.org.banksPerRank;
+    const unsigned hi = lo + cfg_.org.banksPerRank;
     Tick start = std::max(curTick(), busBusyUntil_);
-    for (Bank &bank : rank.banks) {
-        if (bank.openRow != Bank::kNoRow)
-            start = std::max(start, bank.preAllowedAt);
+    for (unsigned flat = lo; flat < hi; ++flat) {
+        if (bankOpenRow_[flat] != kNoRow)
+            start = std::max(start, bankPreAllowedAt_[flat]);
     }
-    for (Bank &bank : rank.banks) {
-        if (bank.openRow != Bank::kNoRow)
-            prechargeBank(rank, bank,
-                          std::max(start, bank.preAllowedAt));
+    for (unsigned flat = lo; flat < hi; ++flat) {
+        if (bankOpenRow_[flat] != kNoRow)
+            prechargeBank(flat,
+                          std::max(start, bankPreAllowedAt_[flat]));
     }
     start = std::max(start, refNotBefore_);
 
@@ -1575,8 +1564,9 @@ DRAMCtrl::refreshRank(unsigned rank_idx)
           static_cast<unsigned long long>(done));
     if (cmdLogger_ != nullptr)
         cmdLogger_->record(start, DRAMCmd::Ref, rank_idx, 0);
-    for (Bank &bank : rank.banks)
-        bank.actAllowedAt = std::max(bank.actAllowedAt, done);
+    for (unsigned flat = lo; flat < hi; ++flat)
+        bankActAllowedAt_[flat] = std::max(bankActAllowedAt_[flat],
+                                           done);
     invalidateRank(rank_idx);
     ++stats_->numRefreshes;
 }
@@ -1632,22 +1622,19 @@ DRAMCtrl::processRefreshEvent()
     // refresh can launch (Section II-B: refreshes cause latency spikes).
     Tick start = std::max({curTick(), busBusyUntil_, wakeConstraint_});
     bool any_open = false;
-    for (Rank &rank : ranks_) {
-        for (Bank &bank : rank.banks) {
-            if (bank.openRow != Bank::kNoRow) {
-                any_open = true;
-                start = std::max(start, bank.preAllowedAt);
-            }
+    for (std::size_t flat = 0; flat < bankOpenRow_.size(); ++flat) {
+        if (bankOpenRow_[flat] != kNoRow) {
+            any_open = true;
+            start = std::max(start, bankPreAllowedAt_[flat]);
         }
     }
 
     if (any_open) {
-        for (Rank &rank : ranks_) {
-            for (Bank &bank : rank.banks) {
-                if (bank.openRow != Bank::kNoRow)
-                    prechargeBank(rank, bank,
-                                  std::max(start, bank.preAllowedAt));
-            }
+        for (unsigned flat = 0; flat < bankOpenRow_.size(); ++flat) {
+            if (bankOpenRow_[flat] != kNoRow)
+                prechargeBank(flat,
+                              std::max(start,
+                                       bankPreAllowedAt_[flat]));
         }
     } else if (numBanksActive_ == 0) {
         // Idle window up to the refresh: account precharge-standby time
@@ -1671,10 +1658,11 @@ DRAMCtrl::processRefreshEvent()
     for (unsigned r = 0; r < ranks_.size(); ++r) {
         if (cmdLogger_ != nullptr)
             cmdLogger_->record(start, DRAMCmd::Ref, r, 0);
-        for (Bank &bank : ranks_[r].banks)
-            bank.actAllowedAt = std::max(bank.actAllowedAt, done);
         invalidateRank(r);
     }
+    for (std::size_t flat = 0; flat < bankOpenRow_.size(); ++flat)
+        bankActAllowedAt_[flat] = std::max(bankActAllowedAt_[flat],
+                                           done);
     allBanksPreSince_ = done;
     ++stats_->numRefreshes;
 

@@ -196,26 +196,15 @@ class DRAMCtrl : public MemCtrlBase
     void unserialize(ckpt::CkptIn &in) override;
 
   private:
-    /** State of one DRAM bank, expressed as future-legal ticks. */
-    struct Bank
-    {
-        static constexpr std::uint64_t kNoRow = ~std::uint64_t(0);
+    /** Open-row sentinel: the bank is precharged. */
+    static constexpr std::uint64_t kNoRow = ~std::uint64_t(0);
 
-        std::uint64_t openRow = kNoRow;
-        /** Earliest tick a precharge may launch. */
-        Tick preAllowedAt = 0;
-        /** Earliest tick an activate may launch (bank precharged). */
-        Tick actAllowedAt = 0;
-        /** Earliest tick a column command may launch (row open). */
-        Tick colAllowedAt = 0;
-        /** Consecutive column accesses to the open row. */
-        unsigned rowAccesses = 0;
-    };
-
-    /** Per-rank state: banks plus rank-level activate constraints. */
+    /**
+     * Per-rank state: rank-level activate constraints. Bank state
+     * lives in the flat struct-of-arrays vectors below, not here.
+     */
     struct Rank
     {
-        std::vector<Bank> banks;
         /** Earliest next activate anywhere in the rank (tRRD). */
         Tick nextActAt = 0;
         /**
@@ -312,8 +301,8 @@ class DRAMCtrl : public MemCtrlBase
     /** Perform the access: compute all timings, update bank/bus state. */
     void doDRAMAccess(DRAMPacket *pkt);
 
-    /** Launch a precharge at @p pre_tick (>= bank.preAllowedAt). */
-    void prechargeBank(Rank &rank, Bank &bank, Tick pre_tick);
+    /** Launch a precharge at @p pre_tick (>= the bank's preAllowedAt). */
+    void prechargeBank(unsigned flat_bank, Tick pre_tick);
 
     /** Account an activate at @p act_tick and apply tRRD/tXAW. */
     void recordActivate(Rank &rank, Tick act_tick);
@@ -359,6 +348,21 @@ class DRAMCtrl : public MemCtrlBase
     RespPacketQueue respQueue_;
 
     std::vector<Rank> ranks_;
+
+    /**
+     * Bank timing state as struct-of-arrays, flat-bank indexed
+     * (rank-major, matching the checkpoint layout). The FR-FCFS scan
+     * reads openRow and colAllowedAt across many banks per decision;
+     * one packed 64-bit lane per field keeps those walks on
+     * contiguous cache lines instead of striding through an array of
+     * structs, and the checkpoint code serialises the vectors
+     * verbatim.
+     */
+    std::vector<std::uint64_t> bankOpenRow_;
+    std::vector<Tick> bankPreAllowedAt_;
+    std::vector<Tick> bankActAllowedAt_;
+    std::vector<Tick> bankColAllowedAt_;
+    std::vector<std::uint32_t> bankRowAccesses_;
 
     /**
      * Pending bursts, oldest first. Vectors with capacity reserved to
@@ -434,11 +438,10 @@ class DRAMCtrl : public MemCtrlBase
     /** Highest priority any requestor holds under FrFcfsPrio. */
     unsigned maxReqPriority_ = 0;
 
-    unsigned flatBankOf(const Rank &rank, const Bank &bank) const
+    /** Flat (rank-major) index of @p bank in rank @p rank. */
+    unsigned flatIdx(unsigned rank, unsigned bank) const
     {
-        auto r = static_cast<unsigned>(&rank - ranks_.data());
-        auto b = static_cast<unsigned>(&bank - rank.banks.data());
-        return r * cfg_.org.banksPerRank + b;
+        return rank * cfg_.org.banksPerRank + bank;
     }
 
     void invalidateBank(unsigned flat_bank) { ++bankGen_[flat_bank]; }

@@ -4,8 +4,10 @@
 #include <memory>
 
 #include "ckpt/ckpt.hh"
+#include "dram/dram_ctrl.hh"
 #include "dram/dram_presets.hh"
 #include "exec/batch_runner.hh"
+#include "harness/multichannel.hh"
 #include "sim/logging.hh"
 #include "trafficgen/dram_gen.hh"
 #include "trafficgen/linear_gen.hh"
@@ -76,6 +78,26 @@ checkSpec(const SweepSpec &spec, std::string *err)
         if (err != nullptr)
             *err = "empty sweep axis";
         return false;
+    }
+    if (spec.channels == 0) {
+        if (err != nullptr)
+            *err = "channels must be at least 1";
+        return false;
+    }
+    if (spec.channels > 1) {
+        for (const std::string &p : spec.patterns) {
+            if (p == "dram") {
+                if (err != nullptr)
+                    *err = "the dram pattern is single-channel; "
+                           "multi-channel sweeps use linear/random";
+                return false;
+            }
+        }
+        if (spec.warmupRequests > 0) {
+            if (err != nullptr)
+                *err = "multi-channel sweeps do not support warm-up";
+            return false;
+        }
     }
     return true;
 }
@@ -151,6 +173,70 @@ collectRow(const SweepPoint &point, harness::SingleChannelSystem &tb,
 }
 
 /**
+ * One sharded multi-channel point: spec.channels controllers behind
+ * the crossbar, one generator per channel, spec.simThreads workers.
+ * The row depends only on (point, spec) — never on the thread count.
+ */
+SweepRow
+runMultiPoint(const SweepPoint &point, const SweepSpec &spec)
+{
+    DRAMCtrlConfig cfg = presets::byName(point.preset);
+    cfg.pagePolicy = point.page;
+    cfg.addrMapping = point.mapping;
+    cfg.writeLowThreshold = 0.0; // drain fully so every run terminates
+    cfg.check();
+
+    harness::MultiChannelConfig mcfg;
+    mcfg.channels = spec.channels;
+    mcfg.ctrl = cfg;
+    mcfg.model = point.model;
+    mcfg.simThreads = spec.simThreads;
+    harness::MultiChannelSystem mc(mcfg);
+
+    GenConfig gc;
+    gc.readPct = point.readPct;
+    gc.minITT = gc.maxITT = fromNs(point.ittNs);
+    gc.numRequests =
+        std::max<std::uint64_t>(1, spec.requests / spec.channels);
+    gc.windowSize =
+        std::min<std::uint64_t>(mc.totalCapacity(), 1ULL << 26);
+    for (unsigned i = 0; i < spec.channels; ++i) {
+        GenConfig g = harness::sliceGenWindow(gc, i, spec.channels,
+                                              mc.totalCapacity());
+        g.seed = deriveSeed(point.seed, i);
+        if (point.pattern == "linear")
+            mc.addGen<LinearGen>(g);
+        else if (point.pattern == "random")
+            mc.addGen<RandomGen>(g);
+        else
+            fatal("unknown sweep pattern '%s'", point.pattern.c_str());
+    }
+
+    mc.runToCompletion();
+
+    SweepRow row;
+    row.point = point;
+    row.simulatedUs = toSeconds(mc.sim().curTick()) * 1e6;
+    row.bandwidthGBs = mc.totalBandwidthGBs();
+    row.avgReadLatencyNs = mc.avgReadLatencyNs();
+    row.busUtil = mc.avgBusUtil();
+    if (point.model == harness::CtrlModel::Event) {
+        // Unweighted mean over the channels (the generators drive
+        // them symmetrically).
+        double hit = 0;
+        for (unsigned ch = 0; ch < mc.numChannels(); ++ch)
+            hit += static_cast<DRAMCtrl &>(mc.ctrl(ch))
+                       .ctrlStats()
+                       .rowHitRate.value();
+        row.rowHitRate = hit / mc.numChannels();
+    }
+    for (unsigned i = 0; i < mc.numGens(); ++i)
+        row.responses += static_cast<std::uint64_t>(
+            mc.gen(i).genStats().recvResponses.value());
+    return row;
+}
+
+/**
  * The warm-up stimulus stream: one seed per config group, disjoint
  * from every measured seed (which derive from masterSeed and the point
  * index directly).
@@ -172,6 +258,9 @@ configGroupOf(const SweepPoint &point, const SweepSpec &spec)
 SweepRow
 runSweepPoint(const SweepPoint &point, const SweepSpec &spec)
 {
+    if (spec.channels > 1)
+        return runMultiPoint(point, spec);
+
     if (spec.warmupRequests == 0) {
         BuiltPoint built =
             buildPoint(point, spec, spec.requests, point.seed);

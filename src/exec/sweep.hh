@@ -46,6 +46,20 @@ struct SweepSpec
     unsigned banks = 4;
 
     /**
+     * Channels per run (1 = classic single-channel point). With more
+     * than one channel every point builds a sharded multi-channel
+     * system — one controller and one generator per channel, requests
+     * split evenly — and @ref simThreads worker threads execute it.
+     * Rows are byte-identical for every simThreads value, so the two
+     * parallelism axes (outer --jobs, inner sim threads) compose
+     * freely. Multi-channel points support the linear/random patterns
+     * and no warm-up phase.
+     */
+    unsigned channels = 1;
+    /** Worker threads inside each run (0 = one per core). */
+    unsigned simThreads = 1;
+
+    /**
      * Warm-up requests injected (from a seed-independent stream)
      * before statistics reset and the measured @ref requests begin.
      * 0 disables warm-up. With warm-up on, a sweep can run in

@@ -1,0 +1,173 @@
+#include "harness/multichannel.hh"
+
+#include <algorithm>
+
+#include "dram/dram_presets.hh"
+#include "sim/logging.hh"
+#include "xbar/xbar.hh"
+
+namespace dramctrl {
+namespace harness {
+
+MultiChannelSystem::MultiChannelSystem(const MultiChannelConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.channels == 0)
+        fatal("multi-channel system needs at least one channel");
+
+    // One shard per channel; the crossbar's cheapest cross-shard hop
+    // bounds how far shards may drift apart.
+    sim_.configureShards(cfg_.channels,
+                         ShardedCrossbar::lookahead(cfg_.xbar));
+    sim_.setSimThreads(cfg_.simThreads);
+
+    std::uint64_t total_mem =
+        cfg_.ctrl.org.channelCapacity * cfg_.channels;
+    std::uint64_t granularity = cfg_.interleaveGranularity != 0
+                                    ? cfg_.interleaveGranularity
+                                    : 64;
+
+    xbar_ = std::make_unique<ShardedCrossbar>(sim_, "mem_xbar",
+                                              cfg_.xbar);
+    ranges_ = interleavedRanges(0, total_mem, granularity,
+                                cfg_.channels);
+    for (unsigned ch = 0; ch < cfg_.channels; ++ch) {
+        Simulator::ShardScope scope(sim_, ch);
+        auto ctrl = makeController(sim_,
+                                   "mem_ctrl" + std::to_string(ch),
+                                   cfg_.ctrl, ranges_[ch], cfg_.model);
+        xbar_->addChannel(ctrl->port(), ranges_[ch]);
+        ctrls_.push_back(std::move(ctrl));
+    }
+}
+
+std::uint64_t
+MultiChannelSystem::totalCapacity() const
+{
+    return cfg_.ctrl.org.channelCapacity * cfg_.channels;
+}
+
+bool
+MultiChannelSystem::drained() const
+{
+    bool gens_done = std::all_of(
+        gens_.begin(), gens_.end(),
+        [](const std::unique_ptr<BaseGen> &g) { return g->done(); });
+    if (!gens_done)
+        return false;
+    bool ctrls_idle = std::all_of(
+        ctrls_.begin(), ctrls_.end(),
+        [](const std::unique_ptr<MemCtrlBase> &c) {
+            return c->idle();
+        });
+    return ctrls_idle && xbar_->idle();
+}
+
+Tick
+MultiChannelSystem::runToCompletion(Tick max_ticks)
+{
+    if (gens_.empty())
+        fatal("multi-channel system has no generators");
+    return runUntil(
+        sim_, [this] { return drained(); }, fromUs(1.0), max_ticks);
+}
+
+std::vector<CmdLogger> &
+MultiChannelSystem::attachCmdLoggers()
+{
+    if (cmdLoggers_ == nullptr) {
+        cmdLoggers_ =
+            std::make_unique<std::vector<CmdLogger>>(numChannels());
+        for (unsigned ch = 0; ch < numChannels(); ++ch)
+            ctrls_[ch]->setCmdLogger(&(*cmdLoggers_)[ch]);
+    }
+    return *cmdLoggers_;
+}
+
+double
+MultiChannelSystem::totalBandwidthGBs() const
+{
+    double total = 0;
+    for (const auto &ctrl : ctrls_)
+        total += ctrl->achievedBandwidthGBs();
+    return total;
+}
+
+double
+MultiChannelSystem::avgBusUtil() const
+{
+    double total = 0;
+    for (const auto &ctrl : ctrls_)
+        total += ctrl->busUtilisation();
+    return total / static_cast<double>(ctrls_.size());
+}
+
+double
+MultiChannelSystem::avgReadLatencyNs() const
+{
+    // Weight each generator by its responded-read count so the mean
+    // matches a pooled sample.
+    double weighted = 0, reads = 0;
+    for (const auto &gen : gens_) {
+        double n = gen->genStats().readLatencyHist.count();
+        weighted += gen->avgReadLatencyNs() * n;
+        reads += n;
+    }
+    return reads > 0 ? weighted / reads : 0;
+}
+
+namespace {
+
+/** name -> channel count of the hmc_vault-based stack presets. */
+const std::pair<const char *, unsigned> kSystemPresets[] = {
+    {"hmc_stack_16", 16},
+    {"hmc_stack_64", 64},
+    {"hmc_stack_256", 256},
+};
+
+} // namespace
+
+bool
+isSystemPreset(const std::string &name)
+{
+    for (const auto &p : kSystemPresets)
+        if (name == p.first)
+            return true;
+    return false;
+}
+
+MultiChannelConfig
+systemPresetByName(const std::string &name)
+{
+    for (const auto &p : kSystemPresets) {
+        if (name != p.first)
+            continue;
+        MultiChannelConfig cfg;
+        cfg.channels = p.second;
+        cfg.ctrl = presets::hmcVault();
+        return cfg;
+    }
+    fatal("unknown system preset '%s'", name.c_str());
+}
+
+std::vector<std::string>
+systemPresetNames()
+{
+    std::vector<std::string> out;
+    for (const auto &p : kSystemPresets)
+        out.emplace_back(p.first);
+    return out;
+}
+
+GenConfig
+sliceGenWindow(GenConfig base, unsigned i, unsigned n,
+               std::uint64_t total_mem)
+{
+    std::uint64_t slice = total_mem / n;
+    base.startAddr = slice * i;
+    base.windowSize = std::min(base.windowSize, slice);
+    return base;
+}
+
+} // namespace harness
+} // namespace dramctrl

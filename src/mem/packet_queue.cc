@@ -119,7 +119,7 @@ RespPacketQueue::unserialize(ckpt::CkptIn &in)
     }
     head_ = 0;
     waitingForRetry_ = in.getBool("respq.waitingForRetry");
-    in.getEvent("respq.sendEvent", sendEvent_);
+    in.getEvent("respq.sendEvent", eventq_, sendEvent_);
 }
 
 void

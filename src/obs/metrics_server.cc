@@ -261,7 +261,7 @@ void
 MetricsPublisher::unserialize(ckpt::CkptIn &in)
 {
     interval_ = in.getTick("interval");
-    in.getEvent("sampleEvent", sampleEvent_);
+    in.getEvent("sampleEvent", eventq(), sampleEvent_);
 }
 
 } // namespace obs

@@ -136,7 +136,7 @@ StatsSampler::unserialize(ckpt::CkptIn &in)
 {
     samplesTaken_ = in.getU64("samplesTaken");
     headerWritten_ = in.getBool("headerWritten");
-    in.getEvent("sampleEvent", sampleEvent_);
+    in.getEvent("sampleEvent", eventq(), sampleEvent_);
 }
 
 void

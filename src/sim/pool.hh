@@ -10,14 +10,24 @@
  * and every deallocate() a pointer push, and the recycled storage stays
  * hot in cache.
  *
- * The pools are **per thread** (`thread_local`), matching the
- * shared-nothing threading model of the batch engine: every Simulator,
- * and every pooled object it creates, lives and dies on one thread, so
- * each thread gets a private freelist with zero synchronisation on the
- * allocation fast path and the steady-state no-fresh-alloc guarantee
- * holds per thread. The corollary is a hard rule: a pooled object must
- * be deallocated on the thread that allocated it (shared-nothing jobs
- * satisfy this by construction).
+ * The pools are **per thread** (`thread_local`): each thread gets a
+ * private freelist with zero synchronisation on the allocation fast
+ * path, and the steady-state no-fresh-alloc guarantee holds per
+ * thread. The batch engine's shared-nothing jobs allocate and free
+ * strictly on one thread; the sharded simulation engine (sim/shard.hh)
+ * additionally migrates the occasional object across shard threads
+ * (e.g. a packet allocated by a restored checkpoint on the main thread
+ * and freed by a generator on its shard's worker). Cross-thread
+ * deallocation is therefore permitted: the slot simply joins the
+ * freeing thread's freelist. Two consequences keep that safe:
+ *
+ *  - Chunk storage is immortal. When a pool dies (thread exit), its
+ *    chunks move to a process-lifetime quarantine instead of being
+ *    freed, so a migrated slot sitting in another thread's freelist
+ *    can never dangle.
+ *  - inUse is signed: a thread that frees more foreign slots than it
+ *    allocated legitimately reads negative, and the cross-thread
+ *    aggregate stays exact.
  *
  * Counters are exposed per thread (poolStats()) so tests can assert
  * that a warmed-up simulation performs no fresh (chunk-carving)
@@ -44,8 +54,12 @@ struct PoolStats
 {
     /** Slots ever carved from chunks — the high-water mark. */
     std::size_t capacity = 0;
-    /** Slots currently handed out. */
-    std::size_t inUse = 0;
+    /**
+     * Slots currently handed out. Signed: cross-thread frees make a
+     * single thread's count transiently negative; the aggregate over
+     * all threads is always the true live count.
+     */
+    std::int64_t inUse = 0;
     /** Total allocate() calls. */
     std::uint64_t totalAllocs = 0;
     /**
@@ -116,13 +130,30 @@ class PoolStatsRegistry
     PoolStats retired_;
 };
 
+/**
+ * Process-lifetime store for the chunk storage of pools whose threads
+ * have exited. Slots handed to other threads' freelists point into
+ * this storage, so it must never be released; the store itself is an
+ * immortal heap object (reachable through a static pointer, so leak
+ * checkers count it as live).
+ */
+inline void
+retainPoolStorage(std::shared_ptr<void> chunks)
+{
+    static std::mutex *mutex = new std::mutex;
+    static auto *store = new std::vector<std::shared_ptr<void>>;
+    std::lock_guard<std::mutex> lock(*mutex);
+    store->push_back(std::move(chunks));
+}
+
 } // namespace detail
 
 /**
  * A growing freelist pool handing out raw storage for objects of type
  * @p T. Storage is carved from geometrically growing chunks and never
- * returned to the system until the pool itself dies, so recycled slots
- * keep stable addresses.
+ * returned to the system (pool destruction quarantines them — see
+ * detail::retainPoolStorage), so recycled slots keep stable addresses
+ * for the life of the process even when they migrate across threads.
  */
 template <typename T>
 class ObjectPool
@@ -138,7 +169,14 @@ class ObjectPool
 
     ObjectPool() { registry().attach(&stats_); }
 
-    ~ObjectPool() { registry().detach(&stats_); }
+    ~ObjectPool()
+    {
+        registry().detach(&stats_);
+        if (!chunks_.empty())
+            detail::retainPoolStorage(std::make_shared<
+                std::vector<std::unique_ptr<Slot[]>>>(
+                std::move(chunks_)));
+    }
 
     ObjectPool(const ObjectPool &) = delete;
     ObjectPool &operator=(const ObjectPool &) = delete;
@@ -228,8 +266,9 @@ class ObjectPool
  * defining the two operators in terms of ObjectPool directly) routes
  * every `new T` / `delete t` through the calling thread's freelist
  * with no call-site changes. Array forms intentionally stay on the
- * global allocator. `new` and `delete` of one object must happen on
- * the same thread (see the file comment).
+ * global allocator. Same-thread new/delete is the fast path the
+ * no-fresh-alloc guarantee is stated for; cross-thread delete is safe
+ * and migrates the slot (see the file comment).
  */
 template <typename T>
 class Pooled

@@ -6,27 +6,11 @@ namespace dramctrl {
 
 SimObject::SimObject(Simulator &sim, std::string name)
     : sim_(sim), name_(std::move(name)),
-      statGroup_(name_, &sim.rootStats())
+      statGroup_(name_, &sim.rootStats()),
+      eq_(&sim.shardQueue(sim.currentShard())),
+      shard_(sim.currentShard())
 {
     sim_.registerObject(this);
-}
-
-EventQueue &
-SimObject::eventq()
-{
-    return sim_.eventq();
-}
-
-const EventQueue &
-SimObject::eventq() const
-{
-    return sim_.eventq();
-}
-
-Tick
-SimObject::curTick() const
-{
-    return sim_.eventq().curTick();
 }
 
 } // namespace dramctrl

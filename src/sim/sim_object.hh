@@ -21,10 +21,15 @@ class Simulator;
  * A named model component attached to a simulator.
  *
  * A SimObject owns a statistics group (named after the object, parented
- * under the simulator's root) and has access to the shared event queue.
- * Subclasses override startup() to schedule their first events, and the
- * ckpt::Serializable hooks to take part in checkpointing (each object
- * gets its own checkpoint section, named after the object).
+ * under the simulator's root) and an event-queue binding fixed at
+ * construction: the queue of the shard selected by the surrounding
+ * Simulator::ShardScope (shard 0 — the simulator's primary queue — by
+ * default). All scheduling and time queries go through that queue, so
+ * an object built inside a shard scope automatically runs, schedules
+ * and reads time on its own shard. Subclasses override startup() to
+ * schedule their first events, and the ckpt::Serializable hooks to
+ * take part in checkpointing (each object gets its own checkpoint
+ * section, named after the object).
  */
 class SimObject : public ckpt::Serializable
 {
@@ -43,14 +48,17 @@ class SimObject : public ckpt::Serializable
     /** The simulator this object belongs to. */
     Simulator &simulator() { return sim_; }
 
-    /** The shared event queue. */
-    EventQueue &eventq();
-    const EventQueue &eventq() const;
+    /** This object's event queue (its shard's agenda). */
+    EventQueue &eventq() { return *eq_; }
+    const EventQueue &eventq() const { return *eq_; }
 
-    /** Current simulated time. */
-    Tick curTick() const;
+    /** Shard this object was constructed on (0 when unsharded). */
+    unsigned shardId() const { return shard_; }
 
-    /** Schedule helper forwarding to the shared queue. */
+    /** Current simulated time on this object's shard. */
+    Tick curTick() const { return eq_->curTick(); }
+
+    /** Schedule helper forwarding to this object's queue. */
     void schedule(Event &ev, Tick when) { eventq().schedule(ev, when); }
     void reschedule(Event &ev, Tick when)
     {
@@ -66,6 +74,8 @@ class SimObject : public ckpt::Serializable
     Simulator &sim_;
     std::string name_;
     stats::Group statGroup_;
+    EventQueue *eq_;
+    unsigned shard_;
 };
 
 } // namespace dramctrl

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 #include "sim/sim_object.hh"
 
 namespace dramctrl {
@@ -23,6 +24,67 @@ Simulator::registerObject(SimObject *obj)
     objects_.push_back(obj);
 }
 
+void
+Simulator::configureShards(unsigned count, Tick lookahead)
+{
+    if (engine_ != nullptr)
+        fatal("simulator is already sharded");
+    if (startupDone_)
+        fatal("cannot shard a simulator after startup");
+    if (count == 0)
+        fatal("shard count must be at least 1");
+    if (count == 1)
+        return;
+    if (lookahead == 0)
+        fatal("sharding needs a non-zero lookahead");
+
+    extraShards_.reserve(count - 1);
+    for (unsigned i = 1; i < count; ++i)
+        extraShards_.push_back(std::make_unique<EventQueue>());
+    // The extra queues just pushed themselves onto this thread's
+    // tick-source stack; keep the primary queue on top so main-thread
+    // diagnostics stamp with shard 0's tick.
+    for (const auto &q : extraShards_)
+        unregisterTickSource(q.get());
+
+    engine_ = std::make_unique<ShardedEngine>(*this, lookahead);
+}
+
+EventQueue &
+Simulator::shardQueue(unsigned idx)
+{
+    if (idx == 0)
+        return eventq_;
+    DC_ASSERT(idx <= extraShards_.size(), "shard %u out of range", idx);
+    return *extraShards_[idx - 1];
+}
+
+ShardedEngine &
+Simulator::shardEngine()
+{
+    DC_ASSERT(engine_ != nullptr, "simulator is not sharded");
+    return *engine_;
+}
+
+void
+Simulator::setSimThreads(unsigned threads)
+{
+    if (engine_ == nullptr) {
+        if (threads > 1)
+            warn("--sim-threads ignored: simulation is not sharded");
+        return;
+    }
+    engine_->setThreads(threads);
+}
+
+Simulator::ShardScope::ShardScope(Simulator &sim, unsigned shard)
+    : sim_(sim), prev_(sim.currentShard_)
+{
+    DC_ASSERT(shard < sim.numShards(), "shard scope %u out of range",
+              shard);
+    sim.currentShard_ = shard;
+}
+
 Tick
 Simulator::run(Tick until)
 {
@@ -31,6 +93,8 @@ Simulator::run(Tick until)
         for (SimObject *obj : objects_)
             obj->startup();
     }
+    if (engine_ != nullptr)
+        return engine_->run(until);
     return eventq_.simulate(until);
 }
 

@@ -124,7 +124,7 @@ BaseGen::unserialize(ckpt::CkptIn &in)
     outstanding_ = static_cast<unsigned>(in.getU64("outstanding"));
     throttled_ = in.getBool("throttled");
     blockedPkt_ = in.getPacket("blockedPkt");
-    in.getEvent("injectEvent", injectEvent_);
+    in.getEvent("injectEvent", eventq(), injectEvent_);
 }
 
 void

@@ -154,7 +154,7 @@ TracePlayer::unserialize(ckpt::CkptIn &in)
     slip_ = in.getTick("slip");
     totReadLatency_ = in.getTick("totReadLatency");
     readResponses_ = in.getU64("readResponses");
-    in.getEvent("injectEvent", injectEvent_);
+    in.getEvent("injectEvent", eventq(), injectEvent_);
 }
 
 void

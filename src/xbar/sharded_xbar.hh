@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Shard-aware memory crossbar for parallel multi-channel simulation.
+ *
+ * The plain Crossbar (xbar/xbar.hh) assumes every port lives on one
+ * event queue: a refused sendTimingReq() is retried synchronously, and
+ * layer occupancy is tracked with zero-latency peeks across ports.
+ * None of that survives sharding, where each channel controller runs
+ * on its own event queue (possibly on another thread) and the only
+ * legal cross-shard interaction is a message with latency >= the
+ * engine's lookahead.
+ *
+ * ShardedCrossbar therefore splits the crossbar at the shard boundary:
+ *
+ *  - A FrontPort lives on the requestor's shard. It models the front
+ *    layer's serialisation (one request lane per front port) and pays
+ *    the frontend latency on the way to a channel.
+ *  - A ChannelPort lives on its controller's shard. It models the
+ *    response lane of that channel and pays the response latency on
+ *    the way back.
+ *  - All traffic between the two sides — requests, responses and the
+ *    flow-control credits that replace synchronous retries — travels
+ *    through ShardedEngine::post() and is applied at window barriers
+ *    in the engine's deterministic merge order.
+ *
+ * Back pressure is credit based. Each front port holds reqCredits
+ *  tokens per channel; a request consumes one and the channel returns
+ * it (with response latency) once the controller accepted the packet.
+ * Each channel holds respCredits tokens per front port; a response
+ * consumes one and the front returns it (with frontend latency) once
+ * the requestor accepted the packet. A side with no credit refuses its
+ * local peer exactly like a plain port would, so generators and
+ * controllers see the ordinary timing-port protocol, unchanged.
+ *
+ * The minimum latency of any cross-shard message is
+ * min(frontendLatency, responseLatency) — the lookahead to configure
+ * the simulator's shards with (see lookahead()).
+ *
+ * Construction order matters: add every channel first (inside that
+ * channel's ShardScope), then every front port (inside its
+ * requestor's shard scope); addFrontPort() needs the channel count
+ * for credit sizing and addChannel() fatals once a front exists.
+ */
+
+#ifndef DRAMCTRL_XBAR_SHARDED_XBAR_H
+#define DRAMCTRL_XBAR_SHARDED_XBAR_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/addr_range.hh"
+#include "mem/port.hh"
+#include "sim/shard.hh"
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+#include "stats/stats.hh"
+
+namespace dramctrl {
+
+class ShardedEngine;
+class Simulator;
+
+/** Sharded crossbar parameters (one layer per direction per port). */
+struct ShardedXBarConfig
+{
+    /** Crossbar clock period. */
+    Tick clockPeriod = fromNs(1.0);
+    /** Datapath width in bytes per crossbar cycle. */
+    unsigned width = 16;
+    /** Latency of any front-side -> channel-side message. */
+    Tick frontendLatency = fromNs(3.0);
+    /** Latency of any channel-side -> front-side message. */
+    Tick responseLatency = fromNs(3.0);
+    /** Per-(front, channel) request tokens: in-flight request cap. */
+    unsigned reqCredits = 4;
+    /** Per-(channel, front) response tokens: in-flight response cap. */
+    unsigned respCredits = 4;
+};
+
+/**
+ * Ordered inbound queue of one cross-shard link, owned by a SimObject
+ * on the receiving shard. deliver() (called at engine barriers, or
+ * directly when the simulator is unsharded) inserts the message sorted
+ * by due tick and keeps a wake-up event scheduled for the head; the
+ * handler is then invoked on the owner's shard at exactly the due
+ * tick. A handler returning false stalls the queue (the head entry
+ * stays put) until the owner calls resume().
+ */
+class ShardInbox : public ShardMailbox
+{
+  public:
+    /** Invoked on the owner's shard; false = stall until resume(). */
+    using Handler = std::function<bool(Tick, Packet *, std::uint64_t)>;
+
+    ShardInbox(SimObject &owner, const std::string &name,
+               Handler handler);
+
+    /** Deschedules the wake-up and frees still-queued packets. */
+    ~ShardInbox() override;
+
+    void deliver(Tick when, Packet *pkt, std::uint64_t arg) override;
+
+    /** Clear a stall and re-pump pending entries. */
+    void resume();
+
+    bool empty() const { return entries_.empty(); }
+    bool stalled() const { return stalled_; }
+
+    /** Checkpoint the queued entries under @p prefix-scoped keys. */
+    void serialize(ckpt::CkptOut &out, const std::string &prefix) const;
+    void unserialize(ckpt::CkptIn &in, const std::string &prefix);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Packet *pkt;
+        std::uint64_t arg;
+    };
+
+    void pump();
+    void scheduleWake();
+
+    SimObject &owner_;
+    Handler handler_;
+    std::deque<Entry> entries_;
+    bool stalled_ = false;
+    EventFunctionWrapper wakeEvent_;
+};
+
+/**
+ * Channel count, address map and shard-aware routing fabric between
+ * front-side requestors and per-channel memory controllers. Not a
+ * SimObject itself — it owns one FrontPort / ChannelPort SimObject
+ * per attached port, each living on the shard that was current when
+ * it was added.
+ */
+class ShardedCrossbar
+{
+  public:
+    ShardedCrossbar(Simulator &sim, std::string name,
+                    const ShardedXBarConfig &cfg);
+    ~ShardedCrossbar();
+
+    ShardedCrossbar(const ShardedCrossbar &) = delete;
+    ShardedCrossbar &operator=(const ShardedCrossbar &) = delete;
+
+    /** Minimum cross-shard latency: the engine lookahead to use. */
+    static Tick lookahead(const ShardedXBarConfig &cfg);
+
+    const std::string &name() const { return name_; }
+    const ShardedXBarConfig &config() const { return cfg_; }
+
+    /**
+     * Attach channel @p range served by @p ctrl_port. Call inside the
+     * channel's ShardScope; must precede every addFrontPort().
+     */
+    void addChannel(ResponsePort &ctrl_port, AddrRange range);
+
+    /**
+     * Create the front port for requestor @p id and return the
+     * ResponsePort to bind its RequestPort to. Call inside the
+     * requestor's ShardScope.
+     */
+    ResponsePort &addFrontPort(RequestorId id);
+
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+    unsigned numFronts() const
+    {
+        return static_cast<unsigned>(fronts_.size());
+    }
+
+    /** No queued message, no stall, every credit back home. */
+    bool idle() const;
+
+    /** Channel index serving @p addr; fatals when unmapped. */
+    unsigned routeChannel(Addr addr) const;
+
+  private:
+    class FrontPort;
+    class ChannelPort;
+
+    /** Front-port index for requestor @p id; fatals when unknown. */
+    unsigned routeFront(RequestorId id) const;
+
+    /** Ticks a packet of @p size bytes occupies a crossbar lane. */
+    Tick occupancy(unsigned size) const;
+
+    /**
+     * Send @p pkt / @p arg to @p box on @p to_shard, due @p when.
+     * Routes through the sharded engine when one exists, else
+     * delivers directly (same queue, same ordering).
+     */
+    void postMsg(unsigned from_shard, unsigned to_shard, Tick when,
+                 ShardInbox &box, Packet *pkt, std::uint64_t arg);
+
+    Simulator &sim_;
+    std::string name_;
+    ShardedXBarConfig cfg_;
+
+    std::vector<std::unique_ptr<ChannelPort>> channels_;
+    std::vector<std::unique_ptr<FrontPort>> fronts_;
+    std::vector<AddrRange> ranges_;
+    /** requestorId -> front index (dense, grows as fronts attach). */
+    std::vector<unsigned> frontByRequestor_;
+
+    /**
+     * Fast interleaved route: all ranges share one (granularity,
+     * channel-count) interleave and range i matches channel i.
+     */
+    bool fastRoute_ = true;
+    unsigned granShift_ = 0;
+    Addr chanMask_ = 0;
+};
+
+} // namespace dramctrl
+
+#endif // DRAMCTRL_XBAR_SHARDED_XBAR_H

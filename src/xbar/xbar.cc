@@ -35,9 +35,9 @@ Crossbar::XBarStats::XBarStats(Crossbar &xbar)
 {
 }
 
-Crossbar::Layer::Layer(Simulator &sim, std::string name,
+Crossbar::Layer::Layer(EventQueue &eq, std::string name,
                        unsigned queue_limit)
-    : sim_(sim), name_(name), queueLimit_(queue_limit),
+    : eq_(eq), name_(name), queueLimit_(queue_limit),
       sendEvent_([this] { trySend(); }, name + ".sendEvent")
 {
 }
@@ -45,7 +45,7 @@ Crossbar::Layer::Layer(Simulator &sim, std::string name,
 Crossbar::Layer::~Layer()
 {
     if (sendEvent_.scheduled())
-        sim_.eventq().deschedule(sendEvent_);
+        eq_.deschedule(sendEvent_);
     for (Entry &e : queue_) {
         while (e.pkt->senderState() != nullptr)
             delete e.pkt->popSenderState();
@@ -57,7 +57,7 @@ void
 Crossbar::Layer::admit(Packet *pkt, Tick occupancy, Tick latency)
 {
     DC_ASSERT(!full(), "admit to a full layer");
-    Tick now = sim_.curTick();
+    Tick now = eq_.curTick();
     busyUntil_ = std::max(busyUntil_, now) + occupancy;
     Tick deliver_at = busyUntil_ + latency;
     queue_.push_back(Entry{deliver_at, pkt});
@@ -65,7 +65,7 @@ Crossbar::Layer::admit(Packet *pkt, Tick occupancy, Tick latency)
         ct->counter(name_, "depth", now,
                     static_cast<double>(queue_.size()));
     if (!waitingForRetry_ && !sendEvent_.scheduled())
-        sim_.eventq().schedule(sendEvent_,
+        eq_.schedule(sendEvent_,
                                std::max(now, queue_.front().deliverAt));
 }
 
@@ -82,7 +82,7 @@ Crossbar::Layer::trySend()
 {
     bool sent = false;
     while (!queue_.empty() &&
-           queue_.front().deliverAt <= sim_.curTick()) {
+           queue_.front().deliverAt <= eq_.curTick()) {
         if (!sendFn(queue_.front().pkt)) {
             waitingForRetry_ = true;
             break;
@@ -94,15 +94,15 @@ Crossbar::Layer::trySend()
     }
     if (sent) {
         if (auto *ct = obs::chromeTracer())
-            ct->counter(name_, "depth", sim_.curTick(),
+            ct->counter(name_, "depth", eq_.curTick(),
                         static_cast<double>(queue_.size()));
     }
     if (waitingForRetry_)
         return;
     if (!queue_.empty() && !sendEvent_.scheduled())
-        sim_.eventq().schedule(
+        eq_.schedule(
             sendEvent_,
-            std::max(sim_.curTick(), queue_.front().deliverAt));
+            std::max(eq_.curTick(), queue_.front().deliverAt));
 }
 
 Crossbar::Crossbar(Simulator &sim, std::string name, XBarConfig cfg)
@@ -127,7 +127,7 @@ Crossbar::addCpuSidePort()
         name() + ".cpuSide" + std::to_string(idx), *this, idx));
 
     auto layer = std::make_unique<Layer>(
-        simulator(), name() + ".respLayer" + std::to_string(idx),
+        eventq(), name() + ".respLayer" + std::to_string(idx),
         cfg_.layerQueueLimit);
     layer->sendFn = [this, idx](Packet *pkt) {
         return cpuPorts_[idx]->sendTimingResp(pkt);
@@ -162,7 +162,7 @@ Crossbar::addMemSidePort(const AddrRange &range)
     ranges_.push_back(range);
 
     auto layer = std::make_unique<Layer>(
-        simulator(), name() + ".reqLayer" + std::to_string(idx),
+        eventq(), name() + ".reqLayer" + std::to_string(idx),
         cfg_.layerQueueLimit);
     layer->sendFn = [this, idx](Packet *pkt) {
         return memPorts_[idx]->sendTimingReq(pkt);

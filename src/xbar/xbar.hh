@@ -108,7 +108,7 @@ class Crossbar : public SimObject
     class Layer
     {
       public:
-        Layer(Simulator &sim, std::string name, unsigned queue_limit);
+        Layer(EventQueue &eq, std::string name, unsigned queue_limit);
         ~Layer();
 
         bool full() const { return queue_.size() >= queueLimit_; }
@@ -135,7 +135,7 @@ class Crossbar : public SimObject
             Packet *pkt;
         };
 
-        Simulator &sim_;
+        EventQueue &eq_;
         std::string name_;
         std::deque<Entry> queue_;
         unsigned queueLimit_;

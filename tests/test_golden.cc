@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "dram/dram_presets.hh"
+#include "exec/batch_runner.hh"
+#include "harness/multichannel.hh"
 #include "harness/testbench.hh"
 #include "trafficgen/linear_gen.hh"
 #include "trafficgen/random_gen.hh"
@@ -128,6 +130,93 @@ allCases()
 
 INSTANTIATE_TEST_SUITE_P(Corpus, GoldenStats,
                          testing::ValuesIn(allCases()), caseName);
+
+/**
+ * Multi-channel corpus over the system presets (hmc_stack_*). One
+ * generator per channel drives a channel-interleaved slice; the total
+ * request budget is fixed so the 256-channel stack stays as quick as
+ * the 16-channel one. Shard merge order is deterministic, so the
+ * stats JSON is reference-comparable exactly like the single-channel
+ * corpus (and byte-identical at any --sim-threads, which the shard
+ * ctest cases assert separately).
+ */
+std::string
+runSystemCase(const GoldenCase &c)
+{
+    harness::MultiChannelConfig mcfg =
+        harness::systemPresetByName(c.preset);
+    mcfg.ctrl.writeLowThreshold = 0.0;
+    mcfg.ctrl.check();
+
+    harness::MultiChannelSystem mc(mcfg);
+
+    constexpr unsigned kTotalRequests = 768;
+    GenConfig gc;
+    gc.minITT = gc.maxITT = fromNs(6.0);
+    gc.numRequests =
+        std::max(1u, kTotalRequests / mcfg.channels);
+    gc.readPct = c.shape == "linear" ? 100 : 50;
+
+    std::vector<BaseGen *> gens;
+    for (unsigned i = 0; i < mcfg.channels; ++i) {
+        GenConfig g = harness::sliceGenWindow(gc, i, mcfg.channels,
+                                              mc.totalCapacity());
+        g.seed = exec::deriveSeed(7, i);
+        if (c.shape == "linear")
+            gens.push_back(&mc.addGen<LinearGen>(g));
+        else
+            gens.push_back(&mc.addGen<RandomGen>(g));
+    }
+
+    mc.runToCompletion();
+
+    std::ostringstream os;
+    mc.sim().dumpStatsJson(os);
+    os << "\n";
+    return os.str();
+}
+
+class GoldenSystemStats : public testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenSystemStats, MatchesReference)
+{
+    const GoldenCase &c = GetParam();
+    const std::string path =
+        std::string(GOLDEN_DIR) + "/" + goldenName(c) + ".json";
+    const std::string got = runSystemCase(c);
+
+    if (std::getenv("GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+        out << got;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open())
+        << "missing reference " << path
+        << " — generate the corpus with tools/regen_golden.sh";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "stats drifted from the reference; if intended, regenerate "
+        << "with tools/regen_golden.sh and review the diff";
+}
+
+std::vector<GoldenCase>
+systemCases()
+{
+    std::vector<GoldenCase> cases;
+    for (const std::string &preset : harness::systemPresetNames())
+        for (const char *shape : {"linear", "random"})
+            cases.push_back({preset, shape});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(SystemCorpus, GoldenSystemStats,
+                         testing::ValuesIn(systemCases()), caseName);
 
 } // namespace
 } // namespace dramctrl

@@ -34,6 +34,7 @@
 #include "exec/sweep.hh"
 #include "dram/dram_presets.hh"
 #include "dram/protocol_checker.hh"
+#include "harness/multichannel.hh"
 #include "harness/testbench.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/event_profiler.hh"
@@ -42,6 +43,7 @@
 #include "obs/stats_sampler.hh"
 #include "obs/trace.hh"
 #include "power/micron_power.hh"
+#include "sim/eventq.hh"
 #include "sim/logging.hh"
 #include "trafficgen/dram_gen.hh"
 #include "trafficgen/linear_gen.hh"
@@ -56,6 +58,7 @@ struct CliOptions
     std::string preset = "ddr3_1333";
     std::string pattern = "random"; // linear | random | dram
     std::string model = "event";    // event | cycle
+    std::string eventq = "heap";    // heap | calendar
     std::string page;               // open | open_adaptive | ...
     std::string mapping;            // RoRaBaCoCh | ...
     std::string sched;              // fcfs | frfcfs
@@ -71,6 +74,10 @@ struct CliOptions
     std::uint64_t seed = 1;
     std::uint64_t runs = 1;  // > 1 = batch mode over derived seeds
     unsigned jobs = 1;
+
+    // Multi-channel mode (see docs/PERFORMANCE.md, sharding).
+    unsigned channels = 0;   // 0 = unset (single channel, or preset's)
+    unsigned simThreads = 1; // worker threads for the sharded engine
 
     // Observability (see docs/OBSERVABILITY.md).
     std::string traceChannels;  // csv of channel names, or "all"
@@ -98,9 +105,16 @@ usage(const char *prog)
     std::printf(
         "usage: %s [options]\n"
         "  --preset NAME      ddr3_1333|ddr3_1600|lpddr3_1600|"
-        "wideio_200|hmc_vault\n"
+        "wideio_200|hmc_vault,\n"
+        "                     or a system preset: hmc_stack_16|"
+        "hmc_stack_64|\n"
+        "                     hmc_stack_256 (implies --channels)\n"
         "  --pattern NAME     linear|random|dram (DRAM-aware)\n"
         "  --model NAME       event|cycle\n"
+        "  --eventq NAME      heap|calendar agenda (identical "
+        "results,\n"
+        "                     different cost profile; see "
+        "bench/eventq_perf)\n"
         "  --page POLICY      open|open_adaptive|closed|"
         "closed_adaptive\n"
         "  --mapping NAME     RoRaBaCoCh|RoRaBaChCo|RoCoRaBaCh\n"
@@ -123,6 +137,18 @@ usage(const char *prog)
         "                     0 = one per core); output is identical "
         "for\n"
         "                     every value\n"
+        "multi-channel:\n"
+        "  --channels N       simulate N interleaved channels behind "
+        "the\n"
+        "                     sharded crossbar, one generator per "
+        "channel\n"
+        "                     (--requests is the total across "
+        "channels)\n"
+        "  --sim-threads N    worker threads for one multi-channel "
+        "run\n"
+        "                     (default 1; 0 = one per core); stats "
+        "are\n"
+        "                     byte-identical for every value\n"
         "observability:\n"
         "  --trace LIST       enable trace channels (csv or 'all')\n"
         "  --trace-file PATH  tick-stamped text trace to PATH "
@@ -168,6 +194,7 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         if (a == "--preset") opt.preset = need(i);
         else if (a == "--pattern") opt.pattern = need(i);
         else if (a == "--model") opt.model = need(i);
+        else if (a == "--eventq") opt.eventq = need(i);
         else if (a == "--page") opt.page = need(i);
         else if (a == "--mapping") opt.mapping = need(i);
         else if (a == "--sched") opt.sched = need(i);
@@ -190,6 +217,14 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             opt.jobs = static_cast<unsigned>(std::stoul(need(i)));
             if (opt.jobs == 0)
                 opt.jobs = exec::ThreadPool::hardwareThreads();
+        }
+        else if (a == "--channels")
+            opt.channels = static_cast<unsigned>(std::stoul(need(i)));
+        else if (a == "--sim-threads") {
+            opt.simThreads =
+                static_cast<unsigned>(std::stoul(need(i)));
+            if (opt.simThreads == 0)
+                opt.simThreads = exec::ThreadPool::hardwareThreads();
         }
         else if (a == "--trace") opt.traceChannels = need(i);
         else if (a == "--trace-file") opt.traceFile = need(i);
@@ -331,6 +366,115 @@ runBatch(const CliOptions &opt, const DRAMCtrlConfig &cfg,
     return 0;
 }
 
+/**
+ * --channels N: one sharded multi-channel system, one generator per
+ * channel, executed by --sim-threads worker threads. Stats and exit
+ * status are byte-identical for every thread count (see sim/shard.hh),
+ * so --sim-threads is a pure wall-clock knob.
+ */
+int
+runMulti(const CliOptions &opt, const DRAMCtrlConfig &cfg,
+         harness::CtrlModel model, unsigned channels)
+{
+    if (opt.runs > 1 || !opt.traceChannels.empty() ||
+        !opt.traceFile.empty() || !opt.traceJsonl.empty() ||
+        !opt.chromeFile.empty() || opt.sampleIntervalNs > 0 ||
+        opt.profileEvents || !opt.metricsListen.empty())
+        fatal("--channels supports the preset/pattern/page/mapping/"
+              "sched/read-pct/itt-ns/model/requests/seed/audit/json/"
+              "checkpoint axes only; mid-run observers read simulator "
+              "state across shards and stay single-channel");
+    if (opt.pattern == "dram")
+        fatal("the dram pattern is bank-aware and single-channel; use "
+              "linear or random with --channels");
+    if (opt.pattern != "linear" && opt.pattern != "random")
+        fatal("unknown pattern '%s'", opt.pattern.c_str());
+
+    harness::MultiChannelConfig mcfg;
+    mcfg.channels = channels;
+    mcfg.ctrl = cfg;
+    mcfg.model = model;
+    mcfg.simThreads = opt.simThreads;
+    harness::MultiChannelSystem mc(mcfg);
+
+    // One generator per channel, each in its own address slice, with
+    // the request budget split evenly.
+    GenConfig gc;
+    gc.readPct = opt.readPct;
+    gc.minITT = gc.maxITT = fromNs(opt.ittNs);
+    gc.numRequests =
+        std::max<std::uint64_t>(1, opt.requests / channels);
+    gc.windowSize =
+        std::min<std::uint64_t>(mc.totalCapacity(), 1ULL << 26);
+    for (unsigned i = 0; i < channels; ++i) {
+        GenConfig g = harness::sliceGenWindow(gc, i, channels,
+                                              mc.totalCapacity());
+        g.seed = exec::deriveSeed(opt.seed, i);
+        if (opt.pattern == "linear")
+            mc.addGen<LinearGen>(g);
+        else
+            mc.addGen<RandomGen>(g);
+    }
+
+    std::vector<CmdLogger> *loggers = nullptr;
+    if (opt.audit)
+        loggers = &mc.attachCmdLoggers();
+
+    if (!opt.ckptRestore.empty())
+        ckpt::restoreFile(mc.sim(), opt.ckptRestore);
+
+    if (!opt.json)
+        std::printf("%s\nchannels:          %u (sim-threads %u)\n",
+                    cfg.describe().c_str(), channels, opt.simThreads);
+
+    if (opt.ckptAtNs > 0) {
+        mc.sim().run(fromNs(opt.ckptAtNs));
+        ckpt::saveFile(mc.sim(), opt.ckptOut);
+        if (!opt.json)
+            std::printf("checkpoint:        %s (at %.2f us)\n",
+                        opt.ckptOut.c_str(),
+                        toSeconds(mc.sim().curTick()) * 1e6);
+        return 0;
+    }
+
+    mc.runToCompletion();
+
+    if (opt.json) {
+        std::cout << "{\"seed\": " << opt.seed << ", \"stats\": ";
+        mc.sim().dumpStatsJson(std::cout);
+        std::cout << "}\n";
+    } else {
+        std::printf("simulated time:    %.2f us\n",
+                    toSeconds(mc.sim().curTick()) * 1e6);
+        std::printf("avg read latency:  %.1f ns\n",
+                    mc.avgReadLatencyNs());
+        std::printf("avg bus util:      %.1f%%\n",
+                    100 * mc.avgBusUtil());
+        std::printf("total bandwidth:   %.2f GB/s over %u channels\n",
+                    mc.totalBandwidthGBs(), channels);
+    }
+
+    if (opt.audit) {
+        std::size_t cmds = 0, violations = 0;
+        for (unsigned ch = 0; ch < channels; ++ch) {
+            // Fresh checker per channel: each channel is its own
+            // command bus with its own timing state.
+            ProtocolChecker checker(cfg.org, cfg.timing);
+            auto v = checker.check((*loggers)[ch].log());
+            cmds += (*loggers)[ch].size();
+            for (unsigned i = 0; i < 5 && i < v.size(); ++i)
+                std::printf("  ch%u %s\n", ch,
+                            v[i].toString().c_str());
+            violations += v.size();
+        }
+        std::printf("protocol audit:    %zu commands, %zu violations "
+                    "over %u channels\n",
+                    cmds, violations, channels);
+        return violations == 0 ? 0 : 2;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -345,7 +489,27 @@ main(int argc, char **argv)
         return 0;
     }
 
-    DRAMCtrlConfig cfg = presets::byName(opt.preset);
+    // Must precede every simulator construction: queues pin their
+    // agenda kind when built.
+    if (opt.eventq == "calendar")
+        EventQueue::setDefaultAgenda(AgendaKind::Calendar);
+    else if (opt.eventq != "heap")
+        fatal("unknown event queue '%s' (heap|calendar)",
+              opt.eventq.c_str());
+
+    // A system preset names a whole multi-channel assembly; an
+    // explicit --channels can still override its channel count.
+    unsigned channels = opt.channels;
+    DRAMCtrlConfig cfg;
+    if (harness::isSystemPreset(opt.preset)) {
+        harness::MultiChannelConfig sys =
+            harness::systemPresetByName(opt.preset);
+        cfg = sys.ctrl;
+        if (channels == 0)
+            channels = sys.channels;
+    } else {
+        cfg = presets::byName(opt.preset);
+    }
     if (!opt.page.empty())
         cfg.pagePolicy = pageFromString(opt.page);
     if (!opt.mapping.empty())
@@ -360,6 +524,12 @@ main(int argc, char **argv)
                                       : harness::CtrlModel::Event;
     if (opt.model != "cycle" && opt.model != "event")
         fatal("unknown model '%s'", opt.model.c_str());
+
+    if (channels > 1)
+        return runMulti(opt, cfg, model, channels);
+    if (opt.simThreads > 1)
+        fatal("--sim-threads shards a multi-channel run; it needs "
+              "--channels N (or a system preset)");
 
     if (opt.runs > 1)
         return runBatch(opt, cfg, model);

@@ -45,6 +45,7 @@
 #include "validate/config_fuzzer.hh"
 #include "validate/diff_runner.hh"
 #include "validate/repro.hh"
+#include "validate/shard_diff.hh"
 #include "validate/shrinker.hh"
 
 using namespace dramctrl;
@@ -67,6 +68,7 @@ struct FuzzCliOptions
     unsigned jobs = 1;
     bool injectBug = false;
     bool noShrink = false;
+    bool noShardDiff = false;
     bool verbose = false;
 };
 
@@ -100,6 +102,11 @@ usage(const char *prog)
         "                     must fail and the checker must say "
         "tRCD\n"
         "  --no-shrink        skip stream minimisation on failure\n"
+        "  --no-shard-diff    skip the sharded-vs-sequential check "
+        "(each\n"
+        "                     case normally also runs a multi-channel\n"
+        "                     system with a random --sim-threads and\n"
+        "                     demands byte-identical results)\n"
         "  --repro FILE       replay a repro file instead of fuzzing\n"
         "  --metrics-listen SPEC  serve live fuzz progress (Unix "
         "socket\n"
@@ -139,6 +146,7 @@ parseArgs(int argc, char **argv, FuzzCliOptions &opt)
         else if (a == "--out-dir") opt.outDir = need(i);
         else if (a == "--inject-bug") opt.injectBug = true;
         else if (a == "--no-shrink") opt.noShrink = true;
+        else if (a == "--no-shard-diff") opt.noShardDiff = true;
         else if (a == "--repro") opt.repro = need(i);
         else if (a == "--metrics-listen")
             opt.metricsListen = need(i);
@@ -251,6 +259,10 @@ struct CaseResult
     FuzzCase fc;
     std::uint64_t streamSeed = 0;
     DiffResult dr;
+    /** Sharded-vs-sequential cross-check (unless --no-shard-diff). */
+    bool shardChecked = false;
+    ShardCase sc;
+    ShardDiffResult sdr;
 };
 
 } // namespace
@@ -327,6 +339,15 @@ main(int argc, char **argv)
         r.fc = sampleCase(rng, fopts);
         r.streamSeed = rng.next();
         r.dr = runDiff(r.fc, r.streamSeed, dopts);
+        if (!opt.noShardDiff) {
+            // Same master-seed derivation: the shard scenario for
+            // case N reproduces without running cases 0..N-1, and
+            // drawing it after the stream seed leaves the classic
+            // case sequence untouched.
+            r.shardChecked = true;
+            r.sc = sampleShardCase(rng);
+            r.sdr = runShardDiff(r.fc.cfg, r.sc);
+        }
         return r;
     };
 
@@ -351,8 +372,9 @@ main(int argc, char **argv)
             std::printf("run %llu: %s\n",
                         static_cast<unsigned long long>(run),
                         summarize(out.value.fc).c_str());
+        bool bad = false;
         if (!out.value.dr.pass) {
-            ++failed;
+            bad = true;
             // Capture + shrink runs here on the main thread while
             // later jobs keep draining on the pool.
             try {
@@ -364,6 +386,21 @@ main(int argc, char **argv)
                             e.what());
             }
         }
+        if (out.value.shardChecked && !out.value.sdr.pass) {
+            // A sharding divergence needs no shrink: the whole case
+            // reproduces from (master seed, run index).
+            bad = true;
+            std::printf("run %llu SHARD-DIFF FAILED (%s)\n%s\n"
+                        "  reproduce: --seed %llu --first-run %llu "
+                        "--runs 1\n",
+                        static_cast<unsigned long long>(run),
+                        summarize(out.value.sc).c_str(),
+                        out.value.sdr.describe().c_str(),
+                        static_cast<unsigned long long>(opt.seed),
+                        static_cast<unsigned long long>(run));
+        }
+        if (bad)
+            ++failed;
     };
 
     if (opt.runs != 0) {

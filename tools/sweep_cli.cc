@@ -73,6 +73,14 @@ usage(const char *prog)
         "--warmup)\n"
         "  --stride BYTES     dram-pattern stride (default 256)\n"
         "  --banks N          dram-pattern banks (default 4)\n"
+        "  --channels N       channels per run (default 1); N > 1 "
+        "builds a\n"
+        "                     sharded multi-channel system per point\n"
+        "  --sim-threads N    worker threads inside each run "
+        "(default 1;\n"
+        "                     0 = one per core); composes with --jobs "
+        "and\n"
+        "                     never changes the rows\n"
         "  --jobs N           worker threads (default 1; 0 = one "
         "per core);\n"
         "                     output is identical for every value\n"
@@ -167,6 +175,14 @@ parseArgs(int argc, char **argv, SweepCliOptions &opt)
             spec.strideBytes = std::stoull(need(i));
         } else if (a == "--banks") {
             spec.banks = static_cast<unsigned>(std::stoul(need(i)));
+        } else if (a == "--channels") {
+            spec.channels =
+                static_cast<unsigned>(std::stoul(need(i)));
+        } else if (a == "--sim-threads") {
+            spec.simThreads =
+                static_cast<unsigned>(std::stoul(need(i)));
+            if (spec.simThreads == 0)
+                spec.simThreads = ThreadPool::hardwareThreads();
         } else if (a == "--jobs") {
             opt.jobs = static_cast<unsigned>(std::stoul(need(i)));
             if (opt.jobs == 0)
