@@ -90,7 +90,12 @@ CycleDRAMCtrl::CycleDRAMCtrl(Simulator &sim, std::string name,
     transQueue_.reserve(transQueueLimit_);
     for (CycleRankState &rs : rankState_)
         rs.actWindow.init(ct_.activationLimit);
+    plugins_ = plugin::buildChain(cfg_, statGroup(), true,
+                                  this->name());
+    pracPlugin_ = plugins_.prac();
+
     stats_ = std::make_unique<CtrlStats>(*this);
+    statGroup().onDump([this] { plugins_.onStatsDump(); });
     statGroup().onReset([this] { windowStart_ = curTick(); });
 }
 
@@ -247,6 +252,8 @@ CycleDRAMCtrl::serialize(ckpt::CkptOut &out) const
 
     respQueue_.serialize(out);
     out.putEvent("tickEvent", eventq(), tickEvent_);
+
+    plugins_.serialize(out);
 }
 
 void
@@ -374,6 +381,8 @@ CycleDRAMCtrl::unserialize(ckpt::CkptIn &in)
 
     respQueue_.unserialize(in);
     in.getEvent("tickEvent", eventq(), tickEvent_);
+
+    plugins_.unserialize(in);
 }
 
 bool
@@ -486,6 +495,10 @@ CycleDRAMCtrl::recvTimingReq(Packet *pkt)
     trans->size = pkt->size();
     trans->burstsTotal = static_cast<unsigned>(last - first + 1);
 
+    if (!plugins_.empty())
+        plugins_.onEnqueue(
+            {pkt->isRead(), pkt->addr(), pkt->size(), curTick()});
+
     if (trans->isRead) {
         ++stats_->readReqs;
         stats_->readBursts += trans->burstsTotal;
@@ -548,13 +561,10 @@ CycleDRAMCtrl::catchUpIdleCycles(Cycle now)
             if (bank.rowOpen()) {
                 Cycle pre_c = std::max(cycle_, bank.nextPrecharge);
                 latest_pre = std::max(latest_pre, pre_c);
-                if (cmdLogger_ != nullptr)
-                    cmdLogger_->record(
-                        tickOf(pre_c), DRAMCmd::Pre,
-                        static_cast<unsigned>(i /
-                                              cfg_.org.banksPerRank),
-                        static_cast<unsigned>(i %
-                                              cfg_.org.banksPerRank));
+                logCmd(tickOf(pre_c), DRAMCmd::Pre,
+                       static_cast<unsigned>(i / cfg_.org.banksPerRank),
+                       static_cast<unsigned>(i %
+                                             cfg_.org.banksPerRank));
                 bank.openRow = CycleBankState::kNoRow;
                 ++stats_->numPrecharges;
             }
@@ -564,14 +574,10 @@ CycleDRAMCtrl::catchUpIdleCycles(Cycle now)
                                     refNotBefore_, busBusyUntil_});
         Cycle ref_last =
             ref_first + (missed - 1) * ct_.tREFI;
-        if (cmdLogger_ != nullptr) {
-            for (unsigned r = 0; r < cfg_.org.ranksPerChannel; ++r) {
-                cmdLogger_->record(tickOf(ref_first), DRAMCmd::Ref, r,
-                                   0);
-                if (missed > 1)
-                    cmdLogger_->record(tickOf(ref_last), DRAMCmd::Ref,
-                                       r, 0);
-            }
+        for (unsigned r = 0; r < cfg_.org.ranksPerChannel; ++r) {
+            logCmd(tickOf(ref_first), DRAMCmd::Ref, r, 0);
+            if (missed > 1)
+                logCmd(tickOf(ref_last), DRAMCmd::Ref, r, 0);
         }
 
         Cycle ref_done = ref_last + ct_.tRFC;
@@ -664,11 +670,9 @@ CycleDRAMCtrl::serviceRefresh()
             bank.precharge(cycle_, ct_);
             refNotBefore_ = std::max(refNotBefore_, cycle_ + ct_.tRP);
             ++stats_->numPrecharges;
-            if (cmdLogger_ != nullptr)
-                cmdLogger_->record(
-                    tickOf(cycle_), DRAMCmd::Pre,
-                    static_cast<unsigned>(i / cfg_.org.banksPerRank),
-                    static_cast<unsigned>(i % cfg_.org.banksPerRank));
+            logCmd(tickOf(cycle_), DRAMCmd::Pre,
+                   static_cast<unsigned>(i / cfg_.org.banksPerRank),
+                   static_cast<unsigned>(i % cfg_.org.banksPerRank));
             break;
         }
     }
@@ -681,10 +685,8 @@ CycleDRAMCtrl::serviceRefresh()
     TRACE(Refresh, "%s: REF all ranks at cycle %llu", name().c_str(),
           static_cast<unsigned long long>(cycle_));
     ++stats_->numRefreshes;
-    if (cmdLogger_ != nullptr) {
-        for (unsigned r = 0; r < cfg_.org.ranksPerChannel; ++r)
-            cmdLogger_->record(tickOf(cycle_), DRAMCmd::Ref, r, 0);
-    }
+    for (unsigned r = 0; r < cfg_.org.ranksPerChannel; ++r)
+        logCmd(tickOf(cycle_), DRAMCmd::Ref, r, 0);
     for (CycleBankState &bank : banks_)
         bank.nextActivate = std::max(bank.nextActivate,
                                      cycle_ + ct_.tRFC);
@@ -848,17 +850,13 @@ CycleDRAMCtrl::execute(const Command &cmd)
         bank.activate(c, cmd.row, ct_);
         rank.recordActivate(c, ct_);
         ++stats_->numActs;
-        if (cmdLogger_ != nullptr)
-            cmdLogger_->record(tickOf(c), DRAMCmd::Act, cmd.rank,
-                               cmd.bank, cmd.row);
+        logCmd(tickOf(c), DRAMCmd::Act, cmd.rank, cmd.bank, cmd.row);
         break;
       case CmdType::Pre:
         bank.precharge(c, ct_);
         refNotBefore_ = std::max(refNotBefore_, c + ct_.tRP);
         ++stats_->numPrecharges;
-        if (cmdLogger_ != nullptr)
-            cmdLogger_->record(tickOf(c), DRAMCmd::Pre, cmd.rank,
-                               cmd.bank);
+        logCmd(tickOf(c), DRAMCmd::Pre, cmd.rank, cmd.bank);
         break;
       case CmdType::Read: {
         Cycle data_done = c + ct_.tCL + ct_.burstCycles;
@@ -867,9 +865,10 @@ CycleDRAMCtrl::execute(const Command &cmd)
         bank.nextRead = std::max(bank.nextRead, c + ct_.burstCycles);
         bank.nextWrite = std::max(bank.nextWrite, c + ct_.burstCycles);
         bank.nextPrecharge = std::max(bank.nextPrecharge, data_done);
-        if (cmdLogger_ != nullptr)
-            cmdLogger_->record(tickOf(c), DRAMCmd::Rd, cmd.rank,
-                               cmd.bank, cmd.row);
+        logCmd(tickOf(c), DRAMCmd::Rd, cmd.rank, cmd.bank, cmd.row);
+        if (!plugins_.empty())
+            plugins_.onBurstComplete({true, cmd.rank, cmd.bank, cmd.row,
+                                      cmd.col, tickOf(data_done)});
         if (cmd.autoPrecharge) {
             // The device engages auto-precharge only once tRAS (and
             // every other precharge constraint) is satisfied, not
@@ -881,9 +880,7 @@ CycleDRAMCtrl::execute(const Command &cmd)
                                          pre_c + ct_.tRP);
             refNotBefore_ = std::max(refNotBefore_, pre_c + ct_.tRP);
             ++stats_->numPrecharges;
-            if (cmdLogger_ != nullptr)
-                cmdLogger_->record(tickOf(pre_c), DRAMCmd::Pre,
-                                   cmd.rank, cmd.bank);
+            logCmd(tickOf(pre_c), DRAMCmd::Pre, cmd.rank, cmd.bank);
         }
         stats_->bytesRead += static_cast<double>(burst_size);
         cmd.trans->issueTime = tickOf(c);
@@ -899,9 +896,11 @@ CycleDRAMCtrl::execute(const Command &cmd)
         bank.nextWrite = std::max(bank.nextWrite, c + ct_.burstCycles);
         bank.nextPrecharge = std::max(bank.nextPrecharge,
                                       data_done + ct_.tWR);
-        if (cmdLogger_ != nullptr)
-            cmdLogger_->record(tickOf(c), DRAMCmd::Wr, cmd.rank,
-                               cmd.bank, cmd.row);
+        logCmd(tickOf(c), DRAMCmd::Wr, cmd.rank, cmd.bank, cmd.row);
+        if (!plugins_.empty())
+            plugins_.onBurstComplete({false, cmd.rank, cmd.bank,
+                                      cmd.row, cmd.col,
+                                      tickOf(data_done)});
         if (cmd.autoPrecharge) {
             // As for reads: honour tRAS, not just write recovery.
             Cycle pre_c = bank.nextPrecharge;
@@ -910,9 +909,7 @@ CycleDRAMCtrl::execute(const Command &cmd)
                                          pre_c + ct_.tRP);
             refNotBefore_ = std::max(refNotBefore_, pre_c + ct_.tRP);
             ++stats_->numPrecharges;
-            if (cmdLogger_ != nullptr)
-                cmdLogger_->record(tickOf(pre_c), DRAMCmd::Pre,
-                                   cmd.rank, cmd.bank);
+            logCmd(tickOf(pre_c), DRAMCmd::Pre, cmd.rank, cmd.bank);
         }
         stats_->bytesWritten += static_cast<double>(burst_size);
         cmd.trans->issueTime = tickOf(c);
@@ -969,6 +966,20 @@ CycleDRAMCtrl::issueCommand()
             continue;
         const Command &head = q.front();
         if (isIssuable(head)) {
+            if (head.type == CmdType::Act && pracPlugin_ != nullptr &&
+                pracPlugin_->mitigationPending(idx) && !testSkipPrac_) {
+                // RowHammer mitigation takes the command slot: the
+                // activate's issuability guarantees the bank is closed
+                // and precharge-settled, which is exactly REFm
+                // legality. The blocked ACT retries once tRFM passes.
+                CycleBankState &bank = banks_[idx];
+                logCmd(tickOf(cycle_), DRAMCmd::RefM, r, b);
+                bank.nextActivate = std::max(
+                    bank.nextActivate,
+                    cycle_ + divCeil<Cycle>(pracPlugin_->tRFM(),
+                                            cfg_.timing.tCK));
+                return;
+            }
             Command cmd = head;
             q.pop_front();
             execute(cmd);

@@ -31,6 +31,7 @@
 #include "dram/addr_decoder.hh"
 #include "dram/cmd_log.hh"
 #include "dram/dram_config.hh"
+#include "dram/plugin/plugin.hh"
 #include "mem/addr_range.hh"
 #include "mem/mem_ctrl_iface.hh"
 #include "mem/packet_queue.hh"
@@ -135,6 +136,16 @@ class CycleDRAMCtrl : public MemCtrlBase
     /** Attach a command logger (see DRAMCtrl::setCmdLogger). */
     void setCmdLogger(CmdLogger *logger) { cmdLogger_ = logger; }
 
+    /**
+     * Test-only fault injection: skip the PRAC mitigation refresh
+     * (see DRAMCtrl::testSkipPracMitigation). Never call outside tests.
+     */
+    void testSkipPracMitigation() { testSkipPrac_ = true; }
+
+    /** The controller's plugin chain (empty without --plugins). */
+    plugin::PluginChain &pluginChain() { return plugins_; }
+    const plugin::PluginChain &pluginChain() const { return plugins_; }
+
   private:
     class MemoryPort : public ResponsePort
     {
@@ -188,6 +199,20 @@ class CycleDRAMCtrl : public MemCtrlBase
 
     void burstCompleted(CycleTransaction *trans, Tick data_done_tick);
 
+    /**
+     * Record an implied DRAM command into the logger (if attached) and
+     * through the plugin chain (see DRAMCtrl::logCmd).
+     */
+    void
+    logCmd(Tick tick, DRAMCmd cmd, unsigned rank, unsigned bank,
+           std::uint64_t row = 0)
+    {
+        if (cmdLogger_)
+            cmdLogger_->record(tick, cmd, rank, bank, row);
+        if (!plugins_.empty())
+            plugins_.onCommand({tick, cmd, rank, bank, row});
+    }
+
     DRAMCtrlConfig cfg_;
     AddrRange range_;
     AddrDecoder decoder_;
@@ -229,6 +254,11 @@ class CycleDRAMCtrl : public MemCtrlBase
     EventFunctionWrapper tickEvent_;
 
     CmdLogger *cmdLogger_ = nullptr;
+
+    /** Ordered plugin chain built from cfg_.plugins (may be empty). */
+    plugin::PluginChain plugins_;
+    plugin::PracPlugin *pracPlugin_ = nullptr;
+    bool testSkipPrac_ = false;
 
     std::unique_ptr<CtrlStats> stats_;
 };

@@ -23,7 +23,15 @@
 
 namespace dramctrl {
 
-enum class DRAMCmd : std::uint8_t { Act, Pre, Rd, Wr, Ref };
+enum class DRAMCmd : std::uint8_t {
+    Act,
+    Pre,
+    Rd,
+    Wr,
+    Ref,   ///< all-bank (rank-wide) refresh
+    RefPb, ///< per-bank refresh (one bank of one rank)
+    RefM,  ///< RowHammer mitigation refresh (PRAC-style, one bank)
+};
 
 const char *toString(DRAMCmd cmd);
 

@@ -190,7 +190,39 @@ DRAMCtrlConfig::describe() const
             s += formatString("%u ", p);
         s += "\n";
     }
+    if (!plugins.empty()) {
+        s += "[plugins]\n";
+        for (const PluginSpec &p : plugins) {
+            if (p.kind == "ecc") {
+                s += formatString("  ecc (%u+%u) correct %u detect %u "
+                                  "ber %g seed %llu\n",
+                                  p.eccDataBits, p.eccCheckBits,
+                                  p.eccCorrectBits, p.eccDetectBits,
+                                  p.eccBer,
+                                  static_cast<unsigned long long>(
+                                      p.eccSeed));
+            } else if (p.kind == "prac") {
+                s += formatString("  prac threshold %u tRFM %.2f ns\n",
+                                  p.pracThreshold, ns(p.tRFM));
+            } else if (p.kind == "refmgr-pb") {
+                s += formatString("  refmgr-pb tRFCpb %.2f ns\n",
+                                  ns(p.tRFCpb));
+            } else {
+                s += formatString("  %s\n", p.kind.c_str());
+            }
+        }
+    }
     return s;
+}
+
+const PluginSpec *
+DRAMCtrlConfig::findPlugin(const std::string &kind) const
+{
+    for (const PluginSpec &p : plugins) {
+        if (p.kind == kind)
+            return &p;
+    }
+    return nullptr;
 }
 
 Tick
@@ -227,6 +259,50 @@ DRAMCtrlConfig::check() const
         fatal("self-refresh requires enablePowerDown");
     if (enableSelfRefresh && selfRefreshDelay == 0)
         fatal("selfRefreshDelay must be non-zero");
+
+    unsigned refresh_managers = 0;
+    for (std::size_t i = 0; i < plugins.size(); ++i) {
+        const PluginSpec &p = plugins[i];
+        if (p.kind != "ecc" && p.kind != "prac" && p.kind != "refmgr" &&
+            p.kind != "refmgr-pb")
+            fatal("unknown plugin kind '%s'", p.kind.c_str());
+        for (std::size_t j = 0; j < i; ++j) {
+            if (plugins[j].kind == p.kind)
+                fatal("plugin '%s' registered twice", p.kind.c_str());
+        }
+        if (p.kind == "refmgr" || p.kind == "refmgr-pb")
+            ++refresh_managers;
+        if (p.kind == "ecc") {
+            if (p.eccDataBits == 0)
+                fatal("ecc plugin needs non-zero data bits");
+            if (p.eccCorrectBits > p.eccDetectBits)
+                fatal("ecc correct capability (%u) cannot exceed "
+                      "detect capability (%u)",
+                      p.eccCorrectBits, p.eccDetectBits);
+            if (p.eccBer < 0.0 || p.eccBer >= 1.0)
+                fatal("ecc bit error rate %g outside [0, 1)", p.eccBer);
+        }
+        if (p.kind == "prac") {
+            if (p.pracThreshold == 0)
+                fatal("prac threshold must be at least 1");
+            if (p.tRFM == 0)
+                fatal("prac tRFM must be non-zero");
+        }
+        if (p.kind == "refmgr-pb") {
+            if (p.tRFCpb == 0)
+                fatal("refmgr-pb tRFCpb must be non-zero");
+            if (timing.tREFI == 0)
+                fatal("refmgr-pb requires a non-zero tREFI");
+            if (perRankRefresh)
+                fatal("refmgr-pb replaces the refresh schedule and "
+                      "cannot combine with perRankRefresh");
+            if (enablePowerDown || enableSelfRefresh)
+                fatal("refmgr-pb does not model power-down or "
+                      "self-refresh interactions");
+        }
+    }
+    if (refresh_managers > 1)
+        fatal("at most one refresh manager plugin may be registered");
 }
 
 } // namespace dramctrl

@@ -148,6 +148,44 @@ struct DRAMTiming
 };
 
 /**
+ * One entry of a controller plugin chain (see src/dram/plugin/). The
+ * kind selects the plugin; the remaining fields parameterise it and
+ * are only read by the matching kind:
+ *
+ *  "ecc"       ECC/EDC with seeded bit-error injection (ecc* fields)
+ *  "prac"      PRAC-style activation-counting RowHammer mitigation
+ *              (pracThreshold, tRFM)
+ *  "refmgr"    all-bank refresh manager (the baseline refresh policy,
+ *              routed through the plugin)
+ *  "refmgr-pb" per-bank refresh manager (tRFCpb; event model only)
+ */
+struct PluginSpec
+{
+    std::string kind;
+
+    /** ECC: data bits per codeword. */
+    unsigned eccDataBits = 64;
+    /** ECC: check bits per codeword. */
+    unsigned eccCheckBits = 8;
+    /** ECC: errors per codeword the code corrects (e.g. SEC = 1). */
+    unsigned eccCorrectBits = 1;
+    /** ECC: errors per codeword the code detects (e.g. DED = 2). */
+    unsigned eccDetectBits = 2;
+    /** ECC: raw bit error rate injected per stored bit. */
+    double eccBer = 0.0;
+    /** ECC: injection seed (deterministic per address/codeword). */
+    std::uint64_t eccSeed = 1;
+
+    /** PRAC: per-row activation count that raises the alert. */
+    unsigned pracThreshold = 32;
+    /** PRAC: bank busy time of one mitigation refresh (tRFM). */
+    Tick tRFM = fromNs(80.0);
+
+    /** Per-bank refresh: bank busy time of one REFpb (tRFCpb). */
+    Tick tRFCpb = fromNs(60.0);
+};
+
+/**
  * Full controller configuration: Table I of the paper, plus the
  * organisation and timing of the attached DRAM.
  */
@@ -236,6 +274,25 @@ struct DRAMCtrlConfig
      * refreshes controller-wide, like DRAMSim2).
      */
     bool perRankRefresh = false;
+
+    /**
+     * Ordered plugin chain layered onto the controller (hooks at
+     * request enqueue, command issue, command completion, and stats
+     * dump — see src/dram/plugin/ and docs/PLUGINS.md). Order is the
+     * dispatch order. At most one entry per kind and at most one
+     * refresh manager ("refmgr"/"refmgr-pb") are allowed.
+     */
+    std::vector<PluginSpec> plugins;
+
+    /** First plugin of @p kind in the chain, or nullptr. */
+    const PluginSpec *findPlugin(const std::string &kind) const;
+
+    /** True when the chain contains a plugin of @p kind. */
+    bool
+    hasPlugin(const std::string &kind) const
+    {
+        return findPlugin(kind) != nullptr;
+    }
 
     /** Validate internal consistency; calls fatal() on user error. */
     void check() const;

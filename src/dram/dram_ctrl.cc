@@ -206,7 +206,13 @@ DRAMCtrl::DRAMCtrl(Simulator &sim, std::string name,
     rdKeys_.reserve(cfg_.readBufferSize);
     wrKeys_.reserve(cfg_.writeBufferSize);
 
+    plugins_ = plugin::buildChain(cfg_, statGroup(), false,
+                                  this->name());
+    refMgr_ = plugins_.refreshManager();
+    pracPlugin_ = plugins_.prac();
+
     stats_ = std::make_unique<CtrlStats>(*this);
+    statGroup().onDump([this] { plugins_.onStatsDump(); });
     statGroup().onReset([this] {
         windowStart_ = curTick();
         // A fresh window starts from the current (unknown-split) state;
@@ -251,7 +257,12 @@ DRAMCtrl::startup()
     lastQStatUpdate_ = curTick();
     if (cfg_.timing.tREFI > 0) {
         Tick refi = cfg_.effectiveREFI();
-        if (cfg_.perRankRefresh) {
+        if (refMgr_ && refMgr_->perBank()) {
+            // The per-bank manager replaces the all-bank schedule:
+            // one REFpb per rank every tREFI / banksPerRank.
+            nextRefreshAt_ = curTick() + refMgr_->interval(cfg_);
+            schedule(refreshEvent_, nextRefreshAt_);
+        } else if (cfg_.perRankRefresh) {
             // Stagger the ranks across the interval.
             rankRefreshDue_.resize(ranks_.size());
             for (std::size_t r = 0; r < ranks_.size(); ++r)
@@ -364,6 +375,8 @@ DRAMCtrl::serialize(ckpt::CkptOut &out) const
     respQueue_.serialize(out);
     out.putEvent("nextReqEvent", eventq(), nextReqEvent_);
     out.putEvent("refreshEvent", eventq(), refreshEvent_);
+
+    plugins_.serialize(out);
 }
 
 void
@@ -490,6 +503,8 @@ DRAMCtrl::unserialize(ckpt::CkptIn &in)
     respQueue_.unserialize(in);
     in.getEvent("nextReqEvent", eventq(), nextReqEvent_);
     in.getEvent("refreshEvent", eventq(), refreshEvent_);
+
+    plugins_.unserialize(in);
 }
 
 bool
@@ -701,6 +716,9 @@ DRAMCtrl::recvTimingReq(Packet *pkt)
                           "read " + std::to_string(pkt->addr()),
                           curTick());
         ++stats_->readReqs;
+        if (!plugins_.empty())
+            plugins_.onEnqueue(
+                {true, pkt->addr(), pkt->size(), curTick()});
         addToReadQueue(pkt, local);
     } else {
         if (writeQueue_.size() + pkt_count > cfg_.writeBufferSize) {
@@ -718,6 +736,9 @@ DRAMCtrl::recvTimingReq(Packet *pkt)
                           "write " + std::to_string(pkt->addr()),
                           curTick());
         ++stats_->writeReqs;
+        if (!plugins_.empty())
+            plugins_.onEnqueue(
+                {false, pkt->addr(), pkt->size(), curTick()});
         addToWriteQueue(pkt, local);
         // Early write response (Section II-A): acknowledge as soon as
         // the burst sits in the write queue. The observed latency is
@@ -955,10 +976,8 @@ DRAMCtrl::prechargeBank(unsigned flat, Tick pre_tick)
 {
     DC_ASSERT(bankOpenRow_[flat] != kNoRow,
               "precharging a closed bank");
-    if (cmdLogger_ != nullptr)
-        cmdLogger_->record(pre_tick, DRAMCmd::Pre,
-                           flat / cfg_.org.banksPerRank,
-                           flat % cfg_.org.banksPerRank);
+    logCmd(pre_tick, DRAMCmd::Pre, flat / cfg_.org.banksPerRank,
+           flat % cfg_.org.banksPerRank);
     rowClosed(flat);
     invalidateBank(flat);
     bankOpenRow_[flat] = kNoRow;
@@ -975,6 +994,23 @@ DRAMCtrl::prechargeBank(unsigned flat, Tick pre_tick)
         ct->counter(name() + ".banks", "bank" + std::to_string(flat),
                     pre_done, 0.0);
     }
+}
+
+Tick
+DRAMCtrl::pracMitigate(unsigned flat_bank, unsigned rank, unsigned bank,
+                       Tick act_from)
+{
+    if (pracPlugin_ == nullptr ||
+        !pracPlugin_->mitigationPending(flat_bank) || testSkipPrac_)
+        return act_from;
+    // The mitigation refresh targets the (closed) bank: @p act_from
+    // already covers tRP after any precharge, so it doubles as the
+    // earliest legal REFm launch. The RefM record clears the plugin's
+    // pending flag as it flows through onCommand.
+    Tick ref_at = act_from;
+    logCmd(ref_at, DRAMCmd::RefM, rank, bank);
+    invalidateBank(flat_bank);
+    return ref_at + pracPlugin_->tRFM();
 }
 
 void
@@ -1190,13 +1226,13 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
 
         Tick act = std::max({curTick(), bankActAllowedAt_[flat_bank],
                              rank.nextActAt, wakeConstraint_});
+        // A pending RowHammer mitigation must land before this ACT.
+        act = pracMitigate(flat_bank, pkt->rank, pkt->bank, act);
         act = activationWindowConstraint(rank, act);
         recordActivate(rank, act);
         bankActivated(act);
         ++stats_->numActs;
-        if (cmdLogger_ != nullptr)
-            cmdLogger_->record(act, DRAMCmd::Act, pkt->rank, pkt->bank,
-                               pkt->row);
+        logCmd(act, DRAMCmd::Act, pkt->rank, pkt->bank, pkt->row);
 
         bankOpenRow_[flat_bank] = pkt->row;
         bankRowAccesses_[flat_bank] = 0;
@@ -1244,10 +1280,12 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
           row_hit ? "hit" : "miss",
           static_cast<unsigned long long>(data_start),
           static_cast<unsigned long long>(data_done));
-    if (cmdLogger_ != nullptr)
-        cmdLogger_->record(data_start - t.tCL,
-                           pkt->isRead ? DRAMCmd::Rd : DRAMCmd::Wr,
-                           pkt->rank, pkt->bank, pkt->row);
+    logCmd(data_start - t.tCL,
+           pkt->isRead ? DRAMCmd::Rd : DRAMCmd::Wr, pkt->rank,
+           pkt->bank, pkt->row);
+    if (!plugins_.empty())
+        plugins_.onBurstComplete({pkt->isRead, pkt->rank, pkt->bank,
+                                  pkt->row, pkt->col, data_done});
 
     if (pkt->isRead) {
         nextWrDataAt_ = std::max(nextWrDataAt_, data_done + t.tRTW);
@@ -1562,8 +1600,7 @@ DRAMCtrl::refreshRank(unsigned rank_idx)
           name().c_str(), rank_idx,
           static_cast<unsigned long long>(start),
           static_cast<unsigned long long>(done));
-    if (cmdLogger_ != nullptr)
-        cmdLogger_->record(start, DRAMCmd::Ref, rank_idx, 0);
+    logCmd(start, DRAMCmd::Ref, rank_idx, 0);
     for (unsigned flat = lo; flat < hi; ++flat)
         bankActAllowedAt_[flat] = std::max(bankActAllowedAt_[flat],
                                            done);
@@ -1572,9 +1609,45 @@ DRAMCtrl::refreshRank(unsigned rank_idx)
 }
 
 void
+DRAMCtrl::processPerBankRefreshEvent()
+{
+    // refmgr-pb mode: one REFpb per rank each interval, rotating
+    // through the banks so every bank refreshes once per tREFI. Only
+    // the target bank needs to be closed — the rest of the rank keeps
+    // serving requests, which is the whole point of per-bank refresh.
+    const unsigned bank = refMgr_->advance();
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        const unsigned flat = flatIdx(r, bank);
+        if (flat == testStallRefPbFlat_)
+            continue; // fault injection: starve this bank
+        if (bankOpenRow_[flat] != kNoRow)
+            prechargeBank(flat,
+                          std::max(curTick(),
+                                   bankPreAllowedAt_[flat]));
+        // bankActAllowedAt_ covers tRP after the precharge, so it is
+        // also the earliest legal REFpb launch.
+        Tick ref_at = std::max(curTick(), bankActAllowedAt_[flat]);
+        logCmd(ref_at, DRAMCmd::RefPb, r, bank);
+        Tick busy = static_cast<Tick>(
+            static_cast<double>(refMgr_->tRFCpb()) * testTRFCpbScale_);
+        bankActAllowedAt_[flat] =
+            std::max(bankActAllowedAt_[flat], ref_at + busy);
+        invalidateBank(flat);
+        ++stats_->numRefreshes;
+    }
+    nextRefreshAt_ += refMgr_->interval(cfg_);
+    schedule(refreshEvent_, std::max(nextRefreshAt_, curTick() + 1));
+}
+
+void
 DRAMCtrl::processRefreshEvent()
 {
     const DRAMTiming &t = cfg_.timing;
+
+    if (refMgr_ && refMgr_->perBank()) {
+        processPerBankRefreshEvent();
+        return;
+    }
 
     // A device in self-refresh refreshes itself: the controller skips
     // its REF and just keeps the schedule ticking.
@@ -1656,8 +1729,7 @@ DRAMCtrl::processRefreshEvent()
           static_cast<unsigned long long>(start),
           static_cast<unsigned long long>(done));
     for (unsigned r = 0; r < ranks_.size(); ++r) {
-        if (cmdLogger_ != nullptr)
-            cmdLogger_->record(start, DRAMCmd::Ref, r, 0);
+        logCmd(start, DRAMCmd::Ref, r, 0);
         invalidateRank(r);
     }
     for (std::size_t flat = 0; flat < bankOpenRow_.size(); ++flat)

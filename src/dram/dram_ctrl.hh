@@ -24,6 +24,7 @@
 #include "dram/addr_decoder.hh"
 #include "dram/cmd_log.hh"
 #include "dram/dram_config.hh"
+#include "dram/plugin/plugin.hh"
 #include "mem/addr_range.hh"
 #include "mem/mem_ctrl_iface.hh"
 #include "mem/packet.hh"
@@ -169,6 +170,35 @@ class DRAMCtrl : public MemCtrlBase
         cfg_.timing.tRCD =
             static_cast<Tick>(cfg_.timing.tRCD * factor);
     }
+
+    /**
+     * Test-only fault injection: skip the PRAC mitigation refresh the
+     * plugin demands before an over-activated bank's next ACT. Proves
+     * the checker's "prac" rule fires. Never call outside tests.
+     */
+    void testSkipPracMitigation() { testSkipPrac_ = true; }
+
+    /**
+     * Test-only fault injection: scale the tRFCpb blackout the
+     * controller applies after a per-bank refresh (0.0 removes it), so
+     * the next ACT lands inside the checker's tRFCpb window. Never
+     * call outside tests.
+     */
+    void testScaleTRFCpb(double factor) { testTRFCpbScale_ = factor; }
+
+    /**
+     * Test-only fault injection: stall the per-bank refresh manager —
+     * stop issuing REFpb to flat bank @p flat — so the checker's
+     * per-bank tREFI deadline rule fires. Never call outside tests.
+     */
+    void testStallPerBankRefresh(unsigned flat)
+    {
+        testStallRefPbFlat_ = flat;
+    }
+
+    /** The controller's plugin chain (empty without --plugins). */
+    plugin::PluginChain &pluginChain() { return plugins_; }
+    const plugin::PluginChain &pluginChain() const { return plugins_; }
 
     /** Tick at which the current stats window started. */
     Tick statsWindowStart() const { return windowStart_; }
@@ -324,6 +354,33 @@ class DRAMCtrl : public MemCtrlBase
 
     /** Refresh one rank (perRankRefresh mode). */
     void refreshRank(unsigned rank_idx);
+
+    /** Rotating per-bank refresh (refmgr-pb plugin mode). */
+    void processPerBankRefreshEvent();
+
+    /**
+     * Record an implied DRAM command: into the attached CmdLogger (if
+     * any) and through the plugin chain's onCommand hook. All command
+     * emission funnels through here so plugins observe the stream even
+     * without a logger.
+     */
+    void
+    logCmd(Tick tick, DRAMCmd cmd, unsigned rank, unsigned bank,
+           std::uint64_t row = 0)
+    {
+        if (cmdLogger_)
+            cmdLogger_->record(tick, cmd, rank, bank, row);
+        if (!plugins_.empty())
+            plugins_.onCommand({tick, cmd, rank, bank, row});
+    }
+
+    /**
+     * If the PRAC plugin demands a mitigation before the next ACT to
+     * @p flat_bank, issue a RefM ending no earlier than @p act_from and
+     * return the tick the ACT may launch; otherwise @p act_from.
+     */
+    Tick pracMitigate(unsigned flat_bank, unsigned rank, unsigned bank,
+                      Tick act_from);
 
     /** Send (or schedule) the response for a completed request. */
     void accessAndRespond(Packet *pkt, Tick static_latency,
@@ -516,6 +573,17 @@ class DRAMCtrl : public MemCtrlBase
     EventFunctionWrapper refreshEvent_;
 
     CmdLogger *cmdLogger_ = nullptr;
+
+    /** Ordered plugin chain built from cfg_.plugins (may be empty). */
+    plugin::PluginChain plugins_;
+    /** Cached typed plugins (owned by plugins_); null when absent. */
+    plugin::RefreshManager *refMgr_ = nullptr;
+    plugin::PracPlugin *pracPlugin_ = nullptr;
+
+    // Test-only fault injection knobs (see the public test* methods).
+    bool testSkipPrac_ = false;
+    double testTRFCpbScale_ = 1.0;
+    unsigned testStallRefPbFlat_ = ~0u;
 
     std::unique_ptr<CtrlStats> stats_;
 };

@@ -1,0 +1,446 @@
+#include "dram/plugin/plugin.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ckpt/ckpt.hh"
+#include "dram/protocol_checker.hh"
+#include "sim/logging.hh"
+
+namespace dramctrl {
+namespace plugin {
+
+namespace {
+
+/** splitmix64 finaliser — decorrelates the packed address key. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from a 64-bit hash. */
+double
+hash01(std::uint64_t x)
+{
+    return static_cast<double>(mix64(x) >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+void
+CtrlPlugin::serialize(ckpt::CkptOut &, const std::string &) const
+{}
+
+void
+CtrlPlugin::unserialize(ckpt::CkptIn &, const std::string &)
+{}
+
+// ---------------------------------------------------------------- ECC
+
+EccPlugin::Stats::Stats(stats::Group &g)
+    : wordsProcessed(&g, "wordsProcessed",
+                     "ECC codewords decoded on read bursts"),
+      wordsWithErrors(&g, "wordsWithErrors",
+                      "codewords with at least one injected error"),
+      bitErrorsInjected(&g, "bitErrorsInjected",
+                        "raw bit errors injected"),
+      correctedWords(&g, "correctedWords",
+                     "codewords corrected (errors <= correct bits)"),
+      detectedWords(&g, "detectedWords",
+                    "codewords detected uncorrectable"),
+      escapedWords(&g, "escapedWords",
+                   "codewords with silently escaping errors"),
+      wordsEncoded(&g, "wordsEncoded",
+                   "ECC codewords encoded on write bursts")
+{}
+
+EccPlugin::EccPlugin(const PluginSpec &spec, const DRAMOrg &org,
+                     stats::Group &parent)
+    : spec_(spec), codewordBits_(spec.eccDataBits + spec.eccCheckBits),
+      group_("ecc", &parent), stats_(group_)
+{
+    std::uint64_t burst_bits = org.burstSize() * 8;
+    wordsPerBurst_ = static_cast<unsigned>(
+        (burst_bits + spec.eccDataBits - 1) / spec.eccDataBits);
+}
+
+unsigned
+EccPlugin::drawErrors(std::uint64_t key) const
+{
+    if (spec_.eccBer <= 0.0)
+        return 0;
+    const double p = spec_.eccBer;
+    const unsigned n = codewordBits_;
+    const double u = hash01(key ^ spec_.eccSeed);
+
+    // Inverse-CDF binomial draw: walk the pmf upward from k = 0. For
+    // the small bit error rates ECC is built for this terminates after
+    // one or two steps.
+    double pmf = std::pow(1.0 - p, static_cast<double>(n));
+    double cdf = pmf;
+    unsigned k = 0;
+    while (u >= cdf && k < n) {
+        pmf *= (static_cast<double>(n - k) /
+                static_cast<double>(k + 1)) *
+               (p / (1.0 - p));
+        cdf += pmf;
+        ++k;
+        if (pmf <= 0.0)
+            break;
+    }
+    return k;
+}
+
+void
+EccPlugin::onEnqueue(const EnqueueInfo &)
+{
+    noteEnqueue();
+}
+
+void
+EccPlugin::onBurstComplete(const BurstInfo &b)
+{
+    if (!b.isRead) {
+        stats_.wordsEncoded += wordsPerBurst_;
+        return;
+    }
+    // Pack the burst's DRAM coordinates into the injection key so the
+    // draw is a pure function of the stored location, not of arrival
+    // order: both models and any resumed run see identical errors.
+    std::uint64_t base = (static_cast<std::uint64_t>(b.rank) << 58) ^
+                         (static_cast<std::uint64_t>(b.bank) << 50) ^
+                         (b.row << 16) ^ b.col;
+    for (unsigned w = 0; w < wordsPerBurst_; ++w) {
+        unsigned k = drawErrors(mix64(base) + w);
+        ++stats_.wordsProcessed;
+        if (k == 0)
+            continue;
+        ++stats_.wordsWithErrors;
+        stats_.bitErrorsInjected += k;
+        if (k <= spec_.eccCorrectBits)
+            ++stats_.correctedWords;
+        else if (k <= spec_.eccDetectBits)
+            ++stats_.detectedWords;
+        else
+            ++stats_.escapedWords;
+    }
+}
+
+// --------------------------------------------------------------- PRAC
+
+PracPlugin::Stats::Stats(stats::Group &g)
+    : actsObserved(&g, "actsObserved", "activate commands counted"),
+      alertsRaised(&g, "alertsRaised",
+                   "rows that reached the activation threshold"),
+      mitigations(&g, "mitigations",
+                  "mitigation refreshes (REFm) issued"),
+      rowsTracked(&g, "rowsTracked",
+                  "rows with a live activation count (at stats dump)")
+{}
+
+PracPlugin::PracPlugin(const PluginSpec &spec, const DRAMOrg &org,
+                       stats::Group &parent)
+    : spec_(spec), banksPerRank_(org.banksPerRank),
+      counts_(org.totalBanks()), pending_(org.totalBanks(), 0),
+      group_("prac", &parent), stats_(group_)
+{}
+
+void
+PracPlugin::onEnqueue(const EnqueueInfo &)
+{
+    noteEnqueue();
+}
+
+void
+PracPlugin::clearBank(unsigned flat)
+{
+    counts_[flat].clear();
+    pending_[flat] = 0;
+}
+
+unsigned
+PracPlugin::rowCount(unsigned flat, std::uint64_t row) const
+{
+    auto it = counts_[flat].find(row);
+    return it == counts_[flat].end() ? 0 : it->second;
+}
+
+void
+PracPlugin::onCommand(const CmdRecord &rec)
+{
+    switch (rec.cmd) {
+      case DRAMCmd::Act: {
+        unsigned flat = rec.rank * banksPerRank_ + rec.bank;
+        ++stats_.actsObserved;
+        unsigned &count = counts_[flat][rec.row];
+        ++count;
+        if (count == spec_.pracThreshold) {
+            pending_[flat] = 1;
+            ++stats_.alertsRaised;
+        }
+        break;
+      }
+      case DRAMCmd::Ref:
+        // An all-bank refresh restores every row of the rank.
+        for (unsigned b = 0; b < banksPerRank_; ++b)
+            clearBank(rec.rank * banksPerRank_ + b);
+        break;
+      case DRAMCmd::RefM:
+        ++stats_.mitigations;
+        [[fallthrough]];
+      case DRAMCmd::RefPb:
+        clearBank(rec.rank * banksPerRank_ + rec.bank);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+PracPlugin::onStatsDump()
+{
+    std::uint64_t rows = 0;
+    for (const auto &bank : counts_)
+        rows += bank.size();
+    stats_.rowsTracked = static_cast<double>(rows);
+}
+
+void
+PracPlugin::serialize(ckpt::CkptOut &out,
+                      const std::string &prefix) const
+{
+    std::vector<std::uint64_t> pend(pending_.begin(), pending_.end());
+    out.putU64Vec(prefix + "pending", pend);
+    // One flat [row, count, row, count, ...] vector per bank; the
+    // std::map iteration order makes it deterministic.
+    for (std::size_t flat = 0; flat < counts_.size(); ++flat) {
+        std::vector<std::uint64_t> rows;
+        rows.reserve(counts_[flat].size() * 2);
+        for (const auto &[row, count] : counts_[flat]) {
+            rows.push_back(row);
+            rows.push_back(count);
+        }
+        out.putU64Vec(prefix + "counts" + std::to_string(flat), rows);
+    }
+}
+
+void
+PracPlugin::unserialize(ckpt::CkptIn &in, const std::string &prefix)
+{
+    const auto &pend = in.getU64Vec(prefix + "pending");
+    if (pend.size() != pending_.size())
+        fatal("prac checkpoint has %zu banks, config has %zu",
+              pend.size(), pending_.size());
+    for (std::size_t i = 0; i < pend.size(); ++i)
+        pending_[i] = static_cast<std::uint8_t>(pend[i]);
+    for (std::size_t flat = 0; flat < counts_.size(); ++flat) {
+        counts_[flat].clear();
+        const auto &rows =
+            in.getU64Vec(prefix + "counts" + std::to_string(flat));
+        for (std::size_t i = 0; i + 1 < rows.size(); i += 2)
+            counts_[flat][rows[i]] =
+                static_cast<unsigned>(rows[i + 1]);
+    }
+}
+
+// ---------------------------------------------------- refresh manager
+
+RefreshManager::Stats::Stats(stats::Group &g)
+    : allBankRefs(&g, "allBankRefs", "all-bank REF commands observed"),
+      perBankRefs(&g, "perBankRefs", "per-bank REFpb commands issued"),
+      mitigationRefs(&g, "mitigationRefs",
+                     "mitigation REFm commands observed")
+{}
+
+RefreshManager::RefreshManager(const PluginSpec &spec,
+                               const DRAMOrg &org,
+                               stats::Group &parent, bool per_bank)
+    : spec_(spec), perBank_(per_bank), banksPerRank_(org.banksPerRank),
+      group_(per_bank ? "refmgr_pb" : "refmgr", &parent),
+      stats_(group_)
+{}
+
+Tick
+RefreshManager::interval(const DRAMCtrlConfig &cfg) const
+{
+    Tick refi = cfg.effectiveREFI();
+    if (!perBank_)
+        return refi;
+    // One REFpb per rank per slot, rotating: every bank refreshed
+    // once per tREFI.
+    return std::max<Tick>(refi / banksPerRank_, 1);
+}
+
+unsigned
+RefreshManager::advance()
+{
+    unsigned bank = rotation_;
+    rotation_ = (rotation_ + 1) % banksPerRank_;
+    return bank;
+}
+
+void
+RefreshManager::onEnqueue(const EnqueueInfo &)
+{
+    noteEnqueue();
+}
+
+void
+RefreshManager::onCommand(const CmdRecord &rec)
+{
+    switch (rec.cmd) {
+      case DRAMCmd::Ref:
+        ++stats_.allBankRefs;
+        break;
+      case DRAMCmd::RefPb:
+        ++stats_.perBankRefs;
+        break;
+      case DRAMCmd::RefM:
+        ++stats_.mitigationRefs;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+RefreshManager::serialize(ckpt::CkptOut &out,
+                          const std::string &prefix) const
+{
+    out.putU64(prefix + "rotation", rotation_);
+}
+
+void
+RefreshManager::unserialize(ckpt::CkptIn &in,
+                            const std::string &prefix)
+{
+    rotation_ = static_cast<unsigned>(in.getU64(prefix + "rotation"));
+}
+
+// ---------------------------------------------------------- the chain
+
+void
+PluginChain::add(std::unique_ptr<CtrlPlugin> p)
+{
+    for (const auto &existing : plugins_) {
+        if (std::string(existing->kind()) == p->kind())
+            fatal("plugin '%s' registered twice on one controller",
+                  p->kind());
+    }
+    if (auto *e = dynamic_cast<EccPlugin *>(p.get()))
+        ecc_ = e;
+    if (auto *pr = dynamic_cast<PracPlugin *>(p.get()))
+        prac_ = pr;
+    if (auto *rm = dynamic_cast<RefreshManager *>(p.get())) {
+        if (refMgr_ != nullptr)
+            fatal("two refresh manager plugins on one controller");
+        refMgr_ = rm;
+    }
+    plugins_.push_back(std::move(p));
+}
+
+void
+PluginChain::serialize(ckpt::CkptOut &out) const
+{
+    for (const auto &p : plugins_) {
+        std::string prefix = std::string("plugin.") + p->kind() + ".";
+        out.putU64(prefix + "version", p->ckptVersion());
+        out.putU64(prefix + "enqueues", p->enqueuesSeen_);
+        p->serialize(out, prefix);
+    }
+}
+
+void
+PluginChain::unserialize(ckpt::CkptIn &in)
+{
+    for (const auto &p : plugins_) {
+        std::string prefix = std::string("plugin.") + p->kind() + ".";
+        auto version = in.getU64(prefix + "version");
+        if (version != p->ckptVersion())
+            fatal("checkpoint holds %s plugin state version %llu, "
+                  "this build expects %u",
+                  p->kind(),
+                  static_cast<unsigned long long>(version),
+                  p->ckptVersion());
+        p->enqueuesSeen_ = in.getU64(prefix + "enqueues");
+        p->unserialize(in, prefix);
+    }
+}
+
+// ------------------------------------------------------------ helpers
+
+PluginChain
+buildChain(const DRAMCtrlConfig &cfg, stats::Group &stat_parent,
+           bool cycle_model, const std::string &owner)
+{
+    PluginChain chain;
+    for (const PluginSpec &spec : cfg.plugins) {
+        if (spec.kind == "ecc") {
+            chain.add(std::make_unique<EccPlugin>(spec, cfg.org,
+                                                  stat_parent));
+        } else if (spec.kind == "prac") {
+            chain.add(std::make_unique<PracPlugin>(spec, cfg.org,
+                                                   stat_parent));
+        } else if (spec.kind == "refmgr") {
+            chain.add(std::make_unique<RefreshManager>(
+                spec, cfg.org, stat_parent, false));
+        } else if (spec.kind == "refmgr-pb") {
+            if (cycle_model)
+                fatal("%s: the refmgr-pb plugin is event model only "
+                      "(the cycle comparator refreshes all banks, "
+                      "like DRAMSim2)",
+                      owner.c_str());
+            chain.add(std::make_unique<RefreshManager>(
+                spec, cfg.org, stat_parent, true));
+        } else {
+            fatal("%s: unknown plugin kind '%s'", owner.c_str(),
+                  spec.kind.c_str());
+        }
+    }
+    return chain;
+}
+
+void
+armChecker(ProtocolChecker &checker, const DRAMCtrlConfig &cfg)
+{
+    if (const PluginSpec *prac = cfg.findPlugin("prac"))
+        checker.setPracGuard(prac->pracThreshold, prac->tRFM);
+    if (const PluginSpec *pb = cfg.findPlugin("refmgr-pb"))
+        checker.setPerBankRefresh(pb->tRFCpb);
+}
+
+bool
+parsePluginList(const std::string &list, DRAMCtrlConfig &cfg,
+                std::string &err)
+{
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        std::string kind =
+            list.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        if (!kind.empty()) {
+            if (kind != "ecc" && kind != "prac" && kind != "refmgr" &&
+                kind != "refmgr-pb") {
+                err = "unknown plugin '" + kind +
+                      "' (known: ecc, prac, refmgr, refmgr-pb)";
+                return false;
+            }
+            PluginSpec spec;
+            spec.kind = kind;
+            cfg.plugins.push_back(spec);
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
+} // namespace plugin
+} // namespace dramctrl

@@ -16,6 +16,8 @@ toString(DRAMCmd cmd)
       case DRAMCmd::Rd: return "RD";
       case DRAMCmd::Wr: return "WR";
       case DRAMCmd::Ref: return "REF";
+      case DRAMCmd::RefPb: return "REFpb";
+      case DRAMCmd::RefM: return "REFm";
     }
     return "???";
 }
@@ -131,22 +133,54 @@ ProtocolChecker::refDeadlineTicks() const
 }
 
 void
-ProtocolChecker::checkRefreshDeadline(const CmdRecord &c,
-                                      RankState &rank)
+ProtocolChecker::checkRefreshDeadline(const CmdRecord &c)
 {
+    // Per-bank deadline: with a per-bank refresh manager (or
+    // mitigation refreshes), rank-level bookkeeping would let a
+    // starved bank hide behind its neighbours' REFpb stream. Every
+    // command audits all banks of its rank, each with its own overdue
+    // latch.
     Tick deadline = refDeadlineTicks();
     if (deadline == 0)
         return;
-    Tick gap = c.tick - rank.lastRef;
-    if (gap > deadline && !rank.refOverdueFlagged) {
-        rank.refOverdueFlagged = true;
+    // Coalesce: one report per command covering every newly-overdue
+    // bank (an all-bank lapse would otherwise flood banksPerRank
+    // identical lines), each bank latched until its next refresh.
+    unsigned overdue = 0;
+    unsigned worst_bank = 0;
+    Tick worst_gap = 0;
+    for (unsigned b = 0; b < org_.banksPerRank; ++b) {
+        BankState &bank = banks_[c.rank][b];
+        Tick gap = c.tick - bank.lastRefreshed;
+        if (gap > deadline && !bank.refOverdueFlagged) {
+            bank.refOverdueFlagged = true;
+            ++overdue;
+            if (gap > worst_gap) {
+                worst_gap = gap;
+                worst_bank = b;
+            }
+        }
+    }
+    if (overdue > 0) {
         fail(c, "tREFI",
-             formatString("%llu ps since last refresh of rank %u "
-                          "(deadline %llu ps = %.1f x tREFI)",
-                          static_cast<unsigned long long>(gap), c.rank,
+             formatString("%u bank(s) of rank %u past the refresh "
+                          "deadline; worst is bank %u at %llu ps "
+                          "since last refresh (deadline %llu ps = "
+                          "%.1f x tREFI)",
+                          overdue, c.rank, worst_bank,
+                          static_cast<unsigned long long>(worst_gap),
                           static_cast<unsigned long long>(deadline),
                           refSlack_));
     }
+}
+
+void
+ProtocolChecker::bankRefreshed(BankState &bank, Tick tick)
+{
+    bank.lastRefreshed = tick;
+    bank.refOverdueFlagged = false;
+    bank.pracCounts.clear();
+    bank.pracAlert = false;
 }
 
 void
@@ -175,13 +209,32 @@ ProtocolChecker::step(const CmdRecord &c)
         return;
     }
     RankState &rank = ranks_[c.rank];
-    checkRefreshDeadline(c, rank);
+    checkRefreshDeadline(c);
 
     switch (c.cmd) {
       case DRAMCmd::Act: {
         BankState &bank = banks_[c.rank][c.bank];
         if (bank.rowOpen)
             fail(c, "state", "activate with a row open");
+        if (c.tick < bank.refUntil)
+            fail(c, bank.refBusyMitigation ? "tRFM" : "tRFCpb",
+                 formatString("activate %llu ps into the bank's "
+                              "refresh (busy until %llu ps)",
+                              static_cast<unsigned long long>(c.tick),
+                              static_cast<unsigned long long>(
+                                  bank.refUntil)));
+        if (pracThreshold_ > 0) {
+            if (bank.pracAlert)
+                fail(c, "prac",
+                     formatString("activate to bank %u with a row at "
+                                  "the %u-activation threshold and no "
+                                  "mitigation refresh issued",
+                                  c.bank, pracThreshold_));
+            unsigned &count = bank.pracCounts[c.row];
+            ++count;
+            if (count >= pracThreshold_)
+                bank.pracAlert = true;
+        }
         if (bank.everPrecharged && c.tick < bank.lastPre + t_.tRP)
             fail(c, "tRP",
                  formatString("only %llu ps after precharge",
@@ -331,10 +384,31 @@ ProtocolChecker::step(const CmdRecord &c)
                                   static_cast<unsigned long long>(
                                       c.tick - bank.lastPre),
                                   b));
+            bankRefreshed(bank, c.tick);
         }
         rank.refUntil = c.tick + t_.tRFC;
-        rank.lastRef = c.tick;
-        rank.refOverdueFlagged = false;
+        break;
+      }
+      case DRAMCmd::RefPb:
+      case DRAMCmd::RefM: {
+        BankState &bank = banks_[c.rank][c.bank];
+        bool mitigation = c.cmd == DRAMCmd::RefM;
+        if (bank.rowOpen)
+            fail(c, "state",
+                 formatString("bank %u open at %s", c.bank,
+                              dramctrl::toString(c.cmd)));
+        if (bank.everPrecharged && c.tick < bank.lastPre + t_.tRP)
+            fail(c, "tRP",
+                 formatString("%s only %llu ps after precharge",
+                              dramctrl::toString(c.cmd),
+                              static_cast<unsigned long long>(
+                                  c.tick - bank.lastPre)));
+        Tick busy = mitigation ? pracTRFM_ : tRFCpb_;
+        if (busy > 0) {
+            bank.refUntil = std::max(bank.refUntil, c.tick + busy);
+            bank.refBusyMitigation = mitigation;
+        }
+        bankRefreshed(bank, c.tick);
         break;
       }
     }

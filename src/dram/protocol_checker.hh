@@ -12,10 +12,20 @@
  *               column commands; write recovery tWR before precharge.
  *  rank level:  tRRD between activates; at most activationLimit
  *               activates per rolling tXAW window; all banks
- *               precharged at REF; no activate during tRFC; a REF at
- *               least every refSlack x tREFI (the JEDEC refresh
- *               deadline — DDR3 allows postponing up to eight
- *               refreshes, hence the default slack of nine intervals).
+ *               precharged at REF; no activate during tRFC; every
+ *               bank refreshed at least every refSlack x tREFI (the
+ *               JEDEC refresh deadline — DDR3 allows postponing up to
+ *               eight refreshes, hence the default slack of nine
+ *               intervals). The deadline is tracked per bank and any
+ *               refresh command covering a bank — all-bank REF,
+ *               per-bank REFpb, mitigation REFm — restarts its clock.
+ *  plugins:     with setPerBankRefresh(), REFpb must target a closed,
+ *               precharge-settled bank and blocks its ACTs for
+ *               tRFCpb; with setPracGuard(), an ACT to a bank holding
+ *               a row at the activation threshold without an
+ *               intervening refresh is a "prac" violation, and REFm
+ *               blocks the bank for tRFM (mirrors
+ *               plugin::PracPlugin's alert semantics).
  *  channel:     data bus occupancy windows never overlap; tWTR from
  *               write data end to the next read command; tRTW
  *               turnaround from read data end to write data start.
@@ -42,6 +52,7 @@
 #ifndef DRAMCTRL_DRAM_PROTOCOL_CHECKER_H
 #define DRAMCTRL_DRAM_PROTOCOL_CHECKER_H
 
+#include <map>
 #include <queue>
 #include <string>
 #include <vector>
@@ -130,6 +141,28 @@ class ProtocolChecker : public CmdSink
     void setRefSlack(double slack) { refSlack_ = slack; }
     double refSlack() const { return refSlack_; }
 
+    /**
+     * Arm the PRAC mitigation invariant: track per-row ACT counts
+     * (mirroring plugin::PracPlugin) and require a REFm to a bank
+     * holding a row at @p threshold activations before that bank's
+     * next ACT; a REFm blocks the bank's ACTs for @p trfm. 0 disarms.
+     */
+    void
+    setPracGuard(unsigned threshold, Tick trfm)
+    {
+        pracThreshold_ = threshold;
+        pracTRFM_ = trfm;
+    }
+
+    unsigned pracThreshold() const { return pracThreshold_; }
+
+    /**
+     * Arm per-bank refresh timing: a REFpb blocks its bank's ACTs for
+     * @p trfcpb. Legality (closed bank, tRP settle) and the per-bank
+     * tREFI deadline are checked whether or not this is armed.
+     */
+    void setPerBankRefresh(Tick trfcpb) { tRFCpb_ = trfcpb; }
+
   private:
     struct BankState
     {
@@ -144,6 +177,18 @@ class ProtocolChecker : public CmdSink
         bool everPrecharged = false;
         bool everCol = false;
         bool everWrote = false;
+        /** ACTs blocked by a bank-scoped refresh (REFpb/REFm). */
+        Tick refUntil = 0;
+        /** refUntil stems from a REFm (names the violated rule). */
+        bool refBusyMitigation = false;
+        /** Launch of the last refresh covering this bank. */
+        Tick lastRefreshed = 0;
+        /** The current refresh lapse has already been reported. */
+        bool refOverdueFlagged = false;
+        /** PRAC mirror: ACT count per row (armed mode only). */
+        std::map<std::uint64_t, unsigned> pracCounts;
+        /** A row reached the threshold; next ACT here needs a REFm. */
+        bool pracAlert = false;
     };
 
     struct RankState
@@ -158,9 +203,6 @@ class ProtocolChecker : public CmdSink
         Tick lastAct = 0;
         bool everActivated = false;
         Tick refUntil = 0;
-        Tick lastRef = 0;
-        /** The current refresh lapse has already been reported. */
-        bool refOverdueFlagged = false;
     };
 
     /** Run one final (ordered) record through the rule engine. */
@@ -169,11 +211,15 @@ class ProtocolChecker : public CmdSink
     void fail(const CmdRecord &c, const char *rule, std::string detail);
 
     Tick refDeadlineTicks() const;
-    void checkRefreshDeadline(const CmdRecord &c, RankState &rank);
+    void checkRefreshDeadline(const CmdRecord &c);
+    void bankRefreshed(BankState &bank, Tick tick);
 
     DRAMOrg org_;
     DRAMTiming t_;
     double refSlack_ = 9.0;
+    unsigned pracThreshold_ = 0;
+    Tick pracTRFM_ = 0;
+    Tick tRFCpb_ = 0;
 
     // ----- rule-engine state (valid between reset()s) --------------
     std::vector<std::vector<BankState>> banks_;

@@ -6,6 +6,7 @@
 #include "ckpt/ckpt.hh"
 #include "dram/dram_ctrl.hh"
 #include "dram/dram_presets.hh"
+#include "dram/plugin/plugin.hh"
 #include "exec/batch_runner.hh"
 #include "harness/multichannel.hh"
 #include "sim/logging.hh"
@@ -71,6 +72,25 @@ checkSpec(const SweepSpec &spec, std::string *err)
             return false;
         }
     }
+    if (!spec.plugins.empty()) {
+        DRAMCtrlConfig probe;
+        std::string perr;
+        if (!plugin::parsePluginList(spec.plugins, probe, perr)) {
+            if (err != nullptr)
+                *err = perr;
+            return false;
+        }
+        if (probe.hasPlugin("refmgr-pb")) {
+            for (harness::CtrlModel m : spec.models) {
+                if (m == harness::CtrlModel::Cycle) {
+                    if (err != nullptr)
+                        *err = "refmgr-pb is event-model-only; drop "
+                               "the cycle model axis";
+                    return false;
+                }
+            }
+        }
+    }
     if (spec.presets.empty() || spec.patterns.empty() ||
         spec.pages.empty() || spec.mappings.empty() ||
         spec.readPcts.empty() || spec.ittNs.empty() ||
@@ -123,6 +143,11 @@ buildPoint(const SweepPoint &point, const SweepSpec &spec,
     cfg.pagePolicy = point.page;
     cfg.addrMapping = point.mapping;
     cfg.writeLowThreshold = 0.0; // drain fully so every run terminates
+    if (!spec.plugins.empty()) {
+        std::string perr;
+        if (!plugin::parsePluginList(spec.plugins, cfg, perr))
+            fatal("%s", perr.c_str());
+    }
     cfg.check();
 
     BuiltPoint built;
@@ -184,6 +209,11 @@ runMultiPoint(const SweepPoint &point, const SweepSpec &spec)
     cfg.pagePolicy = point.page;
     cfg.addrMapping = point.mapping;
     cfg.writeLowThreshold = 0.0; // drain fully so every run terminates
+    if (!spec.plugins.empty()) {
+        std::string perr;
+        if (!plugin::parsePluginList(spec.plugins, cfg, perr))
+            fatal("%s", perr.c_str());
+    }
     cfg.check();
 
     harness::MultiChannelConfig mcfg;

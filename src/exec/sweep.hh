@@ -46,6 +46,13 @@ struct SweepSpec
     unsigned banks = 4;
 
     /**
+     * Controller plugin chain applied to every point, as the csv list
+     * parsePluginList() accepts ("ecc,prac,refmgr"). Empty = none.
+     * Per-bank refresh ("refmgr-pb") needs an all-Event model axis.
+     */
+    std::string plugins;
+
+    /**
      * Channels per run (1 = classic single-channel point). With more
      * than one channel every point builds a sharded multi-channel
      * system — one controller and one generator per channel, requests

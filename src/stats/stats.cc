@@ -238,19 +238,41 @@ Group::addChild(Group *child)
 void
 Group::dump(std::ostream &os) const
 {
+    fireDumpCallbacks();
+    dumpStats(os);
+}
+
+void
+Group::dumpStats(std::ostream &os) const
+{
     std::string prefix = fullPath();
     if (!prefix.empty())
         prefix += ".";
     for (const Stat *s : stats_)
         s->dump(os, prefix);
     for (const Group *g : children_)
-        g->dump(os);
+        g->dumpStats(os);
 }
 
 void
 Group::onReset(std::function<void()> fn)
 {
     resetCallbacks_.push_back(std::move(fn));
+}
+
+void
+Group::onDump(std::function<void()> fn)
+{
+    dumpCallbacks_.push_back(std::move(fn));
+}
+
+void
+Group::fireDumpCallbacks() const
+{
+    for (const auto &fn : dumpCallbacks_)
+        fn();
+    for (const Group *g : children_)
+        g->fireDumpCallbacks();
 }
 
 void
@@ -266,6 +288,13 @@ Group::resetAll()
 
 void
 Group::dumpJson(std::ostream &os) const
+{
+    fireDumpCallbacks();
+    dumpJsonStats(os);
+}
+
+void
+Group::dumpJsonStats(std::ostream &os) const
 {
     os << '{';
     bool first = true;
@@ -283,7 +312,7 @@ Group::dumpJson(std::ostream &os) const
         first = false;
         jsonString(os, g->name());
         os << ": ";
-        g->dumpJson(os);
+        g->dumpJsonStats(os);
     }
     os << '}';
 }

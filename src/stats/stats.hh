@@ -215,6 +215,14 @@ class Group
      */
     void onReset(std::function<void()> fn);
 
+    /**
+     * Register a callback run just before this group (or any ancestor)
+     * dumps, letting owners fold lazily-maintained state into their
+     * statistics — e.g. a controller plugin publishing the size of its
+     * internal tracking tables.
+     */
+    void onDump(std::function<void()> fn);
+
     /** Dump this group's stats and all children, depth first. */
     void dump(std::ostream &os) const;
 
@@ -250,6 +258,13 @@ class Group
     std::vector<Stat *> stats_;
     std::vector<Group *> children_;
     std::vector<std::function<void()>> resetCallbacks_;
+    std::vector<std::function<void()>> dumpCallbacks_;
+
+    /** Run dump callbacks of this group and all children, depth first. */
+    void fireDumpCallbacks() const;
+    /** dump() / dumpJson() bodies, minus the callback pass. */
+    void dumpStats(std::ostream &os) const;
+    void dumpJsonStats(std::ostream &os) const;
 };
 
 } // namespace stats

@@ -111,6 +111,53 @@ sampleCase(Random &rng, const FuzzerOptions &opts)
         cfg.perRankRefresh = rng.chance(0.5);
     }
 
+    if (opts.withPlugins) {
+        // Random plugin chain. Error rates span "never fires" to
+        // "every burst is noisy"; PRAC thresholds are far below real
+        // silicon so mitigations actually trigger within a short run.
+        if (rng.chance(0.5)) {
+            PluginSpec ecc;
+            ecc.kind = "ecc";
+            if (rng.chance(0.3)) {
+                ecc.eccDataBits = 128;
+                ecc.eccCheckBits = 16;
+            }
+            static const double kBer[] = {0.0, 1e-7, 1e-5, 1e-3};
+            ecc.eccBer = pick(rng, kBer);
+            ecc.eccSeed = rng.uniform(1, 1u << 20);
+            cfg.plugins.push_back(ecc);
+        }
+        if (rng.chance(0.4)) {
+            PluginSpec prac;
+            prac.kind = "prac";
+            static const unsigned kThresh[] = {4, 8, 16, 64};
+            prac.pracThreshold = pick(rng, kThresh);
+            cfg.plugins.push_back(prac);
+        }
+        // Per-bank refresh is event-only and needs a live refresh
+        // schedule free of the per-rank stagger and low-power states.
+        bool pbOk = !opts.cycleCompatible && cfg.timing.tREFI != 0 &&
+                    !cfg.perRankRefresh && !cfg.enablePowerDown &&
+                    !cfg.enableSelfRefresh;
+        switch (rng.uniform(0, 3)) {
+          case 0: {
+            PluginSpec mgr;
+            mgr.kind = "refmgr";
+            cfg.plugins.push_back(mgr);
+            break;
+          }
+          case 1:
+            if (pbOk) {
+                PluginSpec mgr;
+                mgr.kind = "refmgr-pb";
+                cfg.plugins.push_back(mgr);
+            }
+            break;
+          default:
+            break; // no refresh manager
+        }
+    }
+
     // Stimulus: window sized to stress either row locality (small) or
     // bank/rank spread (large), always inside the channel.
     StreamParams &sp = fc.stream;
@@ -159,6 +206,18 @@ summarize(const FuzzCase &fc)
 {
     const DRAMCtrlConfig &cfg = fc.cfg;
     const StreamParams &sp = fc.stream;
+    std::string plugins;
+    for (const PluginSpec &ps : cfg.plugins) {
+        plugins += plugins.empty() ? " plugins=" : ",";
+        if (ps.kind == "ecc")
+            plugins += formatString("ecc(%u+%u,ber=%g)",
+                                    ps.eccDataBits, ps.eccCheckBits,
+                                    ps.eccBer);
+        else if (ps.kind == "prac")
+            plugins += formatString("prac(t=%u)", ps.pracThreshold);
+        else
+            plugins += ps.kind;
+    }
     return formatString(
         "%s ranks=%u map=%s page=%s sched=%s rq=%u wq=%u xaw=%u "
         "refi=%.1fus maxrow=%u | n=%llu win=%lluKiB rd%%=%u "
@@ -171,7 +230,7 @@ summarize(const FuzzCase &fc)
         static_cast<unsigned long long>(sp.numRequests),
         static_cast<unsigned long long>(sp.windowSize >> 10),
         sp.readPct, toNs(sp.minITT), toNs(sp.maxITT),
-        sp.mixedSizes ? " mixed" : "");
+        sp.mixedSizes ? " mixed" : "") + plugins;
 }
 
 } // namespace validate

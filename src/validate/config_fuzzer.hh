@@ -45,6 +45,12 @@ struct FuzzerOptions
      * switch off to fuzz the event model alone against the checker.
      */
     bool cycleCompatible = true;
+    /**
+     * Also draw a random plugin chain (ECC geometry/error rate, PRAC
+     * thresholds, refresh managers) for each case. Per-bank refresh
+     * only appears in event-only samples — the cycle model rejects it.
+     */
+    bool withPlugins = false;
 };
 
 /** Draw one valid scenario from @p rng. */

@@ -7,6 +7,7 @@
 #include "cyclesim/cycle_ctrl.hh"
 #include "dram/cmd_log.hh"
 #include "dram/dram_ctrl.hh"
+#include "dram/plugin/plugin.hh"
 #include "harness/testbench.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
@@ -63,15 +64,22 @@ runModel(const FuzzCase &fc, const RequestStream &stream,
     CtrlT ctrl(sim, "mem_ctrl", fc.cfg, range);
 
     ProtocolChecker checker(fc.cfg.org, fc.cfg.timing);
+    plugin::armChecker(checker, fc.cfg);
     CountingSink sink(opts.audit ? &checker : nullptr);
     CmdLogger logger;
     logger.setMaxRecords(0); // pure streaming: the sink sees it all
     logger.setSink(&sink);
     ctrl.setCmdLogger(&logger);
 
-    if (isEvent && opts.injectTRCDScale != 1.0) {
-        if constexpr (std::is_same_v<CtrlT, DRAMCtrl>)
+    if constexpr (std::is_same_v<CtrlT, DRAMCtrl>) {
+        if (isEvent && opts.injectTRCDScale != 1.0)
             ctrl.testScaleTRCD(opts.injectTRCDScale);
+        if (isEvent && opts.injectPracSkip)
+            ctrl.testSkipPracMitigation();
+        if (isEvent && opts.injectTRFCpbScale != 1.0)
+            ctrl.testScaleTRFCpb(opts.injectTRFCpbScale);
+        if (isEvent && opts.injectRefPbStallFlat != ~0u)
+            ctrl.testStallPerBankRefresh(opts.injectRefPbStallFlat);
     }
 
     StreamPlayer player(sim, "player", stream);
@@ -115,7 +123,59 @@ runModel(const FuzzCase &fc, const RequestStream &stream,
         mr.readBursts = static_cast<std::uint64_t>(
             ctrl.ctrlStats().readBursts.value());
     }
+
+    if (const plugin::EccPlugin *ecc = ctrl.pluginChain().ecc()) {
+        mr.eccArmed = true;
+        mr.eccWordsPerBurst = ecc->wordsPerBurst();
+        mr.eccWordsProcessed = ecc->wordsProcessed();
+        mr.eccWordsWithErrors = ecc->wordsWithErrors();
+        mr.eccCorrected = ecc->correctedWords();
+        mr.eccDetected = ecc->detectedWords();
+        mr.eccEscaped = ecc->escapedWords();
+    }
     return mr;
+}
+
+/**
+ * ECC conservation laws, per model: every word that drew at least one
+ * injected error is accounted exactly once (corrected, detected or
+ * escaped), and the plugin decoded exactly the words the model's RD
+ * commands transferred.
+ */
+void
+checkEccConservation(const char *model, const ModelResult &mr,
+                     DiffResult &dr)
+{
+    if (!mr.eccArmed)
+        return;
+
+    auto fail = [&](std::string msg) {
+        dr.pass = false;
+        dr.failures.push_back(std::move(msg));
+    };
+
+    if (mr.eccWordsWithErrors !=
+        mr.eccCorrected + mr.eccDetected + mr.eccEscaped) {
+        fail(formatString(
+            "%s: ecc conservation broken: %llu words with errors vs "
+            "%llu corrected + %llu detected + %llu escaped",
+            model,
+            static_cast<unsigned long long>(mr.eccWordsWithErrors),
+            static_cast<unsigned long long>(mr.eccCorrected),
+            static_cast<unsigned long long>(mr.eccDetected),
+            static_cast<unsigned long long>(mr.eccEscaped)));
+    }
+    if (mr.eccWordsProcessed != mr.rdCmds * mr.eccWordsPerBurst) {
+        fail(formatString(
+            "%s: ecc decoded %llu words but %llu RD commands x %u "
+            "words/burst = %llu",
+            model,
+            static_cast<unsigned long long>(mr.eccWordsProcessed),
+            static_cast<unsigned long long>(mr.rdCmds),
+            mr.eccWordsPerBurst,
+            static_cast<unsigned long long>(mr.rdCmds *
+                                            mr.eccWordsPerBurst)));
+    }
 }
 
 void
@@ -188,6 +248,7 @@ runDiffStream(const FuzzCase &fc, const RequestStream &stream,
 
     dr.event = runModel<DRAMCtrl>(fc, stream, opts, true);
     checkFunctional("event", dr.event, stream, dr);
+    checkEccConservation("event", dr.event, dr);
 
     // Write-queue conservation: every read burst either became a RD
     // command or was forwarded from the write queue; forwarded reads
@@ -210,6 +271,7 @@ runDiffStream(const FuzzCase &fc, const RequestStream &stream,
     dr.cycle = runModel<cyclesim::CycleDRAMCtrl>(fc, stream, opts,
                                                  false);
     checkFunctional("cycle", dr.cycle, stream, dr);
+    checkEccConservation("cycle", dr.cycle, dr);
 
     // Timing agreement: tolerance bands, symmetric relative error.
     auto relDiff = [](double a, double b) {

@@ -88,6 +88,26 @@ struct DiffOptions
      * keeps the unscaled timing, so factors < 1 must be caught.
      */
     double injectTRCDScale = 1.0;
+    /**
+     * Test-only fault injection: make the event model skip the PRAC
+     * mitigation refresh a pending alert demands (see
+     * DRAMCtrl::testSkipPracMitigation). The armed checker's "prac"
+     * rule must flag the unmitigated ACT.
+     */
+    bool injectPracSkip = false;
+    /**
+     * Test-only fault injection: scale the event model's per-bank
+     * refresh blackout (tRFCpb) by this factor. Factors < 1 shrink the
+     * blackout under what the checker enforces, so following ACTs must
+     * trip the "tRFCpb" rule. 1.0 = no fault.
+     */
+    double injectTRFCpbScale = 1.0;
+    /**
+     * Test-only fault injection: the event model silently skips every
+     * per-bank refresh of this flat bank index, starving it past the
+     * per-bank tREFI deadline. ~0u = no fault.
+     */
+    unsigned injectRefPbStallFlat = ~0u;
     /** Audit command streams with the online ProtocolChecker. */
     bool audit = true;
     /** Also run the cycle model (off = event model + checker only). */
@@ -119,6 +139,15 @@ struct ModelResult
     /** Event model only: read bursts serviced from the write queue. */
     std::uint64_t servicedByWrQ = 0;
     std::uint64_t readBursts = 0;
+
+    /** ECC plugin counters (all zero when no ecc plugin is armed). */
+    bool eccArmed = false;
+    unsigned eccWordsPerBurst = 0;
+    std::uint64_t eccWordsProcessed = 0;
+    std::uint64_t eccWordsWithErrors = 0;
+    std::uint64_t eccCorrected = 0;
+    std::uint64_t eccDetected = 0;
+    std::uint64_t eccEscaped = 0;
 };
 
 /** Verdict of one differential run. */

@@ -86,6 +86,43 @@ timingFromJson(const Json &j, DRAMTiming &t)
 }
 
 Json
+pluginToJson(const PluginSpec &ps)
+{
+    Json j = Json::object();
+    j.set("kind", ps.kind);
+    j.set("eccDataBits", ps.eccDataBits);
+    j.set("eccCheckBits", ps.eccCheckBits);
+    j.set("eccCorrectBits", ps.eccCorrectBits);
+    j.set("eccDetectBits", ps.eccDetectBits);
+    j.set("eccBer", ps.eccBer);
+    j.set("eccSeed", ps.eccSeed);
+    j.set("pracThreshold", ps.pracThreshold);
+    j.set("tRFM", ps.tRFM);
+    j.set("tRFCpb", ps.tRFCpb);
+    return j;
+}
+
+void
+pluginFromJson(const Json &j, PluginSpec &ps)
+{
+    ps.kind = j["kind"].asString();
+    ps.eccDataBits = static_cast<unsigned>(
+        j["eccDataBits"].asUInt(ps.eccDataBits));
+    ps.eccCheckBits = static_cast<unsigned>(
+        j["eccCheckBits"].asUInt(ps.eccCheckBits));
+    ps.eccCorrectBits = static_cast<unsigned>(
+        j["eccCorrectBits"].asUInt(ps.eccCorrectBits));
+    ps.eccDetectBits = static_cast<unsigned>(
+        j["eccDetectBits"].asUInt(ps.eccDetectBits));
+    ps.eccBer = j["eccBer"].asDouble(ps.eccBer);
+    ps.eccSeed = j["eccSeed"].asUInt(ps.eccSeed);
+    ps.pracThreshold = static_cast<unsigned>(
+        j["pracThreshold"].asUInt(ps.pracThreshold));
+    ps.tRFM = j["tRFM"].asUInt(ps.tRFM);
+    ps.tRFCpb = j["tRFCpb"].asUInt(ps.tRFCpb);
+}
+
+Json
 cfgToJson(const DRAMCtrlConfig &cfg)
 {
     Json j = Json::object();
@@ -105,6 +142,12 @@ cfgToJson(const DRAMCtrlConfig &cfg)
     j.set("enablePowerDown", cfg.enablePowerDown);
     j.set("enableSelfRefresh", cfg.enableSelfRefresh);
     j.set("perRankRefresh", cfg.perRankRefresh);
+    if (!cfg.plugins.empty()) {
+        Json arr = Json::array();
+        for (const PluginSpec &ps : cfg.plugins)
+            arr.push(pluginToJson(ps));
+        j.set("plugins", arr);
+    }
     return j;
 }
 
@@ -157,6 +200,19 @@ cfgFromJson(const Json &j, DRAMCtrlConfig &cfg, std::string *err)
     cfg.enableSelfRefresh =
         j["enableSelfRefresh"].asBool(cfg.enableSelfRefresh);
     cfg.perRankRefresh = j["perRankRefresh"].asBool(cfg.perRankRefresh);
+    cfg.plugins.clear();
+    if (j.has("plugins")) {
+        for (const Json &row : j["plugins"].items()) {
+            PluginSpec ps;
+            pluginFromJson(row, ps);
+            if (ps.kind.empty()) {
+                if (err)
+                    *err = "plugin entry without a kind";
+                return false;
+            }
+            cfg.plugins.push_back(ps);
+        }
+    }
     return true;
 }
 
@@ -230,6 +286,9 @@ optsToJson(const DiffOptions &opts)
     j.set("congestionFactor", opts.congestionFactor);
     j.set("maxTicks", opts.maxTicks);
     j.set("injectTRCDScale", opts.injectTRCDScale);
+    j.set("injectPracSkip", opts.injectPracSkip);
+    j.set("injectTRFCpbScale", opts.injectTRFCpbScale);
+    j.set("injectRefPbStallFlat", opts.injectRefPbStallFlat);
     j.set("audit", opts.audit);
     j.set("runCycle", opts.runCycle);
     return j;
@@ -252,6 +311,12 @@ optsFromJson(const Json &j, DiffOptions &opts)
     opts.maxTicks = j["maxTicks"].asUInt(opts.maxTicks);
     opts.injectTRCDScale =
         j["injectTRCDScale"].asDouble(opts.injectTRCDScale);
+    opts.injectPracSkip =
+        j["injectPracSkip"].asBool(opts.injectPracSkip);
+    opts.injectTRFCpbScale =
+        j["injectTRFCpbScale"].asDouble(opts.injectTRFCpbScale);
+    opts.injectRefPbStallFlat = static_cast<unsigned>(
+        j["injectRefPbStallFlat"].asUInt(opts.injectRefPbStallFlat));
     opts.audit = j["audit"].asBool(opts.audit);
     opts.runCycle = j["runCycle"].asBool(opts.runCycle);
 }

@@ -23,6 +23,7 @@
 #include "ckpt/ckpt.hh"
 #include "dram/cmd_log.hh"
 #include "dram/dram_presets.hh"
+#include "dram/plugin/plugin.hh"
 #include "exec/sweep.hh"
 #include "harness/testbench.hh"
 #include "sim/logging.hh"
@@ -218,6 +219,95 @@ TEST(CkptFuzz, ckpt_fuzzed_configs_round_trip)
             << "fuzz case " << i << " (" << validate::summarize(fc)
             << ")";
     }
+}
+
+/**
+ * Plugin chains must round-trip: ECC decode classes, PRAC counter
+ * tables and pending alerts, and the per-bank refresh rotation are
+ * part of the controller section (under "plugin.<kind>.*" keys), so
+ * a split run continues with identical plugin behaviour — same
+ * mitigation refreshes, same rotation slots, same error counters.
+ */
+TEST(CkptPlugin, ckpt_plugin_chains_round_trip)
+{
+    const char *chains[] = {"ecc", "prac", "refmgr", "refmgr-pb",
+                            "ecc,prac,refmgr"};
+    for (const char *chain : chains) {
+        DRAMCtrlConfig cfg = presets::byName("ddr3_1333");
+        std::string err;
+        ASSERT_TRUE(plugin::parsePluginList(chain, cfg, err)) << err;
+        for (PluginSpec &p : cfg.plugins) {
+            if (p.kind == "ecc") {
+                p.eccBer = 1e-3;
+                p.eccSeed = 21;
+            } else if (p.kind == "prac") {
+                // Low threshold: alerts and mitigations straddle the
+                // checkpoint, exercising the counter-table state.
+                p.pracThreshold = 4;
+            } else if (p.kind == "refmgr-pb") {
+                // Short tREFI: the rotation advances before kCkptAt.
+                cfg.timing.tREFI = fromUs(1.0);
+            }
+        }
+
+        BuiltSystem ref = buildSystem(cfg, "random",
+                                      harness::CtrlModel::Event, 60,
+                                      kRequests, kSeed);
+        CmdLogger refLog;
+        ref.tb->ctrl().setCmdLogger(&refLog);
+        ref.tb->runToCompletion([&] { return ref.gen->done(); });
+        const std::string refStats = statsJson(*ref.tb);
+
+        BuiltSystem pre = buildSystem(cfg, "random",
+                                      harness::CtrlModel::Event, 60,
+                                      kRequests, kSeed);
+        CmdLogger preLog;
+        pre.tb->ctrl().setCmdLogger(&preLog);
+        pre.tb->sim().run(kCkptAt);
+        const std::string snapshot =
+            ckpt::saveToString(pre.tb->sim());
+
+        BuiltSystem post = buildSystem(cfg, "random",
+                                       harness::CtrlModel::Event, 60,
+                                       kRequests, kSeed);
+        CmdLogger postLog;
+        post.tb->ctrl().setCmdLogger(&postLog);
+        ckpt::restoreFromString(post.tb->sim(), snapshot);
+        post.tb->runToCompletion([&] { return post.gen->done(); });
+
+        EXPECT_EQ(statsJson(*post.tb), refStats)
+            << "plugin chain '" << chain << "'";
+
+        std::vector<CmdRecord> joined = preLog.log();
+        joined.insert(joined.end(), postLog.log().begin(),
+                      postLog.log().end());
+        expectSameLog(joined, refLog.log());
+    }
+}
+
+/**
+ * Restoring a plugin-bearing snapshot into a system built without the
+ * chain (or vice versa) must fail with a clear fatal(), never restore
+ * silently with dangling plugin state.
+ */
+TEST(CkptPlugin, ckpt_plugin_chain_mismatch_is_fatal)
+{
+    BuiltSystem pre = buildSystem(presets::byName("ddr3_1333"),
+                                  "random", harness::CtrlModel::Event,
+                                  60, kRequests, kSeed);
+    pre.tb->sim().run(kCkptAt);
+    const std::string snapshot = ckpt::saveToString(pre.tb->sim());
+
+    DRAMCtrlConfig withPlugins = presets::byName("ddr3_1333");
+    std::string err;
+    ASSERT_TRUE(plugin::parsePluginList("prac", withPlugins, err));
+    BuiltSystem post = buildSystem(withPlugins, "random",
+                                   harness::CtrlModel::Event, 60,
+                                   kRequests, kSeed);
+    setThrowOnError(true);
+    EXPECT_THROW(ckpt::restoreFromString(post.tb->sim(), snapshot),
+                 std::runtime_error);
+    setThrowOnError(false);
 }
 
 std::string

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dram/dram_presets.hh"
+#include "dram/plugin/plugin.hh"
 #include "exec/batch_runner.hh"
 #include "harness/multichannel.hh"
 #include "harness/testbench.hh"
@@ -130,6 +131,124 @@ allCases()
 
 INSTANTIATE_TEST_SUITE_P(Corpus, GoldenStats,
                          testing::ValuesIn(allCases()), caseName);
+
+/**
+ * Plugin corpus: the same short deterministic workloads with a
+ * controller plugin chain attached, locking down the plugin counters
+ * (ECC decode classes, PRAC alerts/mitigations, refresh-manager
+ * command counts) and their interaction with the controller's own
+ * statistics. Seeded ECC injection and the rotation state are pure
+ * functions of the configuration, so these references are as stable
+ * as the plain corpus.
+ */
+struct PluginGoldenCase
+{
+    std::string name;    // golden_plugin_<name>.json
+    std::string preset;
+    std::string plugins; // parsePluginList() csv
+    std::string shape;   // linear | random | mixed
+};
+
+std::string
+pluginGoldenName(const PluginGoldenCase &c)
+{
+    return "golden_plugin_" + c.name;
+}
+
+std::string
+pluginCaseName(const testing::TestParamInfo<PluginGoldenCase> &info)
+{
+    return pluginGoldenName(info.param);
+}
+
+std::string
+runPluginCase(const PluginGoldenCase &c)
+{
+    DRAMCtrlConfig cfg = presets::byName(c.preset);
+    cfg.writeLowThreshold = 0.0;
+    std::string err;
+    if (!plugin::parsePluginList(c.plugins, cfg, err))
+        ADD_FAILURE() << err;
+    for (PluginSpec &p : cfg.plugins) {
+        if (p.kind == "ecc") {
+            p.eccBer = 1e-3;
+            p.eccSeed = 99;
+        } else if (p.kind == "prac") {
+            p.pracThreshold = 4;
+        } else if (p.kind == "refmgr-pb") {
+            // Shorten tREFI so the short run sees the rotation.
+            cfg.timing.tREFI = fromUs(1.0);
+        }
+    }
+    cfg.check();
+
+    harness::SingleChannelSystem tb(cfg, harness::CtrlModel::Event);
+
+    GenConfig gc;
+    gc.windowSize = 1ULL << 16; // few rows: PRAC thresholds trip
+    gc.minITT = gc.maxITT = fromNs(6.0);
+    gc.numRequests = 300;
+    gc.seed = 7;
+    gc.readPct = c.shape == "linear" ? 100
+                 : c.shape == "mixed" ? 50
+                                      : 70;
+
+    BaseGen *gen = c.shape == "linear"
+                       ? static_cast<BaseGen *>(&tb.addGen<LinearGen>(gc))
+                       : static_cast<BaseGen *>(&tb.addGen<RandomGen>(gc));
+    tb.runToCompletion([&] { return gen->done(); });
+
+    std::ostringstream os;
+    tb.sim().dumpStatsJson(os);
+    os << "\n";
+    return os.str();
+}
+
+class GoldenPluginStats
+    : public testing::TestWithParam<PluginGoldenCase>
+{
+};
+
+TEST_P(GoldenPluginStats, MatchesReference)
+{
+    const PluginGoldenCase &c = GetParam();
+    const std::string path =
+        std::string(GOLDEN_DIR) + "/" + pluginGoldenName(c) + ".json";
+    const std::string got = runPluginCase(c);
+
+    if (std::getenv("GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+        out << got;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open())
+        << "missing reference " << path
+        << " — generate the corpus with tools/regen_golden.sh";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "stats drifted from the reference; if intended, regenerate "
+        << "with tools/regen_golden.sh and review the diff";
+}
+
+std::vector<PluginGoldenCase>
+pluginCases()
+{
+    return {
+        {"ddr3_1600_ecc", "ddr3_1600", "ecc", "mixed"},
+        {"ddr3_1600_prac", "ddr3_1600", "prac", "random"},
+        {"ddr3_1600_refmgr_pb", "ddr3_1600", "refmgr-pb", "random"},
+        {"lpddr3_1600_chain", "lpddr3_1600", "ecc,prac,refmgr",
+         "mixed"},
+    };
+}
+
+INSTANTIATE_TEST_SUITE_P(PluginCorpus, GoldenPluginStats,
+                         testing::ValuesIn(pluginCases()),
+                         pluginCaseName);
 
 /**
  * Multi-channel corpus over the system presets (hmc_stack_*). One

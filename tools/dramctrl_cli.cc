@@ -33,6 +33,7 @@
 #include "exec/batch_runner.hh"
 #include "exec/sweep.hh"
 #include "dram/dram_presets.hh"
+#include "dram/plugin/plugin.hh"
 #include "dram/protocol_checker.hh"
 #include "harness/multichannel.hh"
 #include "harness/testbench.hh"
@@ -69,6 +70,10 @@ struct CliOptions
     unsigned banks = 4;
     double temperatureC = 85.0;
     bool powerDown = false;
+    std::string plugins;        // csv plugin chain, e.g. ecc,prac
+    double eccBer = -1.0;       // < 0 = keep the spec default
+    std::uint64_t eccSeed = 0;  // 0 = keep the spec default
+    unsigned pracThreshold = 0; // 0 = keep the spec default
     bool json = false;
     bool audit = false;
     std::uint64_t seed = 1;
@@ -126,6 +131,13 @@ usage(const char *prog)
         "  --banks N          dram pattern banks (default 4)\n"
         "  --temperature C    device temperature (default 85)\n"
         "  --power-down       enable the power-down extension\n"
+        "  --plugins LIST     controller plugin chain (csv of ecc|"
+        "prac|\n"
+        "                     refmgr|refmgr-pb; see docs/PLUGINS.md)\n"
+        "  --ecc-ber F        raw bit error rate for the ecc plugin\n"
+        "  --ecc-seed N       error-injection seed for the ecc plugin\n"
+        "  --prac-threshold N activation threshold for the prac "
+        "plugin\n"
         "  --audit            log commands and run the JEDEC checker\n"
         "  --json             dump the full stats tree as JSON\n"
         "  --seed N           RNG seed (default 1)\n"
@@ -209,6 +221,12 @@ parseArgs(int argc, char **argv, CliOptions &opt)
         else if (a == "--temperature")
             opt.temperatureC = std::stod(need(i));
         else if (a == "--power-down") opt.powerDown = true;
+        else if (a == "--plugins") opt.plugins = need(i);
+        else if (a == "--ecc-ber") opt.eccBer = std::stod(need(i));
+        else if (a == "--ecc-seed") opt.eccSeed = std::stoull(need(i));
+        else if (a == "--prac-threshold")
+            opt.pracThreshold =
+                static_cast<unsigned>(std::stoul(need(i)));
         else if (a == "--audit") opt.audit = true;
         else if (a == "--json") opt.json = true;
         else if (a == "--seed") opt.seed = std::stoull(need(i));
@@ -290,6 +308,7 @@ runBatch(const CliOptions &opt, const DRAMCtrlConfig &cfg,
          harness::CtrlModel model)
 {
     if (!opt.sched.empty() || opt.audit || opt.powerDown ||
+        !opt.plugins.empty() ||
         opt.temperatureC != 85.0 || !opt.traceChannels.empty() ||
         !opt.traceFile.empty() || !opt.traceJsonl.empty() ||
         !opt.chromeFile.empty() || opt.sampleIntervalNs > 0 ||
@@ -460,6 +479,7 @@ runMulti(const CliOptions &opt, const DRAMCtrlConfig &cfg,
             // Fresh checker per channel: each channel is its own
             // command bus with its own timing state.
             ProtocolChecker checker(cfg.org, cfg.timing);
+            plugin::armChecker(checker, cfg);
             auto v = checker.check((*loggers)[ch].log());
             cmds += (*loggers)[ch].size();
             for (unsigned i = 0; i < 5 && i < v.size(); ++i)
@@ -518,6 +538,21 @@ main(int argc, char **argv)
         cfg.schedPolicy = schedFromString(opt.sched);
     cfg.temperatureC = opt.temperatureC;
     cfg.enablePowerDown = opt.powerDown;
+    if (!opt.plugins.empty()) {
+        std::string err;
+        if (!plugin::parsePluginList(opt.plugins, cfg, err))
+            fatal("%s", err.c_str());
+        for (PluginSpec &ps : cfg.plugins) {
+            if (ps.kind == "ecc") {
+                if (opt.eccBer >= 0)
+                    ps.eccBer = opt.eccBer;
+                if (opt.eccSeed)
+                    ps.eccSeed = opt.eccSeed;
+            } else if (ps.kind == "prac" && opt.pracThreshold) {
+                ps.pracThreshold = opt.pracThreshold;
+            }
+        }
+    }
     cfg.check();
 
     auto model = opt.model == "cycle" ? harness::CtrlModel::Cycle
@@ -736,6 +771,7 @@ main(int argc, char **argv)
 
     if (opt.audit) {
         ProtocolChecker checker(cfg.org, cfg.timing);
+        plugin::armChecker(checker, cfg);
         auto violations = checker.check(logger.log());
         std::printf("protocol audit:    %zu commands, %zu violations\n",
                     logger.size(), violations.size());

@@ -66,7 +66,9 @@ struct FuzzCliOptions
     std::string repro;           // replay mode
     std::string metricsListen;   // live endpoint listen spec
     unsigned jobs = 1;
-    bool injectBug = false;
+    /** Fault to inject: "" (none), trcd, prac, trfcpb, refpb. */
+    std::string injectMode;
+    bool fuzzPlugins = false;
     bool noShrink = false;
     bool noShardDiff = false;
     bool verbose = false;
@@ -97,10 +99,20 @@ usage(const char *prog)
         "  --tolerance-lat F  relative read-latency tolerance "
         "(default 0.60)\n"
         "  --out-dir PATH     where repro/trace files go (default .)\n"
-        "  --inject-bug       scale the event model's tRCD by 0.5 — "
-        "the run\n"
-        "                     must fail and the checker must say "
-        "tRCD\n"
+        "  --fuzz-plugins     also draw random plugin chains (ecc, "
+        "prac,\n"
+        "                     refresh managers) for every case\n"
+        "  --inject-bug [M]   plant fault M in the event model — the "
+        "run\n"
+        "                     must fail and the checker must name the "
+        "rule.\n"
+        "                     M: trcd (default; tRCD x 0.5), prac "
+        "(skip the\n"
+        "                     mitigation refresh), trfcpb (drop the "
+        "per-bank\n"
+        "                     refresh blackout), refpb (starve one "
+        "bank of\n"
+        "                     per-bank refresh)\n"
         "  --no-shrink        skip stream minimisation on failure\n"
         "  --no-shard-diff    skip the sharded-vs-sequential check "
         "(each\n"
@@ -144,7 +156,15 @@ parseArgs(int argc, char **argv, FuzzCliOptions &opt)
         else if (a == "--tolerance-lat")
             opt.toleranceLat = std::stod(need(i));
         else if (a == "--out-dir") opt.outDir = need(i);
-        else if (a == "--inject-bug") opt.injectBug = true;
+        else if (a == "--inject-bug") {
+            // Optional mode operand; bare --inject-bug keeps the
+            // original tRCD fault.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                opt.injectMode = argv[++i];
+            else
+                opt.injectMode = "trcd";
+        }
+        else if (a == "--fuzz-plugins") opt.fuzzPlugins = true;
         else if (a == "--no-shrink") opt.noShrink = true;
         else if (a == "--no-shard-diff") opt.noShardDiff = true;
         else if (a == "--repro") opt.repro = need(i);
@@ -171,8 +191,12 @@ replayRepro(const FuzzCliOptions &opt)
               err.c_str());
     std::printf("replaying %s (%zu scripted requests%s)\n",
                 opt.repro.c_str(), repro.materialise().size(),
-                repro.opts.injectTRCDScale != 1.0 ? ", fault injected"
-                                                  : "");
+                repro.opts.injectTRCDScale != 1.0 ||
+                        repro.opts.injectPracSkip ||
+                        repro.opts.injectTRFCpbScale != 1.0 ||
+                        repro.opts.injectRefPbStallFlat != ~0u
+                    ? ", fault injected"
+                    : "");
     if (!repro.note.empty())
         std::printf("note: %s\n", repro.note.c_str());
     DiffResult dr = replay(repro);
@@ -281,8 +305,24 @@ main(int argc, char **argv)
     DiffOptions dopts;
     dopts.bandwidthRelTol = opt.toleranceBw;
     dopts.latencyRelTol = opt.toleranceLat;
-    if (opt.injectBug)
+    // The per-bank-refresh faults live in event-only plugin territory:
+    // the cycle model rejects refmgr-pb, so those runs audit the event
+    // model alone against the armed checker.
+    bool perBankFault =
+        opt.injectMode == "trfcpb" || opt.injectMode == "refpb";
+    if (opt.injectMode == "trcd")
         dopts.injectTRCDScale = 0.5;
+    else if (opt.injectMode == "prac")
+        dopts.injectPracSkip = true;
+    else if (opt.injectMode == "trfcpb")
+        dopts.injectTRFCpbScale = 0.0;
+    else if (opt.injectMode == "refpb")
+        dopts.injectRefPbStallFlat = 0;
+    else if (!opt.injectMode.empty())
+        fatal("unknown --inject-bug mode '%s' (trcd|prac|trfcpb|"
+              "refpb)", opt.injectMode.c_str());
+    if (perBankFault)
+        dopts.runCycle = false;
 
     auto start = std::chrono::steady_clock::now();
     auto elapsedS = [&] {
@@ -293,6 +333,51 @@ main(int argc, char **argv)
 
     FuzzerOptions fopts;
     fopts.numRequests = opt.requests;
+    fopts.withPlugins = opt.fuzzPlugins;
+    if (perBankFault)
+        fopts.cycleCompatible = false;
+
+    // A planted plugin fault needs its target plugin in every case,
+    // tuned so the fault actually manifests within a short stream.
+    auto forceInjectTarget = [&](FuzzCase &fc) {
+        DRAMCtrlConfig &cfg = fc.cfg;
+        if (opt.injectMode == "prac") {
+            std::erase_if(cfg.plugins, [](const PluginSpec &p) {
+                return p.kind == "prac";
+            });
+            PluginSpec ps;
+            ps.kind = "prac";
+            ps.pracThreshold = 4;
+            cfg.plugins.push_back(ps);
+            // Tight window: rows get re-activated enough to alert.
+            fc.stream.windowSize =
+                std::min<std::uint64_t>(fc.stream.windowSize,
+                                        1ULL << 16);
+        } else if (perBankFault) {
+            cfg.perRankRefresh = false;
+            cfg.enablePowerDown = false;
+            cfg.enableSelfRefresh = false;
+            if (cfg.timing.tREFI == 0)
+                cfg.timing.tREFI = fromUs(1.0);
+            std::erase_if(cfg.plugins, [](const PluginSpec &p) {
+                return p.kind == "refmgr" || p.kind == "refmgr-pb";
+            });
+            PluginSpec ps;
+            ps.kind = "refmgr-pb";
+            cfg.plugins.push_back(ps);
+            // The starved-bank deadline is several tREFI out; keep
+            // the stream long and busy enough to get there.
+            StreamParams &sp = fc.stream;
+            sp.numRequests = std::max<std::uint64_t>(sp.numRequests,
+                                                     400);
+            if (opt.injectMode == "refpb") {
+                sp.minITT = std::max<Tick>(sp.minITT, fromNs(30.0));
+                sp.maxITT = std::max<Tick>(sp.maxITT, sp.minITT);
+            }
+        }
+        if (!opt.injectMode.empty())
+            cfg.check();
+    };
 
     // A case that fatal()s must fail its own job, not the batch.
     setThrowOnError(true);
@@ -337,6 +422,7 @@ main(int argc, char **argv)
         Random rng(cs);
         CaseResult r;
         r.fc = sampleCase(rng, fopts);
+        forceInjectTarget(r.fc);
         r.streamSeed = rng.next();
         r.dr = runDiff(r.fc, r.streamSeed, dopts);
         if (!opt.noShardDiff) {

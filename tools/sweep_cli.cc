@@ -71,6 +71,10 @@ usage(const char *prog)
         "                     warm-up and fan the measured phases out\n"
         "                     from the shared snapshot (needs "
         "--warmup)\n"
+        "  --plugins LIST     controller plugin chain applied to "
+        "every\n"
+        "                     point (csv of ecc|prac|refmgr|refmgr-pb;\n"
+        "                     refmgr-pb needs --model event)\n"
         "  --stride BYTES     dram-pattern stride (default 256)\n"
         "  --banks N          dram-pattern banks (default 4)\n"
         "  --channels N       channels per run (default 1); N > 1 "
@@ -165,6 +169,8 @@ parseArgs(int argc, char **argv, SweepCliOptions &opt)
                 static_cast<unsigned>(std::stoul(need(i)));
         } else if (a == "--seed") {
             spec.masterSeed = std::stoull(need(i));
+        } else if (a == "--plugins") {
+            spec.plugins = need(i);
         } else if (a == "--requests") {
             spec.requests = std::stoull(need(i));
         } else if (a == "--warmup") {
