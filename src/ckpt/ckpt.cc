@@ -1,6 +1,7 @@
 #include "ckpt/ckpt.hh"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -133,23 +134,64 @@ typeName(RecordType t)
 } // namespace
 
 std::uint32_t
-crc32(const void *data, std::size_t len)
+crc32Update(std::uint32_t crc, const void *data, std::size_t len)
 {
-    static const auto table = [] {
-        std::vector<std::uint32_t> t(256);
+    // Slicing-by-16: sixteen derived tables let the loop fold 16
+    // bytes per iteration instead of one, which matters now that the
+    // CRC covers multi-gigabyte trace files, not just checkpoint
+    // records. Same polynomial (IEEE 802.3, reflected) and results as
+    // the classic byte-at-a-time form, which remains as the tail loop.
+    static const auto tables = [] {
+        std::vector<std::array<std::uint32_t, 256>> t(16);
         for (std::uint32_t i = 0; i < 256; ++i) {
             std::uint32_t c = i;
             for (int k = 0; k < 8; ++k)
                 c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
+            t[0][i] = c;
         }
+        for (std::uint32_t i = 0; i < 256; ++i)
+            for (int j = 1; j < 16; ++j)
+                t[j][i] =
+                    (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xff];
         return t;
     }();
-    std::uint32_t crc = 0xFFFFFFFFu;
+
     const auto *p = static_cast<const unsigned char *>(data);
-    for (std::size_t i = 0; i < len; ++i)
-        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
-    return crc ^ 0xFFFFFFFFu;
+#if defined(__BYTE_ORDER__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    // The 16-byte fold loads words directly, so it is little-endian
+    // only; other hosts take the (identical-result) tail loop.
+    while (len >= 16) {
+        std::uint32_t w0;
+        std::uint32_t w1;
+        std::uint32_t w2;
+        std::uint32_t w3;
+        std::memcpy(&w0, p, 4);
+        std::memcpy(&w1, p + 4, 4);
+        std::memcpy(&w2, p + 8, 4);
+        std::memcpy(&w3, p + 12, 4);
+        w0 ^= crc;
+        crc = tables[15][w0 & 0xff] ^ tables[14][(w0 >> 8) & 0xff] ^
+              tables[13][(w0 >> 16) & 0xff] ^ tables[12][w0 >> 24] ^
+              tables[11][w1 & 0xff] ^ tables[10][(w1 >> 8) & 0xff] ^
+              tables[9][(w1 >> 16) & 0xff] ^ tables[8][w1 >> 24] ^
+              tables[7][w2 & 0xff] ^ tables[6][(w2 >> 8) & 0xff] ^
+              tables[5][(w2 >> 16) & 0xff] ^ tables[4][w2 >> 24] ^
+              tables[3][w3 & 0xff] ^ tables[2][(w3 >> 8) & 0xff] ^
+              tables[1][(w3 >> 16) & 0xff] ^ tables[0][w3 >> 24];
+        p += 16;
+        len -= 16;
+    }
+#endif
+    while (len-- > 0)
+        crc = tables[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    return crc;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    return crc32Update(0xFFFFFFFFu, data, len) ^ 0xFFFFFFFFu;
 }
 
 std::uint64_t

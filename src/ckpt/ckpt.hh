@@ -51,6 +51,14 @@ constexpr std::uint32_t kFormatVersion = 2;
 /** CRC32 (IEEE 802.3 polynomial) of @p len bytes at @p data. */
 std::uint32_t crc32(const void *data, std::size_t len);
 
+/**
+ * Incremental CRC32: fold @p len bytes into a running @p crc. Start
+ * from 0xFFFFFFFF and XOR the final value with 0xFFFFFFFF to match
+ * crc32() (which is exactly this, in one call).
+ */
+std::uint32_t crc32Update(std::uint32_t crc, const void *data,
+                          std::size_t len);
+
 /** FNV-1a 64-bit hash, used for configuration fingerprints. */
 std::uint64_t fnv1a(const void *data, std::size_t len);
 std::uint64_t fnv1a(const std::string &s);

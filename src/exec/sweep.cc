@@ -13,6 +13,7 @@
 #include "trafficgen/dram_gen.hh"
 #include "trafficgen/linear_gen.hh"
 #include "trafficgen/random_gen.hh"
+#include "trafficgen/trace_file.hh"
 
 namespace dramctrl {
 namespace exec {
@@ -58,12 +59,30 @@ checkSpec(const SweepSpec &spec, std::string *err)
             return false;
         }
     }
+    bool has_trace = false;
     for (const std::string &p : spec.patterns) {
-        if (p != "linear" && p != "random" && p != "dram") {
+        if (p != "linear" && p != "random" && p != "dram" &&
+            p != "trace") {
             if (err != nullptr)
                 *err = "unknown pattern '" + p + "'";
             return false;
         }
+        has_trace = has_trace || p == "trace";
+    }
+    if (has_trace && spec.tracePath.empty()) {
+        if (err != nullptr)
+            *err = "the trace pattern needs a trace path";
+        return false;
+    }
+    if (has_trace && spec.warmupRequests > 0) {
+        if (err != nullptr)
+            *err = "the trace pattern does not support warm-up";
+        return false;
+    }
+    if (spec.traceScale <= 0) {
+        if (err != nullptr)
+            *err = "trace time scale must be positive";
+        return false;
     }
     for (unsigned pct : spec.readPcts) {
         if (pct > 100) {
@@ -129,7 +148,22 @@ struct BuiltPoint
 {
     std::unique_ptr<harness::SingleChannelSystem> tb;
     BaseGen *gen = nullptr;
+    TracePlayer *player = nullptr; ///< set instead of gen for "trace"
+
+    bool
+    done() const
+    {
+        return gen != nullptr ? gen->done() : player->done();
+    }
 };
+
+/** Per-point capture file: "<prefix><index>.dtrc". */
+std::string
+capturePathOf(const SweepSpec &spec, const SweepPoint &point)
+{
+    return spec.traceCapturePrefix + std::to_string(point.index) +
+           ".dtrc";
+}
 
 /**
  * Assemble the system for @p point with an explicit request budget and
@@ -153,6 +187,14 @@ buildPoint(const SweepPoint &point, const SweepSpec &spec,
     BuiltPoint built;
     built.tb =
         std::make_unique<harness::SingleChannelSystem>(cfg, point.model);
+    if (!spec.traceCapturePrefix.empty())
+        built.tb->enableCapture(capturePathOf(spec, point));
+
+    if (point.pattern == "trace") {
+        built.player = &built.tb->addGen<TracePlayer>(
+            makeTracePlayerConfig(spec.tracePath, spec.traceScale));
+        return built;
+    }
 
     GenConfig gc;
     gc.windowSize =
@@ -181,19 +223,26 @@ buildPoint(const SweepPoint &point, const SweepSpec &spec,
 }
 
 SweepRow
-collectRow(const SweepPoint &point, harness::SingleChannelSystem &tb,
-           BaseGen &gen)
+collectRow(const SweepPoint &point, BuiltPoint &built)
 {
+    harness::SingleChannelSystem &tb = *built.tb;
+    tb.finishCapture();
+
     SweepRow row;
     row.point = point;
     row.simulatedUs = toSeconds(tb.sim().curTick()) * 1e6;
     row.bandwidthGBs = tb.ctrl().achievedBandwidthGBs();
-    row.avgReadLatencyNs = gen.avgReadLatencyNs();
     row.busUtil = tb.ctrl().busUtilisation();
     if (point.model == harness::CtrlModel::Event)
         row.rowHitRate = tb.eventCtrl().ctrlStats().rowHitRate.value();
-    row.responses = static_cast<std::uint64_t>(
-        gen.genStats().recvResponses.value());
+    if (built.gen != nullptr) {
+        row.avgReadLatencyNs = built.gen->avgReadLatencyNs();
+        row.responses = static_cast<std::uint64_t>(
+            built.gen->genStats().recvResponses.value());
+    } else {
+        row.avgReadLatencyNs = built.player->avgReadLatencyNs();
+        row.responses = built.player->responses();
+    }
     return row;
 }
 
@@ -222,27 +271,35 @@ runMultiPoint(const SweepPoint &point, const SweepSpec &spec)
     mcfg.model = point.model;
     mcfg.simThreads = spec.simThreads;
     harness::MultiChannelSystem mc(mcfg);
+    if (!spec.traceCapturePrefix.empty())
+        mc.enableCapture(capturePathOf(spec, point));
 
-    GenConfig gc;
-    gc.readPct = point.readPct;
-    gc.minITT = gc.maxITT = fromNs(point.ittNs);
-    gc.numRequests =
-        std::max<std::uint64_t>(1, spec.requests / spec.channels);
-    gc.windowSize =
-        std::min<std::uint64_t>(mc.totalCapacity(), 1ULL << 26);
-    for (unsigned i = 0; i < spec.channels; ++i) {
-        GenConfig g = harness::sliceGenWindow(gc, i, spec.channels,
-                                              mc.totalCapacity());
-        g.seed = deriveSeed(point.seed, i);
-        if (point.pattern == "linear")
-            mc.addGen<LinearGen>(g);
-        else if (point.pattern == "random")
-            mc.addGen<RandomGen>(g);
-        else
-            fatal("unknown sweep pattern '%s'", point.pattern.c_str());
+    if (point.pattern == "trace") {
+        harness::addTracePlayers(mc, spec.tracePath, spec.traceScale);
+    } else {
+        GenConfig gc;
+        gc.readPct = point.readPct;
+        gc.minITT = gc.maxITT = fromNs(point.ittNs);
+        gc.numRequests =
+            std::max<std::uint64_t>(1, spec.requests / spec.channels);
+        gc.windowSize =
+            std::min<std::uint64_t>(mc.totalCapacity(), 1ULL << 26);
+        for (unsigned i = 0; i < spec.channels; ++i) {
+            GenConfig g = harness::sliceGenWindow(gc, i, spec.channels,
+                                                  mc.totalCapacity());
+            g.seed = deriveSeed(point.seed, i);
+            if (point.pattern == "linear")
+                mc.addGen<LinearGen>(g);
+            else if (point.pattern == "random")
+                mc.addGen<RandomGen>(g);
+            else
+                fatal("unknown sweep pattern '%s'",
+                      point.pattern.c_str());
+        }
     }
 
     mc.runToCompletion();
+    mc.finishCapture();
 
     SweepRow row;
     row.point = point;
@@ -263,6 +320,8 @@ runMultiPoint(const SweepPoint &point, const SweepSpec &spec)
     for (unsigned i = 0; i < mc.numGens(); ++i)
         row.responses += static_cast<std::uint64_t>(
             mc.gen(i).genStats().recvResponses.value());
+    for (unsigned i = 0; i < mc.numPlayers(); ++i)
+        row.responses += mc.player(i).responses();
     return row;
 }
 
@@ -291,11 +350,11 @@ runSweepPoint(const SweepPoint &point, const SweepSpec &spec)
     if (spec.channels > 1)
         return runMultiPoint(point, spec);
 
-    if (spec.warmupRequests == 0) {
+    if (spec.warmupRequests == 0 || point.pattern == "trace") {
         BuiltPoint built =
             buildPoint(point, spec, spec.requests, point.seed);
-        built.tb->runToCompletion([&] { return built.gen->done(); });
-        return collectRow(point, *built.tb, *built.gen);
+        built.tb->runToCompletion([&] { return built.done(); });
+        return collectRow(point, built);
     }
 
     // Cold warm-up: run the group's warm-up stream inline, reset the
@@ -307,7 +366,7 @@ runSweepPoint(const SweepPoint &point, const SweepSpec &spec)
     built.tb->sim().resetStats();
     built.gen->extendRun(spec.requests, point.seed);
     built.tb->runToCompletion([&] { return built.gen->done(); });
-    return collectRow(point, *built.tb, *built.gen);
+    return collectRow(point, built);
 }
 
 std::string
@@ -333,7 +392,7 @@ runMeasuredFromSnapshot(const SweepPoint &point, const SweepSpec &spec,
     ckpt::restoreFromString(built.tb->sim(), snapshot);
     built.gen->extendRun(spec.requests, point.seed);
     built.tb->runToCompletion([&] { return built.gen->done(); });
-    return collectRow(point, *built.tb, *built.gen);
+    return collectRow(point, built);
 }
 
 std::string

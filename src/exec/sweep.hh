@@ -29,7 +29,7 @@ namespace exec {
 struct SweepSpec
 {
     std::vector<std::string> presets{"ddr3_1333"};
-    /** Traffic patterns: "linear", "random" or "dram". */
+    /** Traffic patterns: "linear", "random", "dram" or "trace". */
     std::vector<std::string> patterns{"random"};
     std::vector<PagePolicy> pages{PagePolicy::Open};
     std::vector<AddrMapping> mappings{AddrMapping::RoRaBaCoCh};
@@ -75,6 +75,25 @@ struct SweepSpec
      * (see captureWarmupSnapshot / runMeasuredFromSnapshot).
      */
     std::uint64_t warmupRequests = 0;
+
+    /**
+     * Stimulus file for the "trace" pattern (text or .dtrc, sniffed
+     * by content). Single-channel points stream it through one
+     * player; multi-channel points add one player per recorded
+     * source id, fanning the file out across the channels. The trace
+     * pattern ignores seeds and supports no warm-up.
+     */
+    std::string tracePath;
+    /** Stretch (>1) / compress (<1) replayed inter-request gaps. */
+    double traceScale = 1.0;
+
+    /**
+     * When non-empty, every run also records the request stream it
+     * actually injected to "<prefix><index>.dtrc" — any synthetic
+     * sweep becomes a reusable trace corpus. Points run in parallel
+     * write distinct files, so capture composes with --jobs.
+     */
+    std::string traceCapturePrefix;
 };
 
 /** One expanded grid point: a fully specified run. */

@@ -4,6 +4,7 @@
 
 #include "dram/dram_presets.hh"
 #include "sim/logging.hh"
+#include "trafficgen/trace_file.hh"
 #include "xbar/xbar.hh"
 
 namespace dramctrl {
@@ -47,13 +48,80 @@ MultiChannelSystem::totalCapacity() const
     return cfg_.ctrl.org.channelCapacity * cfg_.channels;
 }
 
+void
+MultiChannelSystem::enableCapture(const std::string &path)
+{
+    if (!gens_.empty())
+        fatal("enableCapture() must be called before addGen()");
+    if (!capturePath_.empty())
+        fatal("capture already enabled");
+    if (path.empty())
+        fatal("capture needs a non-empty path");
+    if (traceFormatForOutput(path) == TraceFormat::Text)
+        fatal("multi-channel capture records per-source streams, "
+              "which the text format cannot carry; use a non-.txt "
+              "path (and trace_cli to convert later)");
+    capturePath_ = path;
+}
+
+void
+MultiChannelSystem::finishCapture()
+{
+    if (capturePath_.empty() || captureDone_)
+        return;
+    captureDone_ = true;
+
+    // Merge the per-generator streams (each tick-sorted by
+    // construction) into one tick-ordered file; ties break towards the
+    // lowest source index, deterministically.
+    TraceWriter writer(capturePath_, kTicksPerSecond,
+                       kTraceFlagLiveCapture);
+    std::vector<std::size_t> idx(recorders_.size(), 0);
+    for (;;) {
+        int best = -1;
+        for (std::size_t i = 0; i < recorders_.size(); ++i) {
+            const auto &t = recorders_[i]->trace();
+            if (idx[i] >= t.size())
+                continue;
+            if (best < 0 ||
+                t[idx[i]].tick <
+                    recorders_[best]->trace()[idx[best]].tick)
+                best = static_cast<int>(i);
+        }
+        if (best < 0)
+            break;
+        writer.append(recorders_[best]->trace()[idx[best]++],
+                      static_cast<unsigned>(best));
+    }
+    writer.finish();
+}
+
+TracePlayer &
+MultiChannelSystem::addPlayer(const TracePlayerConfig &pcfg)
+{
+    unsigned index = numGens() + numPlayers();
+    RequestorId id = static_cast<RequestorId>(index);
+    Simulator::ShardScope scope(sim_, index % sim_.numShards());
+    auto player = std::make_unique<TracePlayer>(
+        sim_, "player" + std::to_string(index), pcfg, id);
+    player->port().bind(xbar_->addFrontPort(id));
+    TracePlayer &ref = *player;
+    players_.push_back(std::move(player));
+    return ref;
+}
+
 bool
 MultiChannelSystem::drained() const
 {
     bool gens_done = std::all_of(
         gens_.begin(), gens_.end(),
         [](const std::unique_ptr<BaseGen> &g) { return g->done(); });
-    if (!gens_done)
+    bool players_done = std::all_of(
+        players_.begin(), players_.end(),
+        [](const std::unique_ptr<TracePlayer> &p) {
+            return p->done();
+        });
+    if (!gens_done || !players_done)
         return false;
     bool ctrls_idle = std::all_of(
         ctrls_.begin(), ctrls_.end(),
@@ -66,7 +134,7 @@ MultiChannelSystem::drained() const
 Tick
 MultiChannelSystem::runToCompletion(Tick max_ticks)
 {
-    if (gens_.empty())
+    if (gens_.empty() && players_.empty())
         fatal("multi-channel system has no generators");
     return runUntil(
         sim_, [this] { return drained(); }, fromUs(1.0), max_ticks);
@@ -113,6 +181,11 @@ MultiChannelSystem::avgReadLatencyNs() const
         weighted += gen->avgReadLatencyNs() * n;
         reads += n;
     }
+    for (const auto &player : players_) {
+        double n = static_cast<double>(player->readResponses());
+        weighted += player->avgReadLatencyNs() * n;
+        reads += n;
+    }
     return reads > 0 ? weighted / reads : 0;
 }
 
@@ -157,6 +230,22 @@ systemPresetNames()
     for (const auto &p : kSystemPresets)
         out.emplace_back(p.first);
     return out;
+}
+
+unsigned
+addTracePlayers(MultiChannelSystem &mc, const std::string &path,
+                double time_scale)
+{
+    unsigned sources = 1;
+    if (traceFormatOf(path) == TraceFormat::Dtrc) {
+        TraceReader probe(path, /*verify_crc=*/false);
+        sources = probe.info().numSources;
+    }
+    for (unsigned s = 0; s < sources; ++s)
+        mc.addPlayer(makeTracePlayerConfig(
+            path, time_scale,
+            sources > 1 ? static_cast<int>(s) : -1));
+    return sources;
 }
 
 GenConfig

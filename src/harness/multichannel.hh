@@ -25,6 +25,7 @@
 #include "mem/mem_ctrl_iface.hh"
 #include "sim/simulator.hh"
 #include "trafficgen/base_gen.hh"
+#include "trafficgen/trace.hh"
 #include "xbar/sharded_xbar.hh"
 
 namespace dramctrl {
@@ -77,6 +78,16 @@ class MultiChannelSystem
     std::uint64_t totalCapacity() const;
 
     /**
+     * Record the accepted request stream of every generator added
+     * after this call into one .dtrc file (source id = generator
+     * index). Shards run concurrently, so each generator gets its own
+     * recorder and the per-source streams are merged by tick when
+     * finishCapture() seals the file.
+     */
+    void enableCapture(const std::string &path);
+    void finishCapture();
+
+    /**
      * Construct generator @p i of flavour @p GenT in place, on the
      * shard of channel (i mod channels), bound to its own crossbar
      * front port. The generator's requestor id is its index.
@@ -90,11 +101,32 @@ class MultiChannelSystem
         Simulator::ShardScope scope(sim_, index % sim_.numShards());
         auto gen = std::make_unique<GenT>(
             sim_, "gen" + std::to_string(index), gen_cfg, id);
-        gen->port().bind(xbar_->addFrontPort(id));
+        if (!capturePath_.empty()) {
+            auto rec = std::make_unique<TraceRecorder>(
+                sim_, "trace_rec" + std::to_string(index));
+            gen->port().bind(rec->cpuSidePort());
+            rec->memSidePort().bind(xbar_->addFrontPort(id));
+            recorders_.push_back(std::move(rec));
+        } else {
+            gen->port().bind(xbar_->addFrontPort(id));
+        }
         GenT &ref = *gen;
         gens_.push_back(std::move(gen));
         return ref;
     }
+
+    /**
+     * Add a trace player on the next front port, sharded like a
+     * generator. Used by .dtrc replay: one player per recorded source
+     * id, every player streaming the same file.
+     */
+    TracePlayer &addPlayer(const TracePlayerConfig &pcfg);
+
+    unsigned numPlayers() const
+    {
+        return static_cast<unsigned>(players_.size());
+    }
+    TracePlayer &player(unsigned i) { return *players_.at(i); }
 
     /** All generators done, controllers drained, crossbar idle. */
     bool drained() const;
@@ -124,9 +156,24 @@ class MultiChannelSystem
     std::vector<AddrRange> ranges_;
     std::vector<std::unique_ptr<MemCtrlBase>> ctrls_;
     std::vector<std::unique_ptr<BaseGen>> gens_;
+    std::vector<std::unique_ptr<TracePlayer>> players_;
+    std::vector<std::unique_ptr<TraceRecorder>> recorders_;
+    std::string capturePath_;
+    bool captureDone_ = false;
     /** Stable storage: controllers hold pointers into this. */
     std::unique_ptr<std::vector<CmdLogger>> cmdLoggers_;
 };
+
+/**
+ * Replay @p path (text or .dtrc) into @p mc: one player per recorded
+ * source id — each streaming the same file, filtered to its own
+ * records — sharded round-robin like generators would be, so the
+ * original per-requestor streams reappear whatever the thread count.
+ *
+ * @return the number of players added.
+ */
+unsigned addTracePlayers(MultiChannelSystem &mc, const std::string &path,
+                         double time_scale = 1.0);
 
 /**
  * Carve the generator address windows: generator @p i of @p n plays

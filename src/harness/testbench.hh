@@ -26,7 +26,12 @@
 #include "mem/mem_ctrl_iface.hh"
 #include "sim/logging.hh"
 #include "sim/simulator.hh"
+#include "trafficgen/trace.hh"
 #include "xbar/xbar.hh"
+
+namespace dramctrl {
+class TraceWriter;
+}
 
 namespace dramctrl {
 namespace harness {
@@ -69,8 +74,18 @@ class SingleChannelSystem
     DRAMCtrl &eventCtrl();
 
     /**
-     * Construct the generator (bound to the controller) in place.
-     * Exactly one generator may be added.
+     * Record every request the generator gets accepted into the
+     * controller to a .dtrc file, streamed with O(1) memory. Must be
+     * called before addGen(); the file is sealed by finishCapture()
+     * (idempotent, also run at destruction).
+     */
+    void enableCapture(const std::string &path);
+    void finishCapture();
+
+    /**
+     * Construct the generator (bound to the controller, through the
+     * capture recorder when one is enabled) in place. Exactly one
+     * generator may be added.
      */
     template <typename GenT, typename GenCfgT>
     GenT &
@@ -80,7 +95,8 @@ class SingleChannelSystem
             fatal("SingleChannelSystem already has a generator");
         genAdded_ = true;
         auto gen = std::make_unique<GenT>(sim_, "gen", gen_cfg, id);
-        gen->port().bind(ctrl_->port());
+        gen->port().bind(recorder_ != nullptr ? recorder_->cpuSidePort()
+                                              : ctrl_->port());
         GenT &ref = *gen;
         genHolder_ = std::move(gen);
         return ref;
@@ -101,6 +117,9 @@ class SingleChannelSystem
     Simulator sim_;
     std::unique_ptr<MemCtrlBase> ctrl_;
     std::unique_ptr<SimObject> genHolder_;
+    std::unique_ptr<TraceRecorder> recorder_;
+    std::shared_ptr<TraceWriter> captureWriter_;
+    std::string textCapturePath_;
     bool genAdded_ = false;
 };
 

@@ -27,6 +27,8 @@
 #include "harness/testbench.hh"
 #include "trafficgen/linear_gen.hh"
 #include "trafficgen/random_gen.hh"
+#include "trafficgen/trace.hh"
+#include "trafficgen/trace_file.hh"
 
 namespace dramctrl {
 namespace {
@@ -336,6 +338,75 @@ systemCases()
 
 INSTANTIATE_TEST_SUITE_P(SystemCorpus, GoldenSystemStats,
                          testing::ValuesIn(systemCases()), caseName);
+
+/**
+ * Trace-replay corpus: the committed example trace under
+ * tests/traces/ replayed through DDR3-1333. The binary (.dtrc) and
+ * text (.txt) twins are the same 64-request stream, so both runs are
+ * compared against the one reference — locking down both the decode
+ * paths and the replay engine at once.
+ */
+std::string
+runTraceCase(const std::string &trace_file)
+{
+    DRAMCtrlConfig cfg = presets::ddr3_1333();
+    cfg.writeLowThreshold = 0.0;
+    cfg.check();
+
+    harness::SingleChannelSystem tb(cfg, harness::CtrlModel::Event);
+    TracePlayer &player = tb.addGen<TracePlayer>(
+        makeTracePlayerConfig(std::string(TRACES_DIR) + "/" +
+                              trace_file));
+    tb.runToCompletion([&] { return player.done(); });
+
+    std::ostringstream os;
+    tb.sim().dumpStatsJson(os);
+    os << "\n";
+    return os.str();
+}
+
+class GoldenTraceReplay : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenTraceReplay, MatchesReference)
+{
+    const std::string path =
+        std::string(GOLDEN_DIR) + "/golden_trace_replay.json";
+    const std::string got = runTraceCase(GetParam());
+
+    // Only the .dtrc run regenerates, so the text twin still
+    // compares against the shared reference under GOLDEN_REGEN.
+    if (std::getenv("GOLDEN_REGEN") != nullptr &&
+        GetParam() == "example.dtrc") {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+        out << got;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open())
+        << "missing reference " << path
+        << " — generate the corpus with tools/regen_golden.sh";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(got, want.str())
+        << "stats drifted from the reference; if intended, regenerate "
+        << "with tools/regen_golden.sh and review the diff";
+}
+
+std::string
+traceCaseName(const testing::TestParamInfo<std::string> &info)
+{
+    return info.param == "example.dtrc" ? "golden_trace_replay_dtrc"
+                                        : "golden_trace_replay_txt";
+}
+
+INSTANTIATE_TEST_SUITE_P(TraceCorpus, GoldenTraceReplay,
+                         testing::Values(std::string("example.dtrc"),
+                                         std::string("example.txt")),
+                         traceCaseName);
 
 } // namespace
 } // namespace dramctrl

@@ -49,6 +49,7 @@
 #include "trafficgen/dram_gen.hh"
 #include "trafficgen/linear_gen.hh"
 #include "trafficgen/random_gen.hh"
+#include "trafficgen/trace_file.hh"
 
 using namespace dramctrl;
 
@@ -57,7 +58,7 @@ namespace {
 struct CliOptions
 {
     std::string preset = "ddr3_1333";
-    std::string pattern = "random"; // linear | random | dram
+    std::string pattern = "random"; // linear | random | dram | trace
     std::string model = "event";    // event | cycle
     std::string eventq = "heap";    // heap | calendar
     std::string page;               // open | open_adaptive | ...
@@ -79,6 +80,11 @@ struct CliOptions
     std::uint64_t seed = 1;
     std::uint64_t runs = 1;  // > 1 = batch mode over derived seeds
     unsigned jobs = 1;
+
+    // Trace replay and capture (see docs/TRACES.md).
+    std::string traceIn;      // stimulus for --pattern trace
+    std::string traceCapture; // record the accepted request stream
+    double traceScale = 1.0;  // replay time scale
 
     // Multi-channel mode (see docs/PERFORMANCE.md, sharding).
     unsigned channels = 0;   // 0 = unset (single channel, or preset's)
@@ -114,7 +120,8 @@ usage(const char *prog)
         "                     or a system preset: hmc_stack_16|"
         "hmc_stack_64|\n"
         "                     hmc_stack_256 (implies --channels)\n"
-        "  --pattern NAME     linear|random|dram (DRAM-aware)\n"
+        "  --pattern NAME     linear|random|dram (DRAM-aware)|trace\n"
+        "                     (replay --trace-in)\n"
         "  --model NAME       event|cycle\n"
         "  --eventq NAME      heap|calendar agenda (identical "
         "results,\n"
@@ -149,6 +156,17 @@ usage(const char *prog)
         "                     0 = one per core); output is identical "
         "for\n"
         "                     every value\n"
+        "trace replay/capture (see docs/TRACES.md):\n"
+        "  --trace-in PATH    stimulus file for --pattern trace; text "
+        "or\n"
+        "                     binary .dtrc, detected by content\n"
+        "  --trace-capture P  record the accepted request stream to P\n"
+        "                     (.txt => text, anything else => .dtrc "
+        "binary;\n"
+        "                     with --runs, P is a prefix: one\n"
+        "                     '<P><run>.dtrc' file per run)\n"
+        "  --trace-scale F    stretch (>1) or compress (<1) replayed\n"
+        "                     inter-request gaps (default 1.0)\n"
         "multi-channel:\n"
         "  --channels N       simulate N interleaved channels behind "
         "the\n"
@@ -244,6 +262,10 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             if (opt.simThreads == 0)
                 opt.simThreads = exec::ThreadPool::hardwareThreads();
         }
+        else if (a == "--trace-in") opt.traceIn = need(i);
+        else if (a == "--trace-capture") opt.traceCapture = need(i);
+        else if (a == "--trace-scale")
+            opt.traceScale = std::stod(need(i));
         else if (a == "--trace") opt.traceChannels = need(i);
         else if (a == "--trace-file") opt.traceFile = need(i);
         else if (a == "--trace-jsonl") opt.traceJsonl = need(i);
@@ -331,6 +353,9 @@ runBatch(const CliOptions &opt, const DRAMCtrlConfig &cfg,
     spec.requests = opt.requests;
     spec.strideBytes = opt.strideBytes;
     spec.banks = opt.banks;
+    spec.tracePath = opt.traceIn;
+    spec.traceScale = opt.traceScale;
+    spec.traceCapturePrefix = opt.traceCapture;
 
     std::string err;
     if (!exec::checkSpec(spec, &err))
@@ -406,8 +431,11 @@ runMulti(const CliOptions &opt, const DRAMCtrlConfig &cfg,
     if (opt.pattern == "dram")
         fatal("the dram pattern is bank-aware and single-channel; use "
               "linear or random with --channels");
-    if (opt.pattern != "linear" && opt.pattern != "random")
+    if (opt.pattern != "linear" && opt.pattern != "random" &&
+        opt.pattern != "trace")
         fatal("unknown pattern '%s'", opt.pattern.c_str());
+    if (opt.pattern == "trace" && opt.traceIn.empty())
+        fatal("--pattern trace needs --trace-in PATH");
 
     harness::MultiChannelConfig mcfg;
     mcfg.channels = channels;
@@ -415,24 +443,32 @@ runMulti(const CliOptions &opt, const DRAMCtrlConfig &cfg,
     mcfg.model = model;
     mcfg.simThreads = opt.simThreads;
     harness::MultiChannelSystem mc(mcfg);
+    if (!opt.traceCapture.empty())
+        mc.enableCapture(opt.traceCapture);
 
-    // One generator per channel, each in its own address slice, with
-    // the request budget split evenly.
-    GenConfig gc;
-    gc.readPct = opt.readPct;
-    gc.minITT = gc.maxITT = fromNs(opt.ittNs);
-    gc.numRequests =
-        std::max<std::uint64_t>(1, opt.requests / channels);
-    gc.windowSize =
-        std::min<std::uint64_t>(mc.totalCapacity(), 1ULL << 26);
-    for (unsigned i = 0; i < channels; ++i) {
-        GenConfig g = harness::sliceGenWindow(gc, i, channels,
-                                              mc.totalCapacity());
-        g.seed = exec::deriveSeed(opt.seed, i);
-        if (opt.pattern == "linear")
-            mc.addGen<LinearGen>(g);
-        else
-            mc.addGen<RandomGen>(g);
+    if (opt.pattern == "trace") {
+        // One player per recorded source id; the trace fans out over
+        // the shards like its originating generators did.
+        harness::addTracePlayers(mc, opt.traceIn, opt.traceScale);
+    } else {
+        // One generator per channel, each in its own address slice,
+        // with the request budget split evenly.
+        GenConfig gc;
+        gc.readPct = opt.readPct;
+        gc.minITT = gc.maxITT = fromNs(opt.ittNs);
+        gc.numRequests =
+            std::max<std::uint64_t>(1, opt.requests / channels);
+        gc.windowSize =
+            std::min<std::uint64_t>(mc.totalCapacity(), 1ULL << 26);
+        for (unsigned i = 0; i < channels; ++i) {
+            GenConfig g = harness::sliceGenWindow(gc, i, channels,
+                                                  mc.totalCapacity());
+            g.seed = exec::deriveSeed(opt.seed, i);
+            if (opt.pattern == "linear")
+                mc.addGen<LinearGen>(g);
+            else
+                mc.addGen<RandomGen>(g);
+        }
     }
 
     std::vector<CmdLogger> *loggers = nullptr;
@@ -457,6 +493,7 @@ runMulti(const CliOptions &opt, const DRAMCtrlConfig &cfg,
     }
 
     mc.runToCompletion();
+    mc.finishCapture();
 
     if (opt.json) {
         std::cout << "{\"seed\": " << opt.seed << ", \"stats\": ";
@@ -675,7 +712,11 @@ main(int argc, char **argv)
                         metricsServer->endpoint().c_str());
     }
 
+    if (!opt.traceCapture.empty())
+        tb.enableCapture(opt.traceCapture);
+
     BaseGen *gen = nullptr;
+    TracePlayer *player = nullptr;
     GenConfig gc;
     gc.windowSize =
         std::min<std::uint64_t>(cfg.org.channelCapacity, 1ULL << 26);
@@ -696,6 +737,11 @@ main(int argc, char **argv)
         dgc.strideBytes = opt.strideBytes;
         dgc.numBanksTarget = opt.banks;
         gen = &tb.addGen<DramGen>(dgc);
+    } else if (opt.pattern == "trace") {
+        if (opt.traceIn.empty())
+            fatal("--pattern trace needs --trace-in PATH");
+        player = &tb.addGen<TracePlayer>(
+            makeTracePlayerConfig(opt.traceIn, opt.traceScale));
     } else {
         fatal("unknown pattern '%s'", opt.pattern.c_str());
     }
@@ -716,7 +762,11 @@ main(int argc, char **argv)
         return 0;
     }
 
-    tb.runToCompletion([&] { return gen->done(); });
+    tb.runToCompletion(
+        [&] { return gen != nullptr ? gen->done() : player->done(); });
+    tb.finishCapture();
+    if (!opt.traceCapture.empty() && !opt.json)
+        std::printf("trace capture:     %s\n", opt.traceCapture.c_str());
 
     if (!opt.chromeFile.empty()) {
         chrome.importCmdLog(logger.log(), "mem_ctrl");
@@ -758,7 +808,8 @@ main(int argc, char **argv)
         std::printf("simulated time:    %.2f us\n",
                     toSeconds(tb.sim().curTick()) * 1e6);
         std::printf("avg read latency:  %.1f ns\n",
-                    gen->avgReadLatencyNs());
+                    gen != nullptr ? gen->avgReadLatencyNs()
+                                   : player->avgReadLatencyNs());
         std::printf("bus utilisation:   %.1f%%\n",
                     100 * tb.ctrl().busUtilisation());
         std::printf("bandwidth:         %.2f / %.2f GB/s\n",

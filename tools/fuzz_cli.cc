@@ -42,6 +42,7 @@
 #include "obs/trace.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "trafficgen/trace_file.hh"
 #include "validate/config_fuzzer.hh"
 #include "validate/diff_runner.hh"
 #include "validate/repro.hh"
@@ -63,6 +64,7 @@ struct FuzzCliOptions
     double toleranceBw = DiffOptions{}.bandwidthRelTol;
     double toleranceLat = DiffOptions{}.latencyRelTol;
     std::string outDir = ".";
+    std::string traceCapture;    // per-case stream capture prefix
     std::string repro;           // replay mode
     std::string metricsListen;   // live endpoint listen spec
     unsigned jobs = 1;
@@ -99,6 +101,12 @@ usage(const char *prog)
         "  --tolerance-lat F  relative read-latency tolerance "
         "(default 0.60)\n"
         "  --out-dir PATH     where repro/trace files go (default .)\n"
+        "  --trace-capture P  write every case's drawn request stream "
+        "as\n"
+        "                     '<P><run>.dtrc' (replayable with "
+        "dramctrl_cli\n"
+        "                     --pattern trace; identical for every "
+        "--jobs)\n"
         "  --fuzz-plugins     also draw random plugin chains (ecc, "
         "prac,\n"
         "                     refresh managers) for every case\n"
@@ -156,6 +164,7 @@ parseArgs(int argc, char **argv, FuzzCliOptions &opt)
         else if (a == "--tolerance-lat")
             opt.toleranceLat = std::stod(need(i));
         else if (a == "--out-dir") opt.outDir = need(i);
+        else if (a == "--trace-capture") opt.traceCapture = need(i);
         else if (a == "--inject-bug") {
             // Optional mode operand; bare --inject-bug keeps the
             // original tRCD fault.
@@ -275,6 +284,25 @@ handleFailure(const FuzzCliOptions &opt, std::uint64_t run,
         std::printf("  repro: %s\n", path.c_str());
     else
         std::printf("  repro: FAILED to write %s\n", path.c_str());
+}
+
+/**
+ * Write one fuzz case's drawn stream as '<prefix><run>.dtrc'. The
+ * stream is an intent schedule (gaps accumulated to absolute ticks),
+ * not a live capture, so a replay applies normal slip-on-stall
+ * semantics — exactly what the StreamPlayer does.
+ */
+void
+captureCaseStream(const std::string &prefix, std::uint64_t run,
+                  const RequestStream &stream)
+{
+    TraceWriter writer(prefix + std::to_string(run) + ".dtrc");
+    Tick tick = 0;
+    for (const StreamRequest &r : stream.reqs) {
+        tick += r.gap;
+        writer.append(TraceEntry{tick, r.isRead, r.addr, r.size});
+    }
+    writer.finish();
 }
 
 /** What one fuzz job hands back to the in-order consumer. */
@@ -458,6 +486,15 @@ main(int argc, char **argv)
             std::printf("run %llu: %s\n",
                         static_cast<unsigned long long>(run),
                         summarize(out.value.fc).c_str());
+        if (!opt.traceCapture.empty()) {
+            // Regenerating from (params, seed) here on the main
+            // thread keeps the files written in run order whatever
+            // --jobs is.
+            captureCaseStream(
+                opt.traceCapture, run,
+                generateStream(out.value.fc.stream,
+                               out.value.streamSeed));
+        }
         bool bad = false;
         if (!out.value.dr.pass) {
             bad = true;
