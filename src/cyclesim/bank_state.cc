@@ -23,6 +23,10 @@ CycleTiming::CycleTiming(const DRAMTiming &t)
       tRRD(toCycles(t.tRRD, t.tCK)), tXAW(toCycles(t.tXAW, t.tCK)),
       tREFI(toCycles(t.tREFI, t.tCK)), tRFC(toCycles(t.tRFC, t.tCK)),
       burstCycles(toCycles(t.tBURST, t.tCK)),
+      tCCD_L(toCycles(t.tCCDLong(), t.tCK)),
+      tCCD_S(toCycles(t.tCCDShort(), t.tCK)),
+      tRRD_L(toCycles(t.tRRDLong(), t.tCK)),
+      tRFCsb(t.tRFCsb ? toCycles(t.tRFCsb, t.tCK) : 0),
       activationLimit(t.activationLimit)
 {
 }

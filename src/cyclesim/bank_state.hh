@@ -38,6 +38,15 @@ struct CycleTiming
     Cycle tREFI;
     Cycle tRFC;
     Cycle burstCycles;
+    /**
+     * Bank-group timings, quantised from the resolved accessors: for
+     * ungrouped devices tCCD_L == tCCD_S == burstCycles and tRRD_L ==
+     * tRRD, so grouped code paths degenerate to the legacy behaviour.
+     */
+    Cycle tCCD_L;
+    Cycle tCCD_S;
+    Cycle tRRD_L;
+    Cycle tRFCsb;
     unsigned activationLimit;
 };
 

@@ -90,6 +90,13 @@ CycleDRAMCtrl::CycleDRAMCtrl(Simulator &sim, std::string name,
     transQueue_.reserve(transQueueLimit_);
     for (CycleRankState &rs : rankState_)
         rs.actWindow.init(ct_.activationLimit);
+    hasBankGroups_ = cfg_.org.hasBankGroups();
+    if (hasBankGroups_) {
+        const unsigned total_groups =
+            cfg_.org.ranksPerChannel * cfg_.org.bankGroupsPerRank;
+        grpNextCol_.assign(total_groups, 0);
+        grpNextAct_.assign(total_groups, 0);
+    }
     plugins_ = plugin::buildChain(cfg_, statGroup(), true,
                                   this->name());
     pracPlugin_ = plugins_.prac();
@@ -235,6 +242,14 @@ CycleDRAMCtrl::serialize(ckpt::CkptOut &out) const
     }
     out.putU64Vec("rankNextAct", rank_next_act);
 
+    if (hasBankGroups_) {
+        // Keys only exist for grouped organisations; legacy checkpoint
+        // files stay restorable (and byte-identical) without them.
+        out.putU64Vec("grpNextCol", grpNextCol_);
+        out.putU64Vec("grpNextAct", grpNextAct_);
+        out.putU64("nextColAnyBank", nextColAnyBank_);
+    }
+
     out.putU64("cycle", cycle_);
     out.putTick("anchor", anchor_);
     out.putU64("cyclesTicked", cyclesTicked_);
@@ -362,6 +377,18 @@ CycleDRAMCtrl::unserialize(ckpt::CkptIn &in)
                   rs.actWindow.capacity());
         for (std::uint64_t c : window)
             rs.actWindow.push_back(c);
+    }
+
+    if (hasBankGroups_) {
+        const auto &grp_col = in.getU64Vec("grpNextCol");
+        const auto &grp_act = in.getU64Vec("grpNextAct");
+        if (grp_col.size() != grpNextCol_.size() ||
+            grp_act.size() != grpNextAct_.size())
+            fatal("checkpoint bank-group lanes of '%s' do not match "
+                  "this organisation", name().c_str());
+        grpNextCol_ = grp_col;
+        grpNextAct_ = grp_act;
+        nextColAnyBank_ = in.getU64("nextColAnyBank");
     }
 
     cycle_ = in.getU64("cycle");
@@ -817,17 +844,29 @@ CycleDRAMCtrl::isIssuable(const Command &cmd) const
     const CycleRankState &rank = rankState_[cmd.rank];
     Cycle c = cycle_;
 
+    // Same-group long timings and the channel-wide short column
+    // spacing; both degenerate to always-satisfied without groups.
+    Cycle grp_act = 0;
+    Cycle grp_col = 0;
+    if (hasBankGroups_) {
+        unsigned g = grpIdx(cmd.rank, cmd.bank);
+        grp_act = grpNextAct_[g];
+        grp_col = std::max(grpNextCol_[g], nextColAnyBank_);
+    }
+
     switch (cmd.type) {
       case CmdType::Act:
         return !bank.rowOpen() && c >= bank.nextActivate &&
-               rank.canActivate(c, ct_);
+               c >= grp_act && rank.canActivate(c, ct_);
       case CmdType::Pre:
         return bank.rowOpen() && c >= bank.nextPrecharge;
       case CmdType::Read:
         return bank.openRow == cmd.row && c >= bank.nextRead &&
-               c >= readAllowedAt_ && c + ct_.tCL >= busBusyUntil_;
+               c >= grp_col && c >= readAllowedAt_ &&
+               c + ct_.tCL >= busBusyUntil_;
       case CmdType::Write:
         return bank.openRow == cmd.row && c >= bank.nextWrite &&
+               c >= grp_col &&
                c + ct_.tCL >=
                    busBusyUntil_ + (lastDataWasRead_ ? ct_.tRTW : 0);
     }
@@ -849,6 +888,10 @@ CycleDRAMCtrl::execute(const Command &cmd)
       case CmdType::Act:
         bank.activate(c, cmd.row, ct_);
         rank.recordActivate(c, ct_);
+        if (hasBankGroups_) {
+            Cycle &g = grpNextAct_[grpIdx(cmd.rank, cmd.bank)];
+            g = std::max(g, c + ct_.tRRD_L);
+        }
         ++stats_->numActs;
         logCmd(tickOf(c), DRAMCmd::Act, cmd.rank, cmd.bank, cmd.row);
         break;
@@ -862,8 +905,15 @@ CycleDRAMCtrl::execute(const Command &cmd)
         Cycle data_done = c + ct_.tCL + ct_.burstCycles;
         busBusyUntil_ = data_done;
         lastDataWasRead_ = true;
-        bank.nextRead = std::max(bank.nextRead, c + ct_.burstCycles);
-        bank.nextWrite = std::max(bank.nextWrite, c + ct_.burstCycles);
+        // Same-bank spacing is tCCD_L (== burstCycles when ungrouped).
+        bank.nextRead = std::max(bank.nextRead, c + ct_.tCCD_L);
+        bank.nextWrite = std::max(bank.nextWrite, c + ct_.tCCD_L);
+        if (hasBankGroups_) {
+            Cycle &g = grpNextCol_[grpIdx(cmd.rank, cmd.bank)];
+            g = std::max(g, c + ct_.tCCD_L);
+            nextColAnyBank_ = std::max(nextColAnyBank_,
+                                       c + ct_.tCCD_S);
+        }
         bank.nextPrecharge = std::max(bank.nextPrecharge, data_done);
         logCmd(tickOf(c), DRAMCmd::Rd, cmd.rank, cmd.bank, cmd.row);
         if (!plugins_.empty())
@@ -892,8 +942,14 @@ CycleDRAMCtrl::execute(const Command &cmd)
         busBusyUntil_ = data_done;
         lastDataWasRead_ = false;
         readAllowedAt_ = std::max(readAllowedAt_, data_done + ct_.tWTR);
-        bank.nextRead = std::max(bank.nextRead, c + ct_.burstCycles);
-        bank.nextWrite = std::max(bank.nextWrite, c + ct_.burstCycles);
+        bank.nextRead = std::max(bank.nextRead, c + ct_.tCCD_L);
+        bank.nextWrite = std::max(bank.nextWrite, c + ct_.tCCD_L);
+        if (hasBankGroups_) {
+            Cycle &g = grpNextCol_[grpIdx(cmd.rank, cmd.bank)];
+            g = std::max(g, c + ct_.tCCD_L);
+            nextColAnyBank_ = std::max(nextColAnyBank_,
+                                       c + ct_.tCCD_S);
+        }
         bank.nextPrecharge = std::max(bank.nextPrecharge,
                                       data_done + ct_.tWR);
         logCmd(tickOf(c), DRAMCmd::Wr, cmd.rank, cmd.bank, cmd.row);

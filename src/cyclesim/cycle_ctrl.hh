@@ -229,6 +229,24 @@ class CycleDRAMCtrl : public MemCtrlBase
     std::vector<CycleBankState> banks_;
     std::vector<CycleRankState> rankState_;
 
+    /**
+     * Bank-group lanes, armed only for grouped organisations (see
+     * DRAMCtrl's identically-named state): same-group column (tCCD_L)
+     * and activate (tRRD_L) constraints, (rank * groups + group)
+     * indexed, plus the channel-wide short column spacing (tCCD_S).
+     */
+    bool hasBankGroups_ = false;
+    std::vector<Cycle> grpNextCol_;
+    std::vector<Cycle> grpNextAct_;
+    Cycle nextColAnyBank_ = 0;
+
+    /** Flat bank-group index of bank @p b in rank @p r. */
+    unsigned
+    grpIdx(unsigned r, unsigned b) const
+    {
+        return r * cfg_.org.bankGroupsPerRank + cfg_.org.bankGroup(b);
+    }
+
     Cycle cycle_ = 0;
     Tick anchor_ = 0;
     std::uint64_t cyclesTicked_ = 0;

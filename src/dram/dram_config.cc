@@ -104,6 +104,17 @@ DRAMOrg::check() const
               "count",
               static_cast<unsigned long long>(channelCapacity));
     }
+    if (bankGroupsPerRank == 0 || !isPowerOf2(bankGroupsPerRank))
+        fatal("bank groups per rank (%u) must be a power of two",
+              bankGroupsPerRank);
+    if (bankGroupsPerRank > banksPerRank ||
+        banksPerRank % bankGroupsPerRank != 0)
+        fatal("bank groups (%u) must evenly divide the banks per rank "
+              "(%u)",
+              bankGroupsPerRank, banksPerRank);
+    if (pseudoChannels == 0 || !isPowerOf2(pseudoChannels))
+        fatal("pseudochannels per channel (%u) must be a power of two",
+              pseudoChannels);
 }
 
 void
@@ -122,6 +133,23 @@ DRAMTiming::check() const
     if (activationLimit == 1)
         fatal("an activation limit of 1 serialises all activates; use 0 "
               "to disable the tXAW constraint instead");
+    if (tCCD_L != 0 && tCCD_S != 0 && tCCD_L < tCCD_S)
+        fatal("tCCD_L (%llu) must be at least tCCD_S (%llu)",
+              static_cast<unsigned long long>(tCCD_L),
+              static_cast<unsigned long long>(tCCD_S));
+    if (tCCD_S != 0 && tCCD_S > tBURST)
+        fatal("tCCD_S (%llu) above tBURST (%llu) would starve the data "
+              "bus; fold the gap into tBURST instead",
+              static_cast<unsigned long long>(tCCD_S),
+              static_cast<unsigned long long>(tBURST));
+    if (tRRD_L != 0 && tRRD_L < tRRD)
+        fatal("tRRD_L (%llu) must be at least tRRD (%llu)",
+              static_cast<unsigned long long>(tRRD_L),
+              static_cast<unsigned long long>(tRRD));
+    if (tRFCsb != 0 && tRFC != 0 && tRFCsb > tRFC)
+        fatal("tRFCsb (%llu) must not exceed the all-bank tRFC (%llu)",
+              static_cast<unsigned long long>(tRFCsb),
+              static_cast<unsigned long long>(tRFC));
 }
 
 std::string
@@ -146,6 +174,15 @@ DRAMCtrlConfig::describe() const
     s += formatString("  burst size          %llu B\n",
                       static_cast<unsigned long long>(
                           org.burstSize()));
+    // Bank-group / pseudochannel organisation only appears when it
+    // departs from the ungrouped DDR3-era default, so the describe()
+    // fingerprints of legacy configs are unchanged.
+    if (org.bankGroupsPerRank != 1)
+        s += formatString("  bank groups         %u\n",
+                          org.bankGroupsPerRank);
+    if (org.pseudoChannels != 1)
+        s += formatString("  pseudochannels      %u\n",
+                          org.pseudoChannels);
     s += "[timing]\n";
     auto ns = [](Tick t) { return toNs(t); };
     s += formatString("  tCK %.2f  tBURST %.2f  tRCD %.2f  tCL %.2f  "
@@ -163,6 +200,15 @@ DRAMCtrlConfig::describe() const
                       ns(timing.tREFI) / 1e3,
                       ns(effectiveREFI()) / 1e3, temperatureC,
                       ns(timing.tRFC));
+    if (timing.tCCD_L != 0 || timing.tCCD_S != 0 ||
+        timing.tRRD_L != 0) {
+        s += formatString("  tCCD_L %.2f  tCCD_S %.2f  tRRD_L %.2f ns\n",
+                          ns(timing.tCCDLong()),
+                          ns(timing.tCCDShort()),
+                          ns(timing.tRRDLong()));
+    }
+    if (timing.tRFCsb != 0)
+        s += formatString("  tRFCsb %.2f ns\n", ns(timing.tRFCsb));
     s += "[controller]\n";
     s += formatString("  read buffer %u  write buffer %u  watermarks "
                       "%.2f/%.2f  min writes %u\n",

@@ -81,6 +81,23 @@ struct DRAMOrg
     unsigned ranksPerChannel = 1;
     /** Banks in each rank. */
     unsigned banksPerRank = 8;
+    /**
+     * Bank groups per rank (DDR4/HBM-generation devices). 1 models the
+     * ungrouped DDR3-era organisation; values > 1 split the banks into
+     * groups and arm the long/short timing distinction (tCCD_L/tCCD_S,
+     * tRRD_L). Banks are numbered group-minor: group(bank) = bank %
+     * bankGroupsPerRank, so consecutive bank numbers alternate groups
+     * and bank-interleaved streams naturally enjoy the short timings.
+     */
+    unsigned bankGroupsPerRank = 1;
+    /**
+     * Pseudochannels per physical channel (HBM-generation stacks). The
+     * controller always models ONE pseudochannel; this field is
+     * organisational metadata the harness uses to instantiate
+     * pseudoChannels controllers per physical channel and the address
+     * decoder uses to size the interleave.
+     */
+    unsigned pseudoChannels = 1;
     /** Row-buffer (page) size per bank across the whole rank, bytes. */
     std::uint64_t rowBufferSize = 1024;
     /** Total channel capacity in bytes. */
@@ -116,6 +133,27 @@ struct DRAMOrg
         return banksPerRank * ranksPerChannel;
     }
 
+    /** True when the organisation has a real bank-group structure. */
+    bool
+    hasBankGroups() const
+    {
+        return bankGroupsPerRank > 1;
+    }
+
+    /** Banks in each bank group. */
+    unsigned
+    banksPerGroup() const
+    {
+        return banksPerRank / bankGroupsPerRank;
+    }
+
+    /** Bank group of a bank number (group-minor numbering). */
+    unsigned
+    bankGroup(unsigned bank) const
+    {
+        return bank % bankGroupsPerRank;
+    }
+
     /** Validate internal consistency; calls fatal() on user error. */
     void check() const;
 };
@@ -142,6 +180,45 @@ struct DRAMTiming
     Tick tRFC = fromNs(160.0);   ///< refresh cycle time
     unsigned activationLimit = 4; ///< activates allowed per tXAW window
                                   ///< (0 disables the constraint)
+
+    /**
+     * Bank-group timings (DDR4/HBM generations). All default to 0 =
+     * "inherit the ungrouped value", so DDR3-era presets keep their
+     * exact behaviour: tCCD_L and tCCD_S fall back to tBURST, tRRD_L
+     * falls back to tRRD. tRRD itself keeps its historical role as the
+     * short (cross-group) activate spacing.
+     */
+    Tick tCCD_L = 0; ///< column-to-column, same bank group
+    Tick tCCD_S = 0; ///< column-to-column, different bank group
+    Tick tRRD_L = 0; ///< activate-to-activate, same bank group
+    /**
+     * Same-bank (per-bank) refresh cycle time (LPDDR4 tRFCpb / HBM
+     * REFsb). 0 = the device has no same-bank refresh mode. Presets
+     * that set it arm the checker's REFpb blackout even without a
+     * per-bank refresh-manager plugin.
+     */
+    Tick tRFCsb = 0;
+
+    /** Same-group column spacing; tBURST when tCCD_L is unset. */
+    Tick
+    tCCDLong() const
+    {
+        return tCCD_L ? tCCD_L : tBURST;
+    }
+
+    /** Cross-group column spacing; tBURST when tCCD_S is unset. */
+    Tick
+    tCCDShort() const
+    {
+        return tCCD_S ? tCCD_S : tBURST;
+    }
+
+    /** Same-group activate spacing; tRRD when tRRD_L is unset. */
+    Tick
+    tRRDLong() const
+    {
+        return tRRD_L ? tRRD_L : tRRD;
+    }
 
     /** Validate internal consistency; calls fatal() on user error. */
     void check() const;

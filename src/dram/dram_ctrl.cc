@@ -189,6 +189,13 @@ DRAMCtrl::DRAMCtrl(Simulator &sim, std::string name,
     bankActAllowedAt_.assign(total_banks, 0);
     bankColAllowedAt_.assign(total_banks, 0);
     bankRowAccesses_.assign(total_banks, 0);
+    hasBankGroups_ = cfg_.org.hasBankGroups();
+    if (hasBankGroups_) {
+        const unsigned total_groups =
+            cfg_.org.ranksPerChannel * cfg_.org.bankGroupsPerRank;
+        grpColAllowedAt_.assign(total_groups, 0);
+        grpNextActAt_.assign(total_groups, 0);
+    }
     readyCache_.resize(total_banks);
     bankGen_.assign(total_banks, 0);
     rankGen_.assign(cfg_.org.ranksPerChannel, 0);
@@ -305,6 +312,14 @@ DRAMCtrl::serialize(ckpt::CkptOut &out) const
     out.putU64Vec("starvedHits",
                   std::vector<std::uint64_t>(starvedHits_.begin(),
                                              starvedHits_.end()));
+    if (hasBankGroups_) {
+        // Bank-group lanes only exist for grouped organisations; the
+        // keys are absent from (and never read out of) legacy
+        // checkpoints, which keeps old files restorable.
+        out.putU64Vec("grp.colAllowedAt", grpColAllowedAt_);
+        out.putU64Vec("grp.nextActAt", grpNextActAt_);
+        out.putTick("nextColAllowedAt", nextColAllowedAt_);
+    }
 
     // Unique system packets and burst helpers the read queue refers
     // to; queue entries reference them by index (0 = none). Parked
@@ -420,6 +435,17 @@ DRAMCtrl::unserialize(ckpt::CkptIn &in)
               "mismatch", name().c_str());
     for (std::size_t i = 0; i < starved.size(); ++i)
         starvedHits_[i] = static_cast<std::uint8_t>(starved[i]);
+    if (hasBankGroups_) {
+        const auto &grp_col = in.getU64Vec("grp.colAllowedAt");
+        const auto &grp_act = in.getU64Vec("grp.nextActAt");
+        if (grp_col.size() != grpColAllowedAt_.size() ||
+            grp_act.size() != grpNextActAt_.size())
+            fatal("checkpoint controller '%s': bank-group lane size "
+                  "mismatch", name().c_str());
+        grpColAllowedAt_ = grp_col;
+        grpNextActAt_ = grp_act;
+        nextColAllowedAt_ = in.getTick("nextColAllowedAt");
+    }
 
     std::vector<Packet *> pkts;
     std::size_t pkt_count = in.getU64("pkts.count");
@@ -1036,7 +1062,7 @@ DRAMCtrl::estimateReadyTick(const DRAMPacket &pkt) const
 {
     unsigned flat = flatIdx(pkt.rank, pkt.bank);
     if (bankOpenRow_[flat] == pkt.row)
-        return std::max(bankColAllowedAt_[flat], curTick());
+        return std::max(colAllowedAt(flat), curTick());
 
     return estimateBankReady(pkt.rank, pkt.bank);
 }
@@ -1064,14 +1090,18 @@ DRAMCtrl::estimateBankReady(unsigned rank_idx, unsigned bank_idx) const
         unsigned limit = t.activationLimit;
         if (limit != 0 && rank.actWindow.size() >= limit)
             awc = rank.actWindow.front() + t.tXAW;
+        // Same-group activate spacing (tRRD_L) is rank state for cache
+        // purposes: recordActivate bumps it and invalidates the rank.
+        Tick grp_act =
+            hasBankGroups_ ? grpNextActAt_[grpIdx(flat)] : 0;
         if (bankOpenRow_[flat] != kNoRow) {
             rc.base = std::max({bankPreAllowedAt_[flat] + t.tRP,
-                                rank.nextActAt, awc}) +
+                                rank.nextActAt, grp_act, awc}) +
                       t.tRCD;
             rc.nowOffset = t.tRP + t.tRCD;
         } else {
             rc.base = std::max({bankActAllowedAt_[flat],
-                                rank.nextActAt, awc}) +
+                                rank.nextActAt, grp_act, awc}) +
                       t.tRCD;
             rc.nowOffset = t.tRCD;
         }
@@ -1136,7 +1166,7 @@ DRAMCtrl::chooseNext(std::vector<DRAMPacket *> &queue)
                 if (hit_counts[flat] > 0)
                     best_ready = std::min(
                         best_ready,
-                        std::max(bankColAllowedAt_[flat], now));
+                        std::max(colAllowedAt(flat), now));
                 if (bank_counts[flat] > hit_counts[flat])
                     best_ready =
                         std::min(best_ready,
@@ -1149,7 +1179,7 @@ DRAMCtrl::chooseNext(std::vector<DRAMPacket *> &queue)
                 // Bank estimates were cached by the pass above.
                 Tick est =
                     bankOpenRow_[flat] == dp.row
-                        ? std::max(bankColAllowedAt_[flat], now)
+                        ? std::max(colAllowedAt(flat), now)
                         : estimateBankReady(dp.rank, dp.bank);
                 if (est == best_ready)
                     return it;
@@ -1226,10 +1256,19 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
 
         Tick act = std::max({curTick(), bankActAllowedAt_[flat_bank],
                              rank.nextActAt, wakeConstraint_});
+        if (hasBankGroups_)
+            act = std::max(act, grpNextActAt_[grpIdx(flat_bank)]);
         // A pending RowHammer mitigation must land before this ACT.
         act = pracMitigate(flat_bank, pkt->rank, pkt->bank, act);
         act = activationWindowConstraint(rank, act);
         recordActivate(rank, act);
+        // Same-group activates additionally respect tRRD_L; the rank
+        // invalidation recordActivate just did covers this mutation
+        // for the ready cache.
+        if (hasBankGroups_) {
+            Tick &g = grpNextActAt_[grpIdx(flat_bank)];
+            g = std::max(g, act + t.tRRDLong());
+        }
         bankActivated(act);
         ++stats_->numActs;
         logCmd(act, DRAMCmd::Act, pkt->rank, pkt->bank, pkt->row);
@@ -1253,7 +1292,7 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
     // when the bank alone would let the column command go, cmd_at is
     // when it actually goes (turnaround/wake stalls on top), and
     // data_start is when the bus is free for the data.
-    Tick bank_ready = std::max(bankColAllowedAt_[flat_bank], curTick());
+    Tick bank_ready = std::max(colAllowedAt(flat_bank), curTick());
     Tick cmd_at;
     Tick data_start;
     if (pkt->isRead) {
@@ -1299,9 +1338,20 @@ DRAMCtrl::doDRAMAccess(DRAMPacket *pkt)
     lastBurstWasRead_ = pkt->isRead;
 
     // The burst occupies the bank's column path for tBURST (tCCD).
+    // With bank groups the *effective* command tick (data_start - tCL,
+    // the tick logCmd stamped) additionally blocks the whole group for
+    // tCCD_L and the channel for tCCD_S; without groups both collapse
+    // into the per-bank tBURST term below.
+    Tick eff_cmd = data_start - t.tCL;
     bankColAllowedAt_[flat_bank] =
         std::max(bankColAllowedAt_[flat_bank],
-                 data_start - t.tCL + t.tBURST);
+                 eff_cmd + t.tCCDLong());
+    if (hasBankGroups_) {
+        Tick &g = grpColAllowedAt_[grpIdx(flat_bank)];
+        g = std::max(g, eff_cmd + t.tCCDLong());
+        nextColAllowedAt_ =
+            std::max(nextColAllowedAt_, eff_cmd + t.tCCDShort());
+    }
     ++bankRowAccesses_[flat_bank];
 
     invalidateBank(flat_bank);

@@ -422,6 +422,49 @@ class DRAMCtrl : public MemCtrlBase
     std::vector<std::uint32_t> bankRowAccesses_;
 
     /**
+     * Bank-group timing state, armed only when the organisation has
+     * more than one group (hasBankGroups_); DDR3-era configs keep the
+     * vectors empty and every fast path untouched. grpColAllowedAt_
+     * and grpNextActAt_ are (rank * groups + group) indexed and carry
+     * the *long* (same-group) constraints; nextColAllowedAt_ is the
+     * channel-wide short column spacing (tCCD_S), which the data-bus
+     * serialisation already subsumes for logged streams but is kept
+     * explicit so estimates stay conservative.
+     */
+    bool hasBankGroups_ = false;
+    std::vector<Tick> grpColAllowedAt_;
+    std::vector<Tick> grpNextActAt_;
+    Tick nextColAllowedAt_ = 0;
+
+    /** Flat (rank-major) bank-group index of @p flat_bank. */
+    unsigned
+    grpIdx(unsigned flat_bank) const
+    {
+        return (flat_bank / cfg_.org.banksPerRank) *
+                   cfg_.org.bankGroupsPerRank +
+               cfg_.org.bankGroup(flat_bank % cfg_.org.banksPerRank);
+    }
+
+    /**
+     * Earliest column command to @p flat_bank: the per-bank limit
+     * folded with the bank-group and channel-wide spacings when the
+     * organisation has groups.
+     */
+    Tick
+    colAllowedAt(unsigned flat_bank) const
+    {
+        Tick t = bankColAllowedAt_[flat_bank];
+        if (hasBankGroups_) {
+            Tick g = grpColAllowedAt_[grpIdx(flat_bank)];
+            if (g > t)
+                t = g;
+            if (nextColAllowedAt_ > t)
+                t = nextColAllowedAt_;
+        }
+        return t;
+    }
+
+    /**
      * Pending bursts, oldest first. Vectors with capacity reserved to
      * the queue limits: scheduling scans run over contiguous pointers,
      * and enqueue/dequeue never allocate. Selection erases from the

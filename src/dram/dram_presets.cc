@@ -1,9 +1,68 @@
 #include "dram/dram_presets.hh"
 
+#include <mutex>
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace dramctrl {
 namespace presets {
+
+namespace {
+
+/**
+ * Name -> factory registry behind byName()/names(). A vector of pairs
+ * rather than a map so names() reports registration order (builtins in
+ * their canonical order, user registrations after), which the golden
+ * corpus and CLIs rely on being stable.
+ */
+std::vector<std::pair<std::string, PresetFactory>> &
+registry()
+{
+    static std::vector<std::pair<std::string, PresetFactory>> r;
+    return r;
+}
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void registerLocked(const std::string &name, PresetFactory factory);
+
+/** Populate the builtins exactly once, in canonical order. */
+void
+ensureBuiltins()
+{
+    static bool done = [] {
+        registerLocked("ddr3_1333", ddr3_1333);
+        registerLocked("ddr3_1600", ddr3_1600);
+        registerLocked("lpddr3_1600", lpddr3_1600);
+        registerLocked("wideio_200", wideio_200);
+        registerLocked("hmc_vault", hmcVault);
+        registerLocked("ddr4_2400", ddr4_2400);
+        registerLocked("lpddr4_3200", lpddr4_3200);
+        registerLocked("hbm2", hbm2);
+        return true;
+    }();
+    (void)done;
+}
+
+void
+registerLocked(const std::string &name, PresetFactory factory)
+{
+    for (auto &entry : registry()) {
+        if (entry.first == name) {
+            entry.second = std::move(factory);
+            return;
+        }
+    }
+    registry().emplace_back(name, std::move(factory));
+}
+
+} // namespace
 
 DRAMCtrlConfig
 ddr3_1333()
@@ -169,26 +228,172 @@ hmcVault()
 }
 
 DRAMCtrlConfig
+ddr4_2400()
+{
+    DRAMCtrlConfig cfg;
+    // 4 Gbit x8 devices, eight to a rank -> 64-bit channel, 4 GByte.
+    // Four bank groups arm the long/short column and activate timings.
+    cfg.org.burstLength = 8;
+    cfg.org.deviceBusWidth = 8;
+    cfg.org.devicesPerRank = 8;
+    cfg.org.ranksPerChannel = 1;
+    cfg.org.banksPerRank = 16;
+    cfg.org.bankGroupsPerRank = 4;
+    cfg.org.rowBufferSize = 8192;
+    cfg.org.channelCapacity = 4ULL * 1024 * 1024 * 1024;
+
+    cfg.timing.tCK = fromNs(0.833);
+    cfg.timing.tBURST = fromNs(3.332); // BL8 at 2400 MT/s
+    cfg.timing.tRCD = fromNs(14.16);
+    cfg.timing.tCL = fromNs(14.16);
+    cfg.timing.tRP = fromNs(14.16);
+    cfg.timing.tRAS = fromNs(32.0);
+    cfg.timing.tWR = fromNs(15.0);
+    cfg.timing.tWTR = fromNs(7.5);
+    cfg.timing.tRTW = fromNs(2.5);
+    cfg.timing.tRRD = fromNs(3.332);   // tRRD_S, four clocks
+    cfg.timing.tRRD_L = fromNs(4.9);
+    cfg.timing.tCCD_S = fromNs(3.332); // four clocks = tBURST
+    cfg.timing.tCCD_L = fromNs(5.0);   // six clocks
+    cfg.timing.tXAW = fromNs(21.0);
+    cfg.timing.tREFI = fromUs(7.8);
+    cfg.timing.tRFC = fromNs(350.0); // 8 Gbit-class tRFC1
+    cfg.timing.activationLimit = 4;
+
+    cfg.check();
+    return cfg;
+}
+
+DRAMCtrlConfig
+lpddr4_3200()
+{
+    DRAMCtrlConfig cfg;
+    // One x16 die per rank -> 16-bit channel (LPDDR4 runs two such
+    // channels per package). No bank groups, but the standard adds
+    // same-bank refresh (REFpb) with its own tRFCpb.
+    cfg.org.burstLength = 16;
+    cfg.org.deviceBusWidth = 16;
+    cfg.org.devicesPerRank = 1;
+    cfg.org.ranksPerChannel = 1;
+    cfg.org.banksPerRank = 8;
+    cfg.org.rowBufferSize = 2048;
+    cfg.org.channelCapacity = 2ULL * 1024 * 1024 * 1024;
+
+    cfg.timing.tCK = fromNs(0.625);
+    cfg.timing.tBURST = fromNs(5.0); // BL16 at 3200 MT/s
+    cfg.timing.tRCD = fromNs(18.0);
+    cfg.timing.tCL = fromNs(18.0);
+    cfg.timing.tRP = fromNs(18.0);
+    cfg.timing.tRAS = fromNs(42.0);
+    cfg.timing.tWR = fromNs(18.0);
+    cfg.timing.tWTR = fromNs(10.0);
+    cfg.timing.tRTW = fromNs(2.5);
+    cfg.timing.tRRD = fromNs(10.0);
+    cfg.timing.tXAW = fromNs(40.0);
+    cfg.timing.tREFI = fromUs(3.9);
+    cfg.timing.tRFC = fromNs(280.0);  // tRFCab, 8 Gbit
+    cfg.timing.tRFCsb = fromNs(140.0); // tRFCpb
+    cfg.timing.activationLimit = 4;
+
+    cfg.check();
+    return cfg;
+}
+
+DRAMCtrlConfig
+hbm2()
+{
+    DRAMCtrlConfig cfg;
+    // One HBM2 pseudochannel: 64-bit half of a 128-bit legacy channel,
+    // BL4, four bank groups, small pages, same-bank refresh. The org
+    // records pseudoChannels = 2 so the harness stacks two controllers
+    // per physical channel.
+    cfg.org.burstLength = 4;
+    cfg.org.deviceBusWidth = 64;
+    cfg.org.devicesPerRank = 1;
+    cfg.org.ranksPerChannel = 1;
+    cfg.org.banksPerRank = 16;
+    cfg.org.bankGroupsPerRank = 4;
+    cfg.org.pseudoChannels = 2;
+    cfg.org.rowBufferSize = 1024;
+    cfg.org.channelCapacity = 256ULL * 1024 * 1024;
+
+    cfg.timing.tCK = fromNs(1.0);
+    cfg.timing.tBURST = fromNs(2.0); // BL4 at 2000 MT/s
+    cfg.timing.tRCD = fromNs(14.0);
+    cfg.timing.tCL = fromNs(14.0);
+    cfg.timing.tRP = fromNs(14.0);
+    cfg.timing.tRAS = fromNs(33.0);
+    cfg.timing.tWR = fromNs(15.0);
+    cfg.timing.tWTR = fromNs(7.5);
+    cfg.timing.tRTW = fromNs(2.0);
+    cfg.timing.tRRD = fromNs(4.0);
+    cfg.timing.tRRD_L = fromNs(6.0);
+    cfg.timing.tCCD_S = fromNs(2.0); // two clocks = tBURST
+    cfg.timing.tCCD_L = fromNs(4.0);
+    cfg.timing.tXAW = fromNs(16.0);
+    cfg.timing.tREFI = fromUs(3.9);
+    cfg.timing.tRFC = fromNs(220.0);
+    cfg.timing.tRFCsb = fromNs(160.0);
+    cfg.timing.activationLimit = 4;
+
+    cfg.check();
+    return cfg;
+}
+
+void
+registerPreset(const std::string &name, PresetFactory factory)
+{
+    if (name.empty())
+        fatal("cannot register a DRAM preset with an empty name");
+    if (!factory)
+        fatal("cannot register DRAM preset '%s' without a factory",
+              name.c_str());
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureBuiltins();
+    registerLocked(name, std::move(factory));
+}
+
+DRAMCtrlConfig
 byName(const std::string &name)
 {
-    if (name == "ddr3_1333")
-        return ddr3_1333();
-    if (name == "ddr3_1600")
-        return ddr3_1600();
-    if (name == "lpddr3_1600")
-        return lpddr3_1600();
-    if (name == "wideio_200")
-        return wideio_200();
-    if (name == "hmc_vault")
-        return hmcVault();
-    fatal("unknown DRAM preset '%s'", name.c_str());
+    PresetFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        ensureBuiltins();
+        for (const auto &entry : registry()) {
+            if (entry.first == name) {
+                factory = entry.second;
+                break;
+            }
+        }
+    }
+    if (!factory)
+        fatal("unknown DRAM preset '%s'", name.c_str());
+    return factory();
+}
+
+bool
+hasPreset(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureBuiltins();
+    for (const auto &entry : registry()) {
+        if (entry.first == name)
+            return true;
+    }
+    return false;
 }
 
 std::vector<std::string>
 names()
 {
-    return {"ddr3_1333", "ddr3_1600", "lpddr3_1600", "wideio_200",
-            "hmc_vault"};
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureBuiltins();
+    std::vector<std::string> out;
+    out.reserve(registry().size());
+    for (const auto &entry : registry())
+        out.push_back(entry.first);
+    return out;
 }
 
 } // namespace presets

@@ -24,6 +24,7 @@
 #ifndef DRAMCTRL_DRAM_DRAM_PRESETS_H
 #define DRAMCTRL_DRAM_DRAM_PRESETS_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,10 +48,34 @@ DRAMCtrlConfig wideio_200();
 /** One HMC-like vault: narrow, fast, many-channel stacked DRAM. */
 DRAMCtrlConfig hmcVault();
 
+/** DDR4-2400 x64 with four bank groups (tCCD_L/S, tRRD_L/S). */
+DRAMCtrlConfig ddr4_2400();
+
+/** LPDDR4-3200 x16 with same-bank refresh (tRFCsb). */
+DRAMCtrlConfig lpddr4_3200();
+
+/** One HBM2 pseudochannel: bank groups + same-bank refresh. */
+DRAMCtrlConfig hbm2();
+
+/** Factory producing a fully-checked controller configuration. */
+using PresetFactory = std::function<DRAMCtrlConfig()>;
+
+/**
+ * Register a preset under @p name (Ramulator-2 style extension point).
+ * Later registrations of an existing name replace the factory in
+ * place, so tools can shadow a builtin with a file-loaded config;
+ * fresh names append in registration order, which is the order
+ * names() reports.
+ */
+void registerPreset(const std::string &name, PresetFactory factory);
+
 /** Look a preset up by name; fatal() on unknown names. */
 DRAMCtrlConfig byName(const std::string &name);
 
-/** All preset names, for tests and command-line tools. */
+/** True when @p name resolves to a registered preset. */
+bool hasPreset(const std::string &name);
+
+/** All preset names in registration order, builtins first. */
 std::vector<std::string> names();
 
 } // namespace presets

@@ -50,8 +50,15 @@ ProtocolChecker::reset()
     banks_.assign(org_.ranksPerChannel,
                   std::vector<BankState>(org_.banksPerRank));
     ranks_.assign(org_.ranksPerChannel, RankState{});
-    for (RankState &r : ranks_)
+    for (RankState &r : ranks_) {
         r.actRing.assign(std::max(1u, t_.activationLimit), 0);
+        if (org_.hasBankGroups()) {
+            r.grpLastColCmd.assign(org_.bankGroupsPerRank, 0);
+            r.grpEverCol.assign(org_.bankGroupsPerRank, false);
+            r.grpLastAct.assign(org_.bankGroupsPerRank, 0);
+            r.grpEverAct.assign(org_.bankGroupsPerRank, false);
+        }
+    }
     busFreeAt_ = 0;
     lastWrDataEnd_ = 0;
     lastRdDataEnd_ = 0;
@@ -254,6 +261,19 @@ ProtocolChecker::step(const CmdRecord &c)
                               "activate in rank",
                               static_cast<unsigned long long>(
                                   c.tick - rank.lastAct)));
+        if (org_.hasBankGroups()) {
+            unsigned g = org_.bankGroup(c.bank);
+            if (rank.grpEverAct[g] &&
+                c.tick < rank.grpLastAct[g] + t_.tRRDLong())
+                fail(c, "tRRD_L",
+                     formatString("only %llu ps after previous "
+                                  "activate in bank group %u",
+                                  static_cast<unsigned long long>(
+                                      c.tick - rank.grpLastAct[g]),
+                                  g));
+            rank.grpLastAct[g] = c.tick;
+            rank.grpEverAct[g] = true;
+        }
         if (t_.activationLimit > 0 &&
             rank.actCount >= t_.activationLimit) {
             // Oldest activate still inside the rolling window.
@@ -326,12 +346,34 @@ ProtocolChecker::step(const CmdRecord &c)
                                   static_cast<unsigned long long>(
                                       c.tick - bank.lastAct)));
         }
-        if (bank.everCol && c.tick < bank.lastColCmd + t_.tBURST)
-            fail(c, "tCCD",
-                 formatString("only %llu ps after previous column "
-                              "command",
-                              static_cast<unsigned long long>(
-                                  c.tick - bank.lastColCmd)));
+        if (!org_.hasBankGroups()) {
+            if (bank.everCol && c.tick < bank.lastColCmd + t_.tBURST)
+                fail(c, "tCCD",
+                     formatString("only %llu ps after previous column "
+                                  "command",
+                                  static_cast<unsigned long long>(
+                                      c.tick - bank.lastColCmd)));
+        } else {
+            // Bank groups split the flat tCCD rule: long within a
+            // group (which subsumes the same-bank case), short across
+            // groups within the rank.
+            unsigned g = org_.bankGroup(c.bank);
+            if (rank.grpEverCol[g] &&
+                c.tick < rank.grpLastColCmd[g] + t_.tCCDLong())
+                fail(c, "tCCD_L",
+                     formatString("only %llu ps after previous column "
+                                  "command in bank group %u",
+                                  static_cast<unsigned long long>(
+                                      c.tick - rank.grpLastColCmd[g]),
+                                  g));
+            if (rank.everCol &&
+                c.tick < rank.lastColCmd + t_.tCCDShort())
+                fail(c, "tCCD_S",
+                     formatString("only %llu ps after previous column "
+                                  "command in rank",
+                                  static_cast<unsigned long long>(
+                                      c.tick - rank.lastColCmd)));
+        }
 
         Tick data_start = c.tick + t_.tCL;
         Tick data_end = data_start + t_.tBURST;
@@ -368,6 +410,13 @@ ProtocolChecker::step(const CmdRecord &c)
         busFreeAt_ = std::max(busFreeAt_, data_end);
         bank.lastColCmd = c.tick;
         bank.everCol = true;
+        if (org_.hasBankGroups()) {
+            unsigned g = org_.bankGroup(c.bank);
+            rank.grpLastColCmd[g] = c.tick;
+            rank.grpEverCol[g] = true;
+            rank.lastColCmd = c.tick;
+            rank.everCol = true;
+        }
         break;
       }
       case DRAMCmd::Ref: {
@@ -403,7 +452,11 @@ ProtocolChecker::step(const CmdRecord &c)
                               dramctrl::toString(c.cmd),
                               static_cast<unsigned long long>(
                                   c.tick - bank.lastPre)));
-        Tick busy = mitigation ? pracTRFM_ : tRFCpb_;
+        // REFpb blackout: an armed per-bank refresh manager supplies
+        // its tRFCpb; otherwise a timing set with same-bank refresh
+        // (tRFCsb) arms the rule on its own.
+        Tick busy = mitigation ? pracTRFM_
+                               : (tRFCpb_ ? tRFCpb_ : t_.tRFCsb);
         if (busy > 0) {
             bank.refUntil = std::max(bank.refUntil, c.tick + busy);
             bank.refBusyMitigation = mitigation;

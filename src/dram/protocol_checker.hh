@@ -19,6 +19,13 @@
  *               intervals). The deadline is tracked per bank and any
  *               refresh command covering a bank — all-bank REF,
  *               per-bank REFpb, mitigation REFm — restarts its clock.
+ *  group level: for organisations with bankGroupsPerRank > 1, tCCD_L
+ *               between column commands within one bank group and
+ *               tCCD_S across groups (replacing the flat per-bank
+ *               tCCD rule); tRRD_L between same-group activates while
+ *               tRRD keeps its cross-group (short) role. A timing set
+ *               with tRFCsb arms the REFpb blackout even without a
+ *               per-bank refresh manager.
  *  plugins:     with setPerBankRefresh(), REFpb must target a closed,
  *               precharge-settled bank and blocks its ACTs for
  *               tRFCpb; with setPracGuard(), an ACT to a bank holding
@@ -203,6 +210,18 @@ class ProtocolChecker : public CmdSink
         Tick lastAct = 0;
         bool everActivated = false;
         Tick refUntil = 0;
+        /**
+         * Bank-group rules (grouped organisations only; empty
+         * otherwise): last same-group column command / activate per
+         * group, and the rank-wide last column command for the short
+         * cross-group spacing.
+         */
+        std::vector<Tick> grpLastColCmd;
+        std::vector<bool> grpEverCol;
+        std::vector<Tick> grpLastAct;
+        std::vector<bool> grpEverAct;
+        Tick lastColCmd = 0;
+        bool everCol = false;
     };
 
     /** Run one final (ordered) record through the rule engine. */

@@ -191,11 +191,25 @@ MultiChannelSystem::avgReadLatencyNs() const
 
 namespace {
 
-/** name -> channel count of the hmc_vault-based stack presets. */
-const std::pair<const char *, unsigned> kSystemPresets[] = {
-    {"hmc_stack_16", 16},
-    {"hmc_stack_64", 64},
-    {"hmc_stack_256", 256},
+/**
+ * name -> {base controller preset, instance count}. For the HBM2
+ * stacks the count is physical channels; each physical channel is
+ * split into org.pseudoChannels independently-timed controllers, so
+ * the instantiated channel count is count x pseudoChannels.
+ */
+struct SystemPresetDef
+{
+    const char *name;
+    const char *ctrlPreset;
+    unsigned count;
+};
+
+const SystemPresetDef kSystemPresets[] = {
+    {"hmc_stack_16", "hmc_vault", 16},
+    {"hmc_stack_64", "hmc_vault", 64},
+    {"hmc_stack_256", "hmc_vault", 256},
+    {"hbm2_stack_4", "hbm2", 4},
+    {"hbm2_stack_8", "hbm2", 8},
 };
 
 } // namespace
@@ -204,7 +218,7 @@ bool
 isSystemPreset(const std::string &name)
 {
     for (const auto &p : kSystemPresets)
-        if (name == p.first)
+        if (name == p.name)
             return true;
     return false;
 }
@@ -213,11 +227,11 @@ MultiChannelConfig
 systemPresetByName(const std::string &name)
 {
     for (const auto &p : kSystemPresets) {
-        if (name != p.first)
+        if (name != p.name)
             continue;
         MultiChannelConfig cfg;
-        cfg.channels = p.second;
-        cfg.ctrl = presets::hmcVault();
+        cfg.ctrl = presets::byName(p.ctrlPreset);
+        cfg.channels = p.count * cfg.ctrl.org.pseudoChannels;
         return cfg;
     }
     fatal("unknown system preset '%s'", name.c_str());
@@ -228,7 +242,7 @@ systemPresetNames()
 {
     std::vector<std::string> out;
     for (const auto &p : kSystemPresets)
-        out.emplace_back(p.first);
+        out.emplace_back(p.name);
     return out;
 }
 

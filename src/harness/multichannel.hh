@@ -188,7 +188,11 @@ GenConfig sliceGenWindow(GenConfig base, unsigned i, unsigned n,
  * hmc_stack_64 / hmc_stack_256 stack N hmc_vault channels behind the
  * sharded crossbar — the paper's HMC recipe ("combining the crossbar
  * model with 16 instances of our controller model"), and its scaled-up
- * descendants for parallel-simulation studies.
+ * descendants for parallel-simulation studies. hbm2_stack_4 /
+ * hbm2_stack_8 stack N physical HBM2 channels, each split into its
+ * org.pseudoChannels independently-timed pseudochannel controllers
+ * (so N x 2 controller instances), the same future-architecture
+ * exploration recipe applied to an HBM stack.
  */
 bool isSystemPreset(const std::string &name);
 

@@ -76,6 +76,72 @@ hmcVaultParams()
 }
 
 MicronPowerParams
+ddr4Params()
+{
+    // Representative 8 Gbit DDR4-2400 x8 currents: lower rail than
+    // DDR3, higher burst currents at the faster interface.
+    MicronPowerParams p;
+    p.vdd = 1.2;
+    p.idd0 = 0.048;
+    p.idd2p = 0.025;
+    p.idd6 = 0.020;
+    p.idd2n = 0.034;
+    p.idd3n = 0.044;
+    p.idd4r = 0.140;
+    p.idd4w = 0.130;
+    p.idd5 = 0.190;
+    return p;
+}
+
+MicronPowerParams
+lpddr4Params()
+{
+    // Representative LPDDR4-3200 x16 die; single-rail equivalent of
+    // the VDD1/VDD2/VDDQ datasheet split.
+    MicronPowerParams p;
+    p.vdd = 1.1;
+    p.idd0 = 0.028;
+    p.idd2p = 0.0012;
+    p.idd6 = 0.0005;
+    p.idd2n = 0.009;
+    p.idd3n = 0.014;
+    p.idd4r = 0.155;
+    p.idd4w = 0.145;
+    p.idd5 = 0.100;
+    return p;
+}
+
+MicronPowerParams
+hbm2Params()
+{
+    // Representative HBM2 pseudochannel slice: very wide low-swing IO
+    // over TSVs, modest per-slice core currents.
+    MicronPowerParams p;
+    p.vdd = 1.2;
+    p.idd0 = 0.018;
+    p.idd2p = 0.001;
+    p.idd6 = 0.001;
+    p.idd2n = 0.005;
+    p.idd3n = 0.009;
+    p.idd4r = 0.080;
+    p.idd4w = 0.075;
+    p.idd5 = 0.070;
+    return p;
+}
+
+bool
+hasParamsFor(const std::string &preset_name)
+{
+    for (const char *known :
+         {"ddr3_1333", "ddr3_1600", "lpddr3_1600", "wideio_200",
+          "hmc_vault", "ddr4_2400", "lpddr4_3200", "hbm2"}) {
+        if (preset_name == known)
+            return true;
+    }
+    return false;
+}
+
+MicronPowerParams
 paramsFor(const std::string &preset_name)
 {
     if (preset_name == "ddr3_1333" || preset_name == "ddr3_1600")
@@ -86,6 +152,12 @@ paramsFor(const std::string &preset_name)
         return wideioParams();
     if (preset_name == "hmc_vault")
         return hmcVaultParams();
+    if (preset_name == "ddr4_2400")
+        return ddr4Params();
+    if (preset_name == "lpddr4_3200")
+        return lpddr4Params();
+    if (preset_name == "hbm2")
+        return hbm2Params();
     fatal("no power parameters for preset '%s'", preset_name.c_str());
 }
 

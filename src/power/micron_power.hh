@@ -52,9 +52,15 @@ MicronPowerParams ddr3Params();
 MicronPowerParams lpddr3Params();
 MicronPowerParams wideioParams();
 MicronPowerParams hmcVaultParams();
+MicronPowerParams ddr4Params();
+MicronPowerParams lpddr4Params();
+MicronPowerParams hbm2Params();
 
 /** Parameters for a preset name from dram/dram_presets.hh. */
 MicronPowerParams paramsFor(const std::string &preset_name);
+
+/** True when paramsFor(@p preset_name) resolves (no fatal). */
+bool hasParamsFor(const std::string &preset_name);
 
 /** Average-power breakdown over a measurement window, in watts. */
 struct PowerBreakdown

@@ -28,7 +28,12 @@ sampleCase(Random &rng, const FuzzerOptions &opts)
     };
 
     FuzzCase fc;
-    fc.presetName = pick(rng, kPresets);
+    if (!opts.standards.empty()) {
+        fc.presetName = opts.standards[rng.uniform(
+            0, static_cast<unsigned>(opts.standards.size()) - 1)];
+    } else {
+        fc.presetName = pick(rng, kPresets);
+    }
     fc.cfg = presets::byName(fc.presetName);
     DRAMCtrlConfig &cfg = fc.cfg;
 

@@ -17,6 +17,7 @@
 #define DRAMCTRL_VALIDATE_CONFIG_FUZZER_H
 
 #include <string>
+#include <vector>
 
 #include "dram/dram_config.hh"
 #include "sim/random.hh"
@@ -51,6 +52,13 @@ struct FuzzerOptions
      * only appears in event-only samples — the cycle model rejects it.
      */
     bool withPlugins = false;
+    /**
+     * Preset names to draw the base timing set from. Empty keeps the
+     * historical pool (the five DDR3-era presets), so old seeds keep
+     * reproducing the same cases; fuzz_cli --standards widens it to
+     * the bank-grouped DDR4/LPDDR4/HBM standards.
+     */
+    std::vector<std::string> standards;
 };
 
 /** Draw one valid scenario from @p rng. */

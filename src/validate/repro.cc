@@ -21,6 +21,8 @@ orgToJson(const DRAMOrg &org)
     j.set("banksPerRank", org.banksPerRank);
     j.set("rowBufferSize", org.rowBufferSize);
     j.set("channelCapacity", org.channelCapacity);
+    j.set("bankGroupsPerRank", org.bankGroupsPerRank);
+    j.set("pseudoChannels", org.pseudoChannels);
     return j;
 }
 
@@ -40,6 +42,10 @@ orgFromJson(const Json &j, DRAMOrg &org)
     org.rowBufferSize = j["rowBufferSize"].asUInt(org.rowBufferSize);
     org.channelCapacity =
         j["channelCapacity"].asUInt(org.channelCapacity);
+    org.bankGroupsPerRank = static_cast<unsigned>(
+        j["bankGroupsPerRank"].asUInt(org.bankGroupsPerRank));
+    org.pseudoChannels = static_cast<unsigned>(
+        j["pseudoChannels"].asUInt(org.pseudoChannels));
 }
 
 Json
@@ -61,6 +67,10 @@ timingToJson(const DRAMTiming &t)
     j.set("tXAW", t.tXAW);
     j.set("tREFI", t.tREFI);
     j.set("tRFC", t.tRFC);
+    j.set("tCCD_L", t.tCCD_L);
+    j.set("tCCD_S", t.tCCD_S);
+    j.set("tRRD_L", t.tRRD_L);
+    j.set("tRFCsb", t.tRFCsb);
     j.set("activationLimit", t.activationLimit);
     return j;
 }
@@ -81,6 +91,10 @@ timingFromJson(const Json &j, DRAMTiming &t)
     t.tXAW = j["tXAW"].asUInt(t.tXAW);
     t.tREFI = j["tREFI"].asUInt(t.tREFI);
     t.tRFC = j["tRFC"].asUInt(t.tRFC);
+    t.tCCD_L = j["tCCD_L"].asUInt(t.tCCD_L);
+    t.tCCD_S = j["tCCD_S"].asUInt(t.tCCD_S);
+    t.tRRD_L = j["tRRD_L"].asUInt(t.tRRD_L);
+    t.tRFCsb = j["tRFCsb"].asUInt(t.tRFCsb);
     t.activationLimit = static_cast<unsigned>(
         j["activationLimit"].asUInt(t.activationLimit));
 }

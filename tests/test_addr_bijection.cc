@@ -60,6 +60,23 @@ orgVariants()
     vault.channelCapacity = 1ULL << 21;
     out.push_back(vault);
 
+    DRAMOrg grouped = base; // DDR4-like: 16 banks in 4 groups
+    grouped.banksPerRank = 16;
+    grouped.bankGroupsPerRank = 4;
+    grouped.rowBufferSize = 8192;
+    out.push_back(grouped);
+
+    DRAMOrg pseudo = base; // HBM-like: one pseudochannel of two
+    pseudo.burstLength = 4;
+    pseudo.deviceBusWidth = 64;
+    pseudo.devicesPerRank = 1;
+    pseudo.banksPerRank = 16;
+    pseudo.bankGroupsPerRank = 4;
+    pseudo.pseudoChannels = 2;
+    pseudo.rowBufferSize = 1024;
+    pseudo.channelCapacity = 1ULL << 21;
+    out.push_back(pseudo);
+
     return out;
 }
 
@@ -121,6 +138,85 @@ TEST(AddrBijection, DecodeIgnoresSubBurstBits)
             EXPECT_EQ(key(org, dec.decode(a)),
                       key(org, dec.decode(dec.burstAlign(a))));
         }
+    }
+}
+
+TEST(AddrBijection, BankGroupDerivationCoversAllGroups)
+{
+    // The group overlay never changes the decode itself; it must
+    // still tile the bank space evenly (group-minor numbering) and a
+    // full address span must touch every group of every rank.
+    for (const DRAMOrg &org : orgVariants()) {
+        if (!org.hasBankGroups())
+            continue;
+        ASSERT_EQ(org.banksPerGroup() * org.bankGroupsPerRank,
+                  org.banksPerRank);
+        std::vector<unsigned> perGroup(org.bankGroupsPerRank, 0);
+        for (unsigned b = 0; b < org.banksPerRank; ++b) {
+            unsigned g = org.bankGroup(b);
+            ASSERT_LT(g, org.bankGroupsPerRank);
+            ++perGroup[g];
+        }
+        for (unsigned g = 0; g < org.bankGroupsPerRank; ++g)
+            EXPECT_EQ(perGroup[g], org.banksPerGroup());
+        // Group-minor: consecutive banks land in consecutive groups,
+        // so low-order bank interleave alternates groups.
+        EXPECT_NE(org.bankGroup(0), org.bankGroup(1));
+
+        for (AddrMapping m : kMappings) {
+            AddrDecoder dec(org, m);
+            std::vector<bool> hit(org.bankGroupsPerRank, false);
+            const std::uint64_t burst = org.burstSize();
+            for (std::uint64_t a = 0; a < org.channelCapacity;
+                 a += burst)
+                hit[org.bankGroup(dec.decode(a).bank)] = true;
+            for (unsigned g = 0; g < org.bankGroupsPerRank; ++g)
+                EXPECT_TRUE(hit[g])
+                    << toString(m) << ": group " << g
+                    << " unreachable";
+        }
+    }
+}
+
+TEST(AddrBijection, PseudoChannelSplitPartitionsThePhysicalChannel)
+{
+    // The harness splits a physical channel into org.pseudoChannels
+    // controller instances via the interleaved ranges; the split must
+    // partition the physical span with each pseudochannel's dense
+    // addresses tiling its own capacity.
+    DRAMOrg org;
+    org.burstLength = 4;
+    org.deviceBusWidth = 64;
+    org.devicesPerRank = 1;
+    org.banksPerRank = 16;
+    org.bankGroupsPerRank = 4;
+    org.pseudoChannels = 2;
+    org.rowBufferSize = 1024;
+    org.channelCapacity = 1ULL << 20;
+
+    const std::uint64_t physical =
+        org.channelCapacity * org.pseudoChannels;
+    auto ranges = interleavedRanges(0, physical, org.burstSize(),
+                                    org.pseudoChannels);
+    ASSERT_EQ(ranges.size(), org.pseudoChannels);
+
+    std::vector<std::vector<bool>> dense(
+        org.pseudoChannels,
+        std::vector<bool>(org.channelCapacity / org.burstSize(),
+                          false));
+    for (Addr a = 0; a < physical; a += org.burstSize()) {
+        unsigned owner = 0, owners = 0;
+        for (unsigned pc = 0; pc < org.pseudoChannels; ++pc) {
+            if (ranges[pc].contains(a)) {
+                owner = pc;
+                ++owners;
+            }
+        }
+        ASSERT_EQ(owners, 1u) << "address " << a;
+        Addr d = ranges[owner].removeIntlvBits(a);
+        ASSERT_LT(d, org.channelCapacity);
+        ASSERT_FALSE(dense[owner][d / org.burstSize()]);
+        dense[owner][d / org.burstSize()] = true;
     }
 }
 

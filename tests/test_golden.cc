@@ -23,6 +23,7 @@
 #include "dram/dram_presets.hh"
 #include "dram/plugin/plugin.hh"
 #include "exec/batch_runner.hh"
+#include "harness/config_file.hh"
 #include "harness/multichannel.hh"
 #include "harness/testbench.hh"
 #include "trafficgen/linear_gen.hh"
@@ -133,6 +134,50 @@ allCases()
 
 INSTANTIATE_TEST_SUITE_P(Corpus, GoldenStats,
                          testing::ValuesIn(allCases()), caseName);
+
+/**
+ * Config-file twin: the committed examples/ddr4.json run through the
+ * same workload must match the ddr4_2400 preset's reference
+ * byte-for-byte — file-loaded and factory-built configurations are
+ * interchangeable all the way down to the stats JSON. Never
+ * regenerates: golden_ddr4_2400_mixed.json is owned by the preset
+ * case above.
+ */
+TEST(GoldenConfigFile, ExampleDdr4MatchesPresetReference)
+{
+    DRAMCtrlConfig cfg = harness::loadConfigFile(
+        std::string(EXAMPLES_DIR) + "/ddr4.json");
+    cfg.writeLowThreshold = 0.0;
+    cfg.check();
+
+    harness::SingleChannelSystem tb(cfg, harness::CtrlModel::Event);
+    GenConfig gc;
+    gc.windowSize =
+        std::min<std::uint64_t>(cfg.org.channelCapacity, 1ULL << 22);
+    gc.minITT = gc.maxITT = fromNs(6.0);
+    gc.numRequests = 300;
+    gc.seed = 7;
+    gc.readPct = 50;
+    BaseGen &gen = tb.addGen<RandomGen>(gc);
+    tb.runToCompletion([&] { return gen.done(); });
+
+    std::ostringstream os;
+    tb.sim().dumpStatsJson(os);
+    os << "\n";
+
+    const std::string path =
+        std::string(GOLDEN_DIR) + "/golden_ddr4_2400_mixed.json";
+    if (std::getenv("GOLDEN_REGEN") != nullptr)
+        GTEST_SKIP() << "reference owned by the preset case";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open())
+        << "missing reference " << path
+        << " — generate the corpus with tools/regen_golden.sh";
+    std::stringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(os.str(), want.str())
+        << "a config-file run drifted from its preset twin";
+}
 
 /**
  * Plugin corpus: the same short deterministic workloads with a

@@ -24,14 +24,92 @@ peakGBs(const DRAMCtrlConfig &cfg)
 TEST(PresetTest, AllPresetsListedAndValid)
 {
     auto names = presets::names();
-    EXPECT_EQ(names.size(), 5u);
+    EXPECT_EQ(names.size(), 8u);
     for (const auto &name : names) {
         DRAMCtrlConfig cfg = presets::byName(name);
         cfg.check(); // must not fatal
     }
+    // The standards layer's additions are registered.
+    for (const char *name : {"ddr4_2400", "lpddr4_3200", "hbm2"}) {
+        EXPECT_TRUE(presets::hasPreset(name)) << name;
+    }
+    EXPECT_FALSE(presets::hasPreset("ddr5_9000"));
     setThrowOnError(true);
     EXPECT_THROW(presets::byName("ddr5_9000"), std::runtime_error);
     setThrowOnError(false);
+}
+
+TEST(PresetTest, RegistryReplacesAndExtends)
+{
+    // Tools shadow builtins by re-registering a name; new names extend
+    // the list. Use a throwaway name so other tests see the builtins.
+    const std::size_t before = presets::names().size();
+    presets::registerPreset("test_registry_probe", [] {
+        DRAMCtrlConfig cfg = presets::ddr3_1600();
+        cfg.readBufferSize = 7;
+        return cfg;
+    });
+    EXPECT_EQ(presets::names().size(), before + 1);
+    EXPECT_EQ(presets::byName("test_registry_probe").readBufferSize, 7u);
+    presets::registerPreset("test_registry_probe", [] {
+        DRAMCtrlConfig cfg = presets::ddr3_1600();
+        cfg.readBufferSize = 9;
+        return cfg;
+    });
+    // Replaced in place: no duplicate entry, new factory wins.
+    EXPECT_EQ(presets::names().size(), before + 1);
+    EXPECT_EQ(presets::byName("test_registry_probe").readBufferSize, 9u);
+}
+
+TEST(PresetTest, Ddr4BankGroupOrganisation)
+{
+    DRAMCtrlConfig cfg = presets::ddr4_2400();
+    EXPECT_EQ(cfg.org.banksPerRank, 16u);
+    EXPECT_EQ(cfg.org.bankGroupsPerRank, 4u);
+    EXPECT_TRUE(cfg.org.hasBankGroups());
+    EXPECT_EQ(cfg.org.banksPerGroup(), 4u);
+    // Group-minor numbering: consecutive banks alternate groups.
+    EXPECT_EQ(cfg.org.bankGroup(0), 0u);
+    EXPECT_EQ(cfg.org.bankGroup(1), 1u);
+    EXPECT_EQ(cfg.org.bankGroup(4), 0u);
+    // Long timings dominate their short counterparts.
+    EXPECT_GT(cfg.timing.tCCDLong(), cfg.timing.tCCDShort());
+    EXPECT_GT(cfg.timing.tRRDLong(), cfg.timing.tRRD);
+    // x8 devices ganged to a 64-bit channel, one cache line per burst.
+    EXPECT_EQ(cfg.org.burstSize(), 64u);
+}
+
+TEST(PresetTest, Lpddr4SameBankRefresh)
+{
+    DRAMCtrlConfig cfg = presets::lpddr4_3200();
+    EXPECT_FALSE(cfg.org.hasBankGroups());
+    EXPECT_GT(cfg.timing.tRFCsb, 0u);
+    EXPECT_LE(cfg.timing.tRFCsb, cfg.timing.tRFC);
+    // BL16 on a x16 interface: 32-byte bursts like LPDDR3 x32.
+    EXPECT_EQ(cfg.org.burstSize(), 32u);
+}
+
+TEST(PresetTest, Hbm2PseudoChannels)
+{
+    DRAMCtrlConfig cfg = presets::hbm2();
+    EXPECT_EQ(cfg.org.pseudoChannels, 2u);
+    EXPECT_TRUE(cfg.org.hasBankGroups());
+    EXPECT_EQ(cfg.org.bankGroupsPerRank, 4u);
+    // One pseudochannel: 64-bit interface, BL4 = 32-byte bursts.
+    EXPECT_EQ(cfg.org.burstSize(), 32u);
+    EXPECT_GT(cfg.timing.tRFCsb, 0u);
+}
+
+TEST(PresetTest, UngroupedTimingAccessorsInheritLegacyValues)
+{
+    // DDR3-era presets leave the group timings unset; the accessors
+    // must degenerate to the classic values so behaviour is identical.
+    DRAMCtrlConfig cfg = presets::ddr3_1600();
+    EXPECT_EQ(cfg.timing.tCCD_L, 0u);
+    EXPECT_EQ(cfg.timing.tCCDLong(), cfg.timing.tBURST);
+    EXPECT_EQ(cfg.timing.tCCDShort(), cfg.timing.tBURST);
+    EXPECT_EQ(cfg.timing.tRRDLong(), cfg.timing.tRRD);
+    EXPECT_EQ(cfg.timing.tRFCsb, 0u);
 }
 
 TEST(PresetTest, ValidationDeviceMatchesSectionIII)

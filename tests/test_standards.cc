@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Cross-standard conformance suite (`ctest -R standards_`).
+ *
+ * Every registered preset — DDR3-era and the bank-grouped DDR4 /
+ * LPDDR4 / HBM2 standards alike — runs the same table of
+ * (command pair -> minimum separation) scenarios against the
+ * ProtocolChecker: a hand-built command stream at exactly the minimum
+ * separation must pass, and the same stream one tick under must be
+ * flagged with the scenario's rule. The table derives every
+ * separation from the preset's own timing set, so a new preset is
+ * covered the moment it registers.
+ *
+ * Grouped organisations additionally pin down the split column/ACT
+ * rules (tCCD_L within a bank group vs tCCD_S across groups, tRRD_L
+ * vs tRRD) and the same-bank refresh blackout (tRFCsb), and a
+ * behavioural test demonstrates the scheduling consequence on both
+ * controller models: interleaving reads across bank groups (tCCD_S)
+ * finishes sooner than interleaving within one group (tCCD_L), with
+ * the checker clean on both streams. Finally, the three new standards
+ * run the event-vs-cycle differential harness end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dram/addr_decoder.hh"
+#include "dram/cmd_log.hh"
+#include "dram/dram_presets.hh"
+#include "dram/protocol_checker.hh"
+#include "harness/testbench.hh"
+#include "validate/config_fuzzer.hh"
+#include "validate/diff_runner.hh"
+#include "test_util.hh"
+
+namespace dramctrl {
+namespace {
+
+using harness::CtrlModel;
+
+/**
+ * One conformance scenario: build(delta) returns a command stream
+ * whose critical separation is (minimum + delta) ticks. delta = 0
+ * must be compliant; delta = -1 must violate `rule`.
+ */
+struct Scenario
+{
+    std::string name;
+    std::string rule;
+    std::function<std::vector<CmdRecord>(long long delta)> build;
+};
+
+Tick
+at(Tick base, long long delta)
+{
+    return base + static_cast<Tick>(delta);
+}
+
+std::string
+describeViolations(const std::vector<ProtocolViolation> &v,
+                   unsigned n = 4)
+{
+    std::string s;
+    for (unsigned i = 0; i < std::min<std::size_t>(n, v.size()); ++i)
+        s += v[i].toString() + "\n";
+    return s;
+}
+
+bool
+hasRule(const std::vector<ProtocolViolation> &v, const std::string &r)
+{
+    return std::any_of(v.begin(), v.end(),
+                       [&](const ProtocolViolation &viol) {
+                           return viol.rule == r;
+                       });
+}
+
+/**
+ * The conformance table for one preset. Banks are picked under the
+ * group-minor numbering: bank 1 is always in a different group than
+ * bank 0 (when groups exist), while bank `bankGroupsPerRank` is the
+ * next bank of group 0.
+ */
+std::vector<Scenario>
+scenarioTable(const DRAMOrg &org, const DRAMTiming &t)
+{
+    std::vector<Scenario> table;
+    const bool grouped = org.hasBankGroups();
+    const unsigned crossBank = 1;
+    const unsigned sameGroupBank = grouped ? org.bankGroupsPerRank : 1;
+
+    table.push_back(
+        {"act_to_column_tRCD", "tRCD", [=](long long d) {
+             return std::vector<CmdRecord>{
+                 {0, DRAMCmd::Act, 0, 0, 5},
+                 {at(t.tRCD, d), DRAMCmd::Rd, 0, 0, 5},
+             };
+         }});
+
+    table.push_back(
+        {"act_to_precharge_tRAS", "tRAS", [=](long long d) {
+             return std::vector<CmdRecord>{
+                 {0, DRAMCmd::Act, 0, 0, 5},
+                 {at(t.tRAS, d), DRAMCmd::Pre, 0, 0, 0},
+             };
+         }});
+
+    table.push_back(
+        {"precharge_to_act_tRP", "tRP", [=](long long d) {
+             return std::vector<CmdRecord>{
+                 {0, DRAMCmd::Act, 0, 0, 5},
+                 {t.tRAS, DRAMCmd::Pre, 0, 0, 0},
+                 {at(t.tRAS + t.tRP, d), DRAMCmd::Act, 0, 0, 6},
+             };
+         }});
+
+    // Rank-wide ACT-to-ACT. With bank groups this is the short
+    // (cross-group) spacing; bank 1 is cross-group by construction.
+    table.push_back(
+        {"act_to_act_tRRD", "tRRD", [=](long long d) {
+             return std::vector<CmdRecord>{
+                 {0, DRAMCmd::Act, 0, 0, 5},
+                 {at(t.tRRD, d), DRAMCmd::Act, 0, crossBank, 5},
+             };
+         }});
+
+    if (grouped) {
+        table.push_back(
+            {"same_group_act_tRRD_L", "tRRD_L", [=](long long d) {
+                 return std::vector<CmdRecord>{
+                     {0, DRAMCmd::Act, 0, 0, 5},
+                     {at(t.tRRDLong(), d), DRAMCmd::Act, 0,
+                      sameGroupBank, 5},
+                 };
+             }});
+    }
+
+    // Column-to-column. Flat organisations use the single tCCD
+    // (= tBURST) rule; grouped ones split it into long (same group,
+    // which subsumes same bank) and short (cross group).
+    if (!grouped) {
+        table.push_back(
+            {"column_pair_tCCD", "tCCD", [=](long long d) {
+                 return std::vector<CmdRecord>{
+                     {0, DRAMCmd::Act, 0, 0, 5},
+                     {t.tRCD, DRAMCmd::Rd, 0, 0, 5},
+                     {at(t.tRCD + t.tBURST, d), DRAMCmd::Rd, 0, 0,
+                      5},
+                 };
+             }});
+    } else {
+        table.push_back(
+            {"same_group_column_tCCD_L", "tCCD_L", [=](long long d) {
+                 return std::vector<CmdRecord>{
+                     {0, DRAMCmd::Act, 0, 0, 5},
+                     {t.tRCD, DRAMCmd::Rd, 0, 0, 5},
+                     {at(t.tRCD + t.tCCDLong(), d), DRAMCmd::Rd, 0,
+                      0, 5},
+                 };
+             }});
+        table.push_back(
+            {"cross_group_column_tCCD_S", "tCCD_S",
+             [=](long long d) {
+                 // Both banks activated (tRRD apart), both reads
+                 // tRCD-legal; the second read trails the first by
+                 // the short spacing only.
+                 Tick first = t.tRRD + t.tRCD;
+                 return std::vector<CmdRecord>{
+                     {0, DRAMCmd::Act, 0, 0, 5},
+                     {t.tRRD, DRAMCmd::Act, 0, crossBank, 5},
+                     {first, DRAMCmd::Rd, 0, 0, 5},
+                     {at(first + t.tCCDShort(), d), DRAMCmd::Rd, 0,
+                      crossBank, 5},
+                 };
+             }});
+    }
+
+    table.push_back(
+        {"write_to_read_tWTR", "tWTR", [=](long long d) {
+             Tick wr_end = t.tRCD + t.tCL + t.tBURST;
+             return std::vector<CmdRecord>{
+                 {0, DRAMCmd::Act, 0, 0, 5},
+                 {t.tRCD, DRAMCmd::Wr, 0, 0, 5},
+                 {at(wr_end + t.tWTR, d), DRAMCmd::Rd, 0, 0, 5},
+             };
+         }});
+
+    table.push_back(
+        {"read_to_write_tRTW", "tRTW", [=](long long d) {
+             // Write data must start tRTW after read data ends:
+             // wr_tick + tCL = (rd_tick + tCL + tBURST) + tRTW.
+             return std::vector<CmdRecord>{
+                 {0, DRAMCmd::Act, 0, 0, 5},
+                 {t.tRCD, DRAMCmd::Rd, 0, 0, 5},
+                 {at(t.tRCD + t.tBURST + t.tRTW, d), DRAMCmd::Wr, 0,
+                  0, 5},
+             };
+         }});
+
+    // Write recovery before precharge; only meaningful when the tWR
+    // edge lands after the tRAS edge, which holds for every current
+    // preset (tRCD + tCL + tBURST + tWR > tRAS).
+    if (t.tRCD + t.tCL + t.tBURST + t.tWR > t.tRAS + 1) {
+        table.push_back(
+            {"write_recovery_tWR", "tWR", [=](long long d) {
+                 Tick wr_end = t.tRCD + t.tCL + t.tBURST;
+                 return std::vector<CmdRecord>{
+                     {0, DRAMCmd::Act, 0, 0, 5},
+                     {t.tRCD, DRAMCmd::Wr, 0, 0, 5},
+                     {at(wr_end + t.tWR, d), DRAMCmd::Pre, 0, 0, 0},
+                 };
+             }});
+    }
+
+    table.push_back(
+        {"refresh_blackout_tRFC", "tRFC", [=](long long d) {
+             return std::vector<CmdRecord>{
+                 {0, DRAMCmd::Ref, 0, 0, 0},
+                 {at(t.tRFC, d), DRAMCmd::Act, 0, 0, 5},
+             };
+         }});
+
+    if (t.tRFCsb != 0) {
+        // Same-bank refresh blackout: armed by the timing set alone
+        // (no per-bank refresh manager attached).
+        table.push_back(
+            {"same_bank_refresh_tRFCsb", "tRFCpb", [=](long long d) {
+                 return std::vector<CmdRecord>{
+                     {0, DRAMCmd::RefPb, 0, 0, 0},
+                     {at(t.tRFCsb, d), DRAMCmd::Act, 0, 0, 5},
+                 };
+             }});
+    }
+
+    // Rolling activation window. The one-tick-under variant needs the
+    // tXAW edge to still respect tRRD from the previous activate, or
+    // the wrong rule would (also) fire.
+    if (t.activationLimit > 0 &&
+        (t.activationLimit - 1) * t.tRRD + t.tRRD + 1 <= t.tXAW) {
+        table.push_back(
+            {"activation_window_tXAW", "tXAW", [=](long long d) {
+                 std::vector<CmdRecord> log;
+                 for (unsigned i = 0; i < t.activationLimit; ++i)
+                     log.push_back({i * t.tRRD, DRAMCmd::Act, 0, i,
+                                    0});
+                 log.push_back({at(t.tXAW, d), DRAMCmd::Act, 0,
+                                t.activationLimit, 0});
+                 return log;
+             }});
+    }
+
+    return table;
+}
+
+class StandardsConformance
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(StandardsConformance, MinimumSeparationsPassOneTickUnderFails)
+{
+    const DRAMCtrlConfig cfg = presets::byName(GetParam());
+    const auto table = scenarioTable(cfg.org, cfg.timing);
+    ASSERT_GE(table.size(), 8u);
+
+    for (const Scenario &sc : table) {
+        ProtocolChecker checker(cfg.org, cfg.timing);
+        auto clean = checker.check(sc.build(0));
+        EXPECT_TRUE(clean.empty())
+            << GetParam() << "/" << sc.name
+            << ": compliant stream flagged:\n"
+            << describeViolations(clean);
+
+        auto under = checker.check(sc.build(-1));
+        EXPECT_FALSE(under.empty())
+            << GetParam() << "/" << sc.name
+            << ": one tick under the minimum not flagged";
+        EXPECT_TRUE(hasRule(under, sc.rule))
+            << GetParam() << "/" << sc.name << ": expected rule '"
+            << sc.rule << "', got:\n"
+            << describeViolations(under);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, StandardsConformance,
+    ::testing::ValuesIn(presets::names()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ---------------------------------------------------------------
+// Group/same-bank refresh semantics beyond the pairwise table.
+// ---------------------------------------------------------------
+
+TEST(StandardsChecker, SameBankRefreshLeavesSiblingBanksFree)
+{
+    // The tRFCsb blackout is bank-scoped: a sibling bank may activate
+    // immediately, only the refreshed bank must wait.
+    for (const std::string &name : presets::names()) {
+        DRAMCtrlConfig cfg = presets::byName(name);
+        if (cfg.timing.tRFCsb == 0)
+            continue;
+        ProtocolChecker checker(cfg.org, cfg.timing);
+        std::vector<CmdRecord> log = {
+            {0, DRAMCmd::RefPb, 0, 0, 0},
+            {cfg.timing.tRRD, DRAMCmd::Act, 0, 1, 5},
+        };
+        auto v = checker.check(log);
+        EXPECT_TRUE(v.empty())
+            << name << ": sibling bank blocked by a same-bank "
+            << "refresh:\n"
+            << describeViolations(v);
+    }
+}
+
+TEST(StandardsChecker, CrossGroupPairToleratesShortSpacingOnly)
+{
+    // The defining asymmetry: a column pair spaced tCCD_S apart is
+    // legal across groups but illegal within one (tCCD_L > tCCD_S).
+    for (const std::string &name : presets::names()) {
+        DRAMCtrlConfig cfg = presets::byName(name);
+        const DRAMOrg &org = cfg.org;
+        const DRAMTiming &t = cfg.timing;
+        if (!org.hasBankGroups() || t.tCCDLong() <= t.tCCDShort())
+            continue;
+
+        auto pair = [&](unsigned second_bank) {
+            Tick first = t.tRRD + t.tRCD;
+            return std::vector<CmdRecord>{
+                {0, DRAMCmd::Act, 0, 0, 5},
+                {t.tRRDLong(), DRAMCmd::Act, 0, second_bank, 5},
+                {first, DRAMCmd::Rd, 0, 0, 5},
+                {first + t.tCCDShort(), DRAMCmd::Rd, 0, second_bank,
+                 5},
+            };
+        };
+
+        ProtocolChecker checker(org, t);
+        auto cross = checker.check(pair(1)); // different group
+        EXPECT_TRUE(cross.empty())
+            << name << ": cross-group pair at tCCD_S flagged:\n"
+            << describeViolations(cross);
+
+        auto same =
+            checker.check(pair(org.bankGroupsPerRank)); // group 0
+        EXPECT_TRUE(hasRule(same, "tCCD_L"))
+            << name << ": same-group pair at tCCD_S not flagged as "
+            << "tCCD_L:\n"
+            << describeViolations(same);
+    }
+}
+
+// ---------------------------------------------------------------
+// Behavioural demonstration: bank-group-aware scheduling.
+// ---------------------------------------------------------------
+
+struct InterleaveResult
+{
+    Tick lastResponse = 0;
+    std::uint64_t violations = 0;
+};
+
+/**
+ * Issue a burst of reads alternating between bank 0 and @p sibling
+ * (same row, distinct columns) and report when the last response
+ * lands, plus the checker verdict on the emitted command stream.
+ */
+InterleaveResult
+runInterleave(CtrlModel model, unsigned sibling)
+{
+    DRAMCtrlConfig cfg = presets::ddr4_2400();
+    cfg.timing.tREFI = 0; // keep the stream free of refresh noise
+    cfg.check();
+
+    Simulator sim;
+    CmdLogger logger;
+    auto ctrl = harness::makeController(
+        sim, "ctrl", cfg, AddrRange(0, cfg.org.channelCapacity),
+        model);
+    ctrl->setCmdLogger(&logger);
+
+    testutil::TestRequestor req(sim, "req");
+    req.port().bind(ctrl->port());
+
+    AddrDecoder dec(cfg.org, cfg.addrMapping);
+    constexpr unsigned kReads = 24;
+    for (unsigned i = 0; i < kReads; ++i) {
+        DRAMAddr da;
+        da.bank = (i % 2 == 0) ? 0 : sibling;
+        da.row = 3;
+        da.col = i;
+        req.inject(0, MemCmd::ReadReq, dec.encode(da));
+    }
+    sim.run(fromUs(100));
+    EXPECT_TRUE(req.allResponded());
+
+    InterleaveResult r;
+    for (const auto &resp : req.responses())
+        r.lastResponse = std::max(r.lastResponse, resp.tick);
+
+    ProtocolChecker checker(cfg.org, cfg.timing);
+    auto v = checker.check(logger.log());
+    EXPECT_TRUE(v.empty()) << describeViolations(v);
+    r.violations = v.size();
+    return r;
+}
+
+class StandardsBehaviour : public ::testing::TestWithParam<CtrlModel>
+{
+};
+
+TEST_P(StandardsBehaviour, CrossGroupInterleaveBeatsSameGroup)
+{
+    const DRAMCtrlConfig cfg = presets::ddr4_2400();
+    // Bank 1 shares no group with bank 0; bank `bankGroupsPerRank`
+    // is bank 0's group mate.
+    ASSERT_NE(cfg.org.bankGroup(0), cfg.org.bankGroup(1));
+    ASSERT_EQ(cfg.org.bankGroup(0),
+              cfg.org.bankGroup(cfg.org.bankGroupsPerRank));
+
+    InterleaveResult cross = runInterleave(GetParam(), 1);
+    InterleaveResult same =
+        runInterleave(GetParam(), cfg.org.bankGroupsPerRank);
+
+    EXPECT_EQ(cross.violations, 0u);
+    EXPECT_EQ(same.violations, 0u);
+    // Same-group interleave is column-limited by tCCD_L, cross-group
+    // by tCCD_S (= tBURST); the gap over 24 reads is far larger than
+    // any scheduling jitter.
+    EXPECT_LT(cross.lastResponse, same.lastResponse)
+        << "cross-group interleave did not finish sooner ("
+        << toNs(cross.lastResponse) << " ns vs "
+        << toNs(same.lastResponse) << " ns)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothModels, StandardsBehaviour,
+    ::testing::Values(CtrlModel::Event, CtrlModel::Cycle),
+    [](const ::testing::TestParamInfo<CtrlModel> &info) {
+        return std::string(harness::toString(info.param));
+    });
+
+// ---------------------------------------------------------------
+// Event-vs-cycle differential over the new standards.
+// ---------------------------------------------------------------
+
+class StandardsDifferential
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(StandardsDifferential, EventAndCycleModelsAgree)
+{
+    validate::FuzzCase fc;
+    fc.presetName = GetParam();
+    fc.cfg = presets::byName(GetParam());
+    fc.cfg.writeLowThreshold = 0.0;
+    fc.stream.numRequests = 400;
+    fc.stream.readPct = 70;
+    fc.stream.windowSize = std::min<std::uint64_t>(
+        fc.stream.windowSize, fc.cfg.org.channelCapacity);
+
+    validate::DiffResult dr =
+        validate::runDiff(fc, /*streamSeed=*/12345,
+                          validate::DiffOptions{});
+    EXPECT_TRUE(dr.pass) << dr.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewPresets, StandardsDifferential,
+    ::testing::Values(std::string("ddr4_2400"),
+                      std::string("lpddr4_3200"),
+                      std::string("hbm2")),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace dramctrl

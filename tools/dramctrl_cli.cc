@@ -35,6 +35,7 @@
 #include "dram/dram_presets.hh"
 #include "dram/plugin/plugin.hh"
 #include "dram/protocol_checker.hh"
+#include "harness/config_file.hh"
 #include "harness/multichannel.hh"
 #include "harness/testbench.hh"
 #include "obs/chrome_trace.hh"
@@ -58,12 +59,17 @@ namespace {
 struct CliOptions
 {
     std::string preset = "ddr3_1333";
+    bool presetExplicit = false;
+    std::string configFile;     // declarative config (overrides preset)
+    std::string dumpConfig;     // dump resolved config to PATH ('-' =
+                                // stdout) and exit
     std::string pattern = "random"; // linear | random | dram | trace
     std::string model = "event";    // event | cycle
     std::string eventq = "heap";    // heap | calendar
     std::string page;               // open | open_adaptive | ...
     std::string mapping;            // RoRaBaCoCh | ...
     std::string sched;              // fcfs | frfcfs
+    bool tempExplicit = false;
     unsigned readPct = 100;
     double ittNs = 6.0;
     std::uint64_t requests = 20000;
@@ -116,10 +122,20 @@ usage(const char *prog)
     std::printf(
         "usage: %s [options]\n"
         "  --preset NAME      ddr3_1333|ddr3_1600|lpddr3_1600|"
-        "wideio_200|hmc_vault,\n"
+        "wideio_200|\n"
+        "                     hmc_vault|ddr4_2400|lpddr4_3200|hbm2,\n"
         "                     or a system preset: hmc_stack_16|"
         "hmc_stack_64|\n"
-        "                     hmc_stack_256 (implies --channels)\n"
+        "                     hmc_stack_256|hbm2_stack_4|hbm2_stack_8\n"
+        "                     (implies --channels)\n"
+        "  --config PATH      load a declarative JSON config file "
+        "(see\n"
+        "                     docs/STANDARDS.md; mutually exclusive "
+        "with\n"
+        "                     --preset)\n"
+        "  --dump-config P    write the resolved configuration as a\n"
+        "                     config file to P ('-' = stdout) and "
+        "exit\n"
         "  --pattern NAME     linear|random|dram (DRAM-aware)|trace\n"
         "                     (replay --trace-in)\n"
         "  --model NAME       event|cycle\n"
@@ -221,7 +237,12 @@ parseArgs(int argc, char **argv, CliOptions &opt)
     };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        if (a == "--preset") opt.preset = need(i);
+        if (a == "--preset") {
+            opt.preset = need(i);
+            opt.presetExplicit = true;
+        }
+        else if (a == "--config") opt.configFile = need(i);
+        else if (a == "--dump-config") opt.dumpConfig = need(i);
         else if (a == "--pattern") opt.pattern = need(i);
         else if (a == "--model") opt.model = need(i);
         else if (a == "--eventq") opt.eventq = need(i);
@@ -236,8 +257,10 @@ parseArgs(int argc, char **argv, CliOptions &opt)
             opt.strideBytes = std::stoull(need(i));
         else if (a == "--banks")
             opt.banks = static_cast<unsigned>(std::stoul(need(i)));
-        else if (a == "--temperature")
+        else if (a == "--temperature") {
             opt.temperatureC = std::stod(need(i));
+            opt.tempExplicit = true;
+        }
         else if (a == "--power-down") opt.powerDown = true;
         else if (a == "--plugins") opt.plugins = need(i);
         else if (a == "--ecc-ber") opt.eccBer = std::stod(need(i));
@@ -558,7 +581,20 @@ main(int argc, char **argv)
     // explicit --channels can still override its channel count.
     unsigned channels = opt.channels;
     DRAMCtrlConfig cfg;
-    if (harness::isSystemPreset(opt.preset)) {
+    if (!opt.configFile.empty()) {
+        if (opt.presetExplicit)
+            fatal("--config and --preset are mutually exclusive (a "
+                  "config file may name its base preset itself)");
+        std::string base;
+        cfg = harness::loadConfigFile(opt.configFile, &base);
+        // Register the loaded config so every preset-name lookup on
+        // this run (batch rows, labels, power) resolves to exactly
+        // the file's configuration.
+        std::string pname =
+            base.empty() ? "config:" + opt.configFile : base;
+        presets::registerPreset(pname, [cfg] { return cfg; });
+        opt.preset = pname;
+    } else if (harness::isSystemPreset(opt.preset)) {
         harness::MultiChannelConfig sys =
             harness::systemPresetByName(opt.preset);
         cfg = sys.ctrl;
@@ -573,8 +609,10 @@ main(int argc, char **argv)
         cfg.addrMapping = mappingFromString(opt.mapping);
     if (!opt.sched.empty())
         cfg.schedPolicy = schedFromString(opt.sched);
-    cfg.temperatureC = opt.temperatureC;
-    cfg.enablePowerDown = opt.powerDown;
+    if (opt.tempExplicit || opt.configFile.empty())
+        cfg.temperatureC = opt.temperatureC;
+    if (opt.powerDown || opt.configFile.empty())
+        cfg.enablePowerDown = opt.powerDown;
     if (!opt.plugins.empty()) {
         std::string err;
         if (!plugin::parsePluginList(opt.plugins, cfg, err))
@@ -591,6 +629,23 @@ main(int argc, char **argv)
         }
     }
     cfg.check();
+
+    if (!opt.dumpConfig.empty()) {
+        // Emit the fully-resolved configuration (preset + config file
+        // + CLI overrides) as a config file. The preset name is only
+        // recorded when re-parsing can resolve it.
+        std::string pname =
+            presets::hasPreset(opt.preset) ? opt.preset : "";
+        if (opt.dumpConfig == "-") {
+            std::fputs(harness::dumpConfig(cfg, pname).c_str(),
+                       stdout);
+        } else if (!harness::writeConfigFile(opt.dumpConfig, cfg,
+                                             pname)) {
+            fatal("cannot write config file '%s'",
+                  opt.dumpConfig.c_str());
+        }
+        return 0;
+    }
 
     auto model = opt.model == "cycle" ? harness::CtrlModel::Cycle
                                       : harness::CtrlModel::Event;
@@ -815,9 +870,11 @@ main(int argc, char **argv)
         std::printf("bandwidth:         %.2f / %.2f GB/s\n",
                     tb.ctrl().achievedBandwidthGBs(),
                     tb.ctrl().peakBandwidthGBs());
-        auto p = power::computePower(tb.ctrl().powerInputs(), cfg,
-                                     power::paramsFor(opt.preset));
-        std::printf("DRAM power:        %.2f W\n", p.total());
+        if (power::hasParamsFor(opt.preset)) {
+            auto p = power::computePower(tb.ctrl().powerInputs(), cfg,
+                                         power::paramsFor(opt.preset));
+            std::printf("DRAM power:        %.2f W\n", p.total());
+        }
     }
 
     if (opt.audit) {

@@ -36,6 +36,7 @@
 #include <sstream>
 #include <string>
 
+#include "dram/dram_presets.hh"
 #include "exec/batch_runner.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_server.hh"
@@ -70,6 +71,8 @@ struct FuzzCliOptions
     unsigned jobs = 1;
     /** Fault to inject: "" (none), trcd, prac, trfcpb, refpb. */
     std::string injectMode;
+    /** Preset pool: "" (legacy DDR3-era pool), "all", or a csv. */
+    std::string standards;
     bool fuzzPlugins = false;
     bool noShrink = false;
     bool noShardDiff = false;
@@ -110,6 +113,12 @@ usage(const char *prog)
         "  --fuzz-plugins     also draw random plugin chains (ecc, "
         "prac,\n"
         "                     refresh managers) for every case\n"
+        "  --standards S      preset pool to draw timing sets from: "
+        "'all'\n"
+        "                     (every registered preset) or a csv of\n"
+        "                     preset names; default keeps the "
+        "historical\n"
+        "                     DDR3-era pool so old seeds reproduce\n"
         "  --inject-bug [M]   plant fault M in the event model — the "
         "run\n"
         "                     must fail and the checker must name the "
@@ -174,6 +183,7 @@ parseArgs(int argc, char **argv, FuzzCliOptions &opt)
                 opt.injectMode = "trcd";
         }
         else if (a == "--fuzz-plugins") opt.fuzzPlugins = true;
+        else if (a == "--standards") opt.standards = need(i);
         else if (a == "--no-shrink") opt.noShrink = true;
         else if (a == "--no-shard-diff") opt.noShardDiff = true;
         else if (a == "--repro") opt.repro = need(i);
@@ -364,6 +374,23 @@ main(int argc, char **argv)
     fopts.withPlugins = opt.fuzzPlugins;
     if (perBankFault)
         fopts.cycleCompatible = false;
+    if (opt.standards == "all") {
+        fopts.standards = presets::names();
+    } else if (!opt.standards.empty()) {
+        std::string item;
+        std::istringstream csv(opt.standards);
+        while (std::getline(csv, item, ',')) {
+            if (item.empty())
+                continue;
+            if (!presets::hasPreset(item))
+                fatal("--standards: unknown preset '%s'",
+                      item.c_str());
+            fopts.standards.push_back(item);
+        }
+        if (fopts.standards.empty())
+            fatal("--standards: no preset names in '%s'",
+                  opt.standards.c_str());
+    }
 
     // A planted plugin fault needs its target plugin in every case,
     // tuned so the fault actually manifests within a short stream.

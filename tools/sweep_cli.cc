@@ -25,8 +25,10 @@
 #include <string>
 #include <vector>
 
+#include "dram/dram_presets.hh"
 #include "exec/batch_runner.hh"
 #include "exec/sweep.hh"
+#include "harness/config_file.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_server.hh"
 #include "sim/logging.hh"
@@ -39,6 +41,9 @@ namespace {
 struct SweepCliOptions
 {
     SweepSpec spec;
+    /** Preset names minted from --config files, joined to the axis. */
+    std::vector<std::string> configPresets;
+    bool presetExplicit = false;
     unsigned jobs = 1;
     std::string out;             // empty = stdout
     std::string format = "csv";  // csv | jsonl
@@ -52,7 +57,14 @@ usage(const char *prog)
     std::printf(
         "usage: %s [options]   (list-valued options take csv)\n"
         "  --preset LIST      ddr3_1333|ddr3_1600|lpddr3_1600|"
-        "wideio_200|hmc_vault\n"
+        "wideio_200|\n"
+        "                     hmc_vault|ddr4_2400|lpddr4_3200|hbm2\n"
+        "  --config LIST      declarative config files (see\n"
+        "                     docs/STANDARDS.md); each file is "
+        "registered\n"
+        "                     as an in-process preset and added to "
+        "the\n"
+        "                     --preset axis under its own name\n"
         "  --pattern LIST     linear|random|dram\n"
         "  --page LIST        open|open_adaptive|closed|"
         "closed_adaptive\n"
@@ -126,6 +138,21 @@ parseArgs(int argc, char **argv, SweepCliOptions &opt)
         std::string a = argv[i];
         if (a == "--preset") {
             spec.presets = splitCsv(need(i));
+            opt.presetExplicit = true;
+        } else if (a == "--config") {
+            // Each file becomes an in-process preset named after its
+            // base preset (shadowing it) or its path, and joins the
+            // preset axis so the grid expands over it like any name.
+            for (const std::string &path : splitCsv(need(i))) {
+                std::string base;
+                DRAMCtrlConfig cfg =
+                    harness::loadConfigFile(path, &base);
+                std::string pname =
+                    base.empty() ? "config:" + path : base;
+                presets::registerPreset(pname,
+                                        [cfg] { return cfg; });
+                opt.configPresets.push_back(pname);
+            }
         } else if (a == "--pattern") {
             spec.patterns = splitCsv(need(i));
         } else if (a == "--page") {
@@ -210,6 +237,15 @@ parseArgs(int argc, char **argv, SweepCliOptions &opt)
         fatal("unknown format '%s'", opt.format.c_str());
     if (opt.warmStart && spec.warmupRequests == 0)
         fatal("--warm-start needs --warmup N");
+    // --config names extend an explicit --preset axis; with no
+    // --preset they replace the default axis instead of silently
+    // sweeping ddr3_1333 alongside the files.
+    if (!opt.configPresets.empty()) {
+        if (!opt.presetExplicit)
+            spec.presets.clear();
+        for (const std::string &p : opt.configPresets)
+            spec.presets.push_back(p);
+    }
     return true;
 }
 
